@@ -1,0 +1,25 @@
+//! Application library: the compute functions and compositions used by the
+//! paper's evaluation, implemented against the Dandelion public API.
+//!
+//! * [`matmul`] — 1×1 / 128×128 int64 matrix multiplication (the
+//!   microbenchmark of Table 1 and Figures 2, 5, 6).
+//! * [`phases`] — the fetch-and-compute composition microbenchmark of §7.4.
+//! * [`logproc`] — the distributed log-processing application of Figure 3:
+//!   `Access → HTTP → FanOut → HTTP (fan-out) → Render`.
+//! * [`image`] — QOI decoding and PNG encoding, the compute-heavy
+//!   image-compression application of Figure 8.
+//! * [`text2sql`] — the agentic Text2SQL workflow of §7.7: prompt parsing,
+//!   LLM call, SQL extraction, database call, response formatting.
+//! * [`query_app`] — elastic SSB query processing (§7.7, Figure 9): plan →
+//!   fetch partitions from the object store → per-partition execution →
+//!   merge.
+//! * [`setup`] — helpers that register the applications and their simulated
+//!   services on a [`dandelion_core::WorkerNode`].
+
+pub mod image;
+pub mod logproc;
+pub mod matmul;
+pub mod phases;
+pub mod query_app;
+pub mod setup;
+pub mod text2sql;

@@ -1,0 +1,251 @@
+//! Helpers to wire the applications and their services onto a worker node.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dandelion_common::DandelionResult;
+use dandelion_core::WorkerNode;
+use dandelion_query::generate_database;
+use dandelion_services::auth::AuthService;
+use dandelion_services::database::SqlDatabaseService;
+use dandelion_services::latency::LatencyModel;
+use dandelion_services::llm::LlmService;
+use dandelion_services::logs::LogService;
+use dandelion_services::object_store::ObjectStore;
+use dandelion_services::ServiceRegistry;
+
+use crate::{image, logproc, matmul, phases, query_app, text2sql};
+
+/// How many log-service endpoints the demo environment exposes.
+pub const LOG_SERVICES: usize = 5;
+/// The demo access token the auth service accepts.
+pub const DEMO_TOKEN: &str = "demo-token";
+
+/// Builds the full simulated service environment used by the examples,
+/// integration tests and benchmarks.
+///
+/// `realistic_latency` selects between the paper-calibrated service latency
+/// models (examples, benchmarks) and zero latency (unit/integration tests).
+pub fn demo_services(realistic_latency: bool) -> ServiceRegistry {
+    let microservice = if realistic_latency {
+        dandelion_services::latency::defaults::MICROSERVICE
+    } else {
+        LatencyModel::zero()
+    };
+    let object_latency = if realistic_latency {
+        dandelion_services::latency::defaults::OBJECT_STORE
+    } else {
+        LatencyModel::zero()
+    };
+    let llm_latency = if realistic_latency {
+        dandelion_services::latency::defaults::LLM
+    } else {
+        LatencyModel::zero()
+    };
+    let db_latency = if realistic_latency {
+        dandelion_services::latency::defaults::SQL_DATABASE
+    } else {
+        LatencyModel::zero()
+    };
+
+    let mut registry = ServiceRegistry::new();
+
+    // Auth + log services for the log-processing application.
+    let auth = AuthService::with_latency(microservice);
+    let endpoints: Vec<String> = (0..LOG_SERVICES)
+        .map(|index| format!("http://logs-{index}.internal/logs"))
+        .collect();
+    auth.grant(
+        DEMO_TOKEN,
+        &endpoints.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    registry.register("auth.internal", Arc::new(auth));
+    for index in 0..LOG_SERVICES {
+        registry.register(
+            &format!("logs-{index}.internal"),
+            Arc::new(LogService::new(&format!("logs-{index}"), 120, index as u64).with_latency(microservice)),
+        );
+    }
+
+    // Object store with the fetch-and-compute arrays, the demo QOI image and
+    // the SSB dataset.
+    let store = ObjectStore::with_latency(object_latency);
+    for key in 0..16u64 {
+        store.put_object("arrays", &key.to_string(), phases::array_object(key));
+    }
+    // Keys produced by SumMinMax are `sum % 1000`; make sure they resolve.
+    for key in 0..1000u64 {
+        if store.get_object("arrays", &key.to_string()).is_none() {
+            store.put_object("arrays", &key.to_string(), phases::array_object(key));
+        }
+    }
+    let image = image::Image::synthetic(96, 64);
+    store.put_object("images", "input.qoi", image::qoi_encode(&image));
+    let ssb = generate_database(0.05, 42);
+    query_app::upload_database(&store, &ssb, 8);
+    registry.register(query_app::STORE_HOST, Arc::new(store));
+
+    // LLM and SQL database for the Text2SQL workflow.
+    registry.register("llm.internal", Arc::new(LlmService::with_latency(llm_latency)));
+    registry.register(
+        "db.internal",
+        Arc::new(SqlDatabaseService::with_latency(db_latency).with_demo_data()),
+    );
+
+    registry
+}
+
+/// Registers every application's compute functions and compositions on a
+/// worker node.
+pub fn register_applications(worker: &WorkerNode) -> DandelionResult<()> {
+    // Matmul microbenchmark.
+    worker.register_function(matmul::matmul_artifact())?;
+    worker.register_composition(matmul::matmul_composition())?;
+
+    // Log processing.
+    worker.register_function(logproc::access_artifact())?;
+    worker.register_function(logproc::fanout_artifact())?;
+    worker.register_function(logproc::render_artifact())?;
+    worker.register_composition(logproc::composition())?;
+
+    // Image compression.
+    worker.register_function(image::compress_artifact())?;
+    worker.register_composition(image::composition())?;
+
+    // Fetch-and-compute phase chains (2, 4, 8 and 16 phases).
+    worker.register_function(phases::make_fetch_artifact())?;
+    worker.register_function(phases::sum_min_max_artifact())?;
+    worker.register_function(phases::finalize_artifact())?;
+    for count in [2usize, 4, 8, 16] {
+        worker.register_composition(phases::composition(count))?;
+    }
+
+    // Text2SQL.
+    worker.register_function(text2sql::parse_prompt_artifact())?;
+    worker.register_function(text2sql::extract_sql_artifact())?;
+    worker.register_function(text2sql::format_response_artifact())?;
+    worker.register_composition(text2sql::composition())?;
+
+    // Elastic SSB query processing.
+    worker.register_function(query_app::plan_query_artifact())?;
+    worker.register_function(query_app::run_partition_artifact())?;
+    worker.register_function(query_app::merge_partials_artifact())?;
+    worker.register_composition(query_app::composition())?;
+
+    Ok(())
+}
+
+/// Starts a fully configured demo worker: all applications registered, all
+/// simulated services wired up.
+pub fn demo_worker(
+    total_cores: usize,
+    realistic_latency: bool,
+) -> DandelionResult<Arc<WorkerNode>> {
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    let config = WorkerConfig {
+        total_cores: total_cores.max(2),
+        initial_communication_cores: (total_cores / 4).max(1),
+        isolation: IsolationKind::Native,
+        function_timeout: Duration::from_secs(60),
+        ..WorkerConfig::default()
+    };
+    let worker = WorkerNode::start_with_control(config, demo_services(realistic_latency), false)?;
+    register_applications(&worker)?;
+    Ok(worker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dandelion_common::DataSet;
+
+    #[test]
+    fn demo_worker_runs_log_processing_end_to_end() {
+        let worker = demo_worker(4, false).unwrap();
+        let outcome = worker
+            .invoke(
+                "RenderLogs",
+                vec![DataSet::single("AccessToken", DEMO_TOKEN.as_bytes().to_vec())],
+            )
+            .unwrap();
+        let html = outcome.outputs[0].items[0].as_str().unwrap();
+        assert!(html.contains("<html>"));
+        // All five log services contribute a section.
+        assert_eq!(html.matches("<section><pre>").count(), LOG_SERVICES);
+        // 3 compute nodes and 1 + 5 HTTP requests executed.
+        assert_eq!(outcome.report.compute_tasks, 3);
+        assert_eq!(outcome.report.communication_tasks, 1 + LOG_SERVICES);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn demo_worker_runs_image_compression() {
+        let worker = demo_worker(4, false).unwrap();
+        let image = image::Image::synthetic(64, 32);
+        let outcome = worker
+            .invoke(
+                "CompressImageApp",
+                vec![DataSet::single("Qoi", image::qoi_encode(&image))],
+            )
+            .unwrap();
+        assert_eq!(
+            image::png_dimensions(&outcome.outputs[0].items[0].data),
+            Some((64, 32))
+        );
+        worker.shutdown();
+    }
+
+    #[test]
+    fn demo_worker_runs_text2sql() {
+        let worker = demo_worker(4, false).unwrap();
+        let outcome = worker
+            .invoke(
+                "Text2Sql",
+                vec![DataSet::single(
+                    "Prompt",
+                    b"Which city in Switzerland has the largest population?".to_vec(),
+                )],
+            )
+            .unwrap();
+        let answer = outcome.outputs[0].items[0].as_str().unwrap();
+        assert!(answer.contains("Zurich"), "answer was: {answer}");
+        worker.shutdown();
+    }
+
+    #[test]
+    fn demo_worker_runs_ssb_queries() {
+        let worker = demo_worker(4, false).unwrap();
+        // The demo environment uploads the fact table as 8 partition objects,
+        // so the query spec must fan out over all 8.
+        let outcome = worker
+            .invoke(
+                "SsbQuery",
+                vec![DataSet::single("QuerySpec", b"1.1;8".to_vec())],
+            )
+            .unwrap();
+        let csv = outcome.outputs[0].items[0].as_str().unwrap();
+        assert!(csv.starts_with("revenue"));
+        // The distributed result matches the single-node engine.
+        let db = generate_database(0.05, 42);
+        let expected = dandelion_query::SsbQuery::Q1_1.run(&db).unwrap();
+        assert_eq!(csv, expected.to_csv());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn demo_worker_runs_fetch_and_compute_chain() {
+        let worker = demo_worker(4, false).unwrap();
+        let outcome = worker
+            .invoke(
+                "FetchCompute4",
+                vec![DataSet::single("Phase0", b"1".to_vec())],
+            )
+            .unwrap();
+        let stats = outcome.outputs[0].items[0].as_str().unwrap();
+        assert!(stats.contains("sum="));
+        // 4 phases × (MakeFetch + SumMinMax) + Finalize compute functions.
+        assert_eq!(outcome.report.compute_tasks, 9);
+        assert_eq!(outcome.report.communication_tasks, 4);
+        worker.shutdown();
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 5: sandbox creation under load for every platform model.
+//!
+//! Benchmarks how fast the simulator can push 1×1 matmul requests through
+//! each platform model (the figure itself is produced by `reproduce fig5`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dandelion_common::config::IsolationKind;
+use dandelion_isolation::{HardwarePlatform, SandboxCostModel};
+use dandelion_sim::platforms::{
+    DandelionConfig, DandelionSim, MicroVmKind, MicroVmSim, PlatformModel, WarmPolicy, WasmtimeSim,
+};
+use dandelion_sim::workloads;
+
+fn submit_requests(model: &mut dyn PlatformModel, count: u64) {
+    let spec = workloads::matmul_1x1();
+    for index in 0..count {
+        let arrival = Duration::from_micros(index * 200);
+        model.submit(arrival, &spec);
+    }
+}
+
+fn bench_platforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_sandbox_creation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("dandelion", "cheri"), &(), |bencher, _| {
+        bencher.iter(|| {
+            let mut model = DandelionSim::new(DandelionConfig::morello(
+                SandboxCostModel::for_backend(IsolationKind::Cheri, HardwarePlatform::Morello),
+            ));
+            submit_requests(&mut model, 2000);
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("firecracker", "snapshot"),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let mut model = MicroVmSim::new(
+                    MicroVmKind::FirecrackerSnapshot,
+                    HardwarePlatform::Morello,
+                    4,
+                    WarmPolicy::FixedHotRatio { hot_ratio: 0.0 },
+                    1,
+                );
+                submit_requests(&mut model, 2000);
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("wasmtime", "spin"), &(), |bencher, _| {
+        bencher.iter(|| {
+            let mut model = WasmtimeSim::new(4);
+            submit_requests(&mut model, 2000);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

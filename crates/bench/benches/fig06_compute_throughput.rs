@@ -1,0 +1,57 @@
+//! Figure 6: 128×128 matmul on the real runtime and in the simulator.
+//!
+//! Benchmarks the real compute path (matmul executed through the process
+//! backend on this machine) and the simulated 16-core sweep step used by
+//! `reproduce fig6`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dandelion_apps::matmul::{matmul_artifact, matmul_inputs, multiply};
+use dandelion_common::config::IsolationKind;
+use dandelion_isolation::{create_backend, ExecutionTask, HardwarePlatform, SandboxCostModel};
+use dandelion_sim::platforms::{DandelionConfig, DandelionSim, PlatformModel};
+use dandelion_sim::workloads;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_compute_throughput");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+
+    // The raw kernel (what a warm native execution costs on this machine).
+    let a: Vec<i64> = (0..128 * 128).map(|value| value as i64 % 97).collect();
+    let b: Vec<i64> = (0..128 * 128).map(|value| value as i64 % 89).collect();
+    group.bench_function("native_matmul_128", |bencher| {
+        bencher.iter(|| multiply(128, &a, &b))
+    });
+
+    // The full sandboxed invocation through the process backend.
+    let backend = create_backend(IsolationKind::Process, HardwarePlatform::X86Linux);
+    let artifact = Arc::new(matmul_artifact());
+    let inputs = vec![matmul_inputs(128, 5)];
+    group.bench_function("sandboxed_matmul_128", |bencher| {
+        bencher.iter(|| {
+            let task = ExecutionTask::new(Arc::clone(&artifact), inputs.clone());
+            backend.execute(&task).expect("matmul executes")
+        })
+    });
+
+    // One sweep point of the Figure 6 simulation.
+    group.bench_function("simulated_16core_sweep_point", |bencher| {
+        bencher.iter(|| {
+            let mut model = DandelionSim::new(DandelionConfig::xeon(
+                SandboxCostModel::for_backend(IsolationKind::Kvm, HardwarePlatform::X86Linux),
+            ));
+            let spec = workloads::matmul_128();
+            for index in 0..2000u64 {
+                model.submit(Duration::from_micros(index * 300), &spec);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

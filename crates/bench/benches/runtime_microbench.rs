@@ -1,0 +1,72 @@
+//! Microbenchmarks of the real runtime paths that are independent of the
+//! paper's figures: DSL compilation, output-descriptor parsing, HTTP request
+//! validation and an end-to-end worker invocation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dandelion_common::{DataItem, DataSet};
+use dandelion_http::validate::{validate_request_bytes, ValidationPolicy};
+use dandelion_http::HttpRequest;
+use dandelion_isolation::output_parser::{encode_outputs, parse_outputs};
+
+const LOGS_DSL: &str = r#"
+composition RenderLogs(AccessToken) => HTMLOutput {
+    Access(AccessToken = all AccessToken) => (AuthRequest = HTTPRequest);
+    HTTP(Request = each AuthRequest) => (AuthResponse = Response);
+    FanOut(HTTPResponse = all AuthResponse) => (LogRequests = HTTPRequests);
+    HTTP(Request = each LogRequests) => (LogResponses = Response);
+    Render(HTTPResponses = all LogResponses) => (HTMLOutput = HTMLOutput);
+}
+"#;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_microbench");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(30);
+
+    group.bench_function("dsl_compile_render_logs", |bencher| {
+        bencher.iter(|| dandelion_dsl::compile(LOGS_DSL).expect("valid DSL"))
+    });
+
+    let sets = vec![DataSet::with_items(
+        "responses",
+        (0..64)
+            .map(|index| DataItem::new(format!("item-{index}"), vec![0u8; 1024]))
+            .collect(),
+    )];
+    let descriptor = encode_outputs(&sets);
+    group.bench_function("output_descriptor_parse_64x1KiB", |bencher| {
+        bencher.iter(|| parse_outputs(&descriptor).expect("valid descriptor"))
+    });
+
+    let request = HttpRequest::post("http://storage.internal/bucket/key", vec![0u8; 4096])
+        .with_header("Content-Type", "application/octet-stream")
+        .to_bytes();
+    let policy = ValidationPolicy::default();
+    group.bench_function("http_request_validation", |bencher| {
+        bencher.iter(|| validate_request_bytes(&request, &policy).expect("valid request"))
+    });
+
+    // End-to-end worker invocation of the log-processing composition.
+    let worker = dandelion_apps::setup::demo_worker(4, false).expect("worker starts");
+    group.bench_function("worker_invoke_render_logs", |bencher| {
+        bencher.iter(|| {
+            worker
+                .invoke(
+                    "RenderLogs",
+                    vec![DataSet::single(
+                        "AccessToken",
+                        dandelion_apps::setup::DEMO_TOKEN.as_bytes().to_vec(),
+                    )],
+                )
+                .expect("invocation succeeds")
+        })
+    });
+    group.finish();
+    worker.shutdown();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 1: sandbox creation cost per isolation backend.
+//!
+//! Measures the real (wall-clock) cost of running the 1×1 matmul through
+//! each backend's staged executor on this machine, alongside the calibrated
+//! model that the `reproduce table1` report prints.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dandelion_apps::matmul::{matmul_artifact, matmul_inputs};
+use dandelion_common::config::IsolationKind;
+use dandelion_isolation::{create_backend, ExecutionTask, HardwarePlatform};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_sandbox_breakdown");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(30);
+    let artifact = Arc::new(matmul_artifact());
+    let inputs = vec![matmul_inputs(1, 1)];
+    for backend in IsolationKind::PAPER_BACKENDS {
+        let isolation = create_backend(backend, HardwarePlatform::Morello);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend),
+            &backend,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let task = ExecutionTask::new(Arc::clone(&artifact), inputs.clone())
+                        .with_cold_binary(true);
+                    isolation.execute(&task).expect("matmul executes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

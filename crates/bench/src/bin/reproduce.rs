@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce                # run every experiment
+//! reproduce fig5 table1    # run selected experiments
+//! reproduce --list         # list experiment names
+//! reproduce --json fig10   # additionally emit the rows as JSON
+//! ```
+
+use std::time::Instant;
+
+use dandelion_bench::{run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|arg| arg == "--json");
+    let names: Vec<&String> = args.iter().filter(|arg| !arg.starts_with("--")).collect();
+
+    if args.iter().any(|arg| arg == "--list") {
+        for id in ExperimentId::ALL {
+            println!("{}", id.name());
+        }
+        return;
+    }
+
+    let selected: Vec<ExperimentId> = if names.is_empty() {
+        ExperimentId::ALL.to_vec()
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                ExperimentId::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{name}`; use --list to see the options");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    for id in selected {
+        let start = Instant::now();
+        let report = run_experiment(id);
+        println!("{report}");
+        if json {
+            println!(
+                "json[{}] = {}",
+                id.name(),
+                serde_json::to_string(&report.rows_json()).unwrap_or_default()
+            );
+        }
+        println!("  ({} finished in {:.1?})\n", id.name(), start.elapsed());
+    }
+}

@@ -1,0 +1,192 @@
+//! Clock abstraction shared by the runtime and the simulator.
+//!
+//! All latency-bearing platform code takes a [`Clock`] so that the same
+//! control logic (PI controller, autoscalers, sandbox lifecycles) can run
+//! against the monotonic [`RealClock`] in the threaded runtime and against a
+//! manually advanced [`VirtualClock`] in the discrete-event simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time measured from an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    /// Returns the time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Returns the current time in whole nanoseconds since the epoch.
+    fn now_nanos(&self) -> u64 {
+        self.now().as_nanos() as u64
+    }
+}
+
+/// Monotonic wall-clock time based on [`Instant`].
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A manually advanced clock used for deterministic simulation.
+///
+/// Cloning a `VirtualClock` yields a handle onto the same underlying time
+/// value, so a simulator can advance time while model components observe it.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.nanos
+            .fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute time since the epoch.
+    ///
+    /// The new time must not be earlier than the current time; moving
+    /// backwards would break the monotonicity contract of [`Clock`].
+    pub fn set(&self, now: Duration) {
+        let target = now.as_nanos() as u64;
+        let mut current = self.nanos.load(Ordering::SeqCst);
+        loop {
+            if target < current {
+                // Never move backwards; keep the larger value.
+                return;
+            }
+            match self.nanos.compare_exchange(
+                current,
+                target,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+/// A clock handle that can be either real or virtual.
+///
+/// This avoids trait objects in hot paths while still letting components be
+/// constructed for either execution mode.
+#[derive(Debug, Clone)]
+pub enum SharedClock {
+    /// Monotonic wall-clock time.
+    Real(Arc<RealClock>),
+    /// Simulated, manually advanced time.
+    Virtual(VirtualClock),
+}
+
+impl SharedClock {
+    /// Creates a real-time clock handle.
+    pub fn real() -> Self {
+        SharedClock::Real(Arc::new(RealClock::new()))
+    }
+
+    /// Creates a virtual clock handle starting at time zero.
+    pub fn virtual_clock() -> Self {
+        SharedClock::Virtual(VirtualClock::new())
+    }
+
+    /// Returns the underlying virtual clock if this handle is virtual.
+    pub fn as_virtual(&self) -> Option<&VirtualClock> {
+        match self {
+            SharedClock::Virtual(clock) => Some(clock),
+            SharedClock::Real(_) => None,
+        }
+    }
+}
+
+impl Clock for SharedClock {
+    fn now(&self) -> Duration {
+        match self {
+            SharedClock::Real(clock) => clock.now(),
+            SharedClock::Virtual(clock) => clock.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = RealClock::new();
+        let first = clock.now();
+        let second = clock.now();
+        assert!(second >= first);
+    }
+
+    #[test]
+    fn virtual_clock_advances_manually() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.advance(Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(5250));
+    }
+
+    #[test]
+    fn virtual_clock_set_never_moves_backwards() {
+        let clock = VirtualClock::new();
+        clock.set(Duration::from_secs(10));
+        clock.set(Duration::from_secs(5));
+        assert_eq!(clock.now(), Duration::from_secs(10));
+        clock.set(Duration::from_secs(12));
+        assert_eq!(clock.now(), Duration::from_secs(12));
+    }
+
+    #[test]
+    fn cloned_virtual_clock_shares_time() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(handle.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn shared_clock_dispatches() {
+        let shared = SharedClock::virtual_clock();
+        shared.as_virtual().unwrap().advance(Duration::from_secs(2));
+        assert_eq!(shared.now(), Duration::from_secs(2));
+        let real = SharedClock::real();
+        assert!(real.as_virtual().is_none());
+        let _ = real.now();
+    }
+}

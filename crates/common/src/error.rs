@@ -1,0 +1,218 @@
+//! Error types shared across the Dandelion workspace.
+
+use std::fmt;
+
+/// Convenient result alias using [`DandelionError`].
+pub type DandelionResult<T> = Result<T, DandelionError>;
+
+/// The error type returned by Dandelion platform operations.
+///
+/// The variants are grouped by subsystem so that callers can match on the
+/// broad category (registration, dispatch, sandbox, communication, ...)
+/// without needing to know the precise failure site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DandelionError {
+    /// A function, composition or service name was not found in a registry.
+    NotFound {
+        /// The kind of entity that was looked up (e.g. `"function"`).
+        kind: &'static str,
+        /// The name or identifier that failed to resolve.
+        name: String,
+    },
+    /// An entity with the same name is already registered.
+    AlreadyRegistered {
+        /// The kind of entity that was registered (e.g. `"composition"`).
+        kind: &'static str,
+        /// The conflicting name.
+        name: String,
+    },
+    /// The composition DSL failed to parse.
+    Parse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// Column number (1-based) where the error was detected.
+        column: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// The composition parsed but failed semantic validation.
+    Validation(String),
+    /// A memory context operation went out of bounds or exceeded its budget.
+    ContextError(String),
+    /// A compute function misbehaved (trapped, timed out, attempted a syscall).
+    FunctionFault {
+        /// The name of the faulting function.
+        function: String,
+        /// Description of the fault.
+        reason: String,
+    },
+    /// A communication function received an invalid or unsafe request.
+    InvalidRequest(String),
+    /// A remote service returned an error response.
+    ServiceError {
+        /// HTTP-like status code returned by the service.
+        status: u16,
+        /// Service supplied message.
+        message: String,
+    },
+    /// The dispatcher detected an internal inconsistency.
+    Dispatch(String),
+    /// The platform ran out of a resource (cores, memory, queue capacity).
+    ResourceExhausted(String),
+    /// The invocation was cancelled (e.g. client disconnected, shutdown).
+    Cancelled,
+    /// Execution exceeded the user-specified timeout.
+    Timeout {
+        /// The function that was preempted.
+        function: String,
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+    },
+    /// A configuration value was invalid.
+    Config(String),
+    /// Input/output data did not match the declared sets.
+    DataLayout(String),
+    /// Catch-all for internal errors that should not occur.
+    Internal(String),
+}
+
+impl DandelionError {
+    /// Returns `true` if the error is attributable to the user (bad program,
+    /// bad request, faulting function) rather than to the platform.
+    pub fn is_user_error(&self) -> bool {
+        matches!(
+            self,
+            DandelionError::Parse { .. }
+                | DandelionError::Validation(_)
+                | DandelionError::FunctionFault { .. }
+                | DandelionError::InvalidRequest(_)
+                | DandelionError::DataLayout(_)
+                | DandelionError::Timeout { .. }
+        )
+    }
+
+    /// Returns `true` if retrying the operation may succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            DandelionError::ResourceExhausted(_) => true,
+            DandelionError::ServiceError { status, .. } => *status >= 500,
+            _ => false,
+        }
+    }
+
+    /// Maps the error onto the HTTP status code the frontend reports.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            DandelionError::NotFound { .. } => 404,
+            DandelionError::AlreadyRegistered { .. } => 409,
+            DandelionError::Parse { .. }
+            | DandelionError::Validation(_)
+            | DandelionError::InvalidRequest(_)
+            | DandelionError::DataLayout(_)
+            | DandelionError::Config(_) => 400,
+            DandelionError::FunctionFault { .. } => 422,
+            DandelionError::Timeout { .. } => 408,
+            DandelionError::ServiceError { status, .. } => *status,
+            DandelionError::ResourceExhausted(_) => 429,
+            DandelionError::Cancelled => 499,
+            DandelionError::ContextError(_)
+            | DandelionError::Dispatch(_)
+            | DandelionError::Internal(_) => 500,
+        }
+    }
+}
+
+impl fmt::Display for DandelionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DandelionError::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            DandelionError::AlreadyRegistered { kind, name } => {
+                write!(f, "{kind} already registered: {name}")
+            }
+            DandelionError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            DandelionError::Validation(msg) => write!(f, "validation error: {msg}"),
+            DandelionError::ContextError(msg) => write!(f, "memory context error: {msg}"),
+            DandelionError::FunctionFault { function, reason } => {
+                write!(f, "function `{function}` faulted: {reason}")
+            }
+            DandelionError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            DandelionError::ServiceError { status, message } => {
+                write!(f, "service error {status}: {message}")
+            }
+            DandelionError::Dispatch(msg) => write!(f, "dispatch error: {msg}"),
+            DandelionError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            DandelionError::Cancelled => write!(f, "invocation cancelled"),
+            DandelionError::Timeout { function, limit_ms } => {
+                write!(f, "function `{function}` exceeded timeout of {limit_ms} ms")
+            }
+            DandelionError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DandelionError::DataLayout(msg) => write!(f, "data layout error: {msg}"),
+            DandelionError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DandelionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DandelionError::NotFound {
+            kind: "function",
+            name: "matmul".to_string(),
+        };
+        assert_eq!(err.to_string(), "function not found: matmul");
+        let err = DandelionError::Timeout {
+            function: "spin".into(),
+            limit_ms: 250,
+        };
+        assert!(err.to_string().contains("250 ms"));
+    }
+
+    #[test]
+    fn status_codes_follow_http_semantics() {
+        assert_eq!(
+            DandelionError::NotFound {
+                kind: "function",
+                name: "x".into()
+            }
+            .status_code(),
+            404
+        );
+        assert_eq!(DandelionError::Validation("bad".into()).status_code(), 400);
+        assert_eq!(DandelionError::Internal("oops".into()).status_code(), 500);
+        assert_eq!(
+            DandelionError::ServiceError {
+                status: 503,
+                message: "busy".into()
+            }
+            .status_code(),
+            503
+        );
+    }
+
+    #[test]
+    fn user_error_classification() {
+        assert!(DandelionError::Validation("x".into()).is_user_error());
+        assert!(DandelionError::FunctionFault {
+            function: "f".into(),
+            reason: "trap".into()
+        }
+        .is_user_error());
+        assert!(!DandelionError::Internal("x".into()).is_user_error());
+        assert!(!DandelionError::Dispatch("x".into()).is_user_error());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(DandelionError::ResourceExhausted("queue full".into()).is_retryable());
+        assert!(!DandelionError::Validation("x".into()).is_retryable());
+    }
+}

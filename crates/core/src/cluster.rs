@@ -1,0 +1,207 @@
+//! A small cluster manager in the spirit of Dirigent.
+//!
+//! The paper extends Dirigent to orchestrate Dandelion worker nodes and load
+//! balance composition invocations across them (paper §5, "Cluster
+//! manager"). This module provides the same role for in-process workers:
+//! registration is broadcast to every node, and each invocation is routed by
+//! the configured load-balancing policy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dandelion_common::config::{ClusterConfig, LoadBalancing};
+use dandelion_common::{DandelionResult, DataSet, NodeId};
+use dandelion_dsl::CompositionGraph;
+use dandelion_isolation::FunctionArtifact;
+use dandelion_services::ServiceRegistry;
+
+use crate::dispatcher::InvocationOutcome;
+use crate::worker::{WorkerNode, WorkerStats};
+
+/// Orchestrates several worker nodes.
+pub struct ClusterManager {
+    nodes: Vec<(NodeId, Arc<WorkerNode>)>,
+    policy: LoadBalancing,
+    round_robin: AtomicUsize,
+}
+
+impl ClusterManager {
+    /// Starts a cluster of identical workers sharing a service registry.
+    pub fn start(config: ClusterConfig, services: ServiceRegistry) -> DandelionResult<Self> {
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for _ in 0..config.nodes.max(1) {
+            let worker = WorkerNode::start(config.worker.clone(), services.clone())?;
+            nodes.push((NodeId::next(), worker));
+        }
+        Ok(Self {
+            nodes,
+            policy: config.load_balancing,
+            round_robin: AtomicUsize::new(0),
+        })
+    }
+
+    /// Builds a cluster from already-started workers (used by tests and the
+    /// benchmark harness to control per-node configuration).
+    pub fn from_workers(workers: Vec<Arc<WorkerNode>>, policy: LoadBalancing) -> Self {
+        Self {
+            nodes: workers.into_iter().map(|w| (NodeId::next(), w)).collect(),
+            policy,
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Registers a compute function on every node.
+    pub fn register_function_with(
+        &self,
+        make_artifact: impl Fn() -> FunctionArtifact,
+    ) -> DandelionResult<()> {
+        for (_, node) in &self.nodes {
+            node.register_function(make_artifact())?;
+        }
+        Ok(())
+    }
+
+    /// Registers a composition on every node.
+    pub fn register_composition(&self, graph: CompositionGraph) -> DandelionResult<()> {
+        for (_, node) in &self.nodes {
+            node.register_composition(graph.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Picks a node for an invocation according to the policy.
+    fn pick_node(&self, composition: &str) -> &Arc<WorkerNode> {
+        let index = match self.policy {
+            LoadBalancing::RoundRobin => {
+                self.round_robin.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
+            }
+            LoadBalancing::LeastLoaded => self
+                .nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, node))| node.inflight())
+                .map(|(index, _)| index)
+                .unwrap_or(0),
+            LoadBalancing::CompositionAffinity => {
+                let mut hash = 0xcbf2_9ce4_8422_2325u64;
+                for byte in composition.as_bytes() {
+                    hash ^= *byte as u64;
+                    hash = hash.wrapping_mul(0x1000_0000_01b3);
+                }
+                (hash % self.nodes.len() as u64) as usize
+            }
+        };
+        &self.nodes[index].1
+    }
+
+    /// Invokes a composition on a node chosen by the load-balancing policy.
+    pub fn invoke(
+        &self,
+        composition: &str,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<InvocationOutcome> {
+        self.pick_node(composition).invoke(composition, inputs)
+    }
+
+    /// Per-node statistics snapshots.
+    pub fn stats(&self) -> Vec<(NodeId, WorkerStats)> {
+        self.nodes
+            .iter()
+            .map(|(id, node)| (*id, node.stats()))
+            .collect()
+    }
+
+    /// Stops every worker.
+    pub fn shutdown(&self) {
+        for (_, node) in &self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::default_test_services;
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_isolation::FunctionCtx;
+
+    fn cluster(policy: LoadBalancing, nodes: usize) -> ClusterManager {
+        let config = ClusterConfig {
+            nodes,
+            worker: WorkerConfig {
+                total_cores: 2,
+                initial_communication_cores: 1,
+                isolation: IsolationKind::Native,
+                ..WorkerConfig::default()
+            },
+            load_balancing: policy,
+        };
+        let cluster = ClusterManager::start(config, default_test_services()).unwrap();
+        cluster
+            .register_function_with(|| {
+                FunctionArtifact::new("Copy", &["Copied"], |ctx: &mut FunctionCtx| {
+                    let data = ctx.single_input("Data")?.data.as_slice().to_vec();
+                    ctx.push_output_bytes("Copied", "copy", data)
+                })
+            })
+            .unwrap();
+        cluster
+            .register_composition(
+                dandelion_dsl::compile(
+                    "composition Identity(In) => Out { Copy(Data = all In) => (Out = Copied); }",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        cluster
+    }
+
+    #[test]
+    fn round_robin_spreads_invocations() {
+        let cluster = cluster(LoadBalancing::RoundRobin, 3);
+        assert_eq!(cluster.node_count(), 3);
+        for index in 0..6 {
+            let outcome = cluster
+                .invoke("Identity", vec![DataSet::single("In", vec![index as u8])])
+                .unwrap();
+            assert_eq!(outcome.outputs[0].items[0].data[0], index as u8);
+        }
+        let stats = cluster.stats();
+        assert!(stats.iter().all(|(_, s)| s.invocations == 2));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn least_loaded_picks_idle_nodes() {
+        let cluster = cluster(LoadBalancing::LeastLoaded, 2);
+        for _ in 0..4 {
+            cluster
+                .invoke("Identity", vec![DataSet::single("In", vec![1])])
+                .unwrap();
+        }
+        let total: u64 = cluster.stats().iter().map(|(_, s)| s.invocations).sum();
+        assert_eq!(total, 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn composition_affinity_is_sticky() {
+        let cluster = cluster(LoadBalancing::CompositionAffinity, 3);
+        for _ in 0..5 {
+            cluster
+                .invoke("Identity", vec![DataSet::single("In", vec![1])])
+                .unwrap();
+        }
+        let stats = cluster.stats();
+        let busy_nodes = stats.iter().filter(|(_, s)| s.invocations > 0).count();
+        assert_eq!(busy_nodes, 1);
+        assert_eq!(stats.iter().map(|(_, s)| s.invocations).sum::<u64>(), 5);
+        cluster.shutdown();
+    }
+}

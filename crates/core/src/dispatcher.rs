@@ -1,0 +1,479 @@
+//! The dispatcher: drives invocations over the engine pools.
+//!
+//! The dispatcher owns the per-invocation dataflow state
+//! ([`crate::invocation::InvocationState`]), prepares tasks for ready
+//! function instances, enqueues them on the engine queues, and feeds
+//! completions back until the composition's external outputs are available
+//! (paper §5, §6.1). Nested compositions are executed as recursive
+//! sub-invocations sharing the same engine pools.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use dandelion_common::config::WorkerConfig;
+use dandelion_common::rng::SplitMix64;
+use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId};
+use dandelion_dsl::CompositionGraph;
+use parking_lot::Mutex;
+
+use crate::invocation::{InstanceSpec, InvocationState};
+use crate::registry::{Registry, Vertex};
+use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
+
+/// Per-invocation execution statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InvocationReport {
+    /// Number of compute tasks executed (sandboxes created).
+    pub compute_tasks: usize,
+    /// Number of communication tasks executed.
+    pub communication_tasks: usize,
+    /// Sum of peak memory-context bytes across all compute tasks.
+    pub peak_context_bytes: usize,
+    /// Sum of the modeled latencies of all tasks (an upper bound on the
+    /// modeled critical path; exact path accounting is done by the
+    /// simulator).
+    pub modeled_busy_time: Duration,
+}
+
+/// The result of a completed invocation.
+#[derive(Debug, Clone)]
+pub struct InvocationOutcome {
+    /// The composition's external outputs.
+    pub outputs: Vec<DataSet>,
+    /// Execution statistics.
+    pub report: InvocationReport,
+}
+
+/// Routes ready function instances to engine queues and collects results.
+pub struct Dispatcher {
+    registry: Arc<Registry>,
+    compute_queue: TaskQueue,
+    communication_queue: TaskQueue,
+    config: WorkerConfig,
+    rng: Mutex<SplitMix64>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher submitting to the given queues.
+    pub fn new(
+        registry: Arc<Registry>,
+        compute_queue: TaskQueue,
+        communication_queue: TaskQueue,
+        config: WorkerConfig,
+    ) -> Self {
+        Self {
+            registry,
+            compute_queue,
+            communication_queue,
+            config,
+            rng: Mutex::new(SplitMix64::new(0xDA4D_E110)),
+        }
+    }
+
+    /// Invokes a composition graph with the given inputs and waits for the
+    /// external outputs.
+    pub fn invoke(
+        &self,
+        graph: Arc<CompositionGraph>,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<InvocationOutcome> {
+        let invocation_id = InvocationId::next();
+        let mut state = InvocationState::new(invocation_id, graph, inputs)?;
+        let mut report = InvocationReport::default();
+        let (reply, results) = unbounded::<TaskResult>();
+        let mut outstanding = 0usize;
+
+        let ready = state.ready_instances()?;
+        outstanding += self.submit_all(ready, invocation_id, &reply, &mut state, &mut report)?;
+
+        while outstanding > 0 {
+            let result = results
+                .recv_timeout(self.config.function_timeout + Duration::from_secs(30))
+                .map_err(|_| {
+                    DandelionError::Dispatch(
+                        "timed out waiting for engine results".to_string(),
+                    )
+                })?;
+            outstanding -= 1;
+            report.modeled_busy_time += result.modeled_latency;
+            report.peak_context_bytes += result.context_high_water;
+            let node_finished =
+                match state.complete_instance(result.node, result.instance, result.outcome) {
+                    Ok(finished) => finished,
+                    Err(error) => {
+                        // The invocation failed; remaining engine results are
+                        // dropped when `results` goes out of scope.
+                        return Err(error);
+                    }
+                };
+            if node_finished {
+                let ready = state.ready_instances()?;
+                outstanding +=
+                    self.submit_all(ready, invocation_id, &reply, &mut state, &mut report)?;
+            }
+        }
+
+        let outputs = state.external_outputs()?;
+        Ok(InvocationOutcome { outputs, report })
+    }
+
+    /// Submits every ready instance; nested compositions are executed
+    /// recursively and completed inline. Returns the number of tasks now
+    /// outstanding on the engine queues.
+    fn submit_all(
+        &self,
+        mut ready: Vec<InstanceSpec>,
+        invocation_id: InvocationId,
+        reply: &crossbeam::channel::Sender<TaskResult>,
+        state: &mut InvocationState,
+        report: &mut InvocationReport,
+    ) -> DandelionResult<usize> {
+        let mut outstanding = 0usize;
+        // Process the queue of ready instances; completing a nested
+        // composition inline can ready further instances, which are appended.
+        let mut index = 0;
+        while index < ready.len() {
+            let spec = ready[index].clone();
+            index += 1;
+            let vertex = self.registry.resolve(&spec.vertex).ok_or_else(|| {
+                DandelionError::NotFound {
+                    kind: "vertex",
+                    name: spec.vertex.clone(),
+                }
+            })?;
+            match vertex {
+                Vertex::Compute(artifact) => {
+                    report.compute_tasks += 1;
+                    let cold_binary = self
+                        .rng
+                        .lock()
+                        .bernoulli(self.config.binary_cold_load_ratio);
+                    let task = Task {
+                        invocation: invocation_id,
+                        node: spec.node,
+                        instance: spec.instance,
+                        payload: TaskPayload::Compute {
+                            artifact,
+                            inputs: spec.inputs,
+                            cold_binary,
+                            timeout: self.config.function_timeout,
+                        },
+                        reply: reply.clone(),
+                    };
+                    self.compute_queue.try_push(task).map_err(|_| {
+                        DandelionError::ResourceExhausted("compute queue full".to_string())
+                    })?;
+                    outstanding += 1;
+                }
+                Vertex::Communication(_) => {
+                    report.communication_tasks += 1;
+                    let response_set = spec
+                        .output_sets
+                        .first()
+                        .cloned()
+                        .unwrap_or_else(|| "Response".to_string());
+                    let task = Task {
+                        invocation: invocation_id,
+                        node: spec.node,
+                        instance: spec.instance,
+                        payload: TaskPayload::Http {
+                            inputs: spec.inputs,
+                            response_set,
+                        },
+                        reply: reply.clone(),
+                    };
+                    self.communication_queue.try_push(task).map_err(|_| {
+                        DandelionError::ResourceExhausted("communication queue full".to_string())
+                    })?;
+                    outstanding += 1;
+                }
+                Vertex::Composition(nested) => {
+                    // Nested composition: run it synchronously as its own
+                    // invocation and complete the instance inline.
+                    let nested_outcome = self.invoke(nested, spec.inputs)?;
+                    report.compute_tasks += nested_outcome.report.compute_tasks;
+                    report.communication_tasks += nested_outcome.report.communication_tasks;
+                    report.peak_context_bytes += nested_outcome.report.peak_context_bytes;
+                    report.modeled_busy_time += nested_outcome.report.modeled_busy_time;
+                    let finished = state.complete_instance(
+                        spec.node,
+                        spec.instance,
+                        Ok(nested_outcome.outputs),
+                    )?;
+                    if finished {
+                        ready.extend(state.ready_instances()?);
+                    }
+                }
+            }
+        }
+        Ok(outstanding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineExecutor, EnginePool};
+    use dandelion_common::config::{EngineKind, IsolationKind};
+    use dandelion_dsl::{CompositionBuilder, Distribution};
+    use dandelion_http::validate::ValidationPolicy;
+    use dandelion_http::{HttpRequest, HttpResponse};
+    use dandelion_isolation::{create_backend, FunctionArtifact, FunctionCtx, HardwarePlatform};
+    use dandelion_services::object_store::ObjectStore;
+    use dandelion_services::ServiceRegistry;
+
+    struct Harness {
+        dispatcher: Dispatcher,
+        _compute_pool: EnginePool,
+        _communication_pool: EnginePool,
+        registry: Arc<Registry>,
+    }
+
+    fn harness() -> Harness {
+        let registry = Arc::new(Registry::new());
+        let compute_queue = TaskQueue::new(EngineKind::Compute, 1024);
+        let communication_queue = TaskQueue::new(EngineKind::Communication, 1024);
+
+        let backend = create_backend(IsolationKind::Native, HardwarePlatform::Morello);
+        let compute_pool = EnginePool::new(
+            EngineExecutor::Compute { backend },
+            compute_queue.clone(),
+        );
+        compute_pool.resize(2);
+
+        let store = Arc::new(ObjectStore::new());
+        store.put_object("data", "a.txt", b"alpha".to_vec());
+        store.put_object("data", "b.txt", b"beta".to_vec());
+        let mut services = ServiceRegistry::new();
+        services.register("s3.internal", store);
+        let communication_pool = EnginePool::new(
+            EngineExecutor::Communication {
+                registry: Arc::new(services),
+                policy: Arc::new(ValidationPolicy::default()),
+            },
+            communication_queue.clone(),
+        );
+        communication_pool.resize(1);
+
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&registry),
+            compute_queue,
+            communication_queue,
+            WorkerConfig {
+                total_cores: 4,
+                initial_communication_cores: 1,
+                ..WorkerConfig::default()
+            },
+        );
+        Harness {
+            dispatcher,
+            _compute_pool: compute_pool,
+            _communication_pool: communication_pool,
+            registry,
+        }
+    }
+
+    /// A composition that lists two objects, fetches both over HTTP in
+    /// parallel, and concatenates the responses.
+    fn register_fetch_concat(registry: &Registry) -> Arc<CompositionGraph> {
+        registry
+            .register_function(FunctionArtifact::new(
+                "MakeRequests",
+                &["Requests"],
+                |ctx: &mut FunctionCtx| {
+                    let keys = ctx.single_input("Keys")?.as_str().unwrap_or_default().to_string();
+                    for (index, key) in keys.lines().enumerate() {
+                        let request =
+                            HttpRequest::get(format!("http://s3.internal/data/{key}")).to_bytes();
+                        ctx.push_output_bytes("Requests", &format!("r{index}"), request)?;
+                    }
+                    Ok(())
+                },
+            ))
+            .unwrap();
+        registry
+            .register_function(FunctionArtifact::new(
+                "Concat",
+                &["Joined"],
+                |ctx: &mut FunctionCtx| {
+                    let responses = ctx
+                        .input_set("Responses")
+                        .ok_or("missing Responses")?
+                        .clone();
+                    let mut joined = String::new();
+                    for item in &responses.items {
+                        let response = dandelion_http::parse_response(&item.data)
+                            .map_err(|err| format!("bad response: {err}"))?;
+                        joined.push_str(&response.body_text());
+                        joined.push('|');
+                    }
+                    ctx.push_output_bytes("Joined", "joined.txt", joined.into_bytes())
+                },
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("FetchConcat")
+            .input("Keys")
+            .output("Result")
+            .node("MakeRequests", |node| {
+                node.bind("Keys", Distribution::All, "Keys")
+                    .publish("FetchRequests", "Requests")
+            })
+            .node("HTTP", |node| {
+                node.bind("Request", Distribution::Each, "FetchRequests")
+                    .publish("FetchResponses", "Response")
+            })
+            .node("Concat", |node| {
+                node.bind("Responses", Distribution::All, "FetchResponses")
+                    .publish("Result", "Joined")
+            })
+            .build()
+            .unwrap();
+        registry.register_composition(graph.clone()).unwrap();
+        Arc::new(graph)
+    }
+
+    #[test]
+    fn end_to_end_compute_and_http_pipeline() {
+        let harness = harness();
+        let graph = register_fetch_concat(&harness.registry);
+        let outcome = harness
+            .dispatcher
+            .invoke(graph, vec![DataSet::single("Keys", b"a.txt\nb.txt".to_vec())])
+            .unwrap();
+        assert_eq!(outcome.outputs.len(), 1);
+        assert_eq!(outcome.outputs[0].name, "Result");
+        let text = String::from_utf8(outcome.outputs[0].items[0].data.as_slice().to_vec()).unwrap();
+        assert_eq!(text, "alpha|beta|");
+        assert_eq!(outcome.report.compute_tasks, 2);
+        assert_eq!(outcome.report.communication_tasks, 2);
+        assert!(outcome.report.modeled_busy_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn nested_compositions_execute_recursively() {
+        let harness = harness();
+        let _inner = register_fetch_concat(&harness.registry);
+        let outer = CompositionBuilder::new("Outer")
+            .input("Keys")
+            .output("Final")
+            .node("FetchConcat", |node| {
+                node.bind("Keys", Distribution::All, "Keys")
+                    .publish("Final", "Result")
+            })
+            .build()
+            .unwrap();
+        harness.registry.register_composition(outer.clone()).unwrap();
+        let outcome = harness
+            .dispatcher
+            .invoke(Arc::new(outer), vec![DataSet::single("Keys", b"a.txt".to_vec())])
+            .unwrap();
+        let text = String::from_utf8(outcome.outputs[0].items[0].data.as_slice().to_vec()).unwrap();
+        assert_eq!(text, "alpha|");
+    }
+
+    #[test]
+    fn function_faults_fail_the_invocation() {
+        let harness = harness();
+        harness
+            .registry
+            .register_function(FunctionArtifact::new(
+                "Broken",
+                &["Out"],
+                |_ctx: &mut FunctionCtx| Err("intentional failure".into()),
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("Fails")
+            .input("In")
+            .output("Out")
+            .node("Broken", |node| {
+                node.bind("x", Distribution::All, "In").publish("Out", "Out")
+            })
+            .build()
+            .unwrap();
+        harness.registry.register_composition(graph.clone()).unwrap();
+        let err = harness
+            .dispatcher
+            .invoke(Arc::new(graph), vec![DataSet::single("In", vec![1])])
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::FunctionFault { .. }));
+    }
+
+    #[test]
+    fn http_failures_flow_downstream_as_error_responses() {
+        let harness = harness();
+        harness
+            .registry
+            .register_function(FunctionArtifact::new(
+                "BadRequests",
+                &["Requests"],
+                |ctx: &mut FunctionCtx| {
+                    let request =
+                        HttpRequest::get("http://unknown-host.internal/x").to_bytes();
+                    ctx.push_output_bytes("Requests", "r0", request)
+                },
+            ))
+            .unwrap();
+        harness
+            .registry
+            .register_function(FunctionArtifact::new(
+                "CheckStatus",
+                &["Status"],
+                |ctx: &mut FunctionCtx| {
+                    let responses = ctx.input_set("Responses").ok_or("missing")?.clone();
+                    let response: HttpResponse =
+                        dandelion_http::parse_response(&responses.items[0].data)
+                            .map_err(|err| format!("{err}"))?;
+                    ctx.push_output_bytes(
+                        "Status",
+                        "code",
+                        response.status.0.to_string().into_bytes(),
+                    )
+                },
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("FailureFlow")
+            .input("Trigger")
+            .output("Status")
+            .node("BadRequests", |node| {
+                node.bind("t", Distribution::All, "Trigger")
+                    .publish("Reqs", "Requests")
+            })
+            .node("HTTP", |node| {
+                node.bind("Request", Distribution::Each, "Reqs")
+                    .publish("Resps", "Response")
+            })
+            .node("CheckStatus", |node| {
+                node.bind("Responses", Distribution::All, "Resps")
+                    .publish("Status", "Status")
+            })
+            .build()
+            .unwrap();
+        harness.registry.register_composition(graph.clone()).unwrap();
+        let outcome = harness
+            .dispatcher
+            .invoke(Arc::new(graph), vec![DataSet::single("Trigger", vec![1])])
+            .unwrap();
+        assert_eq!(outcome.outputs[0].items[0].as_str(), Some("502"));
+    }
+
+    #[test]
+    fn unknown_vertices_are_reported() {
+        let harness = harness();
+        // Build a graph without registering the function it references, and
+        // invoke it directly (bypassing registration-time validation).
+        let graph = CompositionBuilder::new("Dangling")
+            .input("In")
+            .output("Out")
+            .node("DoesNotExist", |node| {
+                node.bind("x", Distribution::All, "In").publish("Out", "o")
+            })
+            .build()
+            .unwrap();
+        let err = harness
+            .dispatcher
+            .invoke(Arc::new(graph), vec![DataSet::single("In", vec![1])])
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::NotFound { .. }));
+    }
+}

@@ -1,0 +1,423 @@
+//! Compute and communication engine pools.
+//!
+//! Engines abstract the compute resources that execute functions (paper §5):
+//!
+//! * A **compute engine** owns one CPU core, pulls one task at a time from
+//!   the compute queue and runs the untrusted function to completion inside
+//!   an isolation backend — no context switches, no blocking.
+//! * A **communication engine** owns one core and executes trusted
+//!   communication functions. Within one task it performs the (possibly
+//!   many) HTTP requests cooperatively, so the modeled latency of a task is
+//!   the maximum of its requests rather than their sum.
+//!
+//! Both pools can grow and shrink at run time; the control plane moves cores
+//! between them by resizing the pools (paper §5, "Control plane").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dandelion_common::config::EngineKind;
+use dandelion_common::{DandelionError, DataItem, DataSet};
+use dandelion_http::validate::{validate_request_bytes, ValidationPolicy};
+use dandelion_http::Uri;
+use dandelion_isolation::{ExecutionTask, IsolationBackend};
+use dandelion_services::ServiceRegistry;
+use parking_lot::Mutex;
+
+use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
+
+/// How long an idle engine waits on its queue before re-checking for
+/// shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The execution capability shared by every engine of a pool.
+#[derive(Clone)]
+pub enum EngineExecutor {
+    /// Executes compute tasks through an isolation backend.
+    Compute {
+        /// The sandboxing mechanism.
+        backend: Arc<dyn IsolationBackend>,
+    },
+    /// Executes HTTP communication tasks against the service registry.
+    Communication {
+        /// The simulated remote services.
+        registry: Arc<ServiceRegistry>,
+        /// Validation policy applied to untrusted requests.
+        policy: Arc<ValidationPolicy>,
+    },
+}
+
+impl EngineExecutor {
+    fn kind(&self) -> EngineKind {
+        match self {
+            EngineExecutor::Compute { .. } => EngineKind::Compute,
+            EngineExecutor::Communication { .. } => EngineKind::Communication,
+        }
+    }
+
+    /// Executes one task payload, producing the dispatcher-facing result.
+    pub fn execute(&self, task: &Task) -> TaskResult {
+        let (outcome, high_water, modeled) = match (&task.payload, self) {
+            (
+                TaskPayload::Compute {
+                    artifact,
+                    inputs,
+                    cold_binary,
+                    timeout,
+                },
+                EngineExecutor::Compute { backend },
+            ) => {
+                let execution = ExecutionTask::new(Arc::clone(artifact), inputs.clone())
+                    .with_cold_binary(*cold_binary)
+                    .with_timeout(*timeout);
+                match backend.execute(&execution) {
+                    Ok(report) => (
+                        Ok(report.outputs.clone()),
+                        report.context_high_water,
+                        report.modeled_total(),
+                    ),
+                    Err(err) => (Err(err), 0, Duration::ZERO),
+                }
+            }
+            (
+                TaskPayload::Http {
+                    inputs,
+                    response_set,
+                },
+                EngineExecutor::Communication { registry, policy },
+            ) => {
+                let (set, latency) = execute_http(inputs, response_set, registry, policy);
+                (Ok(vec![set]), 0, latency)
+            }
+            (TaskPayload::Shutdown, _) => (
+                Err(DandelionError::Cancelled),
+                0,
+                Duration::ZERO,
+            ),
+            (payload, executor) => (
+                Err(DandelionError::Dispatch(format!(
+                    "task of kind {:?} routed to {} engine",
+                    payload.engine_kind(),
+                    executor.kind()
+                ))),
+                0,
+                Duration::ZERO,
+            ),
+        };
+        TaskResult {
+            invocation: task.invocation,
+            node: task.node,
+            instance: task.instance,
+            outcome,
+            context_high_water: high_water,
+            modeled_latency: modeled,
+        }
+    }
+}
+
+/// Executes the HTTP communication function over every item of the task's
+/// input sets.
+///
+/// Each item must be a serialized HTTP request authored by an upstream
+/// compute function. Requests that fail validation or routing become error
+/// responses rather than failing the whole task, so that compositions can
+/// handle failures downstream (paper §4.4).
+fn execute_http(
+    inputs: &[DataSet],
+    response_set: &str,
+    registry: &ServiceRegistry,
+    policy: &ValidationPolicy,
+) -> (DataSet, Duration) {
+    let mut responses = DataSet::new(response_set);
+    let mut max_latency = Duration::ZERO;
+    for set in inputs {
+        for item in &set.items {
+            let (response_bytes, latency) = match validate_request_bytes(&item.data, policy) {
+                Ok(validated) => {
+                    let uri = Uri::parse(&validated.request.target)
+                        .expect("validated requests carry a parseable URI");
+                    let reply = registry.dispatch(&uri, &validated.request);
+                    (reply.response.to_bytes(), reply.latency)
+                }
+                Err(err) => {
+                    let response = dandelion_http::HttpResponse::error(
+                        dandelion_http::StatusCode::BAD_REQUEST,
+                        &err.to_string(),
+                    );
+                    (response.to_bytes(), Duration::ZERO)
+                }
+            };
+            max_latency = max_latency.max(latency);
+            let mut response_item = DataItem::new(format!("response-{}", item.name), response_bytes);
+            response_item.key = item.key.clone();
+            responses.push(response_item);
+        }
+    }
+    // Green threads overlap the requests of one task, so the modeled latency
+    // is the slowest request, not the sum.
+    (responses, max_latency)
+}
+
+/// A resizable pool of engines of one kind.
+pub struct EnginePool {
+    executor: EngineExecutor,
+    queue: TaskQueue,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    active: Arc<AtomicUsize>,
+    started_total: AtomicUsize,
+}
+
+impl EnginePool {
+    /// Creates a pool that pulls work from `queue`.
+    pub fn new(executor: EngineExecutor, queue: TaskQueue) -> Self {
+        Self {
+            executor,
+            queue,
+            handles: Mutex::new(Vec::new()),
+            active: Arc::new(AtomicUsize::new(0)),
+            started_total: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine kind of this pool.
+    pub fn kind(&self) -> EngineKind {
+        self.executor.kind()
+    }
+
+    /// The queue feeding this pool.
+    pub fn queue(&self) -> &TaskQueue {
+        &self.queue
+    }
+
+    /// Number of engines currently running.
+    pub fn engine_count(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Total engines ever started (for tests and reporting).
+    pub fn engines_started_total(&self) -> usize {
+        self.started_total.load(Ordering::SeqCst)
+    }
+
+    /// Grows or shrinks the pool to `target` engines.
+    ///
+    /// Growing spawns new engine threads immediately; shrinking enqueues
+    /// shutdown markers which the next idle engines consume.
+    pub fn resize(&self, target: usize) {
+        let current = self.engine_count();
+        if target > current {
+            for _ in current..target {
+                self.spawn_engine();
+            }
+        } else {
+            for _ in target..current {
+                let (reply, _unused) = crossbeam::channel::bounded(1);
+                self.queue.push(Task {
+                    invocation: dandelion_common::InvocationId::from_raw(0),
+                    node: 0,
+                    instance: 0,
+                    payload: TaskPayload::Shutdown,
+                    reply,
+                });
+            }
+        }
+    }
+
+    fn spawn_engine(&self) {
+        let executor = self.executor.clone();
+        let queue = self.queue.clone();
+        let active = Arc::clone(&self.active);
+        active.fetch_add(1, Ordering::SeqCst);
+        self.started_total.fetch_add(1, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name(format!("dandelion-{}-engine", executor.kind()))
+            .spawn(move || {
+                loop {
+                    let Some(task) = queue.pop(POLL_INTERVAL) else {
+                        continue;
+                    };
+                    if matches!(task.payload, TaskPayload::Shutdown) {
+                        break;
+                    }
+                    let result = executor.execute(&task);
+                    // A dropped receiver means the invocation was abandoned;
+                    // the engine simply moves on.
+                    let _ = task.reply.send(result);
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawning an engine thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Stops every engine and waits for the threads to exit.
+    pub fn shutdown(&self) {
+        self.resize(0);
+        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use dandelion_common::config::IsolationKind;
+    use dandelion_common::InvocationId;
+    use dandelion_http::HttpRequest;
+    use dandelion_isolation::{create_backend, FunctionArtifact, FunctionCtx, HardwarePlatform};
+    use dandelion_services::object_store::ObjectStore;
+
+    fn compute_pool() -> EnginePool {
+        let queue = TaskQueue::new(EngineKind::Compute, 1024);
+        let backend = create_backend(IsolationKind::Native, HardwarePlatform::Morello);
+        EnginePool::new(EngineExecutor::Compute { backend }, queue)
+    }
+
+    fn comm_pool_with_store() -> (EnginePool, Arc<ObjectStore>) {
+        let store = Arc::new(ObjectStore::new());
+        store.put_object("bucket", "hello.txt", b"stored bytes".to_vec());
+        let mut registry = ServiceRegistry::new();
+        registry.register("s3.internal", store.clone());
+        let queue = TaskQueue::new(EngineKind::Communication, 1024);
+        let pool = EnginePool::new(
+            EngineExecutor::Communication {
+                registry: Arc::new(registry),
+                policy: Arc::new(ValidationPolicy::default()),
+            },
+            queue,
+        );
+        (pool, store)
+    }
+
+    fn echo_artifact() -> Arc<FunctionArtifact> {
+        Arc::new(FunctionArtifact::new(
+            "echo",
+            &["out"],
+            |ctx: &mut FunctionCtx| {
+                let data = ctx.single_input("in")?.data.as_slice().to_vec();
+                ctx.push_output_bytes("out", "echoed", data)
+            },
+        ))
+    }
+
+    #[test]
+    fn compute_pool_executes_tasks() {
+        let pool = compute_pool();
+        pool.resize(2);
+        assert_eq!(pool.engine_count(), 2);
+        let (reply, results) = unbounded();
+        for index in 0..4 {
+            pool.queue().push(Task {
+                invocation: InvocationId::from_raw(7),
+                node: 0,
+                instance: index,
+                payload: TaskPayload::Compute {
+                    artifact: echo_artifact(),
+                    inputs: vec![DataSet::single("in", format!("p{index}").into_bytes())],
+                    cold_binary: false,
+                    timeout: Duration::from_secs(5),
+                },
+                reply: reply.clone(),
+            });
+        }
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
+            let outputs = result.outcome.unwrap();
+            seen.push(String::from_utf8(outputs[0].items[0].data.as_slice().to_vec()).unwrap());
+        }
+        seen.sort();
+        assert_eq!(seen, vec!["p0", "p1", "p2", "p3"]);
+        pool.shutdown();
+        assert_eq!(pool.engine_count(), 0);
+    }
+
+    #[test]
+    fn communication_pool_performs_http_requests() {
+        let (pool, _store) = comm_pool_with_store();
+        pool.resize(1);
+        let (reply, results) = unbounded();
+        let good = HttpRequest::get("http://s3.internal/bucket/hello.txt").to_bytes();
+        let missing = HttpRequest::get("http://s3.internal/bucket/none").to_bytes();
+        let invalid = b"NOT A REQUEST".to_vec();
+        pool.queue().push(Task {
+            invocation: InvocationId::from_raw(1),
+            node: 1,
+            instance: 0,
+            payload: TaskPayload::Http {
+                inputs: vec![DataSet::with_items(
+                    "Request",
+                    vec![
+                        DataItem::new("r0", good),
+                        DataItem::new("r1", missing),
+                        DataItem::new("r2", invalid),
+                    ],
+                )],
+                response_set: "Response".to_string(),
+            },
+            reply,
+        });
+        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        let outputs = result.outcome.unwrap();
+        assert_eq!(outputs[0].name, "Response");
+        assert_eq!(outputs[0].len(), 3);
+        let parse = |item: &DataItem| dandelion_http::parse_response(&item.data).unwrap();
+        assert_eq!(parse(&outputs[0].items[0]).status.0, 200);
+        assert_eq!(parse(&outputs[0].items[0]).body, b"stored bytes");
+        assert_eq!(parse(&outputs[0].items[1]).status.0, 404);
+        assert_eq!(parse(&outputs[0].items[2]).status.0, 400);
+        assert!(result.modeled_latency > Duration::ZERO);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn misrouted_tasks_report_dispatch_errors() {
+        let (pool, _store) = comm_pool_with_store();
+        pool.resize(1);
+        let (reply, results) = unbounded();
+        pool.queue().push(Task {
+            invocation: InvocationId::from_raw(2),
+            node: 0,
+            instance: 0,
+            payload: TaskPayload::Compute {
+                artifact: echo_artifact(),
+                inputs: vec![],
+                cold_binary: false,
+                timeout: Duration::from_secs(1),
+            },
+            reply,
+        });
+        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(result.outcome, Err(DandelionError::Dispatch(_))));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let pool = compute_pool();
+        pool.resize(3);
+        assert_eq!(pool.engine_count(), 3);
+        pool.resize(1);
+        // Shrinking happens as idle engines pick up the shutdown markers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.engine_count() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(pool.engine_count(), 1);
+        assert_eq!(pool.engines_started_total(), 3);
+        pool.resize(2);
+        assert_eq!(pool.engine_count(), 2);
+        pool.shutdown();
+    }
+}

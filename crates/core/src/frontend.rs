@@ -1,0 +1,264 @@
+//! The HTTP frontend.
+//!
+//! "The frontend manages client communication, handling requests for
+//! composition/function registration and invocation. It forwards these
+//! requests to the dispatcher and serializes and returns the final result to
+//! the client." (paper §5)
+//!
+//! The frontend is transport-agnostic: it maps [`HttpRequest`]s to worker
+//! operations and produces [`HttpResponse`]s. Examples and tests drive it
+//! directly; a deployment would put a socket listener in front of it.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/compositions` — register a composition; the body is DSL text.
+//! * `GET /v1/compositions` — list registered compositions.
+//! * `POST /v1/invoke/{name}` — invoke a composition. With
+//!   `Content-Type: application/x-dandelion-sets` the body is the binary
+//!   set-list descriptor (the same format functions use for their outputs);
+//!   otherwise the raw body becomes the single item of the composition's
+//!   first external input.
+//! * `GET /v1/stats` — worker statistics in a plain-text format.
+//! * `GET /healthz` — liveness probe.
+
+use std::sync::Arc;
+
+use dandelion_common::{DataSet, DandelionError};
+use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode};
+use dandelion_isolation::output_parser;
+
+use crate::worker::WorkerNode;
+
+/// Content type for binary-encoded set lists.
+pub const SET_LIST_CONTENT_TYPE: &str = "application/x-dandelion-sets";
+
+/// The HTTP frontend of a worker node.
+pub struct Frontend {
+    worker: Arc<WorkerNode>,
+}
+
+impl Frontend {
+    /// Creates a frontend serving the given worker.
+    pub fn new(worker: Arc<WorkerNode>) -> Self {
+        Self { worker }
+    }
+
+    /// Handles one client request.
+    pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        let path = request
+            .target
+            .split_once("://")
+            .map(|(_, rest)| rest.split_once('/').map(|(_, p)| format!("/{p}")))
+            .unwrap_or(None)
+            .unwrap_or_else(|| request.target.clone());
+        let path = path.split('?').next().unwrap_or(&path).to_string();
+
+        match (request.method, path.as_str()) {
+            (Method::Get, "/healthz") => HttpResponse::ok(b"ok".to_vec()),
+            (Method::Get, "/v1/compositions") => {
+                let names = self.worker.registry().composition_names().join("\n");
+                HttpResponse::ok(names.into_bytes())
+            }
+            (Method::Post, "/v1/compositions") => self.register_composition(request),
+            (Method::Get, "/v1/stats") => self.stats(),
+            (Method::Post, path) if path.starts_with("/v1/invoke/") => {
+                let name = path.trim_start_matches("/v1/invoke/").to_string();
+                self.invoke(&name, request)
+            }
+            _ => HttpResponse::error(StatusCode::NOT_FOUND, "unknown endpoint"),
+        }
+    }
+
+    fn register_composition(&self, request: &HttpRequest) -> HttpResponse {
+        let source = String::from_utf8_lossy(&request.body);
+        match self.worker.register_composition_dsl(&source) {
+            Ok(name) => HttpResponse::new(StatusCode::CREATED, name.into_bytes()),
+            Err(err) => error_response(&err),
+        }
+    }
+
+    fn stats(&self) -> HttpResponse {
+        let stats = self.worker.stats();
+        let body = format!(
+            "invocations: {}\nfailures: {}\ncompute_tasks: {}\ncommunication_tasks: {}\n\
+             compute_cores: {}\ncommunication_cores: {}\ncompute_queue: {}\ncommunication_queue: {}\n\
+             p50_ms: {:.3}\np99_ms: {:.3}\n",
+            stats.invocations,
+            stats.failures,
+            stats.compute_tasks,
+            stats.communication_tasks,
+            stats.compute_cores,
+            stats.communication_cores,
+            stats.compute_queue_depth,
+            stats.communication_queue_depth,
+            stats.latency.p50_ms(),
+            stats.latency.p99_ms(),
+        );
+        HttpResponse::ok(body.into_bytes())
+    }
+
+    fn invoke(&self, name: &str, request: &HttpRequest) -> HttpResponse {
+        let inputs = match self.decode_inputs(name, request) {
+            Ok(inputs) => inputs,
+            Err(response) => return response,
+        };
+        match self.worker.invoke(name, inputs) {
+            Ok(outcome) => encode_outputs_response(&outcome.outputs),
+            Err(err) => error_response(&err),
+        }
+    }
+
+    fn decode_inputs(
+        &self,
+        composition: &str,
+        request: &HttpRequest,
+    ) -> Result<Vec<DataSet>, HttpResponse> {
+        let content_type = request.headers.get("content-type").unwrap_or("");
+        if content_type == SET_LIST_CONTENT_TYPE {
+            return output_parser::parse_outputs(&request.body)
+                .map_err(|err| error_response(&err));
+        }
+        // Raw body → single item of the composition's first external input.
+        let graph = self
+            .worker
+            .registry()
+            .composition(composition)
+            .map_err(|err| error_response(&err))?;
+        let Some(first_input) = graph.external_inputs.first() else {
+            return Ok(Vec::new());
+        };
+        Ok(vec![DataSet::single(
+            first_input.clone(),
+            request.body.clone(),
+        )])
+    }
+}
+
+fn error_response(err: &DandelionError) -> HttpResponse {
+    HttpResponse::error(StatusCode(err.status_code()), &err.to_string())
+}
+
+/// Encodes a set list as the invoke response: a single item of a single set
+/// is returned raw; anything else uses the binary set-list descriptor.
+fn encode_outputs_response(outputs: &[DataSet]) -> HttpResponse {
+    if outputs.len() == 1 && outputs[0].len() == 1 {
+        return HttpResponse::ok(outputs[0].items[0].data.as_slice().to_vec())
+            .with_header("Content-Type", "application/octet-stream");
+    }
+    HttpResponse::ok(output_parser::encode_outputs(outputs))
+        .with_header("Content-Type", SET_LIST_CONTENT_TYPE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{default_test_services, WorkerNode};
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_common::DataItem;
+    use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+
+    fn frontend() -> Frontend {
+        let config = WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            isolation: IsolationKind::Native,
+            ..WorkerConfig::default()
+        };
+        let worker =
+            WorkerNode::start_with_control(config, default_test_services(), false).unwrap();
+        worker
+            .register_function(FunctionArtifact::new(
+                "Upper",
+                &["Out"],
+                |ctx: &mut FunctionCtx| {
+                    let text = ctx.single_input("Text")?.as_str().unwrap_or("").to_uppercase();
+                    ctx.push_output_bytes("Out", "upper", text.into_bytes())
+                },
+            ))
+            .unwrap();
+        Frontend::new(worker)
+    }
+
+    const UPPER_DSL: &str =
+        "composition Shout(Input) => Output { Upper(Text = all Input) => (Output = Out); }";
+
+    #[test]
+    fn health_and_listing() {
+        let frontend = frontend();
+        let health = frontend.handle(&HttpRequest::get("http://worker/healthz"));
+        assert_eq!(health.status, StatusCode::OK);
+        let empty = frontend.handle(&HttpRequest::get("http://worker/v1/compositions"));
+        assert_eq!(empty.body_text(), "");
+    }
+
+    #[test]
+    fn register_then_invoke_with_raw_body() {
+        let frontend = frontend();
+        let register = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            UPPER_DSL.as_bytes().to_vec(),
+        ));
+        assert_eq!(register.status, StatusCode::CREATED);
+        assert_eq!(register.body_text(), "Shout");
+
+        let listing = frontend.handle(&HttpRequest::get("http://worker/v1/compositions"));
+        assert_eq!(listing.body_text(), "Shout");
+
+        let invoke = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/invoke/Shout",
+            b"hello dandelion".to_vec(),
+        ));
+        assert_eq!(invoke.status, StatusCode::OK);
+        assert_eq!(invoke.body_text(), "HELLO DANDELION");
+
+        let stats = frontend.handle(&HttpRequest::get("http://worker/v1/stats"));
+        assert!(stats.body_text().contains("invocations: 1"));
+    }
+
+    #[test]
+    fn invoke_with_set_list_body() {
+        let frontend = frontend();
+        frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            UPPER_DSL.as_bytes().to_vec(),
+        ));
+        let sets = vec![DataSet::with_items(
+            "Input",
+            vec![DataItem::new("text", b"mixed Case".to_vec())],
+        )];
+        let body = output_parser::encode_outputs(&sets);
+        let request = HttpRequest::post("http://worker/v1/invoke/Shout", body)
+            .with_header("Content-Type", SET_LIST_CONTENT_TYPE);
+        let response = frontend.handle(&request);
+        assert_eq!(response.status, StatusCode::OK);
+        assert_eq!(response.body_text(), "MIXED CASE");
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses() {
+        let frontend = frontend();
+        // Invoking an unregistered composition is a 404.
+        let missing = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/invoke/Nope",
+            b"x".to_vec(),
+        ));
+        assert_eq!(missing.status, StatusCode::NOT_FOUND);
+        // Registering invalid DSL is a 400.
+        let invalid = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            b"composition Broken {".to_vec(),
+        ));
+        assert_eq!(invalid.status, StatusCode::BAD_REQUEST);
+        // Unknown endpoints are 404s.
+        let unknown = frontend.handle(&HttpRequest::get("http://worker/v2/other"));
+        assert_eq!(unknown.status, StatusCode::NOT_FOUND);
+        // Malformed set-list bodies are rejected.
+        frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            UPPER_DSL.as_bytes().to_vec(),
+        ));
+        let bad_sets = HttpRequest::post("http://worker/v1/invoke/Shout", b"garbage".to_vec())
+            .with_header("Content-Type", SET_LIST_CONTENT_TYPE);
+        assert_eq!(frontend.handle(&bad_sets).status, StatusCode::BAD_REQUEST);
+    }
+}

@@ -1,0 +1,671 @@
+//! Per-invocation dataflow state.
+//!
+//! The dispatcher "schedules functions by tracking input/output dependencies
+//! and determines when a function is ready to run (i.e., when all its inputs
+//! are available)" (paper §5). [`InvocationState`] is that bookkeeping as a
+//! pure state machine: the threaded dispatcher and the discrete-event
+//! simulator both drive it, so the scheduling semantics — `all`/`each`/`key`
+//! distribution, optional sets, skip-on-empty failure handling (§4.4) — are
+//! implemented exactly once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId};
+use dandelion_dsl::graph::{CompositionGraph, GraphNode, InputSource};
+use dandelion_dsl::Distribution;
+
+/// One executable instance of a node, with materialized inputs.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// The node index in the composition graph.
+    pub node: usize,
+    /// The instance index within the node (0-based).
+    pub instance: usize,
+    /// The vertex name (compute function, communication function, or nested
+    /// composition).
+    pub vertex: String,
+    /// Materialized input sets, named after the node's declared input sets.
+    pub inputs: Vec<DataSet>,
+    /// The node's declared output set names, in declaration order.
+    pub output_sets: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeStatus {
+    /// Waiting for upstream nodes to finish.
+    Waiting,
+    /// Instances have been handed out; `completed` of `total` finished.
+    Running { total: usize, completed: usize },
+    /// The node was skipped because a required input set was empty.
+    Skipped,
+    /// All instances finished and outputs are merged.
+    Completed,
+}
+
+/// The dataflow state of one composition invocation.
+#[derive(Debug)]
+pub struct InvocationState {
+    id: InvocationId,
+    graph: Arc<CompositionGraph>,
+    external_inputs: Vec<DataSet>,
+    status: Vec<NodeStatus>,
+    /// Merged outputs per node, keyed by output-set name.
+    outputs: Vec<HashMap<String, DataSet>>,
+    /// Per-node, per-instance partial results while a node is running.
+    partial: Vec<Vec<Option<Vec<DataSet>>>>,
+    error: Option<DandelionError>,
+}
+
+impl InvocationState {
+    /// Creates the state for invoking `graph` with the client's inputs.
+    ///
+    /// Inputs are matched to the composition's external input names by set
+    /// name; declared inputs that the client did not provide are treated as
+    /// empty sets (which will skip any node that requires them).
+    pub fn new(
+        id: InvocationId,
+        graph: Arc<CompositionGraph>,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<Self> {
+        for provided in &inputs {
+            if !graph.external_inputs.contains(&provided.name) {
+                return Err(DandelionError::DataLayout(format!(
+                    "`{}` is not an input of composition `{}`",
+                    provided.name, graph.name
+                )));
+            }
+        }
+        let external_inputs = graph
+            .external_inputs
+            .iter()
+            .map(|name| {
+                inputs
+                    .iter()
+                    .find(|set| &set.name == name)
+                    .cloned()
+                    .unwrap_or_else(|| DataSet::new(name.clone()))
+            })
+            .collect();
+        let node_count = graph.nodes.len();
+        Ok(Self {
+            id,
+            graph,
+            external_inputs,
+            status: vec![NodeStatus::Waiting; node_count],
+            outputs: vec![HashMap::new(); node_count],
+            partial: vec![Vec::new(); node_count],
+            error: None,
+        })
+    }
+
+    /// The invocation identifier.
+    pub fn id(&self) -> InvocationId {
+        self.id
+    }
+
+    /// The composition being executed.
+    pub fn graph(&self) -> &CompositionGraph {
+        &self.graph
+    }
+
+    /// Returns `true` once every node has completed or been skipped, or an
+    /// error occurred.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_some()
+            || self
+                .status
+                .iter()
+                .all(|status| matches!(status, NodeStatus::Completed | NodeStatus::Skipped))
+    }
+
+    /// The error that aborted the invocation, if any.
+    pub fn error(&self) -> Option<&DandelionError> {
+        self.error.as_ref()
+    }
+
+    /// Records an invocation-fatal error.
+    pub fn fail(&mut self, error: DandelionError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
+    fn source_data(&self, node: &GraphNode, binding_index: usize) -> Option<DataSet> {
+        let binding = &node.inputs[binding_index];
+        match &binding.source {
+            InputSource::External { name } => self
+                .external_inputs
+                .iter()
+                .find(|set| &set.name == name)
+                .cloned(),
+            InputSource::Node { node: producer, set } => match &self.status[*producer] {
+                NodeStatus::Completed => {
+                    Some(self.outputs[*producer].get(set).cloned().unwrap_or_else(|| {
+                        DataSet::new(set.clone())
+                    }))
+                }
+                NodeStatus::Skipped => Some(DataSet::new(set.clone())),
+                _ => None,
+            },
+        }
+    }
+
+    fn dependencies_satisfied(&self, node: &GraphNode) -> bool {
+        node.dependencies().iter().all(|dep| {
+            matches!(
+                self.status[*dep],
+                NodeStatus::Completed | NodeStatus::Skipped
+            )
+        })
+    }
+
+    /// Returns the instances that became ready, transitioning their nodes to
+    /// the running (or skipped) state.
+    ///
+    /// Call this after construction and after every completed instance; it
+    /// cascades skip decisions through the DAG, so one call may settle
+    /// several nodes.
+    pub fn ready_instances(&mut self) -> DandelionResult<Vec<InstanceSpec>> {
+        if self.error.is_some() {
+            return Ok(Vec::new());
+        }
+        let mut ready = Vec::new();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for index in 0..self.graph.nodes.len() {
+                if self.status[index] != NodeStatus::Waiting {
+                    continue;
+                }
+                let node = self.graph.nodes[index].clone();
+                if !self.dependencies_satisfied(&node) {
+                    continue;
+                }
+                // Materialize every input binding.
+                let mut sources = Vec::with_capacity(node.inputs.len());
+                for binding_index in 0..node.inputs.len() {
+                    let Some(data) = self.source_data(&node, binding_index) else {
+                        return Err(DandelionError::Dispatch(format!(
+                            "node {index} considered ready but an input was unavailable"
+                        )));
+                    };
+                    sources.push(data);
+                }
+                // Skip the node if any required set is empty (paper §4.4).
+                let must_skip = node
+                    .inputs
+                    .iter()
+                    .zip(&sources)
+                    .any(|(binding, data)| !binding.optional && data.is_empty());
+                if must_skip {
+                    self.status[index] = NodeStatus::Skipped;
+                    progressed = true;
+                    continue;
+                }
+                let instances = expand_instances(&node, &sources)?;
+                if instances.is_empty() {
+                    // e.g. an `each` over an empty optional set: nothing to
+                    // run, the node completes with empty outputs.
+                    self.status[index] = NodeStatus::Completed;
+                    self.outputs[index] = node
+                        .outputs
+                        .iter()
+                        .map(|output| (output.set.clone(), DataSet::new(output.set.clone())))
+                        .collect();
+                    progressed = true;
+                    continue;
+                }
+                let total = instances.len();
+                self.partial[index] = vec![None; total];
+                self.status[index] = NodeStatus::Running {
+                    total,
+                    completed: 0,
+                };
+                let output_sets: Vec<String> =
+                    node.outputs.iter().map(|output| output.set.clone()).collect();
+                for (instance_index, inputs) in instances.into_iter().enumerate() {
+                    ready.push(InstanceSpec {
+                        node: index,
+                        instance: instance_index,
+                        vertex: node.vertex.clone(),
+                        inputs,
+                        output_sets: output_sets.clone(),
+                    });
+                }
+                progressed = true;
+            }
+        }
+        Ok(ready)
+    }
+
+    /// Records the completion of one instance.
+    ///
+    /// Returns `true` if this completion finished the node (so the caller
+    /// should ask for newly ready instances).
+    pub fn complete_instance(
+        &mut self,
+        node: usize,
+        instance: usize,
+        outcome: DandelionResult<Vec<DataSet>>,
+    ) -> DandelionResult<bool> {
+        if self.error.is_some() {
+            return Ok(false);
+        }
+        let outputs = match outcome {
+            Ok(outputs) => outputs,
+            Err(error) => {
+                self.fail(error.clone());
+                return Err(error);
+            }
+        };
+        let NodeStatus::Running { total, completed } = self.status[node].clone() else {
+            return Err(DandelionError::Dispatch(format!(
+                "completion for node {node} which is not running"
+            )));
+        };
+        let slot = self.partial[node]
+            .get_mut(instance)
+            .ok_or_else(|| DandelionError::Dispatch(format!("instance {instance} out of range")))?;
+        if slot.is_some() {
+            return Err(DandelionError::Dispatch(format!(
+                "instance {instance} of node {node} completed twice"
+            )));
+        }
+        *slot = Some(outputs);
+        let completed = completed + 1;
+        if completed < total {
+            self.status[node] = NodeStatus::Running { total, completed };
+            return Ok(false);
+        }
+        // Merge instance outputs per declared output set, instance order.
+        let graph_node = &self.graph.nodes[node];
+        let mut merged: HashMap<String, DataSet> = graph_node
+            .outputs
+            .iter()
+            .map(|output| (output.set.clone(), DataSet::new(output.set.clone())))
+            .collect();
+        for instance_outputs in self.partial[node].iter().flatten() {
+            for set in instance_outputs {
+                if let Some(target) = merged.get_mut(&set.name) {
+                    target.items.extend(set.items.iter().cloned());
+                }
+            }
+        }
+        self.outputs[node] = merged;
+        self.partial[node].clear();
+        self.status[node] = NodeStatus::Completed;
+        Ok(true)
+    }
+
+    /// Assembles the composition's external outputs once complete.
+    pub fn external_outputs(&self) -> DandelionResult<Vec<DataSet>> {
+        if let Some(error) = &self.error {
+            return Err(error.clone());
+        }
+        if !self.is_complete() {
+            return Err(DandelionError::Dispatch(
+                "invocation is not complete yet".to_string(),
+            ));
+        }
+        let mut outputs = Vec::with_capacity(self.graph.output_bindings.len());
+        for binding in &self.graph.output_bindings {
+            let mut set = self.outputs[binding.node]
+                .get(&binding.set)
+                .cloned()
+                .unwrap_or_else(|| DataSet::new(binding.set.clone()));
+            set.name = binding.name.clone();
+            outputs.push(set);
+        }
+        Ok(outputs)
+    }
+}
+
+/// Expands a node's materialized source sets into per-instance input sets
+/// according to the distribution keywords.
+fn expand_instances(
+    node: &GraphNode,
+    sources: &[DataSet],
+) -> DandelionResult<Vec<Vec<DataSet>>> {
+    let fanout_bindings: Vec<usize> = node
+        .inputs
+        .iter()
+        .enumerate()
+        .filter(|(_, binding)| binding.distribution != Distribution::All)
+        .map(|(index, _)| index)
+        .collect();
+    if fanout_bindings.len() > 1 {
+        return Err(DandelionError::Validation(format!(
+            "vertex `{}` uses more than one `each`/`key` input, which is not supported",
+            node.vertex
+        )));
+    }
+
+    // Rename each source set to the function-facing input set name.
+    let renamed: Vec<DataSet> = node
+        .inputs
+        .iter()
+        .zip(sources)
+        .map(|(binding, data)| DataSet {
+            name: binding.set.clone(),
+            items: data.items.clone(),
+        })
+        .collect();
+
+    let Some(&fanout_index) = fanout_bindings.first() else {
+        // All bindings are `all`: one instance receives everything.
+        return Ok(vec![renamed]);
+    };
+
+    let binding = &node.inputs[fanout_index];
+    let fanout_set = &renamed[fanout_index];
+    let mut instances = Vec::new();
+    match binding.distribution {
+        Distribution::Each => {
+            for item in &fanout_set.items {
+                let mut inputs = renamed.clone();
+                inputs[fanout_index] = DataSet {
+                    name: binding.set.clone(),
+                    items: vec![item.clone()],
+                };
+                instances.push(inputs);
+            }
+        }
+        Distribution::Key => {
+            for (_, items) in fanout_set.group_by_key() {
+                let mut inputs = renamed.clone();
+                inputs[fanout_index] = DataSet {
+                    name: binding.set.clone(),
+                    items,
+                };
+                instances.push(inputs);
+            }
+        }
+        Distribution::All => unreachable!("all-bindings are handled above"),
+    }
+    Ok(instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dandelion_common::DataItem;
+    use dandelion_dsl::builder::render_logs_composition;
+    use dandelion_dsl::{CompositionBuilder, Distribution};
+
+    fn invocation(graph: CompositionGraph, inputs: Vec<DataSet>) -> InvocationState {
+        InvocationState::new(InvocationId::next(), Arc::new(graph), inputs).unwrap()
+    }
+
+    #[test]
+    fn linear_pipeline_runs_node_by_node() {
+        let mut state = invocation(
+            render_logs_composition(),
+            vec![DataSet::single("AccessToken", b"token".to_vec())],
+        );
+        // First only the Access node is ready.
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].vertex, "Access");
+        assert_eq!(ready[0].inputs[0].name, "AccessToken");
+        assert!(!state.is_complete());
+
+        // Completing Access readies the first HTTP node with `each` fan-out.
+        let finished = state
+            .complete_instance(
+                0,
+                0,
+                Ok(vec![DataSet::with_items(
+                    "HTTPRequest",
+                    vec![DataItem::new("req", b"GET http://auth/ HTTP/1.1\r\n\r\n".to_vec())],
+                )]),
+            )
+            .unwrap();
+        assert!(finished);
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].vertex, "HTTP");
+        assert_eq!(ready[0].output_sets, vec!["Response"]);
+    }
+
+    #[test]
+    fn each_distribution_creates_one_instance_per_item() {
+        let graph = CompositionBuilder::new("Fan")
+            .input("Items")
+            .output("Out")
+            .node("Work", |node| {
+                node.bind("item", Distribution::Each, "Items")
+                    .publish("Out", "result")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(
+            graph,
+            vec![DataSet::with_items(
+                "Items",
+                vec![
+                    DataItem::new("a", vec![1]),
+                    DataItem::new("b", vec![2]),
+                    DataItem::new("c", vec![3]),
+                ],
+            )],
+        );
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 3);
+        assert!(ready.iter().all(|spec| spec.inputs[0].len() == 1));
+        // Completing out of order still merges in instance order.
+        for spec in ready.iter().rev() {
+            state
+                .complete_instance(
+                    spec.node,
+                    spec.instance,
+                    Ok(vec![DataSet::with_items(
+                        "result",
+                        vec![DataItem::new(
+                            format!("r{}", spec.instance),
+                            vec![spec.instance as u8],
+                        )],
+                    )]),
+                )
+                .unwrap();
+        }
+        assert!(state.is_complete());
+        let outputs = state.external_outputs().unwrap();
+        assert_eq!(outputs[0].name, "Out");
+        let order: Vec<u8> = outputs[0].items.iter().map(|item| item.data[0]).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn key_distribution_groups_items() {
+        let graph = CompositionBuilder::new("Grouped")
+            .input("Parts")
+            .output("Out")
+            .node("Reduce", |node| {
+                node.bind("group", Distribution::Key, "Parts")
+                    .publish("Out", "result")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(
+            graph,
+            vec![DataSet::with_items(
+                "Parts",
+                vec![
+                    DataItem::with_key("a", "k1", vec![1]),
+                    DataItem::with_key("b", "k2", vec![2]),
+                    DataItem::with_key("c", "k1", vec![3]),
+                ],
+            )],
+        );
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 2);
+        let sizes: Vec<usize> = ready.iter().map(|spec| spec.inputs[0].len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn empty_required_input_skips_node_and_cascades() {
+        let mut state = invocation(
+            render_logs_composition(),
+            vec![DataSet::new("AccessToken")],
+        );
+        // The Access node requires a token item; with none, everything skips.
+        let ready = state.ready_instances().unwrap();
+        assert!(ready.is_empty());
+        assert!(state.is_complete());
+        let outputs = state.external_outputs().unwrap();
+        assert_eq!(outputs.len(), 1);
+        assert!(outputs[0].is_empty());
+    }
+
+    #[test]
+    fn optional_inputs_do_not_block_execution() {
+        let graph = CompositionBuilder::new("WithErrors")
+            .input("Data")
+            .input("Errors")
+            .output("Out")
+            .node("Handle", |node| {
+                node.bind("data", Distribution::All, "Data")
+                    .bind_optional("errors", Distribution::All, "Errors")
+                    .publish("Out", "report")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(
+            graph,
+            vec![DataSet::single("Data", vec![1])],
+        );
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].inputs.len(), 2);
+        assert!(ready[0].inputs[1].is_empty());
+    }
+
+    #[test]
+    fn errors_abort_the_invocation() {
+        let mut state = invocation(
+            render_logs_composition(),
+            vec![DataSet::single("AccessToken", b"t".to_vec())],
+        );
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        let err = state
+            .complete_instance(
+                0,
+                0,
+                Err(DandelionError::FunctionFault {
+                    function: "Access".into(),
+                    reason: "bad token".into(),
+                }),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::FunctionFault { .. }));
+        assert!(state.is_complete());
+        assert!(state.external_outputs().is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_completions_are_rejected() {
+        let graph = CompositionBuilder::new("One")
+            .input("In")
+            .output("Out")
+            .node("F", |node| {
+                node.bind("x", Distribution::All, "In").publish("Out", "o")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(graph, vec![DataSet::single("In", vec![1])]);
+        let _ = state.ready_instances().unwrap();
+        state
+            .complete_instance(0, 0, Ok(vec![DataSet::single("o", vec![2])]))
+            .unwrap();
+        assert!(state
+            .complete_instance(0, 0, Ok(vec![DataSet::single("o", vec![2])]))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_client_inputs_are_rejected() {
+        let result = InvocationState::new(
+            InvocationId::next(),
+            Arc::new(render_logs_composition()),
+            vec![DataSet::single("NotAnInput", vec![1])],
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn multiple_fanout_bindings_are_rejected() {
+        let graph = CompositionBuilder::new("TwoEach")
+            .input("A")
+            .input("B")
+            .output("Out")
+            .node("Zip", |node| {
+                node.bind("a", Distribution::Each, "A")
+                    .bind("b", Distribution::Each, "B")
+                    .publish("Out", "o")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(
+            graph,
+            vec![
+                DataSet::single("A", vec![1]),
+                DataSet::single("B", vec![2]),
+            ],
+        );
+        assert!(state.ready_instances().is_err());
+    }
+
+    #[test]
+    fn diamond_joins_wait_for_both_branches() {
+        let graph = CompositionBuilder::new("Diamond")
+            .input("In")
+            .output("Out")
+            .node("Split", |node| {
+                node.bind("data", Distribution::All, "In")
+                    .publish("Left", "l")
+                    .publish("Right", "r")
+            })
+            .node("A", |node| {
+                node.bind("x", Distribution::All, "Left").publish("ADone", "o")
+            })
+            .node("B", |node| {
+                node.bind("x", Distribution::All, "Right").publish("BDone", "o")
+            })
+            .node("Join", |node| {
+                node.bind("a", Distribution::All, "ADone")
+                    .bind("b", Distribution::All, "BDone")
+                    .publish("Out", "merged")
+            })
+            .build()
+            .unwrap();
+        let mut state = invocation(graph, vec![DataSet::single("In", vec![7])]);
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        state
+            .complete_instance(
+                0,
+                0,
+                Ok(vec![
+                    DataSet::single("l", vec![1]),
+                    DataSet::single("r", vec![2]),
+                ]),
+            )
+            .unwrap();
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 2);
+        // Join is not ready until both branches are done.
+        state
+            .complete_instance(1, 0, Ok(vec![DataSet::single("o", vec![1])]))
+            .unwrap();
+        assert!(state.ready_instances().unwrap().is_empty());
+        state
+            .complete_instance(2, 0, Ok(vec![DataSet::single("o", vec![2])]))
+            .unwrap();
+        let ready = state.ready_instances().unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].vertex, "Join");
+    }
+}

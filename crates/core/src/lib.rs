@@ -1,0 +1,40 @@
+//! The Dandelion worker runtime.
+//!
+//! This crate implements the execution system of the paper (§5, Figure 4):
+//!
+//! * the **registry** of compute functions, communication functions and
+//!   composition DAGs ([`registry`]);
+//! * the **dispatcher**, which tracks per-invocation dataflow state, prepares
+//!   isolated memory contexts, and moves data between functions
+//!   ([`invocation`], [`dispatcher`]);
+//! * **compute engines** that execute untrusted functions one at a time to
+//!   completion inside an isolation backend, and **communication engines**
+//!   that execute trusted I/O functions cooperatively ([`engine`], [`task`]);
+//! * the **control plane**: a PI controller that re-balances CPU cores
+//!   between compute and communication engines every 30 ms based on queue
+//!   growth ([`control`]);
+//! * the **HTTP frontend** for registration and invocation ([`frontend`]);
+//! * a small **cluster manager** that load-balances invocations across
+//!   worker nodes, in the spirit of Dirigent ([`cluster`]).
+//!
+//! The crate is usable both as a real multi-threaded runtime (see
+//! [`worker::WorkerNode`]) and as a library of policy components (the PI
+//! controller, the invocation state machine) that the discrete-event
+//! simulator in `dandelion-sim` reuses under virtual time.
+
+pub mod cluster;
+pub mod control;
+pub mod dispatcher;
+pub mod engine;
+pub mod frontend;
+pub mod invocation;
+pub mod registry;
+pub mod task;
+pub mod worker;
+
+pub use cluster::ClusterManager;
+pub use control::PiController;
+pub use dispatcher::Dispatcher;
+pub use frontend::Frontend;
+pub use registry::{CommunicationKind, Registry, Vertex};
+pub use worker::{WorkerNode, WorkerStats};

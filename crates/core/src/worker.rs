@@ -1,0 +1,419 @@
+//! The Dandelion worker node.
+//!
+//! A [`WorkerNode`] assembles the pieces of Figure 4: the registry, the
+//! dispatcher, the compute and communication engine pools, and the control
+//! plane that re-balances cores between them. It exposes the programmatic
+//! API used by examples and benchmarks; the HTTP surface lives in
+//! [`crate::frontend`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dandelion_common::config::{EngineKind, WorkerConfig};
+use dandelion_common::stats::{LatencyRecorder, LatencySummary};
+use dandelion_common::{Clock, DandelionError, DandelionResult, DataSet, RealClock};
+use dandelion_dsl::CompositionGraph;
+use dandelion_http::validate::ValidationPolicy;
+use dandelion_isolation::{create_backend, FunctionArtifact, HardwarePlatform};
+use dandelion_services::ServiceRegistry;
+use parking_lot::Mutex;
+
+use crate::control::{ControlPlane, CoreAllocation};
+use crate::dispatcher::{Dispatcher, InvocationOutcome};
+use crate::engine::{EngineExecutor, EnginePool};
+use crate::registry::Registry;
+use crate::task::TaskQueue;
+
+/// Point-in-time statistics of a worker node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Completed invocations.
+    pub invocations: u64,
+    /// Failed invocations.
+    pub failures: u64,
+    /// Total compute tasks executed (sandboxes created).
+    pub compute_tasks: u64,
+    /// Total communication tasks executed.
+    pub communication_tasks: u64,
+    /// Cores currently assigned to compute engines.
+    pub compute_cores: usize,
+    /// Cores currently assigned to communication engines.
+    pub communication_cores: usize,
+    /// Current compute queue depth.
+    pub compute_queue_depth: usize,
+    /// Current communication queue depth.
+    pub communication_queue_depth: usize,
+    /// End-to-end invocation latency summary.
+    pub latency: LatencySummary,
+}
+
+/// A single Dandelion worker node.
+pub struct WorkerNode {
+    config: WorkerConfig,
+    registry: Arc<Registry>,
+    dispatcher: Dispatcher,
+    compute_pool: Arc<EnginePool>,
+    communication_pool: Arc<EnginePool>,
+    control_plane: Option<ControlPlane>,
+    clock: RealClock,
+    invocations: AtomicU64,
+    failures: AtomicU64,
+    compute_tasks: AtomicU64,
+    communication_tasks: AtomicU64,
+    latency: Mutex<LatencyRecorder>,
+    inflight: AtomicU64,
+}
+
+impl WorkerNode {
+    /// Starts a worker node with the given configuration and remote-service
+    /// registry.
+    pub fn start(config: WorkerConfig, services: ServiceRegistry) -> DandelionResult<Arc<Self>> {
+        Self::start_with_control(config, services, true)
+    }
+
+    /// Starts a worker node, optionally without the background control plane
+    /// (tests that assert exact core counts disable it).
+    pub fn start_with_control(
+        config: WorkerConfig,
+        services: ServiceRegistry,
+        enable_control_plane: bool,
+    ) -> DandelionResult<Arc<Self>> {
+        config.validate().map_err(DandelionError::Config)?;
+        let registry = Arc::new(Registry::new());
+        let compute_queue = TaskQueue::new(EngineKind::Compute, config.queue_capacity);
+        let communication_queue =
+            TaskQueue::new(EngineKind::Communication, config.queue_capacity);
+
+        let backend = create_backend(config.isolation, HardwarePlatform::X86Linux);
+        let compute_pool = Arc::new(EnginePool::new(
+            EngineExecutor::Compute { backend },
+            compute_queue.clone(),
+        ));
+        compute_pool.resize(config.initial_compute_cores());
+
+        let communication_pool = Arc::new(EnginePool::new(
+            EngineExecutor::Communication {
+                registry: Arc::new(services),
+                policy: Arc::new(ValidationPolicy::default()),
+            },
+            communication_queue.clone(),
+        ));
+        communication_pool.resize(config.initial_communication_cores);
+
+        let control_plane = enable_control_plane.then(|| {
+            ControlPlane::start(
+                config.controller,
+                CoreAllocation::new(
+                    config.initial_compute_cores(),
+                    config.initial_communication_cores,
+                ),
+                Arc::clone(&compute_pool),
+                Arc::clone(&communication_pool),
+            )
+        });
+
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&registry),
+            compute_queue,
+            communication_queue,
+            config.clone(),
+        );
+
+        Ok(Arc::new(Self {
+            config,
+            registry,
+            dispatcher,
+            compute_pool,
+            communication_pool,
+            control_plane,
+            clock: RealClock::new(),
+            invocations: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            compute_tasks: AtomicU64::new(0),
+            communication_tasks: AtomicU64::new(0),
+            latency: Mutex::new(LatencyRecorder::new()),
+            inflight: AtomicU64::new(0),
+        }))
+    }
+
+    /// The worker's configuration.
+    pub fn config(&self) -> &WorkerConfig {
+        &self.config
+    }
+
+    /// The function/composition registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Registers a compute function.
+    pub fn register_function(&self, artifact: FunctionArtifact) -> DandelionResult<()> {
+        self.registry.register_function(artifact)
+    }
+
+    /// Registers a composition graph.
+    pub fn register_composition(&self, graph: CompositionGraph) -> DandelionResult<()> {
+        self.registry.register_composition(graph)
+    }
+
+    /// Compiles and registers a composition from DSL source text.
+    pub fn register_composition_dsl(&self, source: &str) -> DandelionResult<String> {
+        let graph = dandelion_dsl::compile(source)?;
+        let name = graph.name.clone();
+        self.registry.register_composition(graph)?;
+        Ok(name)
+    }
+
+    /// Invokes a registered composition and waits for its outputs.
+    pub fn invoke(
+        &self,
+        composition: &str,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<InvocationOutcome> {
+        let graph = self.registry.composition(composition)?;
+        let start = self.clock.now();
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        let result = self.dispatcher.invoke(graph, inputs);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        let elapsed = self.clock.now().saturating_sub(start);
+        match &result {
+            Ok(outcome) => {
+                self.invocations.fetch_add(1, Ordering::Relaxed);
+                self.compute_tasks
+                    .fetch_add(outcome.report.compute_tasks as u64, Ordering::Relaxed);
+                self.communication_tasks.fetch_add(
+                    outcome.report.communication_tasks as u64,
+                    Ordering::Relaxed,
+                );
+                self.latency.lock().record(elapsed);
+            }
+            Err(_) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Number of invocations currently executing on this node.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst) as usize
+    }
+
+    /// The current compute/communication core split.
+    pub fn core_allocation(&self) -> CoreAllocation {
+        match &self.control_plane {
+            Some(control) => control.allocation(),
+            None => CoreAllocation::new(
+                self.compute_pool.engine_count(),
+                self.communication_pool.engine_count(),
+            ),
+        }
+    }
+
+    /// Snapshot of the worker's statistics.
+    pub fn stats(&self) -> WorkerStats {
+        let allocation = self.core_allocation();
+        WorkerStats {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            compute_tasks: self.compute_tasks.load(Ordering::Relaxed),
+            communication_tasks: self.communication_tasks.load(Ordering::Relaxed),
+            compute_cores: allocation.compute,
+            communication_cores: allocation.communication,
+            compute_queue_depth: self.compute_pool.queue().len(),
+            communication_queue_depth: self.communication_pool.queue().len(),
+            latency: self.latency.lock().summary(),
+        }
+    }
+
+    /// Stops the control plane and every engine.
+    pub fn shutdown(&self) {
+        if let Some(control) = &self.control_plane {
+            control.stop();
+        }
+        self.compute_pool.shutdown();
+        self.communication_pool.shutdown();
+    }
+}
+
+impl Drop for WorkerNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Convenience constructor: a worker with the default registry of simulated
+/// services used throughout the examples (auth, logs, object store, LLM,
+/// SQL database), all with zero artificial latency so tests stay fast.
+pub fn default_test_services() -> ServiceRegistry {
+    use dandelion_services::auth::AuthService;
+    use dandelion_services::database::SqlDatabaseService;
+    use dandelion_services::latency::LatencyModel;
+    use dandelion_services::llm::LlmService;
+    use dandelion_services::logs::LogService;
+    use dandelion_services::object_store::ObjectStore;
+
+    let mut registry = ServiceRegistry::new();
+    let auth = AuthService::with_latency(LatencyModel::zero());
+    auth.grant(
+        "demo-token",
+        &[
+            "http://logs-0.internal/logs",
+            "http://logs-1.internal/logs",
+            "http://logs-2.internal/logs",
+        ],
+    );
+    registry.register("auth.internal", Arc::new(auth));
+    for index in 0..3 {
+        registry.register(
+            &format!("logs-{index}.internal"),
+            Arc::new(
+                LogService::new(&format!("logs-{index}"), 50, index as u64)
+                    .with_latency(LatencyModel::zero()),
+            ),
+        );
+    }
+    registry.register(
+        "s3.internal",
+        Arc::new(ObjectStore::with_latency(LatencyModel::zero())),
+    );
+    registry.register(
+        "llm.internal",
+        Arc::new(LlmService::with_latency(LatencyModel::zero())),
+    );
+    registry.register(
+        "db.internal",
+        Arc::new(SqlDatabaseService::with_latency(LatencyModel::zero()).with_demo_data()),
+    );
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dandelion_common::config::IsolationKind;
+    use dandelion_isolation::FunctionCtx;
+
+    fn small_config() -> WorkerConfig {
+        WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            isolation: IsolationKind::Native,
+            ..WorkerConfig::default()
+        }
+    }
+
+    fn identity_dsl() -> &'static str {
+        "composition Identity(In) => Out { Copy(Data = all In) => (Out = Copied); }"
+    }
+
+    fn register_copy(worker: &WorkerNode) {
+        worker
+            .register_function(FunctionArtifact::new(
+                "Copy",
+                &["Copied"],
+                |ctx: &mut FunctionCtx| {
+                    let data = ctx.single_input("Data")?.data.as_slice().to_vec();
+                    ctx.push_output_bytes("Copied", "copy", data)
+                },
+            ))
+            .unwrap();
+    }
+
+    #[test]
+    fn worker_runs_a_dsl_registered_composition() {
+        let worker =
+            WorkerNode::start_with_control(small_config(), default_test_services(), false)
+                .unwrap();
+        register_copy(&worker);
+        let name = worker.register_composition_dsl(identity_dsl()).unwrap();
+        assert_eq!(name, "Identity");
+        let outcome = worker
+            .invoke("Identity", vec![DataSet::single("In", b"hello".to_vec())])
+            .unwrap();
+        assert_eq!(outcome.outputs[0].items[0].as_str(), Some("hello"));
+        let stats = worker.stats();
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.compute_tasks, 1);
+        assert!(stats.latency.p50_us > 0.0);
+        assert_eq!(stats.compute_cores, 3);
+        assert_eq!(stats.communication_cores, 1);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn invoking_unknown_composition_fails_and_counts() {
+        let worker =
+            WorkerNode::start_with_control(small_config(), default_test_services(), false)
+                .unwrap();
+        assert!(worker.invoke("Missing", vec![]).is_err());
+        // Unknown-composition lookups fail before dispatch and are not
+        // counted as failed invocations.
+        assert_eq!(worker.stats().invocations, 0);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let bad = WorkerConfig {
+            total_cores: 1,
+            ..WorkerConfig::default()
+        };
+        assert!(WorkerNode::start(bad, ServiceRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn concurrent_invocations_share_the_engine_pools() {
+        let worker =
+            WorkerNode::start_with_control(small_config(), default_test_services(), false)
+                .unwrap();
+        register_copy(&worker);
+        worker.register_composition_dsl(identity_dsl()).unwrap();
+        let workers: Vec<_> = (0..8)
+            .map(|index| {
+                let worker = Arc::clone(&worker);
+                std::thread::spawn(move || {
+                    worker
+                        .invoke(
+                            "Identity",
+                            vec![DataSet::single("In", format!("m{index}").into_bytes())],
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut seen: Vec<String> = workers
+            .into_iter()
+            .map(|handle| {
+                let outcome = handle.join().unwrap();
+                outcome.outputs[0].items[0].as_str().unwrap().to_string()
+            })
+            .collect();
+        seen.sort();
+        assert_eq!(seen.len(), 8);
+        assert_eq!(worker.stats().invocations, 8);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn failed_function_counts_as_failure() {
+        let worker =
+            WorkerNode::start_with_control(small_config(), default_test_services(), false)
+                .unwrap();
+        worker
+            .register_function(FunctionArtifact::new(
+                "Copy",
+                &["Copied"],
+                |_ctx: &mut FunctionCtx| Err("nope".into()),
+            ))
+            .unwrap();
+        worker.register_composition_dsl(identity_dsl()).unwrap();
+        assert!(worker
+            .invoke("Identity", vec![DataSet::single("In", vec![1])])
+            .is_err());
+        let stats = worker.stats();
+        assert_eq!(stats.failures, 1);
+        worker.shutdown();
+    }
+}

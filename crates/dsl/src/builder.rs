@@ -1,0 +1,223 @@
+//! Programmatic construction of composition graphs.
+//!
+//! Applications shipped with the repository (log processing, query plans,
+//! Text2SQL, ...) construct their DAGs in code rather than by emitting DSL
+//! text. The [`CompositionBuilder`] provides a small fluent API that produces
+//! the same validated [`CompositionGraph`] the DSL compiler would.
+
+use dandelion_common::DandelionResult;
+
+use crate::ast::{CompositionAst, Distribution, InputBinding, OutputBinding, Statement};
+use crate::graph::CompositionGraph;
+
+/// Builder for a single statement (one DAG vertex).
+#[derive(Debug, Clone)]
+pub struct StatementBuilder {
+    vertex: String,
+    inputs: Vec<InputBinding>,
+    outputs: Vec<OutputBinding>,
+}
+
+impl StatementBuilder {
+    fn new(vertex: &str) -> Self {
+        Self {
+            vertex: vertex.to_string(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Binds the vertex input set `set` to the composition-level data name
+    /// `source` with the given distribution.
+    pub fn bind(mut self, set: &str, distribution: Distribution, source: &str) -> Self {
+        self.inputs.push(InputBinding {
+            set: set.to_string(),
+            source: source.to_string(),
+            distribution,
+            optional: false,
+        });
+        self
+    }
+
+    /// Binds an input set that may be empty without blocking execution.
+    pub fn bind_optional(mut self, set: &str, distribution: Distribution, source: &str) -> Self {
+        self.inputs.push(InputBinding {
+            set: set.to_string(),
+            source: source.to_string(),
+            distribution,
+            optional: true,
+        });
+        self
+    }
+
+    /// Publishes the vertex output set `set` under the composition-level name
+    /// `published`.
+    pub fn publish(mut self, published: &str, set: &str) -> Self {
+        self.outputs.push(OutputBinding {
+            published: published.to_string(),
+            set: set.to_string(),
+        });
+        self
+    }
+}
+
+/// Fluent builder producing a validated [`CompositionGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct CompositionBuilder {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    statements: Vec<Statement>,
+}
+
+impl CompositionBuilder {
+    /// Creates a builder for a composition with the given name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Declares an external input data name.
+    pub fn input(mut self, name: &str) -> Self {
+        self.inputs.push(name.to_string());
+        self
+    }
+
+    /// Declares an external output data name.
+    pub fn output(mut self, name: &str) -> Self {
+        self.outputs.push(name.to_string());
+        self
+    }
+
+    /// Adds a vertex configured through the provided closure.
+    pub fn node(
+        mut self,
+        vertex: &str,
+        configure: impl FnOnce(StatementBuilder) -> StatementBuilder,
+    ) -> Self {
+        let statement = configure(StatementBuilder::new(vertex));
+        self.statements.push(Statement {
+            vertex: statement.vertex,
+            inputs: statement.inputs,
+            outputs: statement.outputs,
+            line: self.statements.len() + 1,
+        });
+        self
+    }
+
+    /// Returns the AST built so far (mainly useful for golden tests).
+    pub fn ast(&self) -> CompositionAst {
+        CompositionAst {
+            name: self.name.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            statements: self.statements.clone(),
+        }
+    }
+
+    /// Validates and lowers the composition.
+    pub fn build(&self) -> DandelionResult<CompositionGraph> {
+        CompositionGraph::from_ast(&self.ast()).map_err(Into::into)
+    }
+}
+
+/// Convenience constructor for the paper's log-processing example DAG
+/// (Figure 3), used by tests, examples and benchmarks.
+pub fn render_logs_composition() -> CompositionGraph {
+    CompositionBuilder::new("RenderLogs")
+        .input("AccessToken")
+        .output("HTMLOutput")
+        .node("Access", |node| {
+            node.bind("AccessToken", Distribution::All, "AccessToken")
+                .publish("AuthRequest", "HTTPRequest")
+        })
+        .node("HTTP", |node| {
+            node.bind("Request", Distribution::Each, "AuthRequest")
+                .publish("AuthResponse", "Response")
+        })
+        .node("FanOut", |node| {
+            node.bind("HTTPResponse", Distribution::All, "AuthResponse")
+                .publish("LogRequests", "HTTPRequests")
+        })
+        .node("HTTP", |node| {
+            node.bind("Request", Distribution::Each, "LogRequests")
+                .publish("LogResponses", "Response")
+        })
+        .node("Render", |node| {
+            node.bind("HTTPResponses", Distribution::All, "LogResponses")
+                .publish("HTMLOutput", "HTMLOutput")
+        })
+        .build()
+        .expect("the log processing composition is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_composition;
+
+    #[test]
+    fn builder_matches_dsl_compilation() {
+        let from_builder = render_logs_composition();
+        let source = r#"
+            composition RenderLogs(AccessToken) => HTMLOutput {
+                Access(AccessToken = all AccessToken) => (AuthRequest = HTTPRequest);
+                HTTP(Request = each AuthRequest) => (AuthResponse = Response);
+                FanOut(HTTPResponse = all AuthResponse) => (LogRequests = HTTPRequests);
+                HTTP(Request = each LogRequests) => (LogResponses = Response);
+                Render(HTTPResponses = all LogResponses) => (HTMLOutput = HTMLOutput);
+            }
+        "#;
+        let from_dsl =
+            CompositionGraph::from_ast(&parse_composition(source).unwrap()).unwrap();
+        assert_eq!(from_builder, from_dsl);
+    }
+
+    #[test]
+    fn builder_supports_optional_bindings() {
+        let graph = CompositionBuilder::new("WithErrors")
+            .input("In")
+            .output("Out")
+            .node("Work", |node| {
+                node.bind("data", Distribution::Each, "In")
+                    .publish("Good", "ok")
+                    .publish("Bad", "errors")
+            })
+            .node("HandleErrors", |node| {
+                node.bind_optional("errors", Distribution::All, "Bad")
+                    .publish("Out", "report")
+            })
+            .build()
+            .unwrap();
+        assert!(graph.nodes[1].inputs[0].optional);
+    }
+
+    #[test]
+    fn builder_surfaces_validation_errors() {
+        let result = CompositionBuilder::new("Broken")
+            .input("In")
+            .output("Out")
+            .node("F", |node| {
+                node.bind("data", Distribution::All, "DoesNotExist")
+                    .publish("Out", "o")
+            })
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ast_round_trips_through_dsl_text() {
+        let builder = CompositionBuilder::new("RoundTrip")
+            .input("A")
+            .output("B")
+            .node("F", |node| {
+                node.bind("x", Distribution::Key, "A").publish("B", "out")
+            });
+        let text = builder.ast().to_dsl();
+        let reparsed = parse_composition(&text).unwrap();
+        assert_eq!(reparsed.name, "RoundTrip");
+        assert_eq!(reparsed.statements[0].inputs[0].distribution, Distribution::Key);
+    }
+}

@@ -1,0 +1,431 @@
+//! HTTP request, response, header and status types.
+
+use std::fmt;
+
+/// The HTTP methods Dandelion's communication function supports.
+///
+/// The paper restricts the HTTP function to GET/PUT/POST/DELETE (§4.1);
+/// `Head` is additionally accepted since some object stores use it for
+/// existence checks, but it is not part of the default whitelist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Replace or create a resource.
+    Put,
+    /// Submit data to a resource.
+    Post,
+    /// Delete a resource.
+    Delete,
+    /// Retrieve headers only.
+    Head,
+}
+
+impl Method {
+    /// Parses a method token (case-sensitive, as required by RFC 9110).
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "PUT" => Some(Method::Put),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+
+    /// The canonical token for the method.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Put => "PUT",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Methods allowed for untrusted requests by default (paper §4.1).
+    pub const DEFAULT_WHITELIST: [Method; 4] =
+        [Method::Get, Method::Put, Method::Post, Method::Delete];
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Supported protocol versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// HTTP/1.0
+    Http10,
+    /// HTTP/1.1
+    Http11,
+}
+
+impl Version {
+    /// Parses a version token such as `HTTP/1.1`.
+    pub fn parse(token: &str) -> Option<Version> {
+        match token {
+            "HTTP/1.0" => Some(Version::Http10),
+            "HTTP/1.1" => Some(Version::Http11),
+            _ => None,
+        }
+    }
+
+    /// The canonical token for the version.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP status code with its reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK
+    pub const OK: StatusCode = StatusCode(200);
+    /// 201 Created
+    pub const CREATED: StatusCode = StatusCode(201);
+    /// 204 No Content
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    /// 400 Bad Request
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 401 Unauthorized
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 429 Too Many Requests
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    /// 500 Internal Server Error
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// Returns `true` for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Returns `true` for 4xx codes.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// Returns `true` for 5xx codes.
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// The standard reason phrase for this code.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            499 => "Client Closed Request",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An ordered, case-insensitive multimap of HTTP headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a header, preserving insertion order.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Returns the first value of a header, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// Returns all values of a header, case-insensitively.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+            .collect()
+    }
+
+    /// Number of header entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries
+            .iter()
+            .map(|(name, value)| (name.as_str(), value.as_str()))
+    }
+
+    /// Parses the `Content-Length` header if present and well-formed.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request target, either absolute (`http://host/path`) or origin form
+    /// (`/path`).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Creates a GET request for an absolute URI.
+    pub fn get(target: impl Into<String>) -> Self {
+        Self::new(Method::Get, target)
+    }
+
+    /// Creates a POST request with a body.
+    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        let mut request = Self::new(Method::Post, target);
+        request.body = body.into();
+        request
+    }
+
+    /// Creates a PUT request with a body.
+    pub fn put(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        let mut request = Self::new(Method::Put, target);
+        request.body = body.into();
+        request
+    }
+
+    /// Creates a request with an empty body.
+    pub fn new(method: Method, target: impl Into<String>) -> Self {
+        Self {
+            method,
+            target: target.into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header and returns `self` for chaining.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Serializes the request to wire format, adding `Content-Length` when a
+    /// body is present and the header is missing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(
+            format!("{} {} {}\r\n", self.method, self.target, self.version).as_bytes(),
+        );
+        for (name, value) in self.headers.iter() {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() && self.headers.content_length().is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Protocol version.
+    pub version: Version,
+    /// Status code.
+    pub status: StatusCode,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Creates a response with the given status and body.
+    pub fn new(status: StatusCode, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            version: Version::Http11,
+            status,
+            headers: Headers::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Creates a `200 OK` response.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        Self::new(StatusCode::OK, body)
+    }
+
+    /// Creates an error response whose body is the reason text.
+    pub fn error(status: StatusCode, message: &str) -> Self {
+        Self::new(status, message.as_bytes().to_vec())
+    }
+
+    /// Adds a header and returns `self` for chaining.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Returns the body as text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serializes the response to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(
+            format!(
+                "{} {} {}\r\n",
+                self.version,
+                self.status.0,
+                self.status.reason()
+            )
+            .as_bytes(),
+        );
+        for (name, value) in self.headers.iter() {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if self.headers.content_length().is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parse_roundtrip() {
+        for method in Method::DEFAULT_WHITELIST {
+            assert_eq!(Method::parse(method.as_str()), Some(method));
+        }
+        assert_eq!(Method::parse("get"), None);
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+        assert_eq!(StatusCode::NOT_FOUND.to_string(), "404 Not Found");
+        assert_eq!(StatusCode(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn headers_are_case_insensitive_and_ordered() {
+        let mut headers = Headers::new();
+        headers.insert("Content-Type", "text/plain");
+        headers.insert("X-Multi", "a");
+        headers.insert("x-multi", "b");
+        assert_eq!(headers.get("content-type"), Some("text/plain"));
+        assert_eq!(headers.get_all("X-MULTI"), vec!["a", "b"]);
+        assert_eq!(headers.len(), 3);
+        assert_eq!(headers.get("missing"), None);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut headers = Headers::new();
+        assert_eq!(headers.content_length(), None);
+        headers.insert("Content-Length", " 42 ");
+        assert_eq!(headers.content_length(), Some(42));
+    }
+
+    #[test]
+    fn request_serialization_adds_content_length() {
+        let request = HttpRequest::post("http://svc.example/api", b"{\"a\":1}".to_vec())
+            .with_header("Content-Type", "application/json");
+        let bytes = request.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST http://svc.example/api HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn response_serialization() {
+        let response = HttpResponse::ok(b"hello".to_vec()).with_header("X-Test", "1");
+        let text = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("hello"));
+        assert_eq!(response.body_text(), "hello");
+    }
+}

@@ -1,0 +1,391 @@
+//! The compute-function ABI: artifacts, logic and the execution context.
+//!
+//! In the paper, users register native binaries (or Wasm modules) compiled
+//! against dlibc. In this reproduction a registered function is a
+//! [`FunctionArtifact`]: a name, a synthetic "binary" (bytes whose size
+//! models the real binary, used for load-cost accounting and cache
+//! behaviour), a declared memory requirement, and the executable
+//! [`ComputeLogic`].
+//!
+//! At execution time the backend constructs a [`FunctionCtx`] — the only
+//! capability the user code receives. It exposes the declared input sets,
+//! a capacity-bounded virtual filesystem, an output staging API and a
+//! syscall shim that enforces the [`SyscallPolicy`]. There is no other
+//! ambient authority: no real filesystem, no network, no clock.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dandelion_common::{DataItem, DataSet};
+use dandelion_vfs::{VfsPath, VirtualFs};
+
+use crate::policy::{SyscallDisposition, SyscallPolicy};
+
+/// Error type returned by compute-function bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionError(pub String);
+
+impl fmt::Display for FunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FunctionError {}
+
+impl From<String> for FunctionError {
+    fn from(message: String) -> Self {
+        FunctionError(message)
+    }
+}
+
+impl From<&str> for FunctionError {
+    fn from(message: &str) -> Self {
+        FunctionError(message.to_string())
+    }
+}
+
+/// The executable body of a pure compute function.
+///
+/// Implementations must be pure in the Dandelion sense: they interact with
+/// the world only through the provided [`FunctionCtx`].
+pub trait ComputeLogic: Send + Sync {
+    /// Runs the function against its context.
+    fn run(&self, ctx: &mut FunctionCtx) -> Result<(), FunctionError>;
+}
+
+impl<F> ComputeLogic for F
+where
+    F: Fn(&mut FunctionCtx) -> Result<(), FunctionError> + Send + Sync,
+{
+    fn run(&self, ctx: &mut FunctionCtx) -> Result<(), FunctionError> {
+        self(ctx)
+    }
+}
+
+/// A registered compute function.
+#[derive(Clone)]
+pub struct FunctionArtifact {
+    /// The function name used in compositions.
+    pub name: String,
+    /// Synthetic binary bytes; the length models the real binary size and is
+    /// what gets "loaded" into the memory context.
+    pub binary: Arc<Vec<u8>>,
+    /// Declared memory requirement (context capacity), in bytes.
+    pub memory_requirement: usize,
+    /// Declared output set names, harvested after execution.
+    pub output_sets: Vec<String>,
+    /// The executable logic.
+    pub logic: Arc<dyn ComputeLogic>,
+}
+
+impl fmt::Debug for FunctionArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionArtifact")
+            .field("name", &self.name)
+            .field("binary_bytes", &self.binary.len())
+            .field("memory_requirement", &self.memory_requirement)
+            .field("output_sets", &self.output_sets)
+            .finish()
+    }
+}
+
+impl FunctionArtifact {
+    /// Creates an artifact with a default 64 KiB synthetic binary and a
+    /// 16 MiB memory requirement.
+    pub fn new(
+        name: impl Into<String>,
+        output_sets: &[&str],
+        logic: impl ComputeLogic + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            binary: Arc::new(vec![0xD4; 64 * 1024]),
+            memory_requirement: 16 * 1024 * 1024,
+            output_sets: output_sets.iter().map(|s| s.to_string()).collect(),
+            logic: Arc::new(logic),
+        }
+    }
+
+    /// Overrides the synthetic binary size.
+    pub fn with_binary_size(mut self, bytes: usize) -> Self {
+        self.binary = Arc::new(vec![0xD4; bytes]);
+        self
+    }
+
+    /// Overrides the declared memory requirement.
+    pub fn with_memory_requirement(mut self, bytes: usize) -> Self {
+        self.memory_requirement = bytes;
+        self
+    }
+}
+
+/// Record of a syscall attempted by the function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallAttempt {
+    /// The syscall name the function asked for.
+    pub name: String,
+    /// What the policy decided.
+    pub disposition: SyscallDisposition,
+}
+
+/// The execution context handed to user code.
+pub struct FunctionCtx {
+    inputs: Vec<DataSet>,
+    fs: VirtualFs,
+    output_sets: Vec<String>,
+    staged_outputs: Vec<DataSet>,
+    policy: SyscallPolicy,
+    syscall_attempts: Vec<SyscallAttempt>,
+    faulted: Option<String>,
+}
+
+impl FunctionCtx {
+    /// Builds a context from materialized inputs.
+    ///
+    /// `capacity` bounds the virtual filesystem, mirroring the memory
+    /// context capacity.
+    pub fn new(
+        inputs: Vec<DataSet>,
+        output_sets: Vec<String>,
+        capacity: usize,
+        policy: SyscallPolicy,
+    ) -> Result<Self, FunctionError> {
+        let fs = VirtualFs::from_input_sets(&inputs, capacity)
+            .map_err(|err| FunctionError(format!("failed to materialize inputs: {err}")))?;
+        Ok(Self {
+            inputs,
+            fs,
+            output_sets,
+            staged_outputs: Vec::new(),
+            policy,
+            syscall_attempts: Vec::new(),
+            faulted: None,
+        })
+    }
+
+    /// The declared input sets.
+    pub fn inputs(&self) -> &[DataSet] {
+        &self.inputs
+    }
+
+    /// Looks up an input set by name.
+    pub fn input_set(&self, name: &str) -> Option<&DataSet> {
+        self.inputs.iter().find(|set| set.name == name)
+    }
+
+    /// Returns the single item of an input set, failing with a descriptive
+    /// error when the set is missing or does not have exactly one item.
+    pub fn single_input(&self, name: &str) -> Result<&DataItem, FunctionError> {
+        let set = self
+            .input_set(name)
+            .ok_or_else(|| FunctionError(format!("missing input set `{name}`")))?;
+        if set.len() != 1 {
+            return Err(FunctionError(format!(
+                "input set `{name}` has {} items, expected exactly 1",
+                set.len()
+            )));
+        }
+        Ok(&set.items[0])
+    }
+
+    /// Read-only access to the virtual filesystem.
+    pub fn fs(&self) -> &VirtualFs {
+        &self.fs
+    }
+
+    /// Mutable access to the virtual filesystem.
+    pub fn fs_mut(&mut self) -> &mut VirtualFs {
+        &mut self.fs
+    }
+
+    /// The declared output set names.
+    pub fn output_sets(&self) -> &[String] {
+        &self.output_sets
+    }
+
+    /// Stages an output item for the named set.
+    pub fn push_output(&mut self, set: &str, item: DataItem) -> Result<(), FunctionError> {
+        if !self.output_sets.iter().any(|name| name == set) {
+            return Err(FunctionError(format!("`{set}` is not a declared output set")));
+        }
+        match self.staged_outputs.iter_mut().find(|s| s.name == set) {
+            Some(existing) => existing.push(item),
+            None => {
+                let mut new_set = DataSet::new(set);
+                new_set.push(item);
+                self.staged_outputs.push(new_set);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper staging a single unnamed item.
+    pub fn push_output_bytes(
+        &mut self,
+        set: &str,
+        name: &str,
+        data: impl Into<Vec<u8>>,
+    ) -> Result<(), FunctionError> {
+        self.push_output(set, DataItem::new(name, data))
+    }
+
+    /// Models a syscall attempt by the user code.
+    ///
+    /// Stubbed calls return the errno the dlibc stub would produce; denied
+    /// calls mark the context as faulted and return an error, after which the
+    /// backend terminates the function.
+    pub fn syscall(&mut self, name: &str) -> Result<i32, FunctionError> {
+        let disposition = self.policy.disposition(name);
+        self.syscall_attempts.push(SyscallAttempt {
+            name: name.to_string(),
+            disposition,
+        });
+        match disposition {
+            SyscallDisposition::Stub { errno } => Ok(-errno),
+            SyscallDisposition::Terminate => {
+                let message = format!("attempted forbidden syscall `{name}`");
+                self.faulted = Some(message.clone());
+                Err(FunctionError(message))
+            }
+        }
+    }
+
+    /// Returns the syscalls the function attempted.
+    pub fn syscall_attempts(&self) -> &[SyscallAttempt] {
+        &self.syscall_attempts
+    }
+
+    /// Returns the fault recorded by a denied syscall, if any.
+    pub fn fault(&self) -> Option<&str> {
+        self.faulted.as_deref()
+    }
+
+    /// Collects the function's outputs: explicitly staged items first, then
+    /// any files written under declared output-set directories in the
+    /// filesystem. Every declared set is present in the result (possibly
+    /// empty), in declaration order.
+    pub fn take_outputs(&mut self) -> Vec<DataSet> {
+        let from_fs = self.fs.harvest_output_sets(&self.output_sets);
+        let mut outputs = Vec::with_capacity(self.output_sets.len());
+        for (index, set_name) in self.output_sets.iter().enumerate() {
+            let mut set = DataSet::new(set_name.clone());
+            if let Some(staged) = self.staged_outputs.iter().find(|s| &s.name == set_name) {
+                set.items.extend(staged.items.iter().cloned());
+            }
+            set.items.extend(from_fs[index].items.iter().cloned());
+            outputs.push(set);
+        }
+        self.staged_outputs.clear();
+        outputs
+    }
+}
+
+/// Writes an input item into the conventional `/<set>/<item>` location of a
+/// context filesystem. Mostly useful in tests and examples that construct
+/// contexts by hand.
+pub fn write_input_item(
+    fs: &mut VirtualFs,
+    set: &str,
+    item: &DataItem,
+) -> Result<(), dandelion_vfs::VfsError> {
+    fs.create_dir_all(&VfsPath::new(set))?;
+    fs.write_file(&VfsPath::set_item(set, &item.name), &item.data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ctx() -> FunctionCtx {
+        FunctionCtx::new(
+            vec![DataSet::single("request", b"GET /logs".to_vec())],
+            vec!["response".to_string(), "errors".to_string()],
+            1024 * 1024,
+            SyscallPolicy::strict(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inputs_are_visible_via_sets_and_fs() {
+        let ctx = sample_ctx();
+        assert_eq!(ctx.inputs().len(), 1);
+        assert_eq!(
+            ctx.single_input("request").unwrap().as_str(),
+            Some("GET /logs")
+        );
+        assert!(ctx.input_set("missing").is_none());
+        assert!(ctx.single_input("missing").is_err());
+        let listing = ctx.fs().list_dir(&VfsPath::new("/request")).unwrap();
+        assert_eq!(listing, vec!["request.0"]);
+    }
+
+    #[test]
+    fn outputs_merge_staged_and_fs_items() {
+        let mut ctx = sample_ctx();
+        ctx.push_output_bytes("response", "r0", b"staged".to_vec()).unwrap();
+        ctx.fs_mut()
+            .write_output_item("response", "r1", Some("key"), b"from fs")
+            .unwrap();
+        let outputs = ctx.take_outputs();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].name, "response");
+        assert_eq!(outputs[0].len(), 2);
+        assert_eq!(outputs[0].items[0].name, "r0");
+        assert_eq!(outputs[0].items[1].key.as_deref(), Some("key"));
+        assert!(outputs[1].is_empty());
+        // take_outputs drains the staged items.
+        assert_eq!(ctx.take_outputs()[0].len(), 1);
+    }
+
+    #[test]
+    fn undeclared_output_sets_are_rejected() {
+        let mut ctx = sample_ctx();
+        assert!(ctx.push_output_bytes("bogus", "x", vec![1]).is_err());
+    }
+
+    #[test]
+    fn syscalls_follow_policy() {
+        let mut ctx = sample_ctx();
+        // Stubbed call: returns negative errno, no fault.
+        assert_eq!(ctx.syscall("mmap").unwrap(), -38);
+        assert!(ctx.fault().is_none());
+        // Forbidden call: error + fault recorded.
+        assert!(ctx.syscall("execve").is_err());
+        assert_eq!(ctx.fault(), Some("attempted forbidden syscall `execve`"));
+        assert_eq!(ctx.syscall_attempts().len(), 2);
+    }
+
+    #[test]
+    fn closures_implement_compute_logic() {
+        let artifact = FunctionArtifact::new("double", &["out"], |ctx: &mut FunctionCtx| {
+            let input = ctx.single_input("numbers")?.data.clone();
+            let doubled: Vec<u8> = input.iter().map(|b| b.wrapping_mul(2)).collect();
+            ctx.push_output_bytes("out", "doubled", doubled)
+        })
+        .with_binary_size(128)
+        .with_memory_requirement(1024);
+        assert_eq!(artifact.binary.len(), 128);
+        assert_eq!(artifact.memory_requirement, 1024);
+
+        let mut ctx = FunctionCtx::new(
+            vec![DataSet::single("numbers", vec![1, 2, 3])],
+            vec!["out".to_string()],
+            4096,
+            SyscallPolicy::permissive(),
+        )
+        .unwrap();
+        artifact.logic.run(&mut ctx).unwrap();
+        let outputs = ctx.take_outputs();
+        assert_eq!(outputs[0].items[0].data.as_slice(), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn write_input_item_helper() {
+        let mut fs = VirtualFs::new(1024);
+        let item = DataItem::new("part.bin", vec![9, 9]);
+        write_input_item(&mut fs, "parts", &item).unwrap();
+        assert_eq!(fs.read_file(&VfsPath::new("/parts/part.bin")).unwrap(), vec![9, 9]);
+    }
+}

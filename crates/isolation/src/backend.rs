@@ -1,0 +1,444 @@
+//! The isolation backend interface and the staged executor.
+//!
+//! Every backend executes the same sandbox lifecycle (the stages of Table 1):
+//! marshal the task, load the function binary into the memory context,
+//! transfer the inputs, execute the function body, collect the outputs it
+//! left behind, and clean up. The [`StagedExecutor`] implements that
+//! lifecycle once; the concrete backends in [`crate::backends`] parameterize
+//! it with their syscall policy and cost model and add their
+//! mechanism-specific bookkeeping.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dandelion_common::config::IsolationKind;
+use dandelion_common::{DandelionError, DandelionResult, DataSet};
+
+use crate::abi::{FunctionArtifact, FunctionCtx, SyscallAttempt};
+use crate::context::MemoryContext;
+use crate::cost::{SandboxCostModel, Stage};
+use crate::output_parser;
+use crate::policy::SyscallPolicy;
+
+/// Per-stage durations, either measured or modeled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTimings {
+    durations: HashMap<Stage, Duration>,
+}
+
+impl StageTimings {
+    /// Creates an empty timing record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the duration of a stage (overwriting any previous value).
+    pub fn record(&mut self, stage: Stage, duration: Duration) {
+        self.durations.insert(stage, duration);
+    }
+
+    /// Returns the duration of a stage, defaulting to zero.
+    pub fn get(&self, stage: Stage) -> Duration {
+        self.durations.get(&stage).copied().unwrap_or_default()
+    }
+
+    /// Sum of all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.durations.values().sum()
+    }
+
+    /// Builds the modeled timings for a backend given whether the binary was
+    /// cold and how long the function body took.
+    pub fn modeled(model: &SandboxCostModel, cold_binary: bool, body: Duration) -> Self {
+        let mut timings = Self::new();
+        for stage in Stage::ALL {
+            let mut cost = model.stage_cost(stage, cold_binary);
+            if stage == Stage::Execute {
+                cost += body.mul_f64(model.compute_slowdown);
+            }
+            timings.record(stage, cost);
+        }
+        timings
+    }
+}
+
+/// A unit of work handed to an isolation backend.
+#[derive(Debug, Clone)]
+pub struct ExecutionTask {
+    /// The function to execute.
+    pub artifact: Arc<FunctionArtifact>,
+    /// Materialized input sets.
+    pub inputs: Vec<DataSet>,
+    /// Whether the function binary has to be loaded "from disk" (cold) or is
+    /// already cached in memory.
+    pub cold_binary: bool,
+    /// User-specified execution timeout; exceeding it is a fault.
+    pub timeout: Duration,
+}
+
+impl ExecutionTask {
+    /// Creates a task with a warm binary and a 30 s timeout.
+    pub fn new(artifact: Arc<FunctionArtifact>, inputs: Vec<DataSet>) -> Self {
+        Self {
+            artifact,
+            inputs,
+            cold_binary: false,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Marks the binary as requiring a cold load.
+    pub fn with_cold_binary(mut self, cold: bool) -> Self {
+        self.cold_binary = cold;
+        self
+    }
+
+    /// Overrides the execution timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// The result of executing a task in a sandbox.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The function's output sets (one per declared output set).
+    pub outputs: Vec<DataSet>,
+    /// Wall-clock stage timings measured on this machine.
+    pub measured: StageTimings,
+    /// Stage timings from the backend's calibrated cost model, used by
+    /// virtual-time experiments.
+    pub modeled: StageTimings,
+    /// Peak bytes committed in the function's memory context.
+    pub context_high_water: usize,
+    /// Syscalls the function attempted (all stubbed or the last one fatal).
+    pub syscall_attempts: Vec<SyscallAttempt>,
+}
+
+impl ExecutionReport {
+    /// Total measured latency of the invocation.
+    pub fn measured_total(&self) -> Duration {
+        self.measured.total()
+    }
+
+    /// Total modeled latency of the invocation.
+    pub fn modeled_total(&self) -> Duration {
+        self.modeled.total()
+    }
+}
+
+/// A mechanism that can execute compute functions in isolation.
+pub trait IsolationBackend: Send + Sync {
+    /// Which isolation mechanism this backend implements.
+    fn kind(&self) -> IsolationKind;
+
+    /// The calibrated cost model for this backend.
+    fn cost_model(&self) -> &SandboxCostModel;
+
+    /// Executes one task to completion inside a fresh sandbox.
+    fn execute(&self, task: &ExecutionTask) -> DandelionResult<ExecutionReport>;
+}
+
+/// Shared staged execution used by all backends.
+///
+/// The stages deliberately do real work proportional to what the mechanism
+/// would do — bytes of the binary and the inputs are really copied into the
+/// [`MemoryContext`], the function really runs against a bounded VFS, and the
+/// outputs really round-trip through the untrusted output descriptor parser —
+/// so that functional behaviour, capacity enforcement and fault paths are
+/// genuine even though the absolute stage latencies of the original hardware
+/// are modeled.
+pub struct StagedExecutor {
+    kind: IsolationKind,
+    policy: SyscallPolicy,
+    cost: SandboxCostModel,
+}
+
+impl StagedExecutor {
+    /// Creates an executor for a backend.
+    pub fn new(kind: IsolationKind, policy: SyscallPolicy, cost: SandboxCostModel) -> Self {
+        Self { kind, policy, cost }
+    }
+
+    /// The cost model used for modeled timings.
+    pub fn cost_model(&self) -> &SandboxCostModel {
+        &self.cost
+    }
+
+    /// Runs the full sandbox lifecycle for one task.
+    pub fn run(&self, task: &ExecutionTask) -> DandelionResult<ExecutionReport> {
+        let mut measured = StageTimings::new();
+        let artifact = &task.artifact;
+
+        // Stage 1: marshal — validate the task shape.
+        let marshal_start = Instant::now();
+        if artifact.output_sets.is_empty() {
+            return Err(DandelionError::FunctionFault {
+                function: artifact.name.clone(),
+                reason: "function declares no output sets".to_string(),
+            });
+        }
+        let input_bytes = dandelion_common::data::total_bytes(&task.inputs);
+        if input_bytes > artifact.memory_requirement {
+            return Err(DandelionError::ContextError(format!(
+                "inputs of {} bytes exceed the declared memory requirement of {} bytes",
+                input_bytes, artifact.memory_requirement
+            )));
+        }
+        measured.record(Stage::Marshal, marshal_start.elapsed());
+
+        // Stage 2: load — bring the binary into the context.
+        let load_start = Instant::now();
+        let mut context = MemoryContext::new(
+            artifact.memory_requirement + artifact.binary.len() + 4096,
+        );
+        context.append(&artifact.binary)?;
+        measured.record(Stage::Load, load_start.elapsed());
+
+        // Stage 3: transfer input — copy input payloads into the context.
+        let transfer_start = Instant::now();
+        for set in &task.inputs {
+            for item in &set.items {
+                context.append(&item.data)?;
+            }
+        }
+        measured.record(Stage::TransferInput, transfer_start.elapsed());
+
+        // Stage 4: execute — run the body against the bounded VFS.
+        let execute_start = Instant::now();
+        let mut ctx = FunctionCtx::new(
+            task.inputs.clone(),
+            artifact.output_sets.clone(),
+            artifact.memory_requirement,
+            self.policy.clone(),
+        )
+        .map_err(|err| DandelionError::FunctionFault {
+            function: artifact.name.clone(),
+            reason: err.to_string(),
+        })?;
+        let logic = Arc::clone(&artifact.logic);
+        let run_result = catch_unwind(AssertUnwindSafe(|| logic.run(&mut ctx)));
+        let body_elapsed = execute_start.elapsed();
+        measured.record(Stage::Execute, body_elapsed);
+
+        let syscall_attempts = ctx.syscall_attempts().to_vec();
+        match run_result {
+            Err(_) => {
+                return Err(DandelionError::FunctionFault {
+                    function: artifact.name.clone(),
+                    reason: "function panicked".to_string(),
+                })
+            }
+            Ok(Err(err)) => {
+                return Err(DandelionError::FunctionFault {
+                    function: artifact.name.clone(),
+                    reason: err.to_string(),
+                })
+            }
+            Ok(Ok(())) => {}
+        }
+        if let Some(fault) = ctx.fault() {
+            return Err(DandelionError::FunctionFault {
+                function: artifact.name.clone(),
+                reason: fault.to_string(),
+            });
+        }
+        if body_elapsed > task.timeout {
+            return Err(DandelionError::Timeout {
+                function: artifact.name.clone(),
+                limit_ms: task.timeout.as_millis() as u64,
+            });
+        }
+
+        // Stage 5: output — serialize the outputs into the context exactly as
+        // the dlibc exit shim would, then parse them back with the trusted
+        // parser.
+        let output_start = Instant::now();
+        let outputs = ctx.take_outputs();
+        let encoded = output_parser::encode_outputs(&outputs);
+        let descriptor_offset = context.append(&encoded)?;
+        let descriptor = context.read(descriptor_offset, encoded.len())?;
+        let outputs = output_parser::parse_outputs(descriptor)?;
+        measured.record(Stage::Output, output_start.elapsed());
+
+        // Stage 6: other — context teardown.
+        let other_start = Instant::now();
+        let high_water = context.high_water_bytes();
+        context.clear();
+        measured.record(Stage::Other, other_start.elapsed());
+
+        let modeled = StageTimings::modeled(&self.cost, task.cold_binary, body_elapsed);
+        Ok(ExecutionReport {
+            outputs,
+            measured,
+            modeled,
+            context_high_water: high_water,
+            syscall_attempts,
+        })
+    }
+
+    /// The mechanism this executor models.
+    pub fn kind(&self) -> IsolationKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::FunctionCtx;
+    use crate::cost::HardwarePlatform;
+    use dandelion_common::DataItem;
+
+    fn echo_artifact() -> Arc<FunctionArtifact> {
+        Arc::new(FunctionArtifact::new(
+            "echo",
+            &["out"],
+            |ctx: &mut FunctionCtx| {
+                let input = ctx.single_input("in")?.clone();
+                ctx.push_output("out", DataItem::new("echo", input.data.as_slice().to_vec()))
+            },
+        ))
+    }
+
+    fn executor() -> StagedExecutor {
+        StagedExecutor::new(
+            IsolationKind::Native,
+            SyscallPolicy::permissive(),
+            SandboxCostModel::for_backend(IsolationKind::Native, HardwarePlatform::Morello),
+        )
+    }
+
+    #[test]
+    fn executes_a_simple_function() {
+        let task = ExecutionTask::new(
+            echo_artifact(),
+            vec![DataSet::single("in", b"ping".to_vec())],
+        );
+        let report = executor().run(&task).unwrap();
+        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(report.outputs[0].items[0].data.as_slice(), b"ping");
+        assert!(report.context_high_water > 0);
+        assert!(report.measured_total() > Duration::ZERO);
+        assert!(report.modeled_total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn modeled_timings_include_cold_load_penalty() {
+        let task = ExecutionTask::new(
+            echo_artifact(),
+            vec![DataSet::single("in", b"x".to_vec())],
+        );
+        let warm = executor().run(&task).unwrap();
+        let cold = executor()
+            .run(&task.clone().with_cold_binary(true))
+            .unwrap();
+        assert!(cold.modeled.get(Stage::Load) > warm.modeled.get(Stage::Load));
+    }
+
+    #[test]
+    fn function_errors_become_faults() {
+        let failing = Arc::new(FunctionArtifact::new(
+            "fail",
+            &["out"],
+            |_ctx: &mut FunctionCtx| Err("boom".into()),
+        ));
+        let err = executor()
+            .run(&ExecutionTask::new(failing, vec![]))
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::FunctionFault { .. }));
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        let panicking = Arc::new(FunctionArtifact::new(
+            "panic",
+            &["out"],
+            |_ctx: &mut FunctionCtx| -> Result<(), crate::abi::FunctionError> {
+                panic!("user code exploded")
+            },
+        ));
+        let err = executor()
+            .run(&ExecutionTask::new(panicking, vec![]))
+            .unwrap_err();
+        match err {
+            DandelionError::FunctionFault { reason, .. } => {
+                assert!(reason.contains("panicked"))
+            }
+            other => panic!("expected fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forbidden_syscalls_terminate_the_function() {
+        let strict = StagedExecutor::new(
+            IsolationKind::Process,
+            SyscallPolicy::strict(),
+            SandboxCostModel::for_backend(IsolationKind::Process, HardwarePlatform::Morello),
+        );
+        let nosy = Arc::new(FunctionArtifact::new(
+            "nosy",
+            &["out"],
+            |ctx: &mut FunctionCtx| {
+                // A stubbed call is fine...
+                let _ = ctx.syscall("mmap");
+                // ...but an arbitrary one gets the function killed.
+                ctx.syscall("execve").map(|_| ())
+            },
+        ));
+        let err = strict
+            .run(&ExecutionTask::new(nosy, vec![]))
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::FunctionFault { .. }));
+        assert!(err.to_string().contains("execve"));
+    }
+
+    #[test]
+    fn inputs_exceeding_memory_requirement_are_rejected() {
+        let tiny = Arc::new(
+            FunctionArtifact::new("tiny", &["out"], |_ctx: &mut FunctionCtx| Ok(()))
+                .with_memory_requirement(8),
+        );
+        let err = executor()
+            .run(&ExecutionTask::new(
+                tiny,
+                vec![DataSet::single("in", vec![0u8; 64])],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::ContextError(_)));
+    }
+
+    #[test]
+    fn timeouts_are_reported() {
+        let slow = Arc::new(FunctionArtifact::new(
+            "slow",
+            &["out"],
+            |_ctx: &mut FunctionCtx| {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(())
+            },
+        ));
+        let err = executor()
+            .run(
+                &ExecutionTask::new(slow, vec![]).with_timeout(Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DandelionError::Timeout { .. }));
+    }
+
+    #[test]
+    fn stage_timings_cover_all_stages() {
+        let task = ExecutionTask::new(
+            echo_artifact(),
+            vec![DataSet::single("in", b"ping".to_vec())],
+        );
+        let report = executor().run(&task).unwrap();
+        for stage in Stage::ALL {
+            // Modeled timings always have an entry for every stage.
+            assert!(report.modeled.get(stage) > Duration::ZERO, "{stage:?}");
+        }
+    }
+}

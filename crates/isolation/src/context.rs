@@ -1,0 +1,204 @@
+//! Bounded, contiguous memory contexts.
+//!
+//! A *memory context* is the dispatcher's abstraction for the memory a
+//! function uses during execution (paper §5): a bounded contiguous region
+//! with methods to read and write at offsets and to transfer data to other
+//! contexts. The maximum size is the memory requirement declared when the
+//! function was registered; physical pages are only committed as data is
+//! written, which is what makes Dandelion's per-request memory footprint so
+//! small in the Azure-trace experiment (Figure 10).
+
+use dandelion_common::{ContextId, DandelionError, DandelionResult};
+
+/// A bounded, contiguous memory region owned by one function instance.
+#[derive(Debug)]
+pub struct MemoryContext {
+    id: ContextId,
+    /// Backing storage; grows lazily up to `capacity`.
+    bytes: Vec<u8>,
+    /// Maximum size of the region (the user-declared memory requirement).
+    capacity: usize,
+    /// High-water mark of bytes ever committed, for accounting.
+    high_water: usize,
+}
+
+impl MemoryContext {
+    /// Creates a context with the given capacity. No memory is committed
+    /// until data is written (mirroring demand paging).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            id: ContextId::next(),
+            bytes: Vec::new(),
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// The context identifier.
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// The maximum size of the context in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently committed (the extent of data written so far).
+    pub fn committed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Highest number of bytes that were ever committed in this context.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water
+    }
+
+    fn ensure_len(&mut self, required: usize) -> DandelionResult<()> {
+        if required > self.capacity {
+            return Err(DandelionError::ContextError(format!(
+                "write of {} bytes exceeds context capacity of {} bytes",
+                required, self.capacity
+            )));
+        }
+        if required > self.bytes.len() {
+            self.bytes.resize(required, 0);
+            self.high_water = self.high_water.max(required);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset`, committing pages as needed.
+    pub fn write(&mut self, offset: usize, data: &[u8]) -> DandelionResult<()> {
+        let end = offset
+            .checked_add(data.len())
+            .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
+        self.ensure_len(end)?;
+        self.bytes[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Appends `data` at the current commit extent and returns its offset.
+    pub fn append(&mut self, data: &[u8]) -> DandelionResult<usize> {
+        let offset = self.bytes.len();
+        self.write(offset, data)?;
+        Ok(offset)
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> DandelionResult<&[u8]> {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
+        if end > self.bytes.len() {
+            return Err(DandelionError::ContextError(format!(
+                "read of {len} bytes at offset {offset} is out of bounds (committed {})",
+                self.bytes.len()
+            )));
+        }
+        Ok(&self.bytes[offset..end])
+    }
+
+    /// Returns the whole committed region.
+    pub fn committed(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Copies a range from this context into another context.
+    ///
+    /// This is the primitive the dispatcher uses to move a finished
+    /// function's outputs into the inputs of a waiting function (paper §6.1,
+    /// "Data passing"). Different backends could replace the copy with
+    /// remapping; the copy is the portable default.
+    pub fn transfer_to(
+        &self,
+        destination: &mut MemoryContext,
+        source_offset: usize,
+        length: usize,
+        destination_offset: usize,
+    ) -> DandelionResult<()> {
+        let data = self.read(source_offset, length)?.to_vec();
+        destination.write(destination_offset, &data)
+    }
+
+    /// Releases all committed memory while keeping the capacity reservation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bytes.shrink_to_fit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_roundtrip() {
+        let mut context = MemoryContext::new(1024);
+        assert_eq!(context.committed_bytes(), 0);
+        context.write(10, b"hello").unwrap();
+        assert_eq!(context.committed_bytes(), 15);
+        assert_eq!(context.read(10, 5).unwrap(), b"hello");
+        // The gap before the write reads as zeros.
+        assert_eq!(context.read(0, 10).unwrap(), &[0u8; 10]);
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let mut context = MemoryContext::new(64);
+        let first = context.append(b"abc").unwrap();
+        let second = context.append(b"defg").unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(second, 3);
+        assert_eq!(context.read(0, 7).unwrap(), b"abcdefg");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut context = MemoryContext::new(8);
+        assert!(context.write(0, &[0u8; 8]).is_ok());
+        let err = context.write(1, &[0u8; 8]).unwrap_err();
+        assert!(matches!(err, DandelionError::ContextError(_)));
+        let err = context.append(&[0u8; 1]).unwrap_err();
+        assert!(matches!(err, DandelionError::ContextError(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_reads_fail() {
+        let mut context = MemoryContext::new(64);
+        context.write(0, b"data").unwrap();
+        assert!(context.read(0, 5).is_err());
+        assert!(context.read(100, 1).is_err());
+        assert!(context.read(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn transfer_between_contexts() {
+        let mut source = MemoryContext::new(64);
+        let mut destination = MemoryContext::new(64);
+        source.write(0, b"transfer me").unwrap();
+        source.transfer_to(&mut destination, 9, 2, 5).unwrap();
+        assert_eq!(destination.read(5, 2).unwrap(), b"me");
+        assert!(source
+            .transfer_to(&mut destination, 60, 10, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn clear_releases_memory_but_keeps_high_water() {
+        let mut context = MemoryContext::new(1024);
+        context.write(0, &[1u8; 512]).unwrap();
+        assert_eq!(context.high_water_bytes(), 512);
+        context.clear();
+        assert_eq!(context.committed_bytes(), 0);
+        assert_eq!(context.high_water_bytes(), 512);
+        assert_eq!(context.capacity(), 1024);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = MemoryContext::new(1);
+        let b = MemoryContext::new(1);
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,278 @@
+//! The function output descriptor format and its parser.
+//!
+//! Before a compute function exits, the dlibc shim serializes the function's
+//! output sets into a descriptor structure inside the function's memory
+//! context. The trusted engine then parses that structure to recover the
+//! output items (paper §4.1). Because the descriptor bytes are produced by
+//! *untrusted* code, the paper stresses that the parser must be tiny and
+//! memory safe (§8: "Dandelion's function output parser is merely 100 lines
+//! of Rust").
+//!
+//! The format is length-prefixed and strictly bounded:
+//!
+//! ```text
+//! u32 magic  = 0xDA4D_E110
+//! u32 set_count
+//! per set:
+//!   u32 name_len, name bytes (UTF-8)
+//!   u32 item_count
+//!   per item:
+//!     u32 name_len,  name bytes
+//!     u32 key_len,   key bytes (0 length = no key)
+//!     u32 data_len,  data bytes
+//! ```
+//!
+//! The parser never panics on malformed input: every length is validated
+//! against the remaining buffer and against [`LIMITS`], and any violation
+//! produces a descriptive error.
+
+use dandelion_common::{DandelionError, DandelionResult, DataItem, DataSet};
+
+/// Magic number identifying an output descriptor.
+pub const MAGIC: u32 = 0xDA4D_E110;
+
+/// Hard limits applied while parsing untrusted descriptors.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of output sets.
+    pub max_sets: u32,
+    /// Maximum number of items per set.
+    pub max_items_per_set: u32,
+    /// Maximum length of a set, item or key name in bytes.
+    pub max_name_bytes: u32,
+    /// Maximum payload length of one item in bytes.
+    pub max_item_bytes: u32,
+}
+
+/// Default limits used by the engines.
+pub const LIMITS: Limits = Limits {
+    max_sets: 256,
+    max_items_per_set: 64 * 1024,
+    max_name_bytes: 4 * 1024,
+    max_item_bytes: 256 * 1024 * 1024,
+};
+
+/// Serializes output sets into the descriptor format.
+pub fn encode_outputs(sets: &[DataSet]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(sets.len() as u32).to_le_bytes());
+    for set in sets {
+        push_chunk(&mut out, set.name.as_bytes());
+        out.extend_from_slice(&(set.items.len() as u32).to_le_bytes());
+        for item in &set.items {
+            push_chunk(&mut out, item.name.as_bytes());
+            push_chunk(&mut out, item.key.as_deref().unwrap_or("").as_bytes());
+            push_chunk(&mut out, &item.data);
+        }
+    }
+    out
+}
+
+fn push_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, offset: 0 }
+    }
+
+    fn error(&self, message: &str) -> DandelionError {
+        DandelionError::DataLayout(format!("{message} (at byte {})", self.offset))
+    }
+
+    fn read_u32(&mut self) -> DandelionResult<u32> {
+        let end = self
+            .offset
+            .checked_add(4)
+            .ok_or_else(|| self.error("offset overflow"))?;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated descriptor"));
+        }
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.bytes[self.offset..end]);
+        self.offset = end;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn read_bytes(&mut self, len: u32) -> DandelionResult<&'a [u8]> {
+        let len = len as usize;
+        let end = self
+            .offset
+            .checked_add(len)
+            .ok_or_else(|| self.error("offset overflow"))?;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated descriptor"));
+        }
+        let slice = &self.bytes[self.offset..end];
+        self.offset = end;
+        Ok(slice)
+    }
+
+    fn read_name(&mut self, limits: &Limits, what: &str) -> DandelionResult<String> {
+        let len = self.read_u32()?;
+        if len > limits.max_name_bytes {
+            return Err(self.error(&format!("{what} name of {len} bytes exceeds the limit")));
+        }
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| self.error(&format!("{what} name is not valid UTF-8")))
+    }
+}
+
+/// Parses an output descriptor produced by an untrusted compute function.
+pub fn parse_outputs(bytes: &[u8]) -> DandelionResult<Vec<DataSet>> {
+    parse_outputs_with_limits(bytes, &LIMITS)
+}
+
+/// Parses an output descriptor with explicit limits.
+pub fn parse_outputs_with_limits(bytes: &[u8], limits: &Limits) -> DandelionResult<Vec<DataSet>> {
+    let mut reader = Reader::new(bytes);
+    let magic = reader.read_u32()?;
+    if magic != MAGIC {
+        return Err(reader.error("bad descriptor magic"));
+    }
+    let set_count = reader.read_u32()?;
+    if set_count > limits.max_sets {
+        return Err(reader.error(&format!("{set_count} sets exceed the limit")));
+    }
+    let mut sets = Vec::with_capacity(set_count as usize);
+    for _ in 0..set_count {
+        let set_name = reader.read_name(limits, "set")?;
+        let item_count = reader.read_u32()?;
+        if item_count > limits.max_items_per_set {
+            return Err(reader.error(&format!("{item_count} items exceed the per-set limit")));
+        }
+        let mut set = DataSet::new(set_name);
+        for _ in 0..item_count {
+            let item_name = reader.read_name(limits, "item")?;
+            let key = reader.read_name(limits, "key")?;
+            let data_len = reader.read_u32()?;
+            if data_len > limits.max_item_bytes {
+                return Err(reader.error(&format!("item of {data_len} bytes exceeds the limit")));
+            }
+            let data = reader.read_bytes(data_len)?.to_vec();
+            let mut item = DataItem::new(item_name, data);
+            if !key.is_empty() {
+                item.key = Some(key);
+            }
+            set.push(item);
+        }
+        sets.push(set);
+    }
+    if reader.offset != bytes.len() {
+        return Err(reader.error("trailing bytes after descriptor"));
+    }
+    Ok(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sets() -> Vec<DataSet> {
+        vec![
+            DataSet::with_items(
+                "responses",
+                vec![
+                    DataItem::new("r0", b"hello".to_vec()),
+                    DataItem::with_key("r1", "eu-west", b"world".to_vec()),
+                ],
+            ),
+            DataSet::new("errors"),
+        ]
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let sets = sample_sets();
+        let encoded = encode_outputs(&sets);
+        let decoded = parse_outputs(&encoded).unwrap();
+        assert_eq!(decoded, sets);
+    }
+
+    #[test]
+    fn empty_output_roundtrip() {
+        let encoded = encode_outputs(&[]);
+        assert_eq!(parse_outputs(&encoded).unwrap(), Vec::<DataSet>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut encoded = encode_outputs(&sample_sets());
+        encoded[0] ^= 0xFF;
+        assert!(parse_outputs(&encoded).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let encoded = encode_outputs(&sample_sets());
+        for cut in 0..encoded.len() {
+            assert!(
+                parse_outputs(&encoded[..cut]).is_err(),
+                "truncation at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut encoded = encode_outputs(&sample_sets());
+        encoded.push(0);
+        assert!(parse_outputs(&encoded).is_err());
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let strict = Limits {
+            max_sets: 1,
+            max_items_per_set: 1,
+            max_name_bytes: 4,
+            max_item_bytes: 4,
+        };
+        // Too many sets.
+        let encoded = encode_outputs(&sample_sets());
+        assert!(parse_outputs_with_limits(&encoded, &strict).is_err());
+        // Item too large.
+        let big = vec![DataSet::with_items(
+            "s",
+            vec![DataItem::new("i", vec![0u8; 16])],
+        )];
+        assert!(parse_outputs_with_limits(&encode_outputs(&big), &strict).is_err());
+        // Name too long.
+        let long_name = vec![DataSet::new("very-long-set-name")];
+        assert!(parse_outputs_with_limits(&encode_outputs(&long_name), &strict).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_names() {
+        // Hand-craft a descriptor whose set name is invalid UTF-8.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(parse_outputs(&bytes).is_err());
+    }
+
+    #[test]
+    fn malicious_length_does_not_overallocate() {
+        // A descriptor claiming u32::MAX items must fail fast rather than
+        // attempt to allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b's');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(parse_outputs(&bytes).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! The syscall policy compute functions run under.
+//!
+//! Pure compute functions may not issue system calls (paper §4.1). The dlibc
+//! shim provides stub implementations for calls that well-behaved code may
+//! still reach (e.g. `mmap` from an allocator probe) which return error
+//! codes, while anything else observed by the sandbox (ptrace in the process
+//! backend, a VM exit in the KVM backend) terminates the function.
+//!
+//! Because the functions in this repository are Rust closures rather than
+//! native binaries, syscall attempts are modeled: user code asks for a
+//! syscall through [`crate::abi::FunctionCtx::syscall`], and the policy
+//! decides whether that returns a stub error or kills the function. This
+//! keeps the trust boundary of the paper intact — the platform never performs
+//! I/O on behalf of a compute function.
+
+use std::collections::BTreeSet;
+
+/// What happens when a compute function attempts a system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallDisposition {
+    /// The call returns an error code to the function (dlibc stub).
+    Stub {
+        /// The errno-style code the stub returns.
+        errno: i32,
+    },
+    /// The sandbox terminates the function and reports a fault.
+    Terminate,
+}
+
+/// Policy mapping syscall names to dispositions.
+#[derive(Debug, Clone)]
+pub struct SyscallPolicy {
+    stubbed: BTreeSet<&'static str>,
+    /// Whether unknown syscalls terminate the function (`true` for the
+    /// process backend which traces every call) or also stub.
+    strict: bool,
+}
+
+impl SyscallPolicy {
+    /// Syscalls the dlibc shim stubs out with error returns (paper §4.1
+    /// names mmap, mprotect, socket and threading explicitly).
+    pub const DEFAULT_STUBBED: [&'static str; 8] = [
+        "mmap",
+        "munmap",
+        "mprotect",
+        "socket",
+        "connect",
+        "clone",
+        "futex",
+        "openat",
+    ];
+
+    /// The policy used by backends that intercept every call (process/KVM).
+    pub fn strict() -> Self {
+        Self {
+            stubbed: Self::DEFAULT_STUBBED.into_iter().collect(),
+            strict: true,
+        }
+    }
+
+    /// A policy that stubs every call; used by the native reference backend
+    /// so that tests can exercise stub paths without faulting.
+    pub fn permissive() -> Self {
+        Self {
+            stubbed: Self::DEFAULT_STUBBED.into_iter().collect(),
+            strict: false,
+        }
+    }
+
+    /// Decides what happens for an attempted syscall.
+    pub fn disposition(&self, name: &str) -> SyscallDisposition {
+        if self.stubbed.contains(name) {
+            // ENOSYS, the "function not implemented" errno.
+            SyscallDisposition::Stub { errno: 38 }
+        } else if self.strict {
+            SyscallDisposition::Terminate
+        } else {
+            SyscallDisposition::Stub { errno: 38 }
+        }
+    }
+
+    /// Returns `true` if unknown syscalls terminate the function.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+}
+
+impl Default for SyscallPolicy {
+    fn default() -> Self {
+        Self::strict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubbed_calls_return_enosys() {
+        let policy = SyscallPolicy::strict();
+        assert_eq!(
+            policy.disposition("mmap"),
+            SyscallDisposition::Stub { errno: 38 }
+        );
+        assert_eq!(
+            policy.disposition("socket"),
+            SyscallDisposition::Stub { errno: 38 }
+        );
+    }
+
+    #[test]
+    fn strict_policy_terminates_unknown_calls() {
+        let policy = SyscallPolicy::strict();
+        assert!(policy.is_strict());
+        assert_eq!(policy.disposition("execve"), SyscallDisposition::Terminate);
+        assert_eq!(policy.disposition("ptrace"), SyscallDisposition::Terminate);
+    }
+
+    #[test]
+    fn permissive_policy_stubs_everything() {
+        let policy = SyscallPolicy::permissive();
+        assert!(!policy.is_strict());
+        assert_eq!(
+            policy.disposition("execve"),
+            SyscallDisposition::Stub { errno: 38 }
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Latency and cost models for Figure 9's Query-as-a-Service comparison.
+//!
+//! The paper compares Dandelion running SSB queries on an EC2 `m7a.8xlarge`
+//! (billed per second) against AWS Athena (billed per byte scanned, with a
+//! 10 MB minimum per query). Absolute numbers depend on AWS pricing at the
+//! time; the models here use the published list prices and the latency
+//! characteristics the paper describes (Athena adds a fixed engine-startup
+//! overhead that dominates short queries, which is exactly the elasticity gap
+//! Dandelion closes).
+
+use std::time::Duration;
+
+/// Cost and latency of one query execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryCost {
+    /// End-to-end query latency.
+    pub latency: Duration,
+    /// Cost in US cents.
+    pub cost_cents: f64,
+}
+
+/// AWS Athena model: `$5 per TB scanned` with a 10 MB per-query minimum,
+/// plus a fixed startup/queueing overhead and a scan-throughput term.
+#[derive(Debug, Clone, Copy)]
+pub struct AthenaModel {
+    /// Price per terabyte scanned, in dollars.
+    pub dollars_per_tb: f64,
+    /// Minimum billed bytes per query.
+    pub minimum_billed_bytes: u64,
+    /// Fixed engine startup / scheduling overhead.
+    pub startup: Duration,
+    /// Effective scan throughput of the managed engine.
+    pub scan_bytes_per_second: f64,
+}
+
+impl Default for AthenaModel {
+    fn default() -> Self {
+        Self {
+            dollars_per_tb: 5.0,
+            minimum_billed_bytes: 10 * 1024 * 1024,
+            // Short queries on Athena spend most of their time on engine
+            // startup and scheduling; the paper's Figure 9 shows ~2.5-4.5 s
+            // for ~700 MB queries.
+            startup: Duration::from_millis(2300),
+            scan_bytes_per_second: 450.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl AthenaModel {
+    /// The modeled latency and cost of a query scanning `scanned_bytes`.
+    pub fn query(&self, scanned_bytes: u64) -> QueryCost {
+        let billed = scanned_bytes.max(self.minimum_billed_bytes);
+        let cost_dollars = billed as f64 / 1e12 * self.dollars_per_tb;
+        let scan = Duration::from_secs_f64(scanned_bytes as f64 / self.scan_bytes_per_second);
+        QueryCost {
+            latency: self.startup + scan,
+            cost_cents: cost_dollars * 100.0,
+        }
+    }
+}
+
+/// EC2 on-demand model for running Dandelion as the QaaS engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Ec2Model {
+    /// On-demand price of the instance per hour, in dollars
+    /// (`m7a.8xlarge` ≈ $1.85/h).
+    pub dollars_per_hour: f64,
+    /// Number of vCPUs of the instance (m7a.8xlarge has 32).
+    pub vcpus: usize,
+}
+
+impl Default for Ec2Model {
+    fn default() -> Self {
+        Self {
+            dollars_per_hour: 1.853,
+            vcpus: 32,
+        }
+    }
+}
+
+impl Ec2Model {
+    /// Cost of occupying the whole instance for `latency`.
+    pub fn query(&self, latency: Duration) -> QueryCost {
+        let hours = latency.as_secs_f64() / 3600.0;
+        QueryCost {
+            latency,
+            cost_cents: hours * self.dollars_per_hour * 100.0,
+        }
+    }
+
+    /// Estimates the query latency on the instance given the single-core
+    /// engine execution time, the number of partitions Dandelion fans out
+    /// to, per-sandbox overhead, and optionally the S3 fetch time that is
+    /// overlapped with execution.
+    pub fn dandelion_latency(
+        &self,
+        single_core_execution: Duration,
+        partitions: usize,
+        per_sandbox_overhead: Duration,
+        fetch: Duration,
+    ) -> Duration {
+        let partitions = partitions.clamp(1, self.vcpus);
+        let parallel = Duration::from_secs_f64(
+            single_core_execution.as_secs_f64() / partitions as f64,
+        );
+        parallel + per_sandbox_overhead + fetch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athena_bills_per_byte_with_minimum() {
+        let athena = AthenaModel::default();
+        let tiny = athena.query(1024);
+        // 10 MB minimum at $5/TB = 0.005 cents.
+        assert!((tiny.cost_cents - 0.005).abs() < 0.0005);
+        let large = athena.query(700 * 1024 * 1024);
+        assert!(large.cost_cents > tiny.cost_cents * 60.0);
+        // The paper reports ~0.32-0.33 cents per ~700 MB SSB query.
+        assert!((0.25..0.45).contains(&large.cost_cents), "{}", large.cost_cents);
+        assert!(large.latency > athena.startup);
+    }
+
+    #[test]
+    fn ec2_bills_per_second() {
+        let ec2 = Ec2Model::default();
+        let short = ec2.query(Duration::from_secs(2));
+        // 2 s of a $1.853/h instance ≈ 0.1 cents.
+        assert!((short.cost_cents - 0.103).abs() < 0.01, "{}", short.cost_cents);
+        let long = ec2.query(Duration::from_secs(20));
+        assert!((long.cost_cents / short.cost_cents - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dandelion_on_ec2_is_cheaper_and_faster_for_short_queries() {
+        // Mirror the Figure 9 shape: ~700 MB scanned, a couple of seconds of
+        // single-core work spread over 32 cores.
+        let athena = AthenaModel::default().query(700 * 1024 * 1024);
+        let ec2 = Ec2Model::default();
+        let latency = ec2.dandelion_latency(
+            Duration::from_secs(40),
+            32,
+            Duration::from_millis(5),
+            Duration::from_millis(900),
+        );
+        let dandelion = ec2.query(latency);
+        assert!(dandelion.latency < athena.latency);
+        assert!(dandelion.cost_cents < athena.cost_cents);
+        // Roughly the paper's reported margins: ~40% lower latency and
+        // ~67% lower cost.
+        assert!(dandelion.latency.as_secs_f64() < athena.latency.as_secs_f64() * 0.8);
+        assert!(dandelion.cost_cents < athena.cost_cents * 0.5);
+    }
+
+    #[test]
+    fn partitioning_is_clamped_to_the_instance_size() {
+        let ec2 = Ec2Model::default();
+        let one = ec2.dandelion_latency(Duration::from_secs(32), 1, Duration::ZERO, Duration::ZERO);
+        let capped =
+            ec2.dandelion_latency(Duration::from_secs(32), 1000, Duration::ZERO, Duration::ZERO);
+        assert_eq!(one, Duration::from_secs(32));
+        assert_eq!(capped, Duration::from_secs(1));
+    }
+}

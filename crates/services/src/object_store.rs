@@ -1,0 +1,224 @@
+//! An S3-like object store.
+//!
+//! The elastic query processing experiment (§7.7, Figure 9) ingests ~700 MB
+//! of Star Schema Benchmark data from S3. This service provides the same
+//! GET/PUT/DELETE-over-HTTP surface backed by an in-memory bucket map, with
+//! an object-storage latency model (first-byte latency plus per-KiB
+//! bandwidth cost).
+
+use std::collections::BTreeMap;
+
+use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode};
+use parking_lot::RwLock;
+
+use crate::latency::{defaults, LatencyModel};
+use crate::registry::{RemoteService, ServiceResponse};
+
+/// In-memory S3-like object store.
+pub struct ObjectStore {
+    buckets: RwLock<BTreeMap<String, BTreeMap<String, Vec<u8>>>>,
+    latency: LatencyModel,
+}
+
+impl ObjectStore {
+    /// Creates an empty object store with the default S3-like latency model.
+    pub fn new() -> Self {
+        Self {
+            buckets: RwLock::new(BTreeMap::new()),
+            latency: defaults::OBJECT_STORE,
+        }
+    }
+
+    /// Creates a store with a custom latency model.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        Self {
+            buckets: RwLock::new(BTreeMap::new()),
+            latency,
+        }
+    }
+
+    /// Stores an object directly (bypassing HTTP), useful for test setup and
+    /// for the benchmark data generator.
+    pub fn put_object(&self, bucket: &str, key: &str, data: Vec<u8>) {
+        self.buckets
+            .write()
+            .entry(bucket.to_string())
+            .or_default()
+            .insert(key.to_string(), data);
+    }
+
+    /// Reads an object directly.
+    pub fn get_object(&self, bucket: &str, key: &str) -> Option<Vec<u8>> {
+        self.buckets.read().get(bucket)?.get(key).cloned()
+    }
+
+    /// Lists the keys of a bucket in sorted order.
+    pub fn list_bucket(&self, bucket: &str) -> Vec<String> {
+        self.buckets
+            .read()
+            .get(bucket)
+            .map(|objects| objects.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total bytes stored across all buckets.
+    pub fn total_bytes(&self) -> usize {
+        self.buckets
+            .read()
+            .values()
+            .flat_map(|bucket| bucket.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Parses `/bucket/key...` from a request path.
+    fn parse_path(target: &str) -> Option<(String, String)> {
+        let path = target
+            .split_once("://")
+            .map(|(_, rest)| rest.split_once('/').map(|(_, p)| p).unwrap_or(""))
+            .unwrap_or_else(|| target.trim_start_matches('/'));
+        let path = path.split('?').next().unwrap_or(path);
+        let (bucket, key) = path.split_once('/')?;
+        if bucket.is_empty() || key.is_empty() {
+            return None;
+        }
+        Some((bucket.to_string(), key.to_string()))
+    }
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RemoteService for ObjectStore {
+    fn name(&self) -> &str {
+        "object-store"
+    }
+
+    fn handle(&self, request: &HttpRequest) -> ServiceResponse {
+        let Some((bucket, key)) = Self::parse_path(&request.target) else {
+            return ServiceResponse {
+                response: HttpResponse::error(
+                    StatusCode::BAD_REQUEST,
+                    "expected /<bucket>/<key> path",
+                ),
+                latency: self.latency.latency_for(0),
+            };
+        };
+        let (response, payload) = match request.method {
+            Method::Get => match self.get_object(&bucket, &key) {
+                Some(data) => {
+                    let len = data.len();
+                    (
+                        HttpResponse::ok(data).with_header("Content-Type", "application/octet-stream"),
+                        len,
+                    )
+                }
+                None => (
+                    HttpResponse::error(StatusCode::NOT_FOUND, "no such object"),
+                    0,
+                ),
+            },
+            Method::Put | Method::Post => {
+                let len = request.body.len();
+                self.put_object(&bucket, &key, request.body.clone());
+                (HttpResponse::new(StatusCode::CREATED, Vec::new()), len)
+            }
+            Method::Delete => {
+                let removed = self
+                    .buckets
+                    .write()
+                    .get_mut(&bucket)
+                    .and_then(|objects| objects.remove(&key))
+                    .is_some();
+                if removed {
+                    (HttpResponse::new(StatusCode::NO_CONTENT, Vec::new()), 0)
+                } else {
+                    (
+                        HttpResponse::error(StatusCode::NOT_FOUND, "no such object"),
+                        0,
+                    )
+                }
+            }
+            Method::Head => match self.get_object(&bucket, &key) {
+                Some(data) => (
+                    HttpResponse::ok(Vec::new())
+                        .with_header("Content-Length", &data.len().to_string()),
+                    0,
+                ),
+                None => (
+                    HttpResponse::error(StatusCode::NOT_FOUND, "no such object"),
+                    0,
+                ),
+            },
+        };
+        ServiceResponse {
+            latency: self.latency.latency_for(payload),
+            response,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = ObjectStore::new();
+        let put = HttpRequest::put("http://s3.internal/ssb/lineorder.csv", b"a,b,c".to_vec());
+        assert_eq!(store.handle(&put).response.status, StatusCode::CREATED);
+
+        let get = HttpRequest::get("http://s3.internal/ssb/lineorder.csv");
+        let reply = store.handle(&get);
+        assert_eq!(reply.response.status, StatusCode::OK);
+        assert_eq!(reply.response.body, b"a,b,c");
+
+        let delete = HttpRequest::new(Method::Delete, "http://s3.internal/ssb/lineorder.csv");
+        assert_eq!(store.handle(&delete).response.status, StatusCode::NO_CONTENT);
+        assert_eq!(store.handle(&get).response.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn direct_api_and_listing() {
+        let store = ObjectStore::new();
+        store.put_object("bucket", "z", vec![1, 2, 3]);
+        store.put_object("bucket", "a", vec![4]);
+        assert_eq!(store.list_bucket("bucket"), vec!["a", "z"]);
+        assert_eq!(store.total_bytes(), 4);
+        assert_eq!(store.get_object("bucket", "z"), Some(vec![1, 2, 3]));
+        assert!(store.list_bucket("missing").is_empty());
+    }
+
+    #[test]
+    fn get_latency_scales_with_object_size() {
+        use std::time::Duration;
+
+        let store = ObjectStore::new();
+        store.put_object("b", "small", vec![0u8; 1024]);
+        store.put_object("b", "large", vec![0u8; 10 * 1024 * 1024]);
+        let small = store.handle(&HttpRequest::get("http://s3/b/small")).latency;
+        let large = store.handle(&HttpRequest::get("http://s3/b/large")).latency;
+        assert!(large > small + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn malformed_paths_are_rejected() {
+        let store = ObjectStore::new();
+        let request = HttpRequest::get("http://s3.internal/justbucket");
+        assert_eq!(store.handle(&request).response.status, StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn head_reports_existence_without_body() {
+        let store = ObjectStore::new();
+        store.put_object("b", "k", vec![0u8; 100]);
+        let request = HttpRequest::new(Method::Head, "http://s3/b/k");
+        let reply = store.handle(&request);
+        assert_eq!(reply.response.status, StatusCode::OK);
+        assert!(reply.response.body.is_empty());
+        assert_eq!(reply.response.headers.get("content-length"), Some("100"));
+    }
+}

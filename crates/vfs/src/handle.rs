@@ -1,0 +1,234 @@
+//! Cursor-style file handles layered on top of [`VirtualFs`].
+//!
+//! dlibc exposes `fopen`/`fread`/`fwrite`-style calls to user functions. The
+//! [`FileHandle`] type provides the equivalent: a cursor over a file that
+//! buffers writes and flushes them back into the filesystem on
+//! [`FileHandle::flush_into`]. Handles own their buffer, so a function can
+//! hold several open handles without aliasing the filesystem.
+
+use crate::fs::{VfsError, VirtualFs};
+use crate::path::VfsPath;
+
+/// How a file is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-only; the file must exist.
+    Read,
+    /// Write; the file is created or truncated.
+    Write,
+    /// Append; the file is created if missing and the cursor starts at EOF.
+    Append,
+}
+
+/// Where a seek is relative to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekFrom {
+    /// Absolute offset from the start of the file.
+    Start(usize),
+    /// Offset relative to the current cursor (may be negative).
+    Current(i64),
+    /// Offset relative to the end of the file (may be negative).
+    End(i64),
+}
+
+/// An open file cursor.
+#[derive(Debug, Clone)]
+pub struct FileHandle {
+    path: VfsPath,
+    buffer: Vec<u8>,
+    position: usize,
+    writable: bool,
+    dirty: bool,
+}
+
+impl FileHandle {
+    /// Opens `path` in the given mode.
+    pub fn open(fs: &VirtualFs, path: &VfsPath, mode: OpenMode) -> Result<Self, VfsError> {
+        let (buffer, position, writable) = match mode {
+            OpenMode::Read => (fs.read_file(path)?, 0, false),
+            OpenMode::Write => (Vec::new(), 0, true),
+            OpenMode::Append => {
+                let existing = if fs.exists(path) {
+                    fs.read_file(path)?
+                } else {
+                    Vec::new()
+                };
+                let len = existing.len();
+                (existing, len, true)
+            }
+        };
+        Ok(Self {
+            path: path.clone(),
+            buffer,
+            position,
+            writable,
+            dirty: matches!(mode, OpenMode::Write),
+        })
+    }
+
+    /// The path this handle refers to.
+    pub fn path(&self) -> &VfsPath {
+        &self.path
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Current logical file length.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Returns `true` if the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Reads up to `out.len()` bytes into `out`, returning the count read.
+    pub fn read(&mut self, out: &mut [u8]) -> usize {
+        let available = self.buffer.len().saturating_sub(self.position);
+        let count = available.min(out.len());
+        out[..count].copy_from_slice(&self.buffer[self.position..self.position + count]);
+        self.position += count;
+        count
+    }
+
+    /// Reads the remainder of the file from the cursor.
+    pub fn read_to_end(&mut self) -> Vec<u8> {
+        let rest = self.buffer[self.position..].to_vec();
+        self.position = self.buffer.len();
+        rest
+    }
+
+    /// Writes bytes at the cursor, growing the file as needed.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, VfsError> {
+        if !self.writable {
+            return Err(VfsError::WrongNodeKind {
+                path: self.path.to_string(),
+                expected: crate::fs::NodeKind::File,
+            });
+        }
+        let end = self.position + data.len();
+        if end > self.buffer.len() {
+            self.buffer.resize(end, 0);
+        }
+        self.buffer[self.position..end].copy_from_slice(data);
+        self.position = end;
+        self.dirty = true;
+        Ok(data.len())
+    }
+
+    /// Moves the cursor. Seeking past EOF clamps to EOF.
+    pub fn seek(&mut self, from: SeekFrom) -> usize {
+        let target: i64 = match from {
+            SeekFrom::Start(offset) => offset as i64,
+            SeekFrom::Current(delta) => self.position as i64 + delta,
+            SeekFrom::End(delta) => self.buffer.len() as i64 + delta,
+        };
+        self.position = target.clamp(0, self.buffer.len() as i64) as usize;
+        self.position
+    }
+
+    /// Flushes buffered writes back into the filesystem.
+    ///
+    /// Read-only handles are a no-op. Returns `true` if anything was written.
+    pub fn flush_into(&mut self, fs: &mut VirtualFs) -> Result<bool, VfsError> {
+        if !self.writable || !self.dirty {
+            return Ok(false);
+        }
+        fs.create_dir_all(&self.path.parent())?;
+        fs.write_file(&self.path, &self.buffer)?;
+        self.dirty = false;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with_file() -> VirtualFs {
+        let mut fs = VirtualFs::new(4096);
+        fs.create_dir(&VfsPath::new("/in")).unwrap();
+        fs.write_file(&VfsPath::new("/in/data"), b"hello world").unwrap();
+        fs
+    }
+
+    #[test]
+    fn read_handle_reads_in_chunks() {
+        let fs = fs_with_file();
+        let mut handle = FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Read).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(handle.read(&mut buf), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(handle.read_to_end(), b" world");
+        assert_eq!(handle.read(&mut buf), 0);
+    }
+
+    #[test]
+    fn read_handle_rejects_writes() {
+        let fs = fs_with_file();
+        let mut handle = FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Read).unwrap();
+        assert!(handle.write(b"nope").is_err());
+    }
+
+    #[test]
+    fn write_handle_truncates_and_flushes() {
+        let mut fs = fs_with_file();
+        let mut handle =
+            FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Write).unwrap();
+        assert_eq!(handle.len(), 0);
+        handle.write(b"new contents").unwrap();
+        assert!(handle.flush_into(&mut fs).unwrap());
+        assert_eq!(fs.read_file(&VfsPath::new("/in/data")).unwrap(), b"new contents");
+        // Second flush with no new writes is a no-op.
+        assert!(!handle.flush_into(&mut fs).unwrap());
+    }
+
+    #[test]
+    fn append_handle_starts_at_eof() {
+        let mut fs = fs_with_file();
+        let mut handle =
+            FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Append).unwrap();
+        assert_eq!(handle.position(), 11);
+        handle.write(b"!").unwrap();
+        handle.flush_into(&mut fs).unwrap();
+        assert_eq!(fs.read_to_string(&VfsPath::new("/in/data")).unwrap(), "hello world!");
+    }
+
+    #[test]
+    fn seek_clamps_to_bounds() {
+        let fs = fs_with_file();
+        let mut handle = FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Read).unwrap();
+        assert_eq!(handle.seek(SeekFrom::End(-5)), 6);
+        assert_eq!(String::from_utf8(handle.read_to_end()).unwrap(), "world");
+        assert_eq!(handle.seek(SeekFrom::Start(1000)), 11);
+        assert_eq!(handle.seek(SeekFrom::Current(-1000)), 0);
+    }
+
+    #[test]
+    fn flush_creates_missing_parent_dirs() {
+        let mut fs = VirtualFs::new(4096);
+        let empty = VirtualFs::new(16);
+        let mut handle =
+            FileHandle::open(&empty, &VfsPath::new("/out/result"), OpenMode::Write).unwrap();
+        handle.write(b"ok").unwrap();
+        handle.flush_into(&mut fs).unwrap();
+        assert_eq!(fs.read_file(&VfsPath::new("/out/result")).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn write_past_cursor_grows_file() {
+        let fs = VirtualFs::new(4096);
+        let mut handle =
+            FileHandle::open(&fs, &VfsPath::new("/out/x"), OpenMode::Write).unwrap();
+        handle.write(b"abcdef").unwrap();
+        handle.seek(SeekFrom::Start(3));
+        handle.write(b"XYZ123").unwrap();
+        assert_eq!(handle.len(), 9);
+        handle.seek(SeekFrom::Start(0));
+        assert_eq!(handle.read_to_end(), b"abcXYZ123");
+    }
+}

@@ -1,0 +1,157 @@
+//! Normalized path handling for the virtual filesystem.
+
+use std::fmt;
+
+/// A normalized, absolute path inside the virtual filesystem.
+///
+/// Paths are sequences of non-empty components separated by `/`. `.` and
+/// empty components are dropped during normalization; `..` pops the previous
+/// component but never escapes the root. The root path has zero components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VfsPath {
+    components: Vec<String>,
+}
+
+impl VfsPath {
+    /// The filesystem root (`/`).
+    pub fn root() -> Self {
+        Self {
+            components: Vec::new(),
+        }
+    }
+
+    /// Parses and normalizes a path string.
+    pub fn new(path: &str) -> Self {
+        let mut components: Vec<String> = Vec::new();
+        for part in path.split('/') {
+            match part {
+                "" | "." => {}
+                ".." => {
+                    components.pop();
+                }
+                other => components.push(other.to_string()),
+            }
+        }
+        Self { components }
+    }
+
+    /// Builds a path from set and item names (the common two-level layout).
+    pub fn set_item(set: &str, item: &str) -> Self {
+        Self::new(&format!("{set}/{item}"))
+    }
+
+    /// Returns the path's components.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Returns `true` if this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of components.
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The last component (file or directory name), if any.
+    pub fn file_name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// The parent path; the parent of the root is the root itself.
+    pub fn parent(&self) -> VfsPath {
+        let mut components = self.components.clone();
+        components.pop();
+        VfsPath { components }
+    }
+
+    /// Returns a new path with `component` appended.
+    pub fn join(&self, component: &str) -> VfsPath {
+        let mut joined = self.clone();
+        for part in VfsPath::new(component).components {
+            joined.components.push(part);
+        }
+        joined
+    }
+
+    /// Returns `true` if `self` is a prefix of `other` (or equal to it).
+    pub fn is_ancestor_of(&self, other: &VfsPath) -> bool {
+        other.components.len() >= self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+}
+
+impl fmt::Display for VfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return f.write_str("/");
+        }
+        for component in &self.components {
+            write!(f, "/{component}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for VfsPath {
+    fn from(path: &str) -> Self {
+        VfsPath::new(path)
+    }
+}
+
+impl From<String> for VfsPath {
+    fn from(path: String) -> Self {
+        VfsPath::new(&path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_drops_empty_and_dot_components() {
+        assert_eq!(VfsPath::new("/a//b/./c").to_string(), "/a/b/c");
+        assert_eq!(VfsPath::new("a/b/c").to_string(), "/a/b/c");
+        assert_eq!(VfsPath::new("").to_string(), "/");
+        assert_eq!(VfsPath::new("/").to_string(), "/");
+    }
+
+    #[test]
+    fn dotdot_never_escapes_root() {
+        assert_eq!(VfsPath::new("/../../a").to_string(), "/a");
+        assert_eq!(VfsPath::new("/a/b/../c").to_string(), "/a/c");
+        assert_eq!(VfsPath::new("/a/..").to_string(), "/");
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let path = VfsPath::new("/inputs/request.0");
+        assert_eq!(path.file_name(), Some("request.0"));
+        assert_eq!(path.parent().to_string(), "/inputs");
+        assert_eq!(VfsPath::root().parent(), VfsPath::root());
+        assert_eq!(VfsPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn join_and_ancestors() {
+        let set = VfsPath::new("/outputs");
+        let item = set.join("result.json");
+        assert_eq!(item.to_string(), "/outputs/result.json");
+        assert!(set.is_ancestor_of(&item));
+        assert!(!item.is_ancestor_of(&set));
+        assert!(VfsPath::root().is_ancestor_of(&item));
+        let nested = set.join("a/b");
+        assert_eq!(nested.depth(), 3);
+    }
+
+    #[test]
+    fn set_item_helper() {
+        assert_eq!(
+            VfsPath::set_item("logs", "server-1.txt").to_string(),
+            "/logs/server-1.txt"
+        );
+    }
+}

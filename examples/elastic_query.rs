@@ -1,0 +1,75 @@
+//! Elastic SSB query processing (paper §7.7, Figure 9).
+//!
+//! ```text
+//! cargo run -p dandelion-examples --bin elastic_query --release
+//! ```
+//!
+//! The Star Schema Benchmark data lives in a simulated S3 bucket as CSV
+//! partitions. The `SsbQuery` composition plans the fetches, pulls every
+//! partition in parallel through the HTTP communication function, runs the
+//! query over each partition in its own sandbox, and merges the partial
+//! results. The example also prints the Athena-vs-EC2 cost model comparison
+//! used by Figure 9.
+
+use std::time::Instant;
+
+use dandelion_apps::setup::demo_worker;
+use dandelion_common::DataSet;
+use dandelion_query::{generate_database, AthenaModel, Ec2Model, SsbQuery};
+
+fn main() {
+    let worker = demo_worker(8, false).expect("worker starts");
+
+    // The demo environment uploads the fact table as 8 partitions.
+    for (query, spec) in [
+        (SsbQuery::Q1_1, "1.1;8"),
+        (SsbQuery::Q2_1, "2.1;8"),
+        (SsbQuery::Q3_1, "3.1;8"),
+        (SsbQuery::Q4_1, "4.1;8"),
+    ] {
+        let start = Instant::now();
+        let outcome = worker
+            .invoke("SsbQuery", vec![DataSet::single("QuerySpec", spec.as_bytes().to_vec())])
+            .expect("query runs");
+        let csv = outcome.outputs[0].items[0].as_str().unwrap_or_default();
+        println!(
+            "{}: {} result rows in {:.1} ms ({} sandboxes, {} fetches)",
+            query.label(),
+            csv.lines().count().saturating_sub(1),
+            start.elapsed().as_secs_f64() * 1e3,
+            outcome.report.compute_tasks,
+            outcome.report.communication_tasks,
+        );
+    }
+
+    // Validate the distributed result against the single-node engine.
+    let db = generate_database(0.05, 42);
+    let expected = SsbQuery::Q1_1.run(&db).expect("engine runs");
+    println!(
+        "single-node engine agrees on Q1.1: revenue = {}",
+        expected.int_column("revenue").unwrap()[0]
+    );
+
+    // Figure 9's cost comparison (models calibrated to AWS list prices).
+    println!("\ncost model comparison for a ~700 MB query:");
+    let athena = AthenaModel::default().query(700 * 1024 * 1024);
+    let ec2 = Ec2Model::default();
+    let latency = ec2.dandelion_latency(
+        std::time::Duration::from_secs(40),
+        32,
+        std::time::Duration::from_millis(5),
+        std::time::Duration::from_millis(900),
+    );
+    let dandelion = ec2.query(latency);
+    println!(
+        "  Athena:    {:>6.0} ms  {:.2} cents",
+        athena.latency.as_secs_f64() * 1e3,
+        athena.cost_cents
+    );
+    println!(
+        "  Dandelion: {:>6.0} ms  {:.2} cents",
+        dandelion.latency.as_secs_f64() * 1e3,
+        dandelion.cost_cents
+    );
+    worker.shutdown();
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling files (`end_to_end.rs`,
+//! `properties.rs`, `cluster_and_frontend.rs`); this library only hosts the
+//! helpers they share.
+
+use std::sync::Arc;
+
+use dandelion_core::WorkerNode;
+
+/// Starts the fully configured demo worker used by most integration tests
+/// (all applications registered, zero-latency simulated services).
+pub fn demo_worker() -> Arc<WorkerNode> {
+    dandelion_apps::setup::demo_worker(4, false).expect("demo worker starts")
+}

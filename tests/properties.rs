@@ -1,0 +1,141 @@
+//! Property-based tests on the security- and correctness-critical
+//! invariants: the untrusted output-descriptor parser, the HTTP request
+//! validator, the composition DSL round-trip, the virtual filesystem's
+//! capacity accounting and the query engine's partition-parallel execution.
+
+use dandelion_common::{DataItem, DataSet};
+use dandelion_dsl::Distribution;
+use dandelion_http::validate::{validate_request_bytes, ValidationPolicy};
+use dandelion_isolation::output_parser::{encode_outputs, parse_outputs};
+use dandelion_query::ssb::{run_partitioned, SsbQuery};
+use dandelion_query::generate_database;
+use dandelion_vfs::{VfsPath, VirtualFs};
+use proptest::prelude::*;
+
+fn arbitrary_item() -> impl Strategy<Value = DataItem> {
+    (
+        "[a-zA-Z0-9._-]{1,16}",
+        proptest::option::of("[a-z]{1,8}"),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(name, key, data)| {
+            let mut item = DataItem::new(name, data);
+            item.key = key;
+            item
+        })
+}
+
+fn arbitrary_sets() -> impl Strategy<Value = Vec<DataSet>> {
+    proptest::collection::vec(
+        ("[a-zA-Z][a-zA-Z0-9_]{0,12}", proptest::collection::vec(arbitrary_item(), 0..8)),
+        0..5,
+    )
+    .prop_map(|sets| {
+        sets.into_iter()
+            .map(|(name, items)| DataSet::with_items(name, items))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Encoding then parsing an output descriptor is the identity.
+    #[test]
+    fn output_descriptor_roundtrip(sets in arbitrary_sets()) {
+        let encoded = encode_outputs(&sets);
+        let decoded = parse_outputs(&encoded).expect("well-formed descriptors parse");
+        prop_assert_eq!(decoded, sets);
+    }
+
+    /// The untrusted-output parser never panics, whatever bytes a malicious
+    /// function leaves in its context (paper §8 relies on this parser being
+    /// memory safe).
+    #[test]
+    fn output_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_outputs(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid descriptor either still parses
+    /// (the flip hit payload data) or fails cleanly — it never panics.
+    #[test]
+    fn output_parser_tolerates_bit_flips(
+        sets in arbitrary_sets(),
+        index in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut encoded = encode_outputs(&sets);
+        if !encoded.is_empty() {
+            let position = index.index(encoded.len());
+            encoded[position] ^= flip;
+            let _ = parse_outputs(&encoded);
+        }
+    }
+
+    /// The HTTP validator never panics on arbitrary input and anything it
+    /// accepts re-parses as a whitelisted method with a syntactically valid
+    /// host.
+    #[test]
+    fn http_validation_is_safe(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let policy = ValidationPolicy::default();
+        if let Ok(validated) = validate_request_bytes(&bytes, &policy) {
+            prop_assert!(dandelion_http::Method::DEFAULT_WHITELIST.contains(&validated.request.method));
+            prop_assert!(validated.uri.host_is_ipv4() || validated.uri.host_is_domain());
+        }
+    }
+
+    /// Compositions built programmatically print as DSL text that compiles
+    /// back to an equivalent executable graph.
+    #[test]
+    fn dsl_round_trips_linear_pipelines(stages in 1usize..6, each in any::<bool>()) {
+        let mut builder = dandelion_dsl::CompositionBuilder::new("Pipeline").input("In").output("Out");
+        let mut previous = "In".to_string();
+        for stage in 0..stages {
+            let published = if stage + 1 == stages { "Out".to_string() } else { format!("Mid{stage}") };
+            let source = previous.clone();
+            let published_clone = published.clone();
+            let distribution = if each { Distribution::Each } else { Distribution::All };
+            builder = builder.node(&format!("Stage{stage}"), move |node| {
+                node.bind("data", distribution, &source).publish(&published_clone, "result")
+            });
+            previous = published;
+        }
+        let graph = builder.build().expect("pipeline is valid");
+        let reparsed = dandelion_dsl::compile(&builder.ast().to_dsl()).expect("printed DSL compiles");
+        prop_assert_eq!(graph.nodes.len(), reparsed.nodes.len());
+        prop_assert_eq!(graph.topological_order, reparsed.topological_order);
+    }
+
+    /// The virtual filesystem's used-bytes accounting matches the sum of the
+    /// file sizes regardless of the write/overwrite/remove sequence.
+    #[test]
+    fn vfs_accounting_is_exact(operations in proptest::collection::vec((0u8..3, 0usize..6, 0usize..512), 1..40)) {
+        let mut fs = VirtualFs::new(1 << 20);
+        fs.create_dir(&VfsPath::new("/out")).unwrap();
+        let mut expected: std::collections::HashMap<usize, usize> = Default::default();
+        for (op, slot, size) in operations {
+            let path = VfsPath::new(&format!("/out/file-{slot}"));
+            match op {
+                0 | 1 => {
+                    fs.write_file(&path, &vec![0u8; size]).unwrap();
+                    expected.insert(slot, size);
+                }
+                _ => {
+                    if fs.exists(&path) {
+                        fs.remove(&path).unwrap();
+                        expected.remove(&slot);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(fs.used_bytes(), expected.values().sum::<usize>());
+    }
+
+    /// Partition-parallel SSB execution is equivalent to single-node
+    /// execution for any partition count.
+    #[test]
+    fn partitioned_queries_are_deterministic(partitions in 1usize..12, seed in 0u64..4) {
+        let db = generate_database(0.02, seed);
+        let whole = SsbQuery::Q1_1.run(&db).expect("query runs");
+        let split = run_partitioned(&db, SsbQuery::Q1_1, partitions).expect("partitioned runs");
+        prop_assert_eq!(whole, split);
+    }
+}
