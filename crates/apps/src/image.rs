@@ -106,7 +106,9 @@ pub fn qoi_encode(image: &Image) -> Vec<u8> {
             } else {
                 let dr_dg = dr - dg;
                 let db_dg = db - dg;
-                if (-32..=31).contains(&dg) && (-8..=7).contains(&dr_dg) && (-8..=7).contains(&db_dg)
+                if (-32..=31).contains(&dg)
+                    && (-8..=7).contains(&dr_dg)
+                    && (-8..=7).contains(&db_dg)
                 {
                     out.push(QOI_OP_LUMA | ((dg + 32) as u8));
                     out.push((((dr_dg + 8) as u8) << 4) | ((db_dg + 8) as u8));
@@ -354,7 +356,10 @@ mod tests {
     fn png_structure_is_valid() {
         let image = Image::synthetic(32, 16);
         let png = png_encode(&image);
-        assert_eq!(&png[..8], &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']);
+        assert_eq!(
+            &png[..8],
+            &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n']
+        );
         assert_eq!(png_dimensions(&png), Some((32, 16)));
         assert!(png.windows(4).any(|window| window == b"IDAT"));
         assert!(png.ends_with(&crc32(b"IEND").to_be_bytes()));

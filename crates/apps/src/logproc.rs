@@ -40,7 +40,11 @@ pub fn fanout_artifact() -> FunctionArtifact {
             return Ok(());
         }
         let body = response.body_text();
-        for (index, endpoint) in body.lines().map(str::trim).filter(|l| !l.is_empty()).enumerate()
+        for (index, endpoint) in body
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .enumerate()
         {
             let request = HttpRequest::get(endpoint).to_bytes();
             ctx.push_output_bytes("HTTPRequests", &format!("log-request-{index}"), request)?;

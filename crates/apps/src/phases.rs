@@ -31,36 +31,40 @@ pub fn make_fetch_artifact() -> FunctionArtifact {
 /// `SumMinMax`: parses the fetched array and reduces a sample of it, then
 /// emits the key of the next phase's object.
 pub fn sum_min_max_artifact() -> FunctionArtifact {
-    FunctionArtifact::new("SumMinMax", &["Stats", "NextPhase"], |ctx: &mut FunctionCtx| {
-        let response_item = ctx.single_input("Response")?.clone();
-        let response = dandelion_http::parse_response(&response_item.data)
-            .map_err(|err| format!("bad response: {err}"))?;
-        if !response.status.is_success() {
-            return Err(format!("fetch failed: {}", response.status).into());
-        }
-        let values: Vec<i64> = response
-            .body
-            .chunks_exact(8)
-            .map(|chunk| i64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
-            .collect();
-        if values.is_empty() {
-            return Err("empty array".into());
-        }
-        let stride = (values.len() / SAMPLE).max(1);
-        let sample: Vec<i64> = values.iter().step_by(stride).copied().collect();
-        let sum: i64 = sample.iter().sum();
-        let min = sample.iter().min().copied().unwrap_or(0);
-        let max = sample.iter().max().copied().unwrap_or(0);
-        ctx.push_output_bytes(
-            "Stats",
-            "stats",
-            format!("sum={sum} min={min} max={max}").into_bytes(),
-        )?;
-        // The phase index of the next fetch is derived from this phase's key
-        // (encoded in the request URL by convention: `arrays/<index>`).
-        let next = (sum.unsigned_abs() % 1000).to_string();
-        ctx.push_output_bytes("NextPhase", "phase", next.into_bytes())
-    })
+    FunctionArtifact::new(
+        "SumMinMax",
+        &["Stats", "NextPhase"],
+        |ctx: &mut FunctionCtx| {
+            let response_item = ctx.single_input("Response")?.clone();
+            let response = dandelion_http::parse_response(&response_item.data)
+                .map_err(|err| format!("bad response: {err}"))?;
+            if !response.status.is_success() {
+                return Err(format!("fetch failed: {}", response.status).into());
+            }
+            let values: Vec<i64> = response
+                .body
+                .chunks_exact(8)
+                .map(|chunk| i64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+                .collect();
+            if values.is_empty() {
+                return Err("empty array".into());
+            }
+            let stride = (values.len() / SAMPLE).max(1);
+            let sample: Vec<i64> = values.iter().step_by(stride).copied().collect();
+            let sum: i64 = sample.iter().sum();
+            let min = sample.iter().min().copied().unwrap_or(0);
+            let max = sample.iter().max().copied().unwrap_or(0);
+            ctx.push_output_bytes(
+                "Stats",
+                "stats",
+                format!("sum={sum} min={min} max={max}").into_bytes(),
+            )?;
+            // The phase index of the next fetch is derived from this phase's key
+            // (encoded in the request URL by convention: `arrays/<index>`).
+            let next = (sum.unsigned_abs() % 1000).to_string();
+            ctx.push_output_bytes("NextPhase", "phase", next.into_bytes())
+        },
+    )
 }
 
 /// Builds the N-phase fetch-and-compute composition.
@@ -98,7 +102,9 @@ pub fn composition(phases: usize) -> CompositionGraph {
         node.bind("Stats", Distribution::All, &last_stats)
             .publish("FinalStats", "Out")
     });
-    builder.build().expect("static fetch-and-compute composition")
+    builder
+        .build()
+        .expect("static fetch-and-compute composition")
 }
 
 /// `Finalize`: copies the last phase's stats to the composition output.

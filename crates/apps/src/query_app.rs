@@ -88,38 +88,45 @@ fn parse_query(name: &str) -> Result<SsbQuery, String> {
 /// distribution routes each partition plus a copy of the dimensions to its
 /// own `RunPartition` instance.
 pub fn plan_query_artifact() -> FunctionArtifact {
-    FunctionArtifact::new("PlanQuery", &["Fetches", "Query"], |ctx: &mut FunctionCtx| {
-        let spec = ctx.single_input("QuerySpec")?.clone();
-        let text = spec.as_str().ok_or("query spec is not UTF-8")?;
-        let (query, partitions) = text.split_once(';').ok_or("expected `<query>;<partitions>`")?;
-        parse_query(query)?;
-        let partitions: usize = partitions
-            .trim()
-            .parse()
-            .map_err(|_| "partition count is not a number".to_string())?;
-        if partitions == 0 || partitions > 256 {
-            return Err("partition count must be within 1..=256".into());
-        }
-        for partition in 0..partitions {
-            for (kind, object) in [
-                ("lineorder", format!("lineorder-{partition:03}.csv")),
-                ("date", "date.csv".to_string()),
-                ("customer", "customer.csv".to_string()),
-                ("supplier", "supplier.csv".to_string()),
-                ("part", "part.csv".to_string()),
-            ] {
-                let request =
-                    HttpRequest::get(format!("http://{STORE_HOST}/{BUCKET}/{object}")).to_bytes();
-                let item = dandelion_common::DataItem::with_key(
-                    format!("fetch-{partition:03}-{kind}"),
-                    format!("partition-{partition:03}"),
-                    request,
-                );
-                ctx.push_output("Fetches", item)?;
+    FunctionArtifact::new(
+        "PlanQuery",
+        &["Fetches", "Query"],
+        |ctx: &mut FunctionCtx| {
+            let spec = ctx.single_input("QuerySpec")?.clone();
+            let text = spec.as_str().ok_or("query spec is not UTF-8")?;
+            let (query, partitions) = text
+                .split_once(';')
+                .ok_or("expected `<query>;<partitions>`")?;
+            parse_query(query)?;
+            let partitions: usize = partitions
+                .trim()
+                .parse()
+                .map_err(|_| "partition count is not a number".to_string())?;
+            if partitions == 0 || partitions > 256 {
+                return Err("partition count must be within 1..=256".into());
             }
-        }
-        ctx.push_output_bytes("Query", "query", query.trim().as_bytes().to_vec())
-    })
+            for partition in 0..partitions {
+                for (kind, object) in [
+                    ("lineorder", format!("lineorder-{partition:03}.csv")),
+                    ("date", "date.csv".to_string()),
+                    ("customer", "customer.csv".to_string()),
+                    ("supplier", "supplier.csv".to_string()),
+                    ("part", "part.csv".to_string()),
+                ] {
+                    let request =
+                        HttpRequest::get(format!("http://{STORE_HOST}/{BUCKET}/{object}"))
+                            .to_bytes();
+                    let item = dandelion_common::DataItem::with_key(
+                        format!("fetch-{partition:03}-{kind}"),
+                        format!("partition-{partition:03}"),
+                        request,
+                    );
+                    ctx.push_output("Fetches", item)?;
+                }
+            }
+            ctx.push_output_bytes("Query", "query", query.trim().as_bytes().to_vec())
+        },
+    )
     .with_memory_requirement(16 * 1024 * 1024)
 }
 
@@ -146,12 +153,7 @@ pub fn run_partition_artifact() -> FunctionArtifact {
             let csv = response.body_text();
             // The item name encodes which table this is:
             // `response-fetch-<partition>-<table>`.
-            let table_kind = item
-                .name
-                .rsplit('-')
-                .next()
-                .unwrap_or_default()
-                .to_string();
+            let table_kind = item.name.rsplit('-').next().unwrap_or_default().to_string();
             match table_kind.as_str() {
                 "lineorder" => lineorder = Some(Table::from_csv(lineorder_schema(), &csv)?),
                 "date" => date = Some(Table::from_csv(dimension_schema("date"), &csv)?),

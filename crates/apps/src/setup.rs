@@ -63,7 +63,10 @@ pub fn demo_services(realistic_latency: bool) -> ServiceRegistry {
     for index in 0..LOG_SERVICES {
         registry.register(
             &format!("logs-{index}.internal"),
-            Arc::new(LogService::new(&format!("logs-{index}"), 120, index as u64).with_latency(microservice)),
+            Arc::new(
+                LogService::new(&format!("logs-{index}"), 120, index as u64)
+                    .with_latency(microservice),
+            ),
         );
     }
 
@@ -86,7 +89,10 @@ pub fn demo_services(realistic_latency: bool) -> ServiceRegistry {
     registry.register(query_app::STORE_HOST, Arc::new(store));
 
     // LLM and SQL database for the Text2SQL workflow.
-    registry.register("llm.internal", Arc::new(LlmService::with_latency(llm_latency)));
+    registry.register(
+        "llm.internal",
+        Arc::new(LlmService::with_latency(llm_latency)),
+    );
     registry.register(
         "db.internal",
         Arc::new(SqlDatabaseService::with_latency(db_latency).with_demo_data()),
@@ -165,7 +171,10 @@ mod tests {
         let outcome = worker
             .invoke(
                 "RenderLogs",
-                vec![DataSet::single("AccessToken", DEMO_TOKEN.as_bytes().to_vec())],
+                vec![DataSet::single(
+                    "AccessToken",
+                    DEMO_TOKEN.as_bytes().to_vec(),
+                )],
             )
             .unwrap();
         let html = outcome.outputs[0].items[0].as_str().unwrap();

@@ -212,8 +212,8 @@ mod tests {
 
     #[test]
     fn format_response_renders_rows_and_empty_results() {
-        let csv = dandelion_http::HttpResponse::ok(b"name,population\nZurich,434335".to_vec())
-            .to_bytes();
+        let csv =
+            dandelion_http::HttpResponse::ok(b"name,population\nZurich,434335".to_vec()).to_bytes();
         let outputs = run(
             &format_response_artifact(),
             vec![DataSet::single("DbResponse", csv)],

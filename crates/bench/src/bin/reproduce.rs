@@ -44,11 +44,7 @@ fn main() {
         let report = run_experiment(id);
         println!("{report}");
         if json {
-            println!(
-                "json[{}] = {}",
-                id.name(),
-                serde_json::to_string(&report.rows_json()).unwrap_or_default()
-            );
+            println!("json[{}] = {}", id.name(), report.rows_json());
         }
         println!("  ({} finished in {:.1?})\n", id.name(), start.elapsed());
     }

@@ -11,8 +11,8 @@ use dandelion_isolation::{
 use dandelion_query::{generate_database, AthenaModel, Ec2Model, SsbQuery};
 use dandelion_sim::autoscaler::KnativeAutoscaler;
 use dandelion_sim::platforms::{
-    DHybridSim, DandelionConfig, DandelionSim, MicroVmKind, MicroVmSim, PlatformModel,
-    WarmPolicy, WasmtimeSim,
+    DHybridSim, DandelionConfig, DandelionSim, MicroVmKind, MicroVmSim, PlatformModel, WarmPolicy,
+    WasmtimeSim,
 };
 use dandelion_sim::{run_bursty, run_open_loop, run_trace, sweep_open_loop, workloads};
 use dandelion_trace::{generate_trace, TraceConfig};
@@ -46,11 +46,14 @@ pub enum ExperimentId {
     Fig10,
     /// §8 — trusted computing base and attack-surface summary.
     Security,
+    /// Repo-only: synchronous vs pipelined submission throughput on a
+    /// 2-node cluster through the `DandelionClient` facade.
+    Concurrency,
 }
 
 impl ExperimentId {
     /// Every experiment in paper order.
-    pub const ALL: [ExperimentId; 12] = [
+    pub const ALL: [ExperimentId; 13] = [
         ExperimentId::Fig1,
         ExperimentId::Fig2,
         ExperimentId::Table1,
@@ -63,6 +66,7 @@ impl ExperimentId {
         ExperimentId::Text2Sql,
         ExperimentId::Fig10,
         ExperimentId::Security,
+        ExperimentId::Concurrency,
     ];
 
     /// Command-line name of the experiment.
@@ -80,6 +84,7 @@ impl ExperimentId {
             ExperimentId::Text2Sql => "text2sql",
             ExperimentId::Fig10 => "fig10",
             ExperimentId::Security => "security",
+            ExperimentId::Concurrency => "concurrency",
         }
     }
 
@@ -106,6 +111,7 @@ pub fn run_experiment(id: ExperimentId) -> Report {
         ExperimentId::Text2Sql => text2sql_breakdown(),
         ExperimentId::Fig10 => fig10_azure_memory(),
         ExperimentId::Security => security_summary(),
+        ExperimentId::Concurrency => concurrency_fanout(),
     }
 }
 
@@ -225,7 +231,11 @@ pub fn fig2_firecracker_hot_ratio() -> Report {
             11,
         );
         let mut row = vec![label.to_string()];
-        row.extend(sweep.iter().map(|point| format!("{:.1}", point.latency.p995_ms())));
+        row.extend(
+            sweep
+                .iter()
+                .map(|point| format!("{:.1}", point.latency.p995_ms())),
+        );
         report.rows.push(row);
     }
     report.note("even a few percent of cold starts lifts the tail by 1-2 orders of magnitude (log scale in the paper)");
@@ -244,9 +254,7 @@ pub fn table1_sandbox_breakdown() -> Report {
         "Table 1: Dandelion cold-start latency breakdown per backend (1x1 matmul, Morello)",
         "modeled per-stage microseconds; every backend also really executes the function",
     );
-    report.header(&[
-        "stage", "CHERI", "rWasm", "process", "KVM",
-    ]);
+    report.header(&["stage", "CHERI", "rWasm", "process", "KVM"]);
 
     // Execute the real 1x1 matmul through every backend to confirm the
     // functional path, then report the calibrated per-stage model (the
@@ -278,7 +286,9 @@ pub fn table1_sandbox_breakdown() -> Report {
     let mut paper_row = vec!["Paper total".to_string()];
     paper_row.extend(paper_totals.iter().map(|(_, total)| total.to_string()));
     report.rows.push(paper_row);
-    report.note("stage costs are calibrated to Table 1; the function body adds a few microseconds on top");
+    report.note(
+        "stage costs are calibrated to Table 1; the function body adds a few microseconds on top",
+    );
     report
 }
 
@@ -297,7 +307,11 @@ pub fn fig5_sandbox_creation() -> Report {
     let mut add_sweep = |label: &str, make: &mut dyn FnMut() -> Box<dyn PlatformModel>| {
         let sweep = sweep_open_loop(|| make(), &spec, &rps_points, Duration::from_secs(10), 13);
         let mut row = vec![label.to_string()];
-        row.extend(sweep.iter().map(|point| format!("{:.2}", point.latency.p99_ms())));
+        row.extend(
+            sweep
+                .iter()
+                .map(|point| format!("{:.2}", point.latency.p99_ms())),
+        );
         report.rows.push(row);
     };
 
@@ -354,7 +368,11 @@ pub fn fig6_compute_throughput() -> Report {
         report.rows.push(row);
     };
 
-    for backend in [IsolationKind::Kvm, IsolationKind::Process, IsolationKind::Rwasm] {
+    for backend in [
+        IsolationKind::Kvm,
+        IsolationKind::Process,
+        IsolationKind::Rwasm,
+    ] {
         add(&format!("Dandelion {backend}"), &mut || {
             Box::new(dandelion_xeon(backend))
         });
@@ -377,9 +395,7 @@ pub fn fig6_compute_throughput() -> Report {
             23,
         ))
     });
-    add("Wasmtime (Spin)", &mut || {
-        Box::new(WasmtimeSim::new(16))
-    });
+    add("Wasmtime (Spin)", &mut || Box::new(WasmtimeSim::new(16)));
     report.note("values are median ms with (p5/p95); Dandelion KVM sustains the highest load, Wasmtime saturates first due to slower generated code");
     report
 }
@@ -392,7 +408,11 @@ pub fn fig7a_composition_phases() -> Report {
         "single unloaded request; each phase fetches 64 KiB and reduces a sample of it",
     );
     let mut header = vec!["system".to_string()];
-    header.extend(phase_counts.iter().map(|count| format!("{count} phases [ms]")));
+    header.extend(
+        phase_counts
+            .iter()
+            .map(|count| format!("{count} phases [ms]")),
+    );
     report.rows.push(header);
 
     let mut add = |label: &str, make: &mut dyn FnMut() -> Box<dyn PlatformModel>| {
@@ -454,10 +474,17 @@ pub fn fig7_compute_comm_split() -> Report {
     report.header(&["workload", "system", "1000 RPS", "2000 RPS", "3000 RPS"]);
     let rps_points = [1000.0, 2000.0, 3000.0];
 
-    let mut add = |workload: &str, spec: &dandelion_sim::RequestSpec, label: &str, make: &mut dyn FnMut() -> Box<dyn PlatformModel>| {
+    let mut add = |workload: &str,
+                   spec: &dandelion_sim::RequestSpec,
+                   label: &str,
+                   make: &mut dyn FnMut() -> Box<dyn PlatformModel>| {
         let sweep = sweep_open_loop(|| make(), spec, &rps_points, Duration::from_secs(8), 37);
         let mut row = vec![workload.to_string(), label.to_string()];
-        row.extend(sweep.iter().map(|point| format!("{:.1}", point.latency.p99_ms())));
+        row.extend(
+            sweep
+                .iter()
+                .map(|point| format!("{:.1}", point.latency.p99_ms())),
+        );
         report.rows.push(row);
     };
 
@@ -473,9 +500,12 @@ pub fn fig7_compute_comm_split() -> Report {
             Box::new(DHybridSim::new(kvm(), 16, 1, true))
         });
         for tpc in [3usize, 4, 5] {
-            add(workload, &spec, &format!("D-hybrid (tpc={tpc})"), &mut || {
-                Box::new(DHybridSim::new(kvm(), 16, tpc, false))
-            });
+            add(
+                workload,
+                &spec,
+                &format!("D-hybrid (tpc={tpc})"),
+                &mut || Box::new(DHybridSim::new(kvm(), 16, tpc, false)),
+            );
         }
     }
     report.note("no single D-hybrid concurrency setting wins both workloads; Dandelion's control plane matches the best configuration for each");
@@ -510,13 +540,7 @@ pub fn fig8_multiplexing() -> Report {
         "Figure 8: multiplexing image compression (compute) and log processing (I/O) under bursty load",
         "30 s run with a 10 s burst; per-application average, p99 and relative variance",
     );
-    report.header(&[
-        "system",
-        "app",
-        "avg [ms]",
-        "p99 [ms]",
-        "rel. variance [%]",
-    ]);
+    report.header(&["system", "app", "avg [ms]", "p99 [ms]", "rel. variance [%]"]);
 
     let mut add = |label: &str, model: &mut dyn PlatformModel| {
         let results = run_bursty(model, &apps, duration, 41);
@@ -611,16 +635,21 @@ pub fn text2sql_breakdown() -> Report {
     );
     report.header(&["step", "kind", "paper [ms]", "reproduction [ms]"]);
 
-    // Compute steps: measure the real compute functions on this machine.
+    // Compute steps: measure the real compute functions on this machine,
+    // driven through the client facade like an external caller.
     let worker = dandelion_apps::setup::demo_worker(4, false).expect("demo worker starts");
+    let client = dandelion_core::DandelionClient::for_worker(Arc::clone(&worker));
     let prompt = b"Which city in Switzerland has the largest population?".to_vec();
     let start = Instant::now();
-    let outcome = worker
-        .invoke("Text2Sql", vec![DataSet::single("Prompt", prompt)])
+    let outcome = client
+        .invoke_sync("Text2Sql", vec![DataSet::single("Prompt", prompt)])
         .expect("workflow runs");
     let compute_elapsed = start.elapsed();
     worker.shutdown();
-    assert!(outcome.outputs[0].items[0].as_str().unwrap().contains("Zurich"));
+    assert!(outcome.outputs[0].items[0]
+        .as_str()
+        .unwrap()
+        .contains("Zurich"));
 
     // The communication latencies come from the calibrated service models
     // (the paper's measured LLM and database latencies).
@@ -635,7 +664,13 @@ pub fn text2sql_breakdown() -> Report {
         database.as_secs_f64() * 1e3,
         compute_share,
     ];
-    let kinds = ["compute", "communication", "compute", "communication", "compute"];
+    let kinds = [
+        "compute",
+        "communication",
+        "compute",
+        "communication",
+        "compute",
+    ];
     let mut total_paper = 0u64;
     let mut total_reproduction = 0.0;
     for ((step, paper_ms), (kind, repro_ms)) in paper.iter().zip(kinds.iter().zip(reproduction)) {
@@ -703,8 +738,8 @@ pub fn fig10_azure_memory() -> Report {
     ]);
     let saving = 100.0
         * (1.0 - dandelion_result.average_memory_bytes / firecracker_result.average_memory_bytes);
-    let p99_reduction = 100.0
-        * (1.0 - dandelion_result.latency.p99_ms() / firecracker_result.latency.p99_ms());
+    let p99_reduction =
+        100.0 * (1.0 - dandelion_result.latency.p99_ms() / firecracker_result.latency.p99_ms());
     report.note(&format!(
         "Dandelion commits {saving:.0}% less memory on average (paper: 96%) and reduces p99 latency by {p99_reduction:.0}% (paper: 46%)"
     ));
@@ -739,6 +774,125 @@ pub fn security_summary() -> Report {
         "CHERI, KVM, process, rWasm, native (reference)".into(),
     ]);
     report.note("the paper reports ~12k lines of Rust for Dandelion vs ~68k (Firecracker), ~65k (Spin) and ~38k Go (gVisor)");
+    report
+}
+
+/// Repo-only experiment: how much throughput the non-blocking client API
+/// buys when invocations spend their time waiting on an external
+/// dependency. Each invocation runs a function that blocks for a fixed
+/// service time (emulating a slow downstream service); a single synchronous
+/// caller serializes those waits, while `DandelionClient::submit` keeps all
+/// of them in flight across the cluster's engines.
+pub fn concurrency_fanout() -> Report {
+    use dandelion_common::config::{ClusterConfig, LoadBalancing, WorkerConfig};
+    use dandelion_core::{ClusterManager, DandelionClient};
+    use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+
+    const INVOCATIONS: usize = 24;
+    const SERVICE_TIME: Duration = Duration::from_millis(25);
+
+    let make_cluster = || {
+        let config = ClusterConfig {
+            nodes: 2,
+            worker: WorkerConfig {
+                total_cores: 4,
+                initial_communication_cores: 1,
+                isolation: IsolationKind::Native,
+                ..WorkerConfig::default()
+            },
+            load_balancing: LoadBalancing::RoundRobin,
+        };
+        let cluster = Arc::new(
+            ClusterManager::start(config, dandelion_apps::setup::demo_services(false))
+                .expect("cluster starts"),
+        );
+        cluster
+            .register_function_with(|| {
+                FunctionArtifact::new("AwaitService", &["Out"], |ctx: &mut FunctionCtx| {
+                    let payload = ctx.single_input("In")?.data.as_slice().to_vec();
+                    std::thread::sleep(SERVICE_TIME);
+                    ctx.push_output_bytes("Out", "echo", payload)
+                })
+            })
+            .expect("function registers");
+        cluster
+            .register_composition(
+                dandelion_dsl::compile(
+                    "composition SlowEcho(Request) => Reply { \
+                     AwaitService(In = all Request) => (Reply = Out); }",
+                )
+                .expect("DSL compiles"),
+            )
+            .expect("composition registers");
+        cluster
+    };
+
+    let mut report = Report::new(
+        "Concurrency: synchronous vs pipelined invocation on a 2-node cluster",
+        &format!(
+            "{INVOCATIONS} invocations of a {} ms blocking service call, \
+             4 cores per node, DandelionClient facade",
+            SERVICE_TIME.as_millis()
+        ),
+    );
+    report.header(&["mode", "wall time [ms]", "throughput [inv/s]"]);
+
+    let run = |pipelined: bool| {
+        let cluster = make_cluster();
+        let client = DandelionClient::for_cluster(Arc::clone(&cluster));
+        let inputs =
+            |index: usize| vec![DataSet::single("Request", format!("r{index}").into_bytes())];
+        let start = Instant::now();
+        if pipelined {
+            // All invocations in flight before the first wait.
+            let handles: Vec<_> = (0..INVOCATIONS)
+                .map(|index| client.submit("SlowEcho", inputs(index)).expect("submits"))
+                .collect();
+            for (index, handle) in handles.iter().enumerate() {
+                let outcome = handle.wait(None).expect("pipelined invocation runs");
+                assert_eq!(
+                    outcome.outputs[0].items[0].as_str(),
+                    Some(format!("r{index}").as_str())
+                );
+            }
+        } else {
+            // One blocking caller: each invocation waits before the next.
+            for index in 0..INVOCATIONS {
+                let outcome = client
+                    .invoke_sync("SlowEcho", inputs(index))
+                    .expect("sync invocation runs");
+                assert_eq!(
+                    outcome.outputs[0].items[0].as_str(),
+                    Some(format!("r{index}").as_str())
+                );
+            }
+        }
+        let elapsed = start.elapsed();
+        cluster.shutdown();
+        elapsed
+    };
+
+    let sync_elapsed = run(false);
+    let pipelined_elapsed = run(true);
+
+    for (mode, elapsed) in [
+        ("synchronous", sync_elapsed),
+        ("pipelined", pipelined_elapsed),
+    ] {
+        report.row(vec![
+            mode.into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!(
+                "{:.0}",
+                INVOCATIONS as f64 / elapsed.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    report.note(&format!(
+        "pipelined speedup {:.1}x: a synchronous caller pays one service time per \
+         invocation, the submit/poll API overlaps them across the cluster's 6 compute engines",
+        sync_elapsed.as_secs_f64() / pipelined_elapsed.as_secs_f64().max(1e-9)
+    ));
     report
 }
 

@@ -46,19 +46,13 @@ impl Report {
 
     /// Serializes the rows as a JSON array of arrays (used by `reproduce
     /// --json`).
-    pub fn rows_json(&self) -> serde_json::Value {
-        serde_json::Value::Array(
-            self.rows
-                .iter()
-                .map(|row| {
-                    serde_json::Value::Array(
-                        row.iter()
-                            .map(|cell| serde_json::Value::String(cell.clone()))
-                            .collect(),
-                    )
-                })
-                .collect(),
-        )
+    pub fn rows_json(&self) -> dandelion_common::JsonValue {
+        dandelion_common::JsonValue::array(self.rows.iter().map(|row| {
+            dandelion_common::JsonValue::array(
+                row.iter()
+                    .map(|cell| dandelion_common::JsonValue::string(cell.clone())),
+            )
+        }))
     }
 }
 

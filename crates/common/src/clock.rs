@@ -80,12 +80,10 @@ impl VirtualClock {
                 // Never move backwards; keep the larger value.
                 return;
             }
-            match self.nanos.compare_exchange(
-                current,
-                target,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .nanos
+                .compare_exchange(current, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return,
                 Err(observed) => current = observed,
             }

@@ -2,8 +2,6 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::MIB;
 
 /// Which memory isolation mechanism a compute engine uses.
@@ -12,7 +10,7 @@ use crate::MIB;
 /// not tied to any particular one (§6.2). `Native` is a fifth, repo-only
 /// backend that executes the function directly and is used as the functional
 /// reference in tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IsolationKind {
     /// CHERI hybrid-capability isolation within a single address space.
     Cheri,
@@ -55,7 +53,7 @@ impl std::fmt::Display for IsolationKind {
 
 /// Engine type: compute engines run untrusted code, communication engines run
 /// trusted I/O functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Executes untrusted compute functions in sandboxes, run-to-completion.
     Compute,
@@ -74,7 +72,7 @@ impl std::fmt::Display for EngineKind {
 
 /// Configuration of the PI controller that re-balances CPU cores between
 /// compute and communication engines (paper §5, "Control plane").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// Control interval; the paper uses 30 ms.
     pub interval: Duration,
@@ -101,7 +99,7 @@ impl Default for ControllerConfig {
 }
 
 /// Worker-node configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkerConfig {
     /// Total CPU cores available to engines on this node.
     pub total_cores: usize,
@@ -120,6 +118,13 @@ pub struct WorkerConfig {
     /// Fraction of invocations whose function binary must be loaded from
     /// disk rather than the in-memory cache (the paper uses 3%).
     pub binary_cold_load_ratio: f64,
+    /// How many finished invocations the in-flight table retains for result
+    /// polling before the oldest are expired.
+    pub completed_retention: usize,
+    /// Extra wall-clock beyond `function_timeout` an invocation may go
+    /// without any instance completing before the dispatcher fails it
+    /// (safety net against lost engine replies).
+    pub engine_stall_grace: Duration,
 }
 
 impl Default for WorkerConfig {
@@ -133,6 +138,8 @@ impl Default for WorkerConfig {
             queue_capacity: 65_536,
             controller: ControllerConfig::default(),
             binary_cold_load_ratio: 0.03,
+            completed_retention: 1024,
+            engine_stall_grace: Duration::from_secs(30),
         }
     }
 }
@@ -161,6 +168,9 @@ impl WorkerConfig {
         if self.controller.min_cores_per_kind == 0 {
             return Err("controller.min_cores_per_kind must be at least 1".into());
         }
+        if self.completed_retention == 0 {
+            return Err("completed_retention must be at least 1".into());
+        }
         Ok(())
     }
 
@@ -171,7 +181,7 @@ impl WorkerConfig {
 }
 
 /// Cluster-level configuration (multiple worker nodes, Dirigent-style).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of worker nodes.
     pub nodes: usize,
@@ -182,7 +192,7 @@ pub struct ClusterConfig {
 }
 
 /// Load balancing policy used by the cluster manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadBalancing {
     /// Rotate through nodes in order.
     RoundRobin,

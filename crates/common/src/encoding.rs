@@ -1,0 +1,104 @@
+//! Base64 encoding for binary payloads in JSON documents.
+//!
+//! The v1 HTTP API returns invocation outputs inside JSON status documents;
+//! output items are arbitrary bytes, so they are carried as standard base64
+//! (RFC 4648, with padding). Implemented here because the workspace builds
+//! fully offline.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3F] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3F] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required, no whitespace).
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err("base64 length must be a multiple of 4".to_string());
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (index, chunk) in bytes.chunks(4).enumerate() {
+        let last = index + 1 == bytes.len() / 4;
+        let mut triple = 0u32;
+        let mut padding = 0usize;
+        for (position, &byte) in chunk.iter().enumerate() {
+            let value = match byte {
+                b'A'..=b'Z' => (byte - b'A') as u32,
+                b'a'..=b'z' => (byte - b'a' + 26) as u32,
+                b'0'..=b'9' => (byte - b'0' + 52) as u32,
+                b'+' => 62,
+                b'/' => 63,
+                b'=' if last && position >= 2 => {
+                    padding += 1;
+                    0
+                }
+                _ => return Err(format!("invalid base64 character `{}`", byte as char)),
+            };
+            if padding > 0 && byte != b'=' {
+                return Err("base64 data after padding".to_string());
+            }
+            triple = (triple << 6) | value;
+        }
+        out.push((triple >> 16) as u8);
+        if padding < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if padding < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn roundtrips_all_byte_values() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        for len in [0, 1, 2, 3, 61, 255, 256] {
+            let slice = &data[..len];
+            assert_eq!(base64_decode(&base64_encode(slice)).unwrap(), slice);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(base64_decode("abc").is_err());
+        assert!(base64_decode("ab=c").is_err());
+        assert!(base64_decode("====").is_err());
+        assert!(base64_decode("a#bc").is_err());
+    }
+}

@@ -100,6 +100,73 @@ impl DandelionError {
         }
     }
 
+    /// Stable machine-readable error code for the v1 HTTP API.
+    ///
+    /// These strings are part of the public API contract: clients match on
+    /// them, so variants may be added but existing codes must not change.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DandelionError::NotFound { .. } => "not_found",
+            DandelionError::AlreadyRegistered { .. } => "already_registered",
+            DandelionError::Parse { .. } => "parse_error",
+            DandelionError::Validation(_) => "validation_error",
+            DandelionError::ContextError(_) => "context_error",
+            DandelionError::FunctionFault { .. } => "function_fault",
+            DandelionError::InvalidRequest(_) => "invalid_request",
+            DandelionError::ServiceError { .. } => "service_error",
+            DandelionError::Dispatch(_) => "dispatch_error",
+            DandelionError::ResourceExhausted(_) => "resource_exhausted",
+            DandelionError::Cancelled => "cancelled",
+            DandelionError::Timeout { .. } => "timeout",
+            DandelionError::Config(_) => "config_error",
+            DandelionError::DataLayout(_) => "data_layout_error",
+            DandelionError::Internal(_) => "internal_error",
+        }
+    }
+
+    /// Reconstructs an error from a machine-readable code and message, the
+    /// inverse of [`DandelionError::code`] as far as the wire format allows
+    /// (structured fields are collapsed into the message by `Display`).
+    pub fn from_code(code: &str, message: &str) -> DandelionError {
+        let message = message.to_string();
+        match code {
+            "not_found" => DandelionError::NotFound {
+                kind: "entity",
+                name: message,
+            },
+            "already_registered" => DandelionError::AlreadyRegistered {
+                kind: "entity",
+                name: message,
+            },
+            "parse_error" => DandelionError::Parse {
+                line: 0,
+                column: 0,
+                message,
+            },
+            "validation_error" => DandelionError::Validation(message),
+            "context_error" => DandelionError::ContextError(message),
+            "function_fault" => DandelionError::FunctionFault {
+                function: String::new(),
+                reason: message,
+            },
+            "invalid_request" => DandelionError::InvalidRequest(message),
+            "service_error" => DandelionError::ServiceError {
+                status: 502,
+                message,
+            },
+            "dispatch_error" => DandelionError::Dispatch(message),
+            "resource_exhausted" => DandelionError::ResourceExhausted(message),
+            "cancelled" => DandelionError::Cancelled,
+            "timeout" => DandelionError::Timeout {
+                function: message,
+                limit_ms: 0,
+            },
+            "config_error" => DandelionError::Config(message),
+            "data_layout_error" => DandelionError::DataLayout(message),
+            _ => DandelionError::Internal(message),
+        }
+    }
+
     /// Maps the error onto the HTTP status code the frontend reports.
     pub fn status_code(&self) -> u16 {
         match self {
@@ -208,6 +275,33 @@ mod tests {
         .is_user_error());
         assert!(!DandelionError::Internal("x".into()).is_user_error());
         assert!(!DandelionError::Dispatch("x".into()).is_user_error());
+    }
+
+    #[test]
+    fn codes_are_stable_and_roundtrip() {
+        let samples = [
+            DandelionError::NotFound {
+                kind: "function",
+                name: "f".into(),
+            },
+            DandelionError::Validation("v".into()),
+            DandelionError::FunctionFault {
+                function: "f".into(),
+                reason: "r".into(),
+            },
+            DandelionError::ResourceExhausted("q".into()),
+            DandelionError::Cancelled,
+            DandelionError::Internal("i".into()),
+        ];
+        for error in samples {
+            let rebuilt = DandelionError::from_code(error.code(), &error.to_string());
+            assert_eq!(rebuilt.code(), error.code(), "{error:?}");
+            assert_eq!(rebuilt.status_code() >= 400, error.status_code() >= 400);
+        }
+        assert_eq!(
+            DandelionError::from_code("no_such_code", "m").code(),
+            "internal_error"
+        );
     }
 
     #[test]

@@ -29,6 +29,13 @@ macro_rules! define_id {
                 static COUNTER: AtomicU64 = AtomicU64::new(1);
                 Self(COUNTER.fetch_add(1, Ordering::Relaxed))
             }
+
+            /// Parses the `Display` wire format (`prefix-N`) or a bare
+            /// numeric value; the inverse of `to_string`.
+            pub fn parse(text: &str) -> Option<Self> {
+                let raw = text.strip_prefix($prefix).unwrap_or(text);
+                raw.parse::<u64>().ok().map(Self)
+            }
         }
 
         impl fmt::Debug for $name {
@@ -132,6 +139,17 @@ mod tests {
     fn display_includes_prefix() {
         assert_eq!(FunctionId::from_raw(7).to_string(), "fn-7");
         assert_eq!(format!("{:?}", NodeId::from_raw(3)), "node-3");
+    }
+
+    #[test]
+    fn parse_is_the_inverse_of_display() {
+        let id = InvocationId::from_raw(42);
+        assert_eq!(InvocationId::parse(&id.to_string()), Some(id));
+        assert_eq!(InvocationId::parse("42"), Some(id));
+        assert_eq!(FunctionId::parse("fn-7"), Some(FunctionId::from_raw(7)));
+        assert_eq!(InvocationId::parse("inv-"), None);
+        assert_eq!(InvocationId::parse("zzz"), None);
+        assert_eq!(InvocationId::parse("node-3"), None);
     }
 
     #[test]

@@ -16,12 +16,17 @@
 //!   used to generate synthetic workloads.
 //! * [`config`] — platform configuration structs shared by the runtime and
 //!   the simulator.
+//! * [`json`] — a dependency-free JSON value model (writer + parser) used by
+//!   the v1 HTTP API and the benchmark reports.
+//! * [`encoding`] — base64 for binary payloads inside JSON documents.
 
 pub mod clock;
 pub mod config;
 pub mod data;
+pub mod encoding;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
@@ -29,6 +34,7 @@ pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use data::{DataItem, DataSet};
 pub use error::{DandelionError, DandelionResult};
 pub use id::{CompositionId, ContextId, EngineId, FunctionId, InvocationId, NodeId};
+pub use json::JsonValue;
 
 /// Number of bytes in a kibibyte.
 pub const KIB: usize = 1024;

@@ -191,8 +191,7 @@ mod tests {
     #[test]
     fn poisson_mean_converges() {
         let mut rng = SplitMix64::new(17);
-        let mean_small: f64 =
-            (0..20_000).map(|_| rng.poisson(3.0) as f64).sum::<f64>() / 20_000.0;
+        let mean_small: f64 = (0..20_000).map(|_| rng.poisson(3.0) as f64).sum::<f64>() / 20_000.0;
         assert!((mean_small - 3.0).abs() < 0.1);
         let mean_large: f64 =
             (0..20_000).map(|_| rng.poisson(200.0) as f64).sum::<f64>() / 20_000.0;

@@ -10,12 +10,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dandelion_common::config::{ClusterConfig, LoadBalancing};
-use dandelion_common::{DandelionResult, DataSet, NodeId};
+use dandelion_common::{DandelionResult, DataSet, InvocationId, NodeId};
 use dandelion_dsl::CompositionGraph;
 use dandelion_isolation::FunctionArtifact;
 use dandelion_services::ServiceRegistry;
 
-use crate::dispatcher::InvocationOutcome;
+use crate::dispatcher::{InvocationHandle, InvocationOutcome, InvocationSnapshot};
 use crate::worker::{WorkerNode, WorkerStats};
 
 /// Orchestrates several worker nodes.
@@ -75,7 +75,7 @@ impl ClusterManager {
     }
 
     /// Picks a node for an invocation according to the policy.
-    fn pick_node(&self, composition: &str) -> &Arc<WorkerNode> {
+    fn pick_node(&self, composition: &str) -> (NodeId, &Arc<WorkerNode>) {
         let index = match self.policy {
             LoadBalancing::RoundRobin => {
                 self.round_robin.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
@@ -96,7 +96,23 @@ impl ClusterManager {
                 (hash % self.nodes.len() as u64) as usize
             }
         };
-        &self.nodes[index].1
+        let (id, node) = &self.nodes[index];
+        (*id, node)
+    }
+
+    /// Submits an invocation on a node chosen by the load-balancing policy
+    /// without blocking; returns the chosen node and the handle.
+    ///
+    /// Because submission returns immediately, a client can keep dozens of
+    /// invocations in flight per node — `LeastLoaded` balancing sees the
+    /// true in-flight count, not just currently blocking callers.
+    pub fn submit(
+        &self,
+        composition: &str,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<(NodeId, InvocationHandle)> {
+        let (id, node) = self.pick_node(composition);
+        node.submit(composition, inputs).map(|handle| (id, handle))
     }
 
     /// Invokes a composition on a node chosen by the load-balancing policy.
@@ -105,7 +121,14 @@ impl ClusterManager {
         composition: &str,
         inputs: Vec<DataSet>,
     ) -> DandelionResult<InvocationOutcome> {
-        self.pick_node(composition).invoke(composition, inputs)
+        self.submit(composition, inputs)?.1.wait(None)
+    }
+
+    /// Polls an invocation by id across every node's in-flight table.
+    ///
+    /// Invocation ids are process-wide, so at most one node knows the id.
+    pub fn poll(&self, id: InvocationId) -> Option<InvocationSnapshot> {
+        self.nodes.iter().find_map(|(_, node)| node.poll(id))
     }
 
     /// Per-node statistics snapshots.
@@ -187,6 +210,56 @@ mod tests {
         }
         let total: u64 = cluster.stats().iter().map(|(_, s)| s.invocations).sum();
         assert_eq!(total, 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn submit_keeps_many_invocations_in_flight_across_nodes() {
+        let cluster = cluster(LoadBalancing::RoundRobin, 2);
+        let handles: Vec<_> = (0..10u8)
+            .map(|index| {
+                let (node, handle) = cluster
+                    .submit("Identity", vec![DataSet::single("In", vec![index])])
+                    .unwrap();
+                (node, handle, index)
+            })
+            .collect();
+        // Round robin spread the submissions across both nodes.
+        let first_node = handles[0].0;
+        assert!(handles.iter().any(|(node, _, _)| *node != first_node));
+        for (_, handle, index) in &handles {
+            let outcome = handle
+                .wait(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            assert_eq!(outcome.outputs[0].items[0].data[0], *index);
+        }
+        let total: u64 = cluster.stats().iter().map(|(_, s)| s.invocations).sum();
+        assert_eq!(total, 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn poll_finds_invocations_on_any_node() {
+        let cluster = cluster(LoadBalancing::RoundRobin, 3);
+        let ids: Vec<_> = (0..3u8)
+            .map(|index| {
+                let (_, handle) = cluster
+                    .submit("Identity", vec![DataSet::single("In", vec![index])])
+                    .unwrap();
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while !handle.status().is_terminal() {
+                    assert!(std::time::Instant::now() < deadline);
+                    std::thread::yield_now();
+                }
+                handle.id()
+            })
+            .collect();
+        for id in ids {
+            assert!(cluster.poll(id).is_some(), "{id} not found in any node");
+        }
+        assert!(cluster
+            .poll(dandelion_common::InvocationId::from_raw(u64::MAX))
+            .is_none());
         cluster.shutdown();
     }
 

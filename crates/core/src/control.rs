@@ -107,17 +107,15 @@ impl PiController {
     /// The first sample only establishes the baseline and always returns
     /// [`CoreMove::Hold`].
     pub fn tick(&mut self, compute_queue_len: usize, communication_queue_len: usize) -> CoreMove {
-        let (Some(previous_compute), Some(previous_communication)) = (
-            self.previous_compute_len,
-            self.previous_communication_len,
-        ) else {
+        let (Some(previous_compute), Some(previous_communication)) =
+            (self.previous_compute_len, self.previous_communication_len)
+        else {
             self.previous_compute_len = Some(compute_queue_len);
             self.previous_communication_len = Some(communication_queue_len);
             return CoreMove::Hold;
         };
         let compute_growth = compute_queue_len as f64 - previous_compute as f64;
-        let communication_growth =
-            communication_queue_len as f64 - previous_communication as f64;
+        let communication_growth = communication_queue_len as f64 - previous_communication as f64;
         self.previous_compute_len = Some(compute_queue_len);
         self.previous_communication_len = Some(communication_queue_len);
 
@@ -125,7 +123,8 @@ impl PiController {
         // communication queue, so compute needs more cores.
         let error = compute_growth - communication_growth;
         self.integral = (self.integral + error).clamp(-100.0, 100.0);
-        let signal = self.config.proportional_gain * error + self.config.integral_gain * self.integral;
+        let signal =
+            self.config.proportional_gain * error + self.config.integral_gain * self.integral;
 
         if signal > self.config.actuation_threshold {
             // Never take a core from a backlogged communication pool to feed

@@ -4,15 +4,33 @@
 //! ([`crate::invocation::InvocationState`]), prepares tasks for ready
 //! function instances, enqueues them on the engine queues, and feeds
 //! completions back until the composition's external outputs are available
-//! (paper §5, §6.1). Nested compositions are executed as recursive
-//! sub-invocations sharing the same engine pools.
+//! (paper §5, §6.1).
+//!
+//! The dispatcher is asynchronous end-to-end, matching the paper's dataflow
+//! engine: [`Dispatcher::submit`] registers the invocation in a shared
+//! **in-flight table** and returns an [`InvocationHandle`] immediately. A
+//! single background *driver* thread multiplexes every engine completion
+//! (task results carry their invocation id), advances the owning
+//! invocation's dataflow state, submits newly ready instances, and settles
+//! the handle when the external outputs are available. Any number of
+//! invocations can therefore be in flight per client with no thread parked
+//! per invocation; the blocking [`Dispatcher::invoke`] is just
+//! `submit(..).wait(None)`.
+//!
+//! Nested compositions are registered as *child invocations* in the same
+//! table, linked to the parent instance that spawned them; a child's
+//! completion flows back into the parent exactly like an engine result.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dandelion_common::config::WorkerConfig;
 use dandelion_common::rng::SplitMix64;
+use dandelion_common::stats::LatencyRecorder;
 use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId};
 use dandelion_dsl::CompositionGraph;
 use parking_lot::Mutex;
@@ -20,6 +38,9 @@ use parking_lot::Mutex;
 use crate::invocation::{InstanceSpec, InvocationState};
 use crate::registry::{Registry, Vertex};
 use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
+
+/// How often the driver thread re-checks the shutdown flag while idle.
+const DRIVER_IDLE_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Per-invocation execution statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,6 +57,15 @@ pub struct InvocationReport {
     pub modeled_busy_time: Duration,
 }
 
+impl InvocationReport {
+    fn merge(&mut self, other: &InvocationReport) {
+        self.compute_tasks += other.compute_tasks;
+        self.communication_tasks += other.communication_tasks;
+        self.peak_context_bytes += other.peak_context_bytes;
+        self.modeled_busy_time += other.modeled_busy_time;
+    }
+}
+
 /// The result of a completed invocation.
 #[derive(Debug, Clone)]
 pub struct InvocationOutcome {
@@ -45,170 +75,934 @@ pub struct InvocationOutcome {
     pub report: InvocationReport,
 }
 
-/// Routes ready function instances to engine queues and collects results.
-pub struct Dispatcher {
+/// Where an invocation currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationStatus {
+    /// Registered but no instance has been handed to an engine yet.
+    Queued,
+    /// Instances are executing or waiting on engine queues.
+    Running,
+    /// Finished successfully; the outcome is (or was) available.
+    Completed,
+    /// Finished with an error; the error is (or was) available.
+    Failed,
+}
+
+impl InvocationStatus {
+    /// Stable lowercase name used by the v1 HTTP API.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InvocationStatus::Queued => "queued",
+            InvocationStatus::Running => "running",
+            InvocationStatus::Completed => "completed",
+            InvocationStatus::Failed => "failed",
+        }
+    }
+
+    /// Returns `true` once the invocation can no longer make progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, InvocationStatus::Completed | InvocationStatus::Failed)
+    }
+
+    /// Parses the stable lowercase name back into a status.
+    pub fn parse(text: &str) -> Option<InvocationStatus> {
+        match text {
+            "queued" => Some(InvocationStatus::Queued),
+            "running" => Some(InvocationStatus::Running),
+            "completed" => Some(InvocationStatus::Completed),
+            "failed" => Some(InvocationStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InvocationStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point-in-time, non-consuming view of an in-flight or retained
+/// invocation, as returned by [`Dispatcher::poll`].
+#[derive(Debug, Clone)]
+pub struct InvocationSnapshot {
+    /// The invocation id.
+    pub id: InvocationId,
+    /// The composition being executed.
+    pub composition: String,
+    /// Lifecycle status at the time of the poll.
+    pub status: InvocationStatus,
+    /// The result, present once `status` is terminal (unless the result was
+    /// already consumed through a handle).
+    pub outcome: Option<DandelionResult<InvocationOutcome>>,
+}
+
+/// Counters and latency shared between the dispatcher's driver thread and
+/// whoever owns the dispatcher (the worker node surfaces them as
+/// [`crate::worker::WorkerStats`]). Only *top-level* invocations are
+/// counted; nested child invocations fold into their parent's report.
+#[derive(Debug)]
+pub struct DispatchMetrics {
+    /// Completed invocations.
+    pub invocations: AtomicU64,
+    /// Failed invocations.
+    pub failures: AtomicU64,
+    /// Compute tasks executed by completed invocations.
+    pub compute_tasks: AtomicU64,
+    /// Communication tasks executed by completed invocations.
+    pub communication_tasks: AtomicU64,
+    /// Invocations currently registered and not yet terminal.
+    pub inflight: AtomicU64,
+    /// End-to-end latency of completed invocations.
+    pub latency: Mutex<LatencyRecorder>,
+}
+
+impl Default for DispatchMetrics {
+    fn default() -> Self {
+        Self {
+            invocations: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            compute_tasks: AtomicU64::new(0),
+            communication_tasks: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            latency: Mutex::new(LatencyRecorder::new()),
+        }
+    }
+}
+
+/// Links a child invocation to the parent instance awaiting it.
+#[derive(Debug, Clone)]
+struct ParentLink {
+    invocation: InvocationId,
+    node: usize,
+    instance: usize,
+}
+
+/// The mutable half of an in-flight table entry.
+struct EntryInner {
+    status: InvocationStatus,
+    /// Dataflow state; dropped once the invocation settles.
+    dataflow: Option<InvocationState>,
+    report: InvocationReport,
+    /// Engine tasks plus child invocations currently outstanding.
+    outstanding: usize,
+    /// The settled result; `take`n by the first consumer.
+    outcome: Option<DandelionResult<InvocationOutcome>>,
+    parent: Option<ParentLink>,
+    started: Instant,
+    /// When the invocation last made progress (registered, or an instance
+    /// completed); the stall reaper fails invocations whose progress is
+    /// older than `function_timeout + engine_stall_grace`.
+    last_progress: Instant,
+}
+
+/// One invocation registered in the in-flight table.
+struct InvocationEntry {
+    composition: String,
+    inner: StdMutex<EntryInner>,
+    settled: Condvar,
+}
+
+impl InvocationEntry {
+    fn new(composition: String, state: InvocationState, parent: Option<ParentLink>) -> Self {
+        Self {
+            composition,
+            inner: StdMutex::new(EntryInner {
+                status: InvocationStatus::Queued,
+                dataflow: Some(state),
+                report: InvocationReport::default(),
+                outstanding: 0,
+                outcome: None,
+                parent,
+                started: Instant::now(),
+                last_progress: Instant::now(),
+            }),
+            settled: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EntryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The shared table of every invocation the dispatcher knows about:
+/// queued, running, and recently finished (retained for result polling up
+/// to the configured retention, after which polling reports not-found).
+struct InFlightTable {
+    entries: StdMutex<HashMap<u64, Arc<InvocationEntry>>>,
+    finished: StdMutex<VecDeque<u64>>,
+    retention: usize,
+}
+
+impl InFlightTable {
+    fn new(retention: usize) -> Self {
+        Self {
+            entries: StdMutex::new(HashMap::new()),
+            finished: StdMutex::new(VecDeque::new()),
+            retention: retention.max(1),
+        }
+    }
+
+    fn lock_entries(&self) -> MutexGuard<'_, HashMap<u64, Arc<InvocationEntry>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn insert(&self, id: InvocationId, entry: Arc<InvocationEntry>) {
+        self.lock_entries().insert(id.as_u64(), entry);
+    }
+
+    fn entry(&self, id: InvocationId) -> Option<Arc<InvocationEntry>> {
+        self.lock_entries().get(&id.as_u64()).cloned()
+    }
+
+    fn remove(&self, id: InvocationId) {
+        self.lock_entries().remove(&id.as_u64());
+    }
+
+    /// Records a settled invocation and expires the oldest retained results
+    /// beyond the retention limit.
+    fn mark_finished(&self, id: InvocationId) {
+        let expired: Vec<u64> = {
+            let mut finished = self.finished.lock().unwrap_or_else(PoisonError::into_inner);
+            finished.push_back(id.as_u64());
+            let excess = finished.len().saturating_sub(self.retention);
+            finished.drain(..excess).collect()
+        };
+        if !expired.is_empty() {
+            let mut entries = self.lock_entries();
+            for id in expired {
+                entries.remove(&id);
+            }
+        }
+    }
+
+    fn all_entries(&self) -> Vec<(InvocationId, Arc<InvocationEntry>)> {
+        self.lock_entries()
+            .iter()
+            .map(|(id, entry)| (InvocationId::from_raw(*id), Arc::clone(entry)))
+            .collect()
+    }
+}
+
+/// A handle to one submitted invocation.
+///
+/// The handle does not pin a thread: the invocation advances on the engine
+/// and driver threads whether or not anyone is watching. Results are
+/// consumed exactly once — the first successful [`try_result`] or [`wait`]
+/// takes the outcome and releases the table entry.
+///
+/// [`try_result`]: InvocationHandle::try_result
+/// [`wait`]: InvocationHandle::wait
+pub struct InvocationHandle {
+    id: InvocationId,
+    entry: Arc<InvocationEntry>,
+    table: Arc<InFlightTable>,
+}
+
+impl InvocationHandle {
+    /// The invocation's id, as reported by the v1 HTTP API.
+    pub fn id(&self) -> InvocationId {
+        self.id
+    }
+
+    /// The composition this invocation runs.
+    pub fn composition(&self) -> &str {
+        &self.entry.composition
+    }
+
+    /// The invocation's current lifecycle status.
+    pub fn status(&self) -> InvocationStatus {
+        self.entry.lock().status
+    }
+
+    /// Takes the result if the invocation has settled; `None` while it is
+    /// still queued/running (or if the result was already consumed).
+    pub fn try_result(&self) -> Option<DandelionResult<InvocationOutcome>> {
+        let outcome = {
+            let mut inner = self.entry.lock();
+            if !inner.status.is_terminal() {
+                return None;
+            }
+            inner.outcome.take()
+        };
+        if outcome.is_some() {
+            self.table.remove(self.id);
+        }
+        outcome
+    }
+
+    /// Blocks until the invocation settles and takes the result, releasing
+    /// the table entry.
+    ///
+    /// With a timeout, [`DandelionError::Timeout`] is returned if the
+    /// invocation has not settled in time; the invocation itself keeps
+    /// running and can still be waited on or polled afterwards.
+    pub fn wait(&self, timeout: Option<Duration>) -> DandelionResult<InvocationOutcome> {
+        let outcome = {
+            let mut inner = self.wait_settled(timeout)?;
+            inner.outcome.take()
+        };
+        self.table.remove(self.id);
+        outcome.unwrap_or_else(|| {
+            Err(DandelionError::Dispatch(
+                "invocation result was already taken".to_string(),
+            ))
+        })
+    }
+
+    /// Blocks until the invocation settles and returns a clone of the
+    /// result, leaving it retained for further polling (until retention
+    /// expiry). This is the non-consuming wait the client facade uses so
+    /// both its backends behave identically.
+    pub fn wait_snapshot(&self, timeout: Option<Duration>) -> DandelionResult<InvocationOutcome> {
+        let inner = self.wait_settled(timeout)?;
+        inner.outcome.clone().unwrap_or_else(|| {
+            Err(DandelionError::Dispatch(
+                "invocation result was already taken".to_string(),
+            ))
+        })
+    }
+
+    /// Waits until the entry is terminal and returns the guard.
+    fn wait_settled(
+        &self,
+        timeout: Option<Duration>,
+    ) -> DandelionResult<MutexGuard<'_, EntryInner>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut inner = self.entry.lock();
+        while !inner.status.is_terminal() {
+            match deadline {
+                None => {
+                    inner = self
+                        .entry
+                        .settled
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(DandelionError::Timeout {
+                            function: self.entry.composition.clone(),
+                            limit_ms: timeout.unwrap_or_default().as_millis() as u64,
+                        });
+                    }
+                    let (guard, _) = self
+                        .entry
+                        .settled
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                }
+            }
+        }
+        Ok(inner)
+    }
+}
+
+impl std::fmt::Debug for InvocationHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvocationHandle")
+            .field("id", &self.id)
+            .field("composition", &self.entry.composition)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+/// Work the driver (or a submitting client thread) still has to apply.
+///
+/// Completions and child spawns are queued instead of applied recursively so
+/// that only one entry lock is ever held at a time — a child that settles
+/// instantly produces a `Complete` item for its parent rather than locking
+/// the parent while the child is being advanced.
+enum WorkItem {
+    Complete {
+        invocation: InvocationId,
+        node: usize,
+        instance: usize,
+        outcome: DandelionResult<Vec<DataSet>>,
+        context_high_water: usize,
+        modeled_latency: Duration,
+        /// Present when the completion is a child invocation folding its
+        /// execution statistics into the parent.
+        child_report: Option<InvocationReport>,
+    },
+    SpawnChild {
+        parent: ParentLink,
+        graph: Arc<CompositionGraph>,
+        inputs: Vec<DataSet>,
+    },
+}
+
+impl WorkItem {
+    fn from_task_result(result: TaskResult) -> WorkItem {
+        WorkItem::Complete {
+            invocation: result.invocation,
+            node: result.node,
+            instance: result.instance,
+            outcome: result.outcome,
+            context_high_water: result.context_high_water,
+            modeled_latency: result.modeled_latency,
+            child_report: None,
+        }
+    }
+}
+
+struct DispatcherCore {
     registry: Arc<Registry>,
     compute_queue: TaskQueue,
     communication_queue: TaskQueue,
     config: WorkerConfig,
     rng: Mutex<SplitMix64>,
+    table: Arc<InFlightTable>,
+    results: Sender<TaskResult>,
+    metrics: Arc<DispatchMetrics>,
+    shutting_down: AtomicBool,
+}
+
+/// Routes ready function instances to engine queues and collects results.
+pub struct Dispatcher {
+    core: Arc<DispatcherCore>,
+    driver: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Dispatcher {
-    /// Creates a dispatcher submitting to the given queues.
+    /// Creates a dispatcher submitting to the given queues, with private
+    /// metrics.
     pub fn new(
         registry: Arc<Registry>,
         compute_queue: TaskQueue,
         communication_queue: TaskQueue,
         config: WorkerConfig,
     ) -> Self {
-        Self {
+        Self::with_metrics(
             registry,
             compute_queue,
             communication_queue,
             config,
+            Arc::new(DispatchMetrics::default()),
+        )
+    }
+
+    /// Creates a dispatcher that reports into the given shared metrics.
+    pub fn with_metrics(
+        registry: Arc<Registry>,
+        compute_queue: TaskQueue,
+        communication_queue: TaskQueue,
+        config: WorkerConfig,
+        metrics: Arc<DispatchMetrics>,
+    ) -> Self {
+        let (results_tx, results_rx) = unbounded::<TaskResult>();
+        let core = Arc::new(DispatcherCore {
+            registry,
+            compute_queue,
+            communication_queue,
+            table: Arc::new(InFlightTable::new(config.completed_retention)),
+            config,
             rng: Mutex::new(SplitMix64::new(0xDA4D_E110)),
+            results: results_tx,
+            metrics,
+            shutting_down: AtomicBool::new(false),
+        });
+        let driver_core = Arc::clone(&core);
+        let driver = std::thread::Builder::new()
+            .name("dandelion-dispatcher".to_string())
+            .spawn(move || driver_loop(driver_core, results_rx))
+            .expect("spawning the dispatcher driver thread");
+        Self {
+            core,
+            driver: Mutex::new(Some(driver)),
+        }
+    }
+
+    /// The metrics this dispatcher reports into.
+    pub fn metrics(&self) -> Arc<DispatchMetrics> {
+        Arc::clone(&self.core.metrics)
+    }
+
+    /// Registers an invocation of `graph` and returns a handle immediately.
+    ///
+    /// Errors are returned synchronously only for problems detectable at
+    /// submission time (invalid inputs, engine queues full, dispatcher shut
+    /// down); execution failures surface through the handle.
+    pub fn submit(
+        &self,
+        graph: Arc<CompositionGraph>,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<InvocationHandle> {
+        if self.core.shutting_down.load(Ordering::SeqCst) {
+            return Err(DandelionError::Cancelled);
+        }
+        match self.core.register(graph, inputs, None) {
+            Ok((id, entry, work)) => {
+                self.core.process(work);
+                // Shutdown may have raced with registration: the driver
+                // could have run its final cancellation sweep before this
+                // entry existed, in which case nothing would ever settle
+                // it. Re-check and cancel the fresh entry ourselves.
+                if self.core.shutting_down.load(Ordering::SeqCst) {
+                    self.core.cancel_entry(&entry);
+                    return Err(DandelionError::Cancelled);
+                }
+                // Engine-queue back-pressure during the initial submission
+                // is a synchronous, retryable condition, not an executed
+                // invocation: surface it here so clients see 429 instead of
+                // an accepted-then-failed handle. (The failure was already
+                // counted when the entry settled.)
+                {
+                    let mut inner = entry.lock();
+                    if matches!(
+                        inner.outcome,
+                        Some(Err(DandelionError::ResourceExhausted(_)))
+                    ) {
+                        let error = match inner.outcome.take() {
+                            Some(Err(error)) => error,
+                            _ => unreachable!("matched above"),
+                        };
+                        drop(inner);
+                        self.core.table.remove(id);
+                        return Err(error);
+                    }
+                }
+                Ok(InvocationHandle {
+                    id,
+                    entry,
+                    table: Arc::clone(&self.core.table),
+                })
+            }
+            Err(error) => {
+                self.core.metrics.failures.fetch_add(1, Ordering::Relaxed);
+                Err(error)
+            }
         }
     }
 
     /// Invokes a composition graph with the given inputs and waits for the
-    /// external outputs.
+    /// external outputs; equivalent to `submit(graph, inputs)?.wait(None)`.
     pub fn invoke(
         &self,
         graph: Arc<CompositionGraph>,
         inputs: Vec<DataSet>,
     ) -> DandelionResult<InvocationOutcome> {
-        let invocation_id = InvocationId::next();
-        let mut state = InvocationState::new(invocation_id, graph, inputs)?;
-        let mut report = InvocationReport::default();
-        let (reply, results) = unbounded::<TaskResult>();
-        let mut outstanding = 0usize;
-
-        let ready = state.ready_instances()?;
-        outstanding += self.submit_all(ready, invocation_id, &reply, &mut state, &mut report)?;
-
-        while outstanding > 0 {
-            let result = results
-                .recv_timeout(self.config.function_timeout + Duration::from_secs(30))
-                .map_err(|_| {
-                    DandelionError::Dispatch(
-                        "timed out waiting for engine results".to_string(),
-                    )
-                })?;
-            outstanding -= 1;
-            report.modeled_busy_time += result.modeled_latency;
-            report.peak_context_bytes += result.context_high_water;
-            let node_finished =
-                match state.complete_instance(result.node, result.instance, result.outcome) {
-                    Ok(finished) => finished,
-                    Err(error) => {
-                        // The invocation failed; remaining engine results are
-                        // dropped when `results` goes out of scope.
-                        return Err(error);
-                    }
-                };
-            if node_finished {
-                let ready = state.ready_instances()?;
-                outstanding +=
-                    self.submit_all(ready, invocation_id, &reply, &mut state, &mut report)?;
-            }
-        }
-
-        let outputs = state.external_outputs()?;
-        Ok(InvocationOutcome { outputs, report })
+        self.submit(graph, inputs)?.wait(None)
     }
 
-    /// Submits every ready instance; nested compositions are executed
-    /// recursively and completed inline. Returns the number of tasks now
-    /// outstanding on the engine queues.
-    fn submit_all(
+    /// A non-consuming view of an invocation in the in-flight table.
+    ///
+    /// Returns `None` for ids the table has never seen or whose retained
+    /// result has expired.
+    pub fn poll(&self, id: InvocationId) -> Option<InvocationSnapshot> {
+        let entry = self.core.table.entry(id)?;
+        let inner = entry.lock();
+        Some(InvocationSnapshot {
+            id,
+            composition: entry.composition.clone(),
+            status: inner.status,
+            outcome: inner.outcome.clone(),
+        })
+    }
+
+    /// Stops the driver thread; unsettled invocations fail with
+    /// [`DandelionError::Cancelled`].
+    pub fn shutdown(&self) {
+        self.core.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the driver promptly with a sentinel result for an id the
+        // table has never issued.
+        let _ = self.core.results.send(TaskResult {
+            invocation: InvocationId::from_raw(0),
+            node: 0,
+            instance: 0,
+            outcome: Err(DandelionError::Cancelled),
+            context_high_water: 0,
+            modeled_latency: Duration::ZERO,
+        });
+        if let Some(driver) = self.driver.lock().take() {
+            let _ = driver.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn driver_loop(core: Arc<DispatcherCore>, results: Receiver<TaskResult>) {
+    loop {
+        if core.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match results.recv_timeout(DRIVER_IDLE_INTERVAL) {
+            Ok(result) => core.process(vec![WorkItem::from_task_result(result)]),
+            Err(RecvTimeoutError::Timeout) => core.reap_stalled(),
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    core.cancel_unsettled();
+}
+
+impl DispatcherCore {
+    /// Creates and kicks off a (top-level or child) invocation. Returns the
+    /// entry plus deferred work items; the caller must [`process`] them.
+    ///
+    /// [`process`]: DispatcherCore::process
+    fn register(
         &self,
-        mut ready: Vec<InstanceSpec>,
-        invocation_id: InvocationId,
-        reply: &crossbeam::channel::Sender<TaskResult>,
-        state: &mut InvocationState,
-        report: &mut InvocationReport,
-    ) -> DandelionResult<usize> {
-        let mut outstanding = 0usize;
-        // Process the queue of ready instances; completing a nested
-        // composition inline can ready further instances, which are appended.
-        let mut index = 0;
-        while index < ready.len() {
-            let spec = ready[index].clone();
-            index += 1;
-            let vertex = self.registry.resolve(&spec.vertex).ok_or_else(|| {
-                DandelionError::NotFound {
+        graph: Arc<CompositionGraph>,
+        inputs: Vec<DataSet>,
+        parent: Option<ParentLink>,
+    ) -> DandelionResult<(InvocationId, Arc<InvocationEntry>, Vec<WorkItem>)> {
+        let id = InvocationId::next();
+        let state = InvocationState::new(id, Arc::clone(&graph), inputs)?;
+        let top_level = parent.is_none();
+        let entry = Arc::new(InvocationEntry::new(graph.name.clone(), state, parent));
+        if top_level {
+            self.metrics.inflight.fetch_add(1, Ordering::SeqCst);
+        }
+        self.table.insert(id, Arc::clone(&entry));
+        let mut inner = entry.lock();
+        inner.status = InvocationStatus::Running;
+        let work = self.advance(id, &entry, &mut inner, None);
+        drop(inner);
+        Ok((id, entry, work))
+    }
+
+    /// Applies queued work items until none remain. Holds at most one entry
+    /// lock at a time.
+    fn process(&self, items: Vec<WorkItem>) {
+        let mut queue: VecDeque<WorkItem> = items.into();
+        while let Some(item) = queue.pop_front() {
+            let more = match item {
+                WorkItem::Complete {
+                    invocation,
+                    node,
+                    instance,
+                    outcome,
+                    context_high_water,
+                    modeled_latency,
+                    child_report,
+                } => {
+                    // Unknown ids are results for abandoned or already
+                    // settled invocations; they are dropped.
+                    let Some(entry) = self.table.entry(invocation) else {
+                        continue;
+                    };
+                    let mut inner = entry.lock();
+                    self.advance(
+                        invocation,
+                        &entry,
+                        &mut inner,
+                        Some(Completion {
+                            node,
+                            instance,
+                            outcome,
+                            context_high_water,
+                            modeled_latency,
+                            child_report,
+                        }),
+                    )
+                }
+                WorkItem::SpawnChild {
+                    parent,
+                    graph,
+                    inputs,
+                } => match self.register(graph, inputs, Some(parent.clone())) {
+                    Ok((_, _, work)) => work,
+                    Err(error) => vec![WorkItem::Complete {
+                        invocation: parent.invocation,
+                        node: parent.node,
+                        instance: parent.instance,
+                        outcome: Err(error),
+                        context_high_water: 0,
+                        modeled_latency: Duration::ZERO,
+                        child_report: None,
+                    }],
+                },
+            };
+            queue.extend(more);
+        }
+    }
+
+    /// Advances one invocation: applies an instance completion (if any),
+    /// submits newly ready instances, and settles the invocation when its
+    /// dataflow has no work left. Returns deferred work for other entries.
+    fn advance(
+        &self,
+        id: InvocationId,
+        entry: &Arc<InvocationEntry>,
+        inner: &mut EntryInner,
+        completion: Option<Completion>,
+    ) -> Vec<WorkItem> {
+        let mut out = Vec::new();
+        if inner.status.is_terminal() {
+            return out;
+        }
+        let mut check_ready = completion.is_none();
+        if let Some(completion) = completion {
+            inner.last_progress = Instant::now();
+            inner.outstanding = inner.outstanding.saturating_sub(1);
+            inner.report.peak_context_bytes += completion.context_high_water;
+            inner.report.modeled_busy_time += completion.modeled_latency;
+            if let Some(child_report) = &completion.child_report {
+                inner.report.merge(child_report);
+            }
+            let dataflow = inner
+                .dataflow
+                .as_mut()
+                .expect("running invocations keep their dataflow state");
+            match dataflow.complete_instance(
+                completion.node,
+                completion.instance,
+                completion.outcome,
+            ) {
+                Ok(finished_node) => check_ready = finished_node,
+                Err(error) => {
+                    self.settle(id, entry, inner, Err(error), &mut out);
+                    return out;
+                }
+            }
+        }
+        if check_ready {
+            let ready = {
+                let dataflow = inner
+                    .dataflow
+                    .as_mut()
+                    .expect("running invocations keep their dataflow state");
+                match dataflow.ready_instances() {
+                    Ok(ready) => ready,
+                    Err(error) => {
+                        self.settle(id, entry, inner, Err(error), &mut out);
+                        return out;
+                    }
+                }
+            };
+            for spec in ready {
+                if let Err(error) = self.submit_instance(id, spec, inner, &mut out) {
+                    self.settle(id, entry, inner, Err(error), &mut out);
+                    return out;
+                }
+            }
+        }
+        let complete = inner.outstanding == 0
+            && inner
+                .dataflow
+                .as_ref()
+                .map(InvocationState::is_complete)
+                .unwrap_or(false);
+        if complete {
+            let outcome = inner
+                .dataflow
+                .as_ref()
+                .expect("checked above")
+                .external_outputs();
+            self.settle(id, entry, inner, outcome, &mut out);
+        }
+        out
+    }
+
+    /// Routes one ready instance: compute and communication instances go to
+    /// the engine queues, nested compositions become child invocations.
+    fn submit_instance(
+        &self,
+        id: InvocationId,
+        spec: InstanceSpec,
+        inner: &mut EntryInner,
+        out: &mut Vec<WorkItem>,
+    ) -> DandelionResult<()> {
+        let vertex =
+            self.registry
+                .resolve(&spec.vertex)
+                .ok_or_else(|| DandelionError::NotFound {
                     kind: "vertex",
                     name: spec.vertex.clone(),
-                }
-            })?;
-            match vertex {
-                Vertex::Compute(artifact) => {
-                    report.compute_tasks += 1;
-                    let cold_binary = self
-                        .rng
-                        .lock()
-                        .bernoulli(self.config.binary_cold_load_ratio);
-                    let task = Task {
-                        invocation: invocation_id,
+                })?;
+        match vertex {
+            Vertex::Compute(artifact) => {
+                inner.report.compute_tasks += 1;
+                let cold_binary = self
+                    .rng
+                    .lock()
+                    .bernoulli(self.config.binary_cold_load_ratio);
+                let task = Task {
+                    invocation: id,
+                    node: spec.node,
+                    instance: spec.instance,
+                    payload: TaskPayload::Compute {
+                        artifact,
+                        inputs: spec.inputs,
+                        cold_binary,
+                        timeout: self.config.function_timeout,
+                    },
+                    reply: self.results.clone(),
+                };
+                self.compute_queue.try_push(task).map_err(|_| {
+                    DandelionError::ResourceExhausted("compute queue full".to_string())
+                })?;
+                inner.outstanding += 1;
+            }
+            Vertex::Communication(_) => {
+                inner.report.communication_tasks += 1;
+                let response_set = spec
+                    .output_sets
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "Response".to_string());
+                let task = Task {
+                    invocation: id,
+                    node: spec.node,
+                    instance: spec.instance,
+                    payload: TaskPayload::Http {
+                        inputs: spec.inputs,
+                        response_set,
+                    },
+                    reply: self.results.clone(),
+                };
+                self.communication_queue.try_push(task).map_err(|_| {
+                    DandelionError::ResourceExhausted("communication queue full".to_string())
+                })?;
+                inner.outstanding += 1;
+            }
+            Vertex::Composition(nested) => {
+                // Nested composition: a child invocation in the same table,
+                // completing the parent instance when it settles.
+                inner.outstanding += 1;
+                out.push(WorkItem::SpawnChild {
+                    parent: ParentLink {
+                        invocation: id,
                         node: spec.node,
                         instance: spec.instance,
-                        payload: TaskPayload::Compute {
-                            artifact,
-                            inputs: spec.inputs,
-                            cold_binary,
-                            timeout: self.config.function_timeout,
-                        },
-                        reply: reply.clone(),
-                    };
-                    self.compute_queue.try_push(task).map_err(|_| {
-                        DandelionError::ResourceExhausted("compute queue full".to_string())
-                    })?;
-                    outstanding += 1;
-                }
-                Vertex::Communication(_) => {
-                    report.communication_tasks += 1;
-                    let response_set = spec
-                        .output_sets
-                        .first()
-                        .cloned()
-                        .unwrap_or_else(|| "Response".to_string());
-                    let task = Task {
-                        invocation: invocation_id,
-                        node: spec.node,
-                        instance: spec.instance,
-                        payload: TaskPayload::Http {
-                            inputs: spec.inputs,
-                            response_set,
-                        },
-                        reply: reply.clone(),
-                    };
-                    self.communication_queue.try_push(task).map_err(|_| {
-                        DandelionError::ResourceExhausted("communication queue full".to_string())
-                    })?;
-                    outstanding += 1;
-                }
-                Vertex::Composition(nested) => {
-                    // Nested composition: run it synchronously as its own
-                    // invocation and complete the instance inline.
-                    let nested_outcome = self.invoke(nested, spec.inputs)?;
-                    report.compute_tasks += nested_outcome.report.compute_tasks;
-                    report.communication_tasks += nested_outcome.report.communication_tasks;
-                    report.peak_context_bytes += nested_outcome.report.peak_context_bytes;
-                    report.modeled_busy_time += nested_outcome.report.modeled_busy_time;
-                    let finished = state.complete_instance(
-                        spec.node,
-                        spec.instance,
-                        Ok(nested_outcome.outputs),
-                    )?;
-                    if finished {
-                        ready.extend(state.ready_instances()?);
-                    }
-                }
+                    },
+                    graph: nested,
+                    inputs: spec.inputs,
+                });
             }
         }
-        Ok(outstanding)
+        Ok(())
     }
+
+    /// Settles an invocation: records the outcome, updates metrics for
+    /// top-level invocations, wakes waiters, and queues the parent's
+    /// completion for child invocations.
+    fn settle(
+        &self,
+        id: InvocationId,
+        entry: &Arc<InvocationEntry>,
+        inner: &mut EntryInner,
+        outcome: DandelionResult<Vec<DataSet>>,
+        out: &mut Vec<WorkItem>,
+    ) {
+        let result = outcome.map(|outputs| InvocationOutcome {
+            outputs,
+            report: inner.report.clone(),
+        });
+        let top_level = inner.parent.is_none();
+        if top_level {
+            match &result {
+                Ok(outcome) => {
+                    self.metrics.invocations.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .compute_tasks
+                        .fetch_add(outcome.report.compute_tasks as u64, Ordering::Relaxed);
+                    self.metrics
+                        .communication_tasks
+                        .fetch_add(outcome.report.communication_tasks as u64, Ordering::Relaxed);
+                    self.metrics.latency.lock().record(inner.started.elapsed());
+                }
+                Err(_) => {
+                    self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(parent) = inner.parent.take() {
+            out.push(WorkItem::Complete {
+                invocation: parent.invocation,
+                node: parent.node,
+                instance: parent.instance,
+                outcome: result
+                    .as_ref()
+                    .map(|o| o.outputs.clone())
+                    .map_err(Clone::clone),
+                context_high_water: 0,
+                modeled_latency: Duration::ZERO,
+                child_report: result.as_ref().ok().map(|o| o.report.clone()),
+            });
+        }
+        inner.status = if result.is_ok() {
+            InvocationStatus::Completed
+        } else {
+            InvocationStatus::Failed
+        };
+        inner.outcome = Some(result);
+        inner.dataflow = None;
+        entry.settled.notify_all();
+        self.table.mark_finished(id);
+    }
+
+    /// Fails every unsettled invocation; called when the driver stops.
+    fn cancel_unsettled(&self) {
+        for (_, entry) in self.table.all_entries() {
+            self.cancel_entry(&entry);
+        }
+    }
+
+    /// Fails invocations that have gone longer than
+    /// `function_timeout + engine_stall_grace` without any instance
+    /// completing. Engines time functions out themselves, so this only
+    /// fires if an engine reply is lost (e.g. an engine thread died);
+    /// without it, such an invocation would leave `wait(None)` callers
+    /// blocked forever.
+    fn reap_stalled(&self) {
+        let deadline = self.config.function_timeout + self.config.engine_stall_grace;
+        let mut work = Vec::new();
+        for (id, entry) in self.table.all_entries() {
+            let mut inner = entry.lock();
+            if inner.status.is_terminal() || inner.last_progress.elapsed() <= deadline {
+                continue;
+            }
+            self.settle(
+                id,
+                &entry,
+                &mut inner,
+                Err(DandelionError::Dispatch(
+                    "timed out waiting for engine results".to_string(),
+                )),
+                &mut work,
+            );
+        }
+        self.process(work);
+    }
+
+    /// Fails one invocation with [`DandelionError::Cancelled`]; a no-op if
+    /// it already settled.
+    fn cancel_entry(&self, entry: &Arc<InvocationEntry>) {
+        let mut inner = entry.lock();
+        if inner.status.is_terminal() {
+            return;
+        }
+        if inner.parent.is_none() {
+            self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        inner.status = InvocationStatus::Failed;
+        inner.outcome = Some(Err(DandelionError::Cancelled));
+        inner.dataflow = None;
+        entry.settled.notify_all();
+    }
+}
+
+/// A completed instance (engine result or child invocation) to fold into an
+/// invocation's dataflow state.
+struct Completion {
+    node: usize,
+    instance: usize,
+    outcome: DandelionResult<Vec<DataSet>>,
+    context_high_water: usize,
+    modeled_latency: Duration,
+    child_report: Option<InvocationReport>,
 }
 
 #[cfg(test)]
@@ -231,15 +1025,21 @@ mod tests {
     }
 
     fn harness() -> Harness {
+        harness_with_config(WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            ..WorkerConfig::default()
+        })
+    }
+
+    fn harness_with_config(config: WorkerConfig) -> Harness {
         let registry = Arc::new(Registry::new());
         let compute_queue = TaskQueue::new(EngineKind::Compute, 1024);
         let communication_queue = TaskQueue::new(EngineKind::Communication, 1024);
 
         let backend = create_backend(IsolationKind::Native, HardwarePlatform::Morello);
-        let compute_pool = EnginePool::new(
-            EngineExecutor::Compute { backend },
-            compute_queue.clone(),
-        );
+        let compute_pool =
+            EnginePool::new(EngineExecutor::Compute { backend }, compute_queue.clone());
         compute_pool.resize(2);
 
         let store = Arc::new(ObjectStore::new());
@@ -260,11 +1060,7 @@ mod tests {
             Arc::clone(&registry),
             compute_queue,
             communication_queue,
-            WorkerConfig {
-                total_cores: 4,
-                initial_communication_cores: 1,
-                ..WorkerConfig::default()
-            },
+            config,
         );
         Harness {
             dispatcher,
@@ -282,7 +1078,11 @@ mod tests {
                 "MakeRequests",
                 &["Requests"],
                 |ctx: &mut FunctionCtx| {
-                    let keys = ctx.single_input("Keys")?.as_str().unwrap_or_default().to_string();
+                    let keys = ctx
+                        .single_input("Keys")?
+                        .as_str()
+                        .unwrap_or_default()
+                        .to_string();
                     for (index, key) in keys.lines().enumerate() {
                         let request =
                             HttpRequest::get(format!("http://s3.internal/data/{key}")).to_bytes();
@@ -333,13 +1133,40 @@ mod tests {
         Arc::new(graph)
     }
 
+    fn register_copy_identity(registry: &Registry) -> Arc<CompositionGraph> {
+        registry
+            .register_function(FunctionArtifact::new(
+                "Copy",
+                &["Copied"],
+                |ctx: &mut FunctionCtx| {
+                    let data = ctx.single_input("Data")?.data.as_slice().to_vec();
+                    ctx.push_output_bytes("Copied", "copy", data)
+                },
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("Identity")
+            .input("In")
+            .output("Out")
+            .node("Copy", |node| {
+                node.bind("Data", Distribution::All, "In")
+                    .publish("Out", "Copied")
+            })
+            .build()
+            .unwrap();
+        registry.register_composition(graph.clone()).unwrap();
+        Arc::new(graph)
+    }
+
     #[test]
     fn end_to_end_compute_and_http_pipeline() {
         let harness = harness();
         let graph = register_fetch_concat(&harness.registry);
         let outcome = harness
             .dispatcher
-            .invoke(graph, vec![DataSet::single("Keys", b"a.txt\nb.txt".to_vec())])
+            .invoke(
+                graph,
+                vec![DataSet::single("Keys", b"a.txt\nb.txt".to_vec())],
+            )
             .unwrap();
         assert_eq!(outcome.outputs.len(), 1);
         assert_eq!(outcome.outputs[0].name, "Result");
@@ -351,7 +1178,7 @@ mod tests {
     }
 
     #[test]
-    fn nested_compositions_execute_recursively() {
+    fn nested_compositions_execute_as_child_invocations() {
         let harness = harness();
         let _inner = register_fetch_concat(&harness.registry);
         let outer = CompositionBuilder::new("Outer")
@@ -363,13 +1190,22 @@ mod tests {
             })
             .build()
             .unwrap();
-        harness.registry.register_composition(outer.clone()).unwrap();
+        harness
+            .registry
+            .register_composition(outer.clone())
+            .unwrap();
         let outcome = harness
             .dispatcher
-            .invoke(Arc::new(outer), vec![DataSet::single("Keys", b"a.txt".to_vec())])
+            .invoke(
+                Arc::new(outer),
+                vec![DataSet::single("Keys", b"a.txt".to_vec())],
+            )
             .unwrap();
         let text = String::from_utf8(outcome.outputs[0].items[0].data.as_slice().to_vec()).unwrap();
         assert_eq!(text, "alpha|");
+        // The child's tasks fold into the parent's report.
+        assert_eq!(outcome.report.compute_tasks, 2);
+        assert_eq!(outcome.report.communication_tasks, 1);
     }
 
     #[test]
@@ -387,11 +1223,15 @@ mod tests {
             .input("In")
             .output("Out")
             .node("Broken", |node| {
-                node.bind("x", Distribution::All, "In").publish("Out", "Out")
+                node.bind("x", Distribution::All, "In")
+                    .publish("Out", "Out")
             })
             .build()
             .unwrap();
-        harness.registry.register_composition(graph.clone()).unwrap();
+        harness
+            .registry
+            .register_composition(graph.clone())
+            .unwrap();
         let err = harness
             .dispatcher
             .invoke(Arc::new(graph), vec![DataSet::single("In", vec![1])])
@@ -408,8 +1248,7 @@ mod tests {
                 "BadRequests",
                 &["Requests"],
                 |ctx: &mut FunctionCtx| {
-                    let request =
-                        HttpRequest::get("http://unknown-host.internal/x").to_bytes();
+                    let request = HttpRequest::get("http://unknown-host.internal/x").to_bytes();
                     ctx.push_output_bytes("Requests", "r0", request)
                 },
             ))
@@ -449,7 +1288,10 @@ mod tests {
             })
             .build()
             .unwrap();
-        harness.registry.register_composition(graph.clone()).unwrap();
+        harness
+            .registry
+            .register_composition(graph.clone())
+            .unwrap();
         let outcome = harness
             .dispatcher
             .invoke(Arc::new(graph), vec![DataSet::single("Trigger", vec![1])])
@@ -475,5 +1317,261 @@ mod tests {
             .invoke(Arc::new(graph), vec![DataSet::single("In", vec![1])])
             .unwrap_err();
         assert!(matches!(err, DandelionError::NotFound { .. }));
+    }
+
+    #[test]
+    fn submit_returns_a_handle_that_settles() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handle = harness
+            .dispatcher
+            .submit(graph, vec![DataSet::single("In", b"ping".to_vec())])
+            .unwrap();
+        assert!(handle.id().as_u64() > 0);
+        assert_eq!(handle.composition(), "Identity");
+        let outcome = handle.wait(Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(outcome.outputs[0].items[0].as_str(), Some("ping"));
+        assert_eq!(handle.status(), InvocationStatus::Completed);
+        // The result was consumed by wait(); the entry is released.
+        assert!(handle.try_result().is_none());
+        assert!(harness.dispatcher.poll(handle.id()).is_none());
+    }
+
+    #[test]
+    fn try_result_is_nonblocking_and_consumes_once() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handle = harness
+            .dispatcher
+            .submit(graph, vec![DataSet::single("In", b"x".to_vec())])
+            .unwrap();
+        // Poll until settled without blocking.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let outcome = loop {
+            if let Some(outcome) = handle.try_result() {
+                break outcome;
+            }
+            assert!(Instant::now() < deadline, "invocation did not settle");
+            std::thread::yield_now();
+        };
+        assert_eq!(outcome.unwrap().outputs[0].items[0].as_str(), Some("x"));
+        assert!(handle.try_result().is_none());
+    }
+
+    #[test]
+    fn poll_reports_status_without_consuming() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handle = harness
+            .dispatcher
+            .submit(graph, vec![DataSet::single("In", b"peek".to_vec())])
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snapshot = harness
+                .dispatcher
+                .poll(handle.id())
+                .expect("still retained");
+            assert_eq!(snapshot.composition, "Identity");
+            if snapshot.status.is_terminal() {
+                let outcome = snapshot
+                    .outcome
+                    .expect("terminal snapshots carry the outcome");
+                assert_eq!(outcome.unwrap().outputs[0].items[0].as_str(), Some("peek"));
+                break;
+            }
+            assert!(Instant::now() < deadline, "invocation did not settle");
+            std::thread::yield_now();
+        }
+        // Polling is non-consuming: the snapshot can be taken repeatedly.
+        assert!(harness.dispatcher.poll(handle.id()).is_some());
+    }
+
+    #[test]
+    fn polling_unknown_ids_returns_none() {
+        let harness = harness();
+        assert!(harness
+            .dispatcher
+            .poll(InvocationId::from_raw(u64::MAX))
+            .is_none());
+    }
+
+    #[test]
+    fn finished_invocations_expire_beyond_retention() {
+        let harness = harness_with_config(WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            completed_retention: 2,
+            ..WorkerConfig::default()
+        });
+        let graph = register_copy_identity(&harness.registry);
+        let handles: Vec<InvocationHandle> = (0..3)
+            .map(|index| {
+                let handle = harness
+                    .dispatcher
+                    .submit(
+                        Arc::clone(&graph),
+                        vec![DataSet::single("In", vec![index as u8])],
+                    )
+                    .unwrap();
+                // Settle each one before the next so eviction order is
+                // deterministic.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !handle.status().is_terminal() {
+                    assert!(Instant::now() < deadline);
+                    std::thread::yield_now();
+                }
+                handle
+            })
+            .collect();
+        // Retention is 2: the oldest finished invocation has been expired.
+        assert!(harness.dispatcher.poll(handles[0].id()).is_none());
+        assert!(harness.dispatcher.poll(handles[1].id()).is_some());
+        assert!(harness.dispatcher.poll(handles[2].id()).is_some());
+    }
+
+    #[test]
+    fn many_concurrent_submissions_settle_independently() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handles: Vec<InvocationHandle> = (0..16)
+            .map(|index| {
+                harness
+                    .dispatcher
+                    .submit(
+                        Arc::clone(&graph),
+                        vec![DataSet::single("In", format!("m{index}").into_bytes())],
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for (index, handle) in handles.iter().enumerate() {
+            let outcome = handle.wait(Some(Duration::from_secs(10))).unwrap();
+            assert_eq!(
+                outcome.outputs[0].items[0].as_str(),
+                Some(format!("m{index}").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn queue_back_pressure_is_a_synchronous_submit_error() {
+        // Zero-capacity queues: every try_push is rejected, emulating a
+        // fully backed-up worker.
+        let registry = Arc::new(Registry::new());
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&registry),
+            TaskQueue::new(EngineKind::Compute, 0),
+            TaskQueue::new(EngineKind::Communication, 0),
+            WorkerConfig {
+                total_cores: 4,
+                initial_communication_cores: 1,
+                ..WorkerConfig::default()
+            },
+        );
+        let graph = register_copy_identity(&registry);
+        let err = dispatcher
+            .submit(graph, vec![DataSet::single("In", vec![1])])
+            .unwrap_err();
+        assert!(
+            matches!(err, DandelionError::ResourceExhausted(_)),
+            "expected back-pressure, got {err:?}"
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn stalled_invocations_are_reaped_instead_of_hanging_waiters() {
+        // No engines at all: the submitted task sits on the queue forever,
+        // emulating a lost engine reply. The driver's stall reaper must
+        // fail the invocation after function_timeout + engine_stall_grace.
+        let registry = Arc::new(Registry::new());
+        let compute_queue = TaskQueue::new(EngineKind::Compute, 1024);
+        let communication_queue = TaskQueue::new(EngineKind::Communication, 1024);
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&registry),
+            compute_queue,
+            communication_queue,
+            WorkerConfig {
+                total_cores: 4,
+                initial_communication_cores: 1,
+                function_timeout: Duration::from_millis(100),
+                engine_stall_grace: Duration::from_millis(100),
+                ..WorkerConfig::default()
+            },
+        );
+        let graph = register_copy_identity(&registry);
+        let handle = dispatcher
+            .submit(graph, vec![DataSet::single("In", vec![1])])
+            .unwrap();
+        let err = handle.wait(Some(Duration::from_secs(10))).unwrap_err();
+        assert!(
+            matches!(&err, DandelionError::Dispatch(message) if message.contains("timed out")),
+            "expected the stall reaper's dispatch timeout, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn wait_snapshot_leaves_the_result_retained() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handle = harness
+            .dispatcher
+            .submit(graph, vec![DataSet::single("In", b"keep".to_vec())])
+            .unwrap();
+        let first = handle.wait_snapshot(Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(first.outputs[0].items[0].as_str(), Some("keep"));
+        // Non-consuming: a second wait and a poll both still see it.
+        let second = handle.wait_snapshot(Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(second.outputs[0].items[0].as_str(), Some("keep"));
+        assert!(harness.dispatcher.poll(handle.id()).is_some());
+    }
+
+    #[test]
+    fn shutdown_cancels_unsettled_invocations() {
+        let harness = harness();
+        harness
+            .registry
+            .register_function(FunctionArtifact::new(
+                "Slow",
+                &["Out"],
+                |ctx: &mut FunctionCtx| {
+                    std::thread::sleep(Duration::from_millis(300));
+                    ctx.push_output_bytes("Out", "o", vec![1])
+                },
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("Sleepy")
+            .input("In")
+            .output("Out")
+            .node("Slow", |node| {
+                node.bind("x", Distribution::All, "In")
+                    .publish("Out", "Out")
+            })
+            .build()
+            .unwrap();
+        harness
+            .registry
+            .register_composition(graph.clone())
+            .unwrap();
+        let handle = harness
+            .dispatcher
+            .submit(Arc::new(graph), vec![DataSet::single("In", vec![1])])
+            .unwrap();
+        harness.dispatcher.shutdown();
+        let result = handle.wait(Some(Duration::from_secs(5)));
+        // Either the task squeaked through before the driver stopped or the
+        // invocation was cancelled; it must not hang or panic.
+        if let Err(error) = result {
+            assert_eq!(error, DandelionError::Cancelled);
+        }
+        // New submissions are rejected after shutdown.
+        let graph2 = register_copy_identity(&harness.registry);
+        assert!(matches!(
+            harness
+                .dispatcher
+                .submit(graph2, vec![DataSet::single("In", vec![2])]),
+            Err(DandelionError::Cancelled)
+        ));
     }
 }

@@ -28,10 +28,6 @@ use parking_lot::Mutex;
 
 use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
 
-/// How long an idle engine waits on its queue before re-checking for
-/// shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
-
 /// The execution capability shared by every engine of a pool.
 #[derive(Clone)]
 pub enum EngineExecutor {
@@ -91,11 +87,7 @@ impl EngineExecutor {
                 let (set, latency) = execute_http(inputs, response_set, registry, policy);
                 (Ok(vec![set]), 0, latency)
             }
-            (TaskPayload::Shutdown, _) => (
-                Err(DandelionError::Cancelled),
-                0,
-                Duration::ZERO,
-            ),
+            (TaskPayload::Shutdown, _) => (Err(DandelionError::Cancelled), 0, Duration::ZERO),
             (payload, executor) => (
                 Err(DandelionError::Dispatch(format!(
                     "task of kind {:?} routed to {} engine",
@@ -150,7 +142,8 @@ fn execute_http(
                 }
             };
             max_latency = max_latency.max(latency);
-            let mut response_item = DataItem::new(format!("response-{}", item.name), response_bytes);
+            let mut response_item =
+                DataItem::new(format!("response-{}", item.name), response_bytes);
             response_item.key = item.key.clone();
             responses.push(response_item);
         }
@@ -167,6 +160,10 @@ pub struct EnginePool {
     handles: Mutex<Vec<JoinHandle<()>>>,
     active: Arc<AtomicUsize>,
     started_total: AtomicUsize,
+    /// The engine count the pool is converging to. Tracked separately from
+    /// `active` so that a shrink immediately followed by a grow accounts for
+    /// shutdown markers that no engine has consumed yet.
+    desired: Mutex<usize>,
 }
 
 impl EnginePool {
@@ -178,6 +175,7 @@ impl EnginePool {
             handles: Mutex::new(Vec::new()),
             active: Arc::new(AtomicUsize::new(0)),
             started_total: AtomicUsize::new(0),
+            desired: Mutex::new(0),
         }
     }
 
@@ -204,9 +202,15 @@ impl EnginePool {
     /// Grows or shrinks the pool to `target` engines.
     ///
     /// Growing spawns new engine threads immediately; shrinking enqueues
-    /// shutdown markers which the next idle engines consume.
+    /// shutdown markers which the next engines to reach the queue consume.
+    /// Because markers travel through the FIFO queue *behind* already-queued
+    /// work, shrinking never drops queued tasks, and because the delta is
+    /// computed against the desired count (not the live thread count), a
+    /// shrink immediately followed by a grow converges to the grow target
+    /// even while markers are still in flight.
     pub fn resize(&self, target: usize) {
-        let current = self.engine_count();
+        let mut desired = self.desired.lock();
+        let current = *desired;
         if target > current {
             for _ in current..target {
                 self.spawn_engine();
@@ -223,6 +227,7 @@ impl EnginePool {
                 });
             }
         }
+        *desired = target;
     }
 
     fn spawn_engine(&self) {
@@ -234,10 +239,9 @@ impl EnginePool {
         let handle = std::thread::Builder::new()
             .name(format!("dandelion-{}-engine", executor.kind()))
             .spawn(move || {
-                loop {
-                    let Some(task) = queue.pop(POLL_INTERVAL) else {
-                        continue;
-                    };
+                // Block on the queue; a shutdown marker (or queue teardown)
+                // ends the engine, so no idle polling is needed.
+                while let Some(task) = queue.pop_wait() {
                     if matches!(task.payload, TaskPayload::Shutdown) {
                         break;
                     }
@@ -401,6 +405,85 @@ mod tests {
         let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(result.outcome, Err(DandelionError::Dispatch(_))));
         pool.shutdown();
+    }
+
+    #[test]
+    fn shrink_delivers_shutdown_markers_without_polling() {
+        let pool = compute_pool();
+        pool.resize(3);
+        assert_eq!(pool.engine_count(), 3);
+        // Shrinking enqueues exactly the marker delta: the pool settles on
+        // the target without any engine busy-waiting (engines park on the
+        // queue's condition variable until a marker or task arrives).
+        pool.resize(1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.engine_count() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.engine_count(), 1);
+        // No marker is left over: a task pushed now is executed, not eaten
+        // by a stale shutdown marker.
+        let (reply, results) = unbounded();
+        pool.queue().push(Task {
+            invocation: InvocationId::from_raw(9),
+            node: 0,
+            instance: 0,
+            payload: TaskPayload::Compute {
+                artifact: echo_artifact(),
+                inputs: vec![DataSet::single("in", b"alive".to_vec())],
+                cold_binary: false,
+                timeout: Duration::from_secs(5),
+            },
+            reply,
+        });
+        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(result.outcome.is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shrink_then_grow_never_loses_queued_tasks() {
+        let pool = compute_pool();
+        pool.resize(2);
+        let (reply, results) = unbounded();
+        let total = 50usize;
+        for index in 0..total {
+            pool.queue().push(Task {
+                invocation: InvocationId::from_raw(11),
+                node: 0,
+                instance: index,
+                payload: TaskPayload::Compute {
+                    artifact: echo_artifact(),
+                    inputs: vec![DataSet::single("in", format!("t{index}").into_bytes())],
+                    cold_binary: false,
+                    timeout: Duration::from_secs(5),
+                },
+                reply: reply.clone(),
+            });
+        }
+        // Shrink while the queue is full, then immediately grow again. The
+        // grow is computed against the desired count, so the pool converges
+        // back to 3 engines even though the shutdown markers from the
+        // shrink are still queued behind the tasks.
+        pool.resize(1);
+        pool.resize(3);
+        let mut instances: Vec<usize> = (0..total)
+            .map(|_| {
+                results
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("every queued task completes")
+                    .instance
+            })
+            .collect();
+        instances.sort_unstable();
+        assert_eq!(instances, (0..total).collect::<Vec<_>>());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.engine_count() != 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.engine_count(), 3);
+        pool.shutdown();
+        assert_eq!(pool.engine_count(), 0);
     }
 
     #[test]

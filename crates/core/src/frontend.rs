@@ -8,29 +8,94 @@
 //! The frontend is transport-agnostic: it maps [`HttpRequest`]s to worker
 //! operations and produces [`HttpResponse`]s. Examples and tests drive it
 //! directly; a deployment would put a socket listener in front of it.
+//! Request targets are parsed with [`dandelion_http::Uri`] (absolute-form
+//! and origin-form both work); query strings are rejected on every endpoint.
 //!
-//! Endpoints:
+//! # v1 JSON API
 //!
-//! * `POST /v1/compositions` — register a composition; the body is DSL text.
-//! * `GET /v1/compositions` — list registered compositions.
-//! * `POST /v1/invoke/{name}` — invoke a composition. With
-//!   `Content-Type: application/x-dandelion-sets` the body is the binary
-//!   set-list descriptor (the same format functions use for their outputs);
-//!   otherwise the raw body becomes the single item of the composition's
-//!   first external input.
-//! * `GET /v1/stats` — worker statistics in a plain-text format.
-//! * `GET /healthz` — liveness probe.
+//! | Method & path | Purpose | Success |
+//! |---|---|---|
+//! | `GET /healthz` | Liveness probe | `200`, plain `ok` |
+//! | `GET /v1/compositions` | List registered compositions | `200`, `{"compositions": [..]}` |
+//! | `POST /v1/compositions` | Register a composition (body: DSL text) | `201`, `{"name": ".."}` |
+//! | `POST /v1/invocations/{name}` | Submit an invocation (non-blocking) | `202`, `{"invocation_id": "inv-N", "status": "..", "href": ".."}` |
+//! | `GET /v1/invocations/{id}` | Poll status/result of an invocation | `200`, status document (see below) |
+//! | `POST /v1/invoke/{name}` | Synchronous invocation (compatibility) | `200`, raw output bytes |
+//! | `GET /v1/stats` | Worker statistics | `200`, JSON object |
+//!
+//! Invocation inputs (for both invocation endpoints): with
+//! `Content-Type: application/x-dandelion-sets` the body is the binary
+//! set-list descriptor (the same format functions use for their outputs);
+//! otherwise the raw body becomes the single item of the composition's first
+//! external input.
+//!
+//! The status document carries `invocation_id`, `composition` and `status`
+//! (`queued` | `running` | `completed` | `failed`); once completed it adds
+//! `outputs` (sets of base64-encoded items) and a `report`, and once failed
+//! it adds the error object. Results are retained for polling up to the
+//! worker's `completed_retention`; polling an unknown or expired id yields
+//! `404` with code `not_found`.
+//!
+//! Every error is a structured JSON body with a stable machine-readable
+//! code derived from [`DandelionError::code`]:
+//! `{"error": {"code": "..", "message": "..", "retryable": bool}}`.
 
 use std::sync::Arc;
 
-use dandelion_common::{DataSet, DandelionError};
-use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode};
+use dandelion_common::encoding::base64_encode;
+use dandelion_common::{DandelionError, DataSet, InvocationId, JsonValue};
+use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
 use dandelion_isolation::output_parser;
 
+use crate::dispatcher::{InvocationOutcome, InvocationSnapshot};
 use crate::worker::WorkerNode;
 
 /// Content type for binary-encoded set lists.
 pub const SET_LIST_CONTENT_TYPE: &str = "application/x-dandelion-sets";
+
+/// Content type for JSON documents.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// The typed routes of the frontend, as resolved by [`Route::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Route {
+    Health,
+    ListCompositions,
+    RegisterComposition,
+    Stats,
+    InvokeSync(String),
+    SubmitInvocation(String),
+    PollInvocation(String),
+}
+
+impl Route {
+    /// Resolves a method and an already-parsed URI path to a route.
+    fn resolve(method: Method, path: &str) -> Result<Route, HttpResponse> {
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let route = match (method, segments.as_slice()) {
+            (Method::Get, ["healthz"]) => Route::Health,
+            (Method::Get, ["v1", "compositions"]) => Route::ListCompositions,
+            (Method::Post, ["v1", "compositions"]) => Route::RegisterComposition,
+            (Method::Get, ["v1", "stats"]) => Route::Stats,
+            (Method::Post, ["v1", "invoke", name]) if !name.is_empty() => {
+                Route::InvokeSync((*name).to_string())
+            }
+            (Method::Post, ["v1", "invocations", name]) if !name.is_empty() => {
+                Route::SubmitInvocation((*name).to_string())
+            }
+            (Method::Get, ["v1", "invocations", id]) if !id.is_empty() => {
+                Route::PollInvocation((*id).to_string())
+            }
+            _ => {
+                return Err(error_response(&DandelionError::NotFound {
+                    kind: "endpoint",
+                    name: path.to_string(),
+                }))
+            }
+        };
+        Ok(route)
+    }
+}
 
 /// The HTTP frontend of a worker node.
 pub struct Frontend {
@@ -43,61 +108,132 @@ impl Frontend {
         Self { worker }
     }
 
+    /// The worker behind this frontend.
+    pub fn worker(&self) -> &Arc<WorkerNode> {
+        &self.worker
+    }
+
     /// Handles one client request.
     pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
-        let path = request
-            .target
-            .split_once("://")
-            .map(|(_, rest)| rest.split_once('/').map(|(_, p)| format!("/{p}")))
-            .unwrap_or(None)
-            .unwrap_or_else(|| request.target.clone());
-        let path = path.split('?').next().unwrap_or(&path).to_string();
-
-        match (request.method, path.as_str()) {
-            (Method::Get, "/healthz") => HttpResponse::ok(b"ok".to_vec()),
-            (Method::Get, "/v1/compositions") => {
-                let names = self.worker.registry().composition_names().join("\n");
-                HttpResponse::ok(names.into_bytes())
+        let Some(uri) = Uri::parse(&request.target) else {
+            return error_response(&DandelionError::InvalidRequest(format!(
+                "unparseable request target `{}`",
+                request.target
+            )));
+        };
+        if let Some(query) = &uri.query {
+            return error_response(&DandelionError::InvalidRequest(format!(
+                "query strings are not accepted (got `?{query}`)"
+            )));
+        }
+        let route = match Route::resolve(request.method, &uri.path) {
+            Ok(route) => route,
+            Err(response) => return response,
+        };
+        match route {
+            Route::Health => HttpResponse::ok(b"ok".to_vec()),
+            Route::ListCompositions => {
+                let names = self.worker.registry().composition_names();
+                json_response(
+                    StatusCode::OK,
+                    &JsonValue::object([(
+                        "compositions",
+                        JsonValue::array(names.into_iter().map(JsonValue::string)),
+                    )]),
+                )
             }
-            (Method::Post, "/v1/compositions") => self.register_composition(request),
-            (Method::Get, "/v1/stats") => self.stats(),
-            (Method::Post, path) if path.starts_with("/v1/invoke/") => {
-                let name = path.trim_start_matches("/v1/invoke/").to_string();
-                self.invoke(&name, request)
-            }
-            _ => HttpResponse::error(StatusCode::NOT_FOUND, "unknown endpoint"),
+            Route::RegisterComposition => self.register_composition(request),
+            Route::Stats => self.stats(),
+            Route::InvokeSync(name) => self.invoke_sync(&name, request),
+            Route::SubmitInvocation(name) => self.submit_invocation(&name, request),
+            Route::PollInvocation(id) => self.poll_invocation(&id),
         }
     }
 
     fn register_composition(&self, request: &HttpRequest) -> HttpResponse {
         let source = String::from_utf8_lossy(&request.body);
         match self.worker.register_composition_dsl(&source) {
-            Ok(name) => HttpResponse::new(StatusCode::CREATED, name.into_bytes()),
+            Ok(name) => json_response(
+                StatusCode::CREATED,
+                &JsonValue::object([("name", JsonValue::string(name))]),
+            ),
             Err(err) => error_response(&err),
         }
     }
 
     fn stats(&self) -> HttpResponse {
         let stats = self.worker.stats();
-        let body = format!(
-            "invocations: {}\nfailures: {}\ncompute_tasks: {}\ncommunication_tasks: {}\n\
-             compute_cores: {}\ncommunication_cores: {}\ncompute_queue: {}\ncommunication_queue: {}\n\
-             p50_ms: {:.3}\np99_ms: {:.3}\n",
-            stats.invocations,
-            stats.failures,
-            stats.compute_tasks,
-            stats.communication_tasks,
-            stats.compute_cores,
-            stats.communication_cores,
-            stats.compute_queue_depth,
-            stats.communication_queue_depth,
-            stats.latency.p50_ms(),
-            stats.latency.p99_ms(),
-        );
-        HttpResponse::ok(body.into_bytes())
+        json_response(
+            StatusCode::OK,
+            &JsonValue::object([
+                ("invocations", JsonValue::from(stats.invocations)),
+                ("failures", JsonValue::from(stats.failures)),
+                ("compute_tasks", JsonValue::from(stats.compute_tasks)),
+                (
+                    "communication_tasks",
+                    JsonValue::from(stats.communication_tasks),
+                ),
+                ("compute_cores", JsonValue::from(stats.compute_cores)),
+                (
+                    "communication_cores",
+                    JsonValue::from(stats.communication_cores),
+                ),
+                (
+                    "compute_queue_depth",
+                    JsonValue::from(stats.compute_queue_depth),
+                ),
+                (
+                    "communication_queue_depth",
+                    JsonValue::from(stats.communication_queue_depth),
+                ),
+                ("p50_ms", JsonValue::from(stats.latency.p50_ms())),
+                ("p99_ms", JsonValue::from(stats.latency.p99_ms())),
+            ]),
+        )
     }
 
-    fn invoke(&self, name: &str, request: &HttpRequest) -> HttpResponse {
+    /// `POST /v1/invocations/{name}`: submit and return `202 Accepted` with
+    /// the invocation id; the client polls `GET /v1/invocations/{id}`.
+    fn submit_invocation(&self, name: &str, request: &HttpRequest) -> HttpResponse {
+        let inputs = match self.decode_inputs(name, request) {
+            Ok(inputs) => inputs,
+            Err(response) => return response,
+        };
+        match self.worker.submit(name, inputs) {
+            Ok(handle) => json_response(
+                StatusCode::ACCEPTED,
+                &JsonValue::object([
+                    ("invocation_id", JsonValue::string(handle.id().to_string())),
+                    ("status", JsonValue::string(handle.status().as_str())),
+                    (
+                        "href",
+                        JsonValue::string(format!("/v1/invocations/{}", handle.id())),
+                    ),
+                ]),
+            ),
+            Err(err) => error_response(&err),
+        }
+    }
+
+    /// `GET /v1/invocations/{id}`: non-consuming status/result polling.
+    fn poll_invocation(&self, id_text: &str) -> HttpResponse {
+        let Some(id) = InvocationId::parse(id_text) else {
+            return error_response(&DandelionError::InvalidRequest(format!(
+                "malformed invocation id `{id_text}`"
+            )));
+        };
+        match self.worker.poll(id) {
+            Some(snapshot) => json_response(StatusCode::OK, &snapshot_json(&snapshot)),
+            None => error_response(&DandelionError::NotFound {
+                kind: "invocation",
+                name: id.to_string(),
+            }),
+        }
+    }
+
+    /// `POST /v1/invoke/{name}`: the synchronous compatibility path; blocks
+    /// until the composition finishes and returns the output bytes directly.
+    fn invoke_sync(&self, name: &str, request: &HttpRequest) -> HttpResponse {
         let inputs = match self.decode_inputs(name, request) {
             Ok(inputs) => inputs,
             Err(response) => return response,
@@ -115,8 +251,7 @@ impl Frontend {
     ) -> Result<Vec<DataSet>, HttpResponse> {
         let content_type = request.headers.get("content-type").unwrap_or("");
         if content_type == SET_LIST_CONTENT_TYPE {
-            return output_parser::parse_outputs(&request.body)
-                .map_err(|err| error_response(&err));
+            return output_parser::parse_outputs(&request.body).map_err(|err| error_response(&err));
         }
         // Raw body → single item of the composition's first external input.
         let graph = self
@@ -134,12 +269,107 @@ impl Frontend {
     }
 }
 
-fn error_response(err: &DandelionError) -> HttpResponse {
-    HttpResponse::error(StatusCode(err.status_code()), &err.to_string())
+fn json_response(status: StatusCode, value: &JsonValue) -> HttpResponse {
+    HttpResponse::new(status, value.to_string().into_bytes())
+        .with_header("Content-Type", JSON_CONTENT_TYPE)
 }
 
-/// Encodes a set list as the invoke response: a single item of a single set
-/// is returned raw; anything else uses the binary set-list descriptor.
+/// Structured JSON error body with a stable machine-readable code.
+fn error_response(err: &DandelionError) -> HttpResponse {
+    json_response(
+        StatusCode(err.status_code()),
+        &JsonValue::object([("error", error_json(err))]),
+    )
+}
+
+/// The wire-format error object shared by error responses and failed
+/// invocations' status documents.
+fn error_json(err: &DandelionError) -> JsonValue {
+    JsonValue::object([
+        ("code", JsonValue::string(err.code())),
+        ("message", JsonValue::string(err.to_string())),
+        ("retryable", JsonValue::from(err.is_retryable())),
+    ])
+}
+
+/// Renders outputs as JSON sets with base64-encoded item payloads.
+pub(crate) fn outputs_json(outputs: &[DataSet]) -> JsonValue {
+    JsonValue::array(outputs.iter().map(|set| {
+        JsonValue::object([
+            ("set", JsonValue::string(set.name.clone())),
+            (
+                "items",
+                JsonValue::array(set.items.iter().map(|item| {
+                    let mut pairs = vec![
+                        ("name".to_string(), JsonValue::string(item.name.clone())),
+                        (
+                            "data_base64".to_string(),
+                            JsonValue::string(base64_encode(item.data.as_slice())),
+                        ),
+                    ];
+                    if let Some(key) = &item.key {
+                        pairs.push(("key".to_string(), JsonValue::string(key.clone())));
+                    }
+                    JsonValue::Object(pairs)
+                })),
+            ),
+        ])
+    }))
+}
+
+fn report_json(outcome: &InvocationOutcome) -> JsonValue {
+    JsonValue::object([
+        (
+            "compute_tasks",
+            JsonValue::from(outcome.report.compute_tasks),
+        ),
+        (
+            "communication_tasks",
+            JsonValue::from(outcome.report.communication_tasks),
+        ),
+        (
+            "peak_context_bytes",
+            JsonValue::from(outcome.report.peak_context_bytes),
+        ),
+        (
+            "modeled_busy_us",
+            JsonValue::from(outcome.report.modeled_busy_time.as_micros() as u64),
+        ),
+    ])
+}
+
+/// Renders an invocation snapshot as the v1 status document.
+fn snapshot_json(snapshot: &InvocationSnapshot) -> JsonValue {
+    let mut pairs = vec![
+        (
+            "invocation_id".to_string(),
+            JsonValue::string(snapshot.id.to_string()),
+        ),
+        (
+            "composition".to_string(),
+            JsonValue::string(snapshot.composition.clone()),
+        ),
+        (
+            "status".to_string(),
+            JsonValue::string(snapshot.status.as_str()),
+        ),
+    ];
+    match &snapshot.outcome {
+        Some(Ok(outcome)) => {
+            pairs.push(("outputs".to_string(), outputs_json(&outcome.outputs)));
+            pairs.push(("report".to_string(), report_json(outcome)));
+        }
+        Some(Err(err)) => {
+            pairs.push(("error".to_string(), error_json(err)));
+        }
+        None => {}
+    }
+    JsonValue::Object(pairs)
+}
+
+/// Encodes a set list as the synchronous invoke response: a single item of a
+/// single set is returned raw; anything else uses the binary set-list
+/// descriptor.
 fn encode_outputs_response(outputs: &[DataSet]) -> HttpResponse {
     if outputs.len() == 1 && outputs[0].len() == 1 {
         return HttpResponse::ok(outputs[0].items[0].data.as_slice().to_vec())
@@ -154,8 +384,10 @@ mod tests {
     use super::*;
     use crate::worker::{default_test_services, WorkerNode};
     use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_common::encoding::base64_decode;
     use dandelion_common::DataItem;
     use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+    use std::time::{Duration, Instant};
 
     fn frontend() -> Frontend {
         let config = WorkerConfig {
@@ -171,7 +403,11 @@ mod tests {
                 "Upper",
                 &["Out"],
                 |ctx: &mut FunctionCtx| {
-                    let text = ctx.single_input("Text")?.as_str().unwrap_or("").to_uppercase();
+                    let text = ctx
+                        .single_input("Text")?
+                        .as_str()
+                        .unwrap_or("")
+                        .to_uppercase();
                     ctx.push_output_bytes("Out", "upper", text.into_bytes())
                 },
             ))
@@ -182,13 +418,25 @@ mod tests {
     const UPPER_DSL: &str =
         "composition Shout(Input) => Output { Upper(Text = all Input) => (Output = Out); }";
 
+    fn body_json(response: &HttpResponse) -> JsonValue {
+        JsonValue::parse(&response.body_text()).expect("response body is JSON")
+    }
+
     #[test]
     fn health_and_listing() {
         let frontend = frontend();
         let health = frontend.handle(&HttpRequest::get("http://worker/healthz"));
         assert_eq!(health.status, StatusCode::OK);
+        assert_eq!(health.body_text(), "ok");
         let empty = frontend.handle(&HttpRequest::get("http://worker/v1/compositions"));
-        assert_eq!(empty.body_text(), "");
+        assert_eq!(empty.status, StatusCode::OK);
+        assert_eq!(
+            body_json(&empty)
+                .get("compositions")
+                .and_then(|c| c.as_array())
+                .map(<[JsonValue]>::len),
+            Some(0)
+        );
     }
 
     #[test]
@@ -199,10 +447,13 @@ mod tests {
             UPPER_DSL.as_bytes().to_vec(),
         ));
         assert_eq!(register.status, StatusCode::CREATED);
-        assert_eq!(register.body_text(), "Shout");
+        assert_eq!(
+            body_json(&register).get("name").and_then(JsonValue::as_str),
+            Some("Shout")
+        );
 
         let listing = frontend.handle(&HttpRequest::get("http://worker/v1/compositions"));
-        assert_eq!(listing.body_text(), "Shout");
+        assert!(listing.body_text().contains("Shout"));
 
         let invoke = frontend.handle(&HttpRequest::post(
             "http://worker/v1/invoke/Shout",
@@ -212,7 +463,12 @@ mod tests {
         assert_eq!(invoke.body_text(), "HELLO DANDELION");
 
         let stats = frontend.handle(&HttpRequest::get("http://worker/v1/stats"));
-        assert!(stats.body_text().contains("invocations: 1"));
+        assert_eq!(
+            body_json(&stats)
+                .get("invocations")
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
@@ -235,7 +491,139 @@ mod tests {
     }
 
     #[test]
-    fn errors_map_to_http_statuses() {
+    fn submit_then_poll_roundtrip() {
+        let frontend = frontend();
+        frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            UPPER_DSL.as_bytes().to_vec(),
+        ));
+        let submitted = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/invocations/Shout",
+            b"async path".to_vec(),
+        ));
+        assert_eq!(submitted.status, StatusCode::ACCEPTED);
+        let submitted_json = body_json(&submitted);
+        let id = submitted_json
+            .get("invocation_id")
+            .and_then(JsonValue::as_str)
+            .expect("202 body carries the invocation id")
+            .to_string();
+        assert!(id.starts_with("inv-"));
+        assert_eq!(
+            submitted_json.get("href").and_then(JsonValue::as_str),
+            Some(format!("/v1/invocations/{id}").as_str())
+        );
+
+        // Poll until the invocation settles.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let document = loop {
+            let poll = frontend.handle(&HttpRequest::get(format!(
+                "http://worker/v1/invocations/{id}"
+            )));
+            assert_eq!(poll.status, StatusCode::OK);
+            let document = body_json(&poll);
+            let status = document
+                .get("status")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string();
+            if status == "completed" {
+                break document;
+            }
+            assert_ne!(status, "failed");
+            assert!(Instant::now() < deadline, "invocation did not settle");
+            std::thread::yield_now();
+        };
+        let data = document
+            .get("outputs")
+            .and_then(|o| o.as_array())
+            .and_then(|sets| sets[0].get("items"))
+            .and_then(|items| items.as_array())
+            .and_then(|items| items[0].get("data_base64"))
+            .and_then(JsonValue::as_str)
+            .expect("completed document carries outputs");
+        assert_eq!(base64_decode(data).unwrap(), b"ASYNC PATH");
+        // Polling is non-consuming.
+        let again = frontend.handle(&HttpRequest::get(format!(
+            "http://worker/v1/invocations/{id}"
+        )));
+        assert_eq!(again.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn polling_unknown_ids_is_a_typed_not_found() {
+        let frontend = frontend();
+        let response =
+            frontend.handle(&HttpRequest::get("http://worker/v1/invocations/inv-999999"));
+        assert_eq!(response.status, StatusCode::NOT_FOUND);
+        let error = body_json(&response);
+        assert_eq!(
+            error
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("not_found")
+        );
+        // Malformed ids are a 400 with their own code.
+        let bad = frontend.handle(&HttpRequest::get("http://worker/v1/invocations/not-an-id"));
+        assert_eq!(bad.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            body_json(&bad)
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("invalid_request")
+        );
+    }
+
+    #[test]
+    fn failed_invocations_surface_their_error_in_the_status_document() {
+        let frontend = frontend();
+        frontend
+            .worker()
+            .register_function(FunctionArtifact::new(
+                "Boom",
+                &["Out"],
+                |_ctx: &mut FunctionCtx| Err("kaboom".into()),
+            ))
+            .unwrap();
+        frontend.handle(&HttpRequest::post(
+            "http://worker/v1/compositions",
+            b"composition Explode(In) => Out { Boom(X = all In) => (Out = Out); }".to_vec(),
+        ));
+        let submitted = frontend.handle(&HttpRequest::post(
+            "http://worker/v1/invocations/Explode",
+            b"x".to_vec(),
+        ));
+        assert_eq!(submitted.status, StatusCode::ACCEPTED);
+        let id = body_json(&submitted)
+            .get("invocation_id")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let poll = frontend.handle(&HttpRequest::get(format!(
+                "http://worker/v1/invocations/{id}"
+            )));
+            let document = body_json(&poll);
+            if document.get("status").and_then(JsonValue::as_str) == Some("failed") {
+                assert_eq!(
+                    document
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(JsonValue::as_str),
+                    Some("function_fault")
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "invocation did not fail in time");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses_with_stable_codes() {
         let frontend = frontend();
         // Invoking an unregistered composition is a 404.
         let missing = frontend.handle(&HttpRequest::post(
@@ -243,15 +631,32 @@ mod tests {
             b"x".to_vec(),
         ));
         assert_eq!(missing.status, StatusCode::NOT_FOUND);
-        // Registering invalid DSL is a 400.
+        assert_eq!(
+            body_json(&missing)
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("not_found")
+        );
+        // Registering invalid DSL is a 400 parse error.
         let invalid = frontend.handle(&HttpRequest::post(
             "http://worker/v1/compositions",
             b"composition Broken {".to_vec(),
         ));
         assert_eq!(invalid.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            body_json(&invalid)
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("parse_error")
+        );
         // Unknown endpoints are 404s.
         let unknown = frontend.handle(&HttpRequest::get("http://worker/v2/other"));
         assert_eq!(unknown.status, StatusCode::NOT_FOUND);
+        // Query strings are rejected consistently.
+        let query = frontend.handle(&HttpRequest::get("http://worker/v1/stats?verbose=1"));
+        assert_eq!(query.status, StatusCode::BAD_REQUEST);
         // Malformed set-list bodies are rejected.
         frontend.handle(&HttpRequest::post(
             "http://worker/v1/compositions",

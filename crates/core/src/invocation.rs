@@ -139,12 +139,16 @@ impl InvocationState {
                 .iter()
                 .find(|set| &set.name == name)
                 .cloned(),
-            InputSource::Node { node: producer, set } => match &self.status[*producer] {
-                NodeStatus::Completed => {
-                    Some(self.outputs[*producer].get(set).cloned().unwrap_or_else(|| {
-                        DataSet::new(set.clone())
-                    }))
-                }
+            InputSource::Node {
+                node: producer,
+                set,
+            } => match &self.status[*producer] {
+                NodeStatus::Completed => Some(
+                    self.outputs[*producer]
+                        .get(set)
+                        .cloned()
+                        .unwrap_or_else(|| DataSet::new(set.clone())),
+                ),
                 NodeStatus::Skipped => Some(DataSet::new(set.clone())),
                 _ => None,
             },
@@ -222,8 +226,11 @@ impl InvocationState {
                     total,
                     completed: 0,
                 };
-                let output_sets: Vec<String> =
-                    node.outputs.iter().map(|output| output.set.clone()).collect();
+                let output_sets: Vec<String> = node
+                    .outputs
+                    .iter()
+                    .map(|output| output.set.clone())
+                    .collect();
                 for (instance_index, inputs) in instances.into_iter().enumerate() {
                     ready.push(InstanceSpec {
                         node: index,
@@ -323,10 +330,7 @@ impl InvocationState {
 
 /// Expands a node's materialized source sets into per-instance input sets
 /// according to the distribution keywords.
-fn expand_instances(
-    node: &GraphNode,
-    sources: &[DataSet],
-) -> DandelionResult<Vec<Vec<DataSet>>> {
+fn expand_instances(node: &GraphNode, sources: &[DataSet]) -> DandelionResult<Vec<Vec<DataSet>>> {
     let fanout_bindings: Vec<usize> = node
         .inputs
         .iter()
@@ -417,7 +421,10 @@ mod tests {
                 0,
                 Ok(vec![DataSet::with_items(
                     "HTTPRequest",
-                    vec![DataItem::new("req", b"GET http://auth/ HTTP/1.1\r\n\r\n".to_vec())],
+                    vec![DataItem::new(
+                        "req",
+                        b"GET http://auth/ HTTP/1.1\r\n\r\n".to_vec(),
+                    )],
                 )]),
             )
             .unwrap();
@@ -506,10 +513,7 @@ mod tests {
 
     #[test]
     fn empty_required_input_skips_node_and_cascades() {
-        let mut state = invocation(
-            render_logs_composition(),
-            vec![DataSet::new("AccessToken")],
-        );
+        let mut state = invocation(render_logs_composition(), vec![DataSet::new("AccessToken")]);
         // The Access node requires a token item; with none, everything skips.
         let ready = state.ready_instances().unwrap();
         assert!(ready.is_empty());
@@ -532,10 +536,7 @@ mod tests {
             })
             .build()
             .unwrap();
-        let mut state = invocation(
-            graph,
-            vec![DataSet::single("Data", vec![1])],
-        );
+        let mut state = invocation(graph, vec![DataSet::single("Data", vec![1])]);
         let ready = state.ready_instances().unwrap();
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].inputs.len(), 2);
@@ -610,10 +611,7 @@ mod tests {
             .unwrap();
         let mut state = invocation(
             graph,
-            vec![
-                DataSet::single("A", vec![1]),
-                DataSet::single("B", vec![2]),
-            ],
+            vec![DataSet::single("A", vec![1]), DataSet::single("B", vec![2])],
         );
         assert!(state.ready_instances().is_err());
     }
@@ -629,10 +627,12 @@ mod tests {
                     .publish("Right", "r")
             })
             .node("A", |node| {
-                node.bind("x", Distribution::All, "Left").publish("ADone", "o")
+                node.bind("x", Distribution::All, "Left")
+                    .publish("ADone", "o")
             })
             .node("B", |node| {
-                node.bind("x", Distribution::All, "Right").publish("BDone", "o")
+                node.bind("x", Distribution::All, "Right")
+                    .publish("BDone", "o")
             })
             .node("Join", |node| {
                 node.bind("a", Distribution::All, "ADone")

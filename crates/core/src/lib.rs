@@ -13,15 +13,20 @@
 //! * the **control plane**: a PI controller that re-balances CPU cores
 //!   between compute and communication engines every 30 ms based on queue
 //!   growth ([`control`]);
-//! * the **HTTP frontend** for registration and invocation ([`frontend`]);
+//! * the **HTTP frontend** for registration and invocation ([`frontend`]),
+//!   exposing the versioned v1 JSON API with non-blocking
+//!   submit/poll invocation endpoints;
 //! * a small **cluster manager** that load-balances invocations across
-//!   worker nodes, in the spirit of Dirigent ([`cluster`]).
+//!   worker nodes, in the spirit of Dirigent ([`cluster`]);
+//! * the **client facade** [`client::DandelionClient`] wrapping a frontend
+//!   or a cluster behind one typed submit/poll/invoke interface.
 //!
 //! The crate is usable both as a real multi-threaded runtime (see
 //! [`worker::WorkerNode`]) and as a library of policy components (the PI
 //! controller, the invocation state machine) that the discrete-event
 //! simulator in `dandelion-sim` reuses under virtual time.
 
+pub mod client;
 pub mod cluster;
 pub mod control;
 pub mod dispatcher;
@@ -32,9 +37,13 @@ pub mod registry;
 pub mod task;
 pub mod worker;
 
+pub use client::{ClientHandle, ClientPoll, DandelionClient};
 pub use cluster::ClusterManager;
 pub use control::PiController;
-pub use dispatcher::Dispatcher;
+pub use dispatcher::{
+    DispatchMetrics, Dispatcher, InvocationHandle, InvocationOutcome, InvocationSnapshot,
+    InvocationStatus,
+};
 pub use frontend::Frontend;
 pub use registry::{CommunicationKind, Registry, Vertex};
 pub use worker::{WorkerNode, WorkerStats};

@@ -216,13 +216,19 @@ mod tests {
     #[test]
     fn registers_and_resolves_functions() {
         let registry = registry_with_log_functions();
-        assert!(matches!(registry.resolve("Access"), Some(Vertex::Compute(_))));
+        assert!(matches!(
+            registry.resolve("Access"),
+            Some(Vertex::Compute(_))
+        ));
         assert!(matches!(
             registry.resolve("HTTP"),
             Some(Vertex::Communication(CommunicationKind::Http))
         ));
         assert!(registry.resolve("Unknown").is_none());
-        assert_eq!(registry.function_names(), vec!["Access", "FanOut", "Render"]);
+        assert_eq!(
+            registry.function_names(),
+            vec!["Access", "FanOut", "Render"]
+        );
     }
 
     #[test]

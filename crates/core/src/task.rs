@@ -150,6 +150,23 @@ impl TaskQueue {
         }
     }
 
+    /// Dequeues the next task, blocking until one arrives.
+    ///
+    /// Engines use this instead of polling [`TaskQueue::pop`] in a loop: an
+    /// idle engine parks on the queue's condition variable and is woken by
+    /// either real work or a [`TaskPayload::Shutdown`] marker.
+    pub fn pop_wait(&self) -> Option<Task> {
+        match self.receiver.recv() {
+            Ok(task) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                Some(task)
+            }
+            // The queue holds its own sender, so a disconnect can only
+            // happen while the queue itself is being torn down.
+            Err(_) => None,
+        }
+    }
+
     /// Current queue depth.
     pub fn len(&self) -> usize {
         self.depth.load(Ordering::SeqCst).max(0) as usize
@@ -197,7 +214,9 @@ mod tests {
     #[test]
     fn payload_engine_kinds() {
         let compute = TaskPayload::Compute {
-            artifact: Arc::new(FunctionArtifact::new("f", &["o"], |_: &mut FunctionCtx| Ok(()))),
+            artifact: Arc::new(FunctionArtifact::new("f", &["o"], |_: &mut FunctionCtx| {
+                Ok(())
+            })),
             inputs: vec![],
             cold_binary: false,
             timeout: Duration::from_secs(1),

@@ -6,20 +6,21 @@
 //! API used by examples and benchmarks; the HTTP surface lives in
 //! [`crate::frontend`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use dandelion_common::config::{EngineKind, WorkerConfig};
-use dandelion_common::stats::{LatencyRecorder, LatencySummary};
-use dandelion_common::{Clock, DandelionError, DandelionResult, DataSet, RealClock};
+use dandelion_common::stats::LatencySummary;
+use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId};
 use dandelion_dsl::CompositionGraph;
 use dandelion_http::validate::ValidationPolicy;
 use dandelion_isolation::{create_backend, FunctionArtifact, HardwarePlatform};
 use dandelion_services::ServiceRegistry;
-use parking_lot::Mutex;
 
 use crate::control::{ControlPlane, CoreAllocation};
-use crate::dispatcher::{Dispatcher, InvocationOutcome};
+use crate::dispatcher::{
+    DispatchMetrics, Dispatcher, InvocationHandle, InvocationOutcome, InvocationSnapshot,
+};
 use crate::engine::{EngineExecutor, EnginePool};
 use crate::registry::Registry;
 use crate::task::TaskQueue;
@@ -55,13 +56,7 @@ pub struct WorkerNode {
     compute_pool: Arc<EnginePool>,
     communication_pool: Arc<EnginePool>,
     control_plane: Option<ControlPlane>,
-    clock: RealClock,
-    invocations: AtomicU64,
-    failures: AtomicU64,
-    compute_tasks: AtomicU64,
-    communication_tasks: AtomicU64,
-    latency: Mutex<LatencyRecorder>,
-    inflight: AtomicU64,
+    metrics: Arc<DispatchMetrics>,
 }
 
 impl WorkerNode {
@@ -81,8 +76,7 @@ impl WorkerNode {
         config.validate().map_err(DandelionError::Config)?;
         let registry = Arc::new(Registry::new());
         let compute_queue = TaskQueue::new(EngineKind::Compute, config.queue_capacity);
-        let communication_queue =
-            TaskQueue::new(EngineKind::Communication, config.queue_capacity);
+        let communication_queue = TaskQueue::new(EngineKind::Communication, config.queue_capacity);
 
         let backend = create_backend(config.isolation, HardwarePlatform::X86Linux);
         let compute_pool = Arc::new(EnginePool::new(
@@ -112,11 +106,13 @@ impl WorkerNode {
             )
         });
 
-        let dispatcher = Dispatcher::new(
+        let metrics = Arc::new(DispatchMetrics::default());
+        let dispatcher = Dispatcher::with_metrics(
             Arc::clone(&registry),
             compute_queue,
             communication_queue,
             config.clone(),
+            Arc::clone(&metrics),
         );
 
         Ok(Arc::new(Self {
@@ -126,13 +122,7 @@ impl WorkerNode {
             compute_pool,
             communication_pool,
             control_plane,
-            clock: RealClock::new(),
-            invocations: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
-            compute_tasks: AtomicU64::new(0),
-            communication_tasks: AtomicU64::new(0),
-            latency: Mutex::new(LatencyRecorder::new()),
-            inflight: AtomicU64::new(0),
+            metrics,
         }))
     }
 
@@ -164,39 +154,41 @@ impl WorkerNode {
         Ok(name)
     }
 
-    /// Invokes a registered composition and waits for its outputs.
+    /// Submits an invocation of a registered composition without blocking.
+    ///
+    /// The returned [`InvocationHandle`] tracks the invocation through the
+    /// dispatcher's shared in-flight table: poll it with
+    /// [`InvocationHandle::try_result`], block on it with
+    /// [`InvocationHandle::wait`], or discard it and poll by id through
+    /// [`WorkerNode::poll`]. Many invocations can be in flight per client.
+    pub fn submit(
+        &self,
+        composition: &str,
+        inputs: Vec<DataSet>,
+    ) -> DandelionResult<InvocationHandle> {
+        let graph = self.registry.composition(composition)?;
+        self.dispatcher.submit(graph, inputs)
+    }
+
+    /// Invokes a registered composition and waits for its outputs;
+    /// equivalent to `submit(composition, inputs)?.wait(None)`.
     pub fn invoke(
         &self,
         composition: &str,
         inputs: Vec<DataSet>,
     ) -> DandelionResult<InvocationOutcome> {
-        let graph = self.registry.composition(composition)?;
-        let start = self.clock.now();
-        self.inflight.fetch_add(1, Ordering::SeqCst);
-        let result = self.dispatcher.invoke(graph, inputs);
-        self.inflight.fetch_sub(1, Ordering::SeqCst);
-        let elapsed = self.clock.now().saturating_sub(start);
-        match &result {
-            Ok(outcome) => {
-                self.invocations.fetch_add(1, Ordering::Relaxed);
-                self.compute_tasks
-                    .fetch_add(outcome.report.compute_tasks as u64, Ordering::Relaxed);
-                self.communication_tasks.fetch_add(
-                    outcome.report.communication_tasks as u64,
-                    Ordering::Relaxed,
-                );
-                self.latency.lock().record(elapsed);
-            }
-            Err(_) => {
-                self.failures.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        result
+        self.submit(composition, inputs)?.wait(None)
+    }
+
+    /// A non-consuming view of an invocation by id; `None` when the id is
+    /// unknown or its retained result has expired.
+    pub fn poll(&self, id: InvocationId) -> Option<InvocationSnapshot> {
+        self.dispatcher.poll(id)
     }
 
     /// Number of invocations currently executing on this node.
     pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::SeqCst) as usize
+        self.metrics.inflight.load(Ordering::SeqCst) as usize
     }
 
     /// The current compute/communication core split.
@@ -214,23 +206,25 @@ impl WorkerNode {
     pub fn stats(&self) -> WorkerStats {
         let allocation = self.core_allocation();
         WorkerStats {
-            invocations: self.invocations.load(Ordering::Relaxed),
-            failures: self.failures.load(Ordering::Relaxed),
-            compute_tasks: self.compute_tasks.load(Ordering::Relaxed),
-            communication_tasks: self.communication_tasks.load(Ordering::Relaxed),
+            invocations: self.metrics.invocations.load(Ordering::Relaxed),
+            failures: self.metrics.failures.load(Ordering::Relaxed),
+            compute_tasks: self.metrics.compute_tasks.load(Ordering::Relaxed),
+            communication_tasks: self.metrics.communication_tasks.load(Ordering::Relaxed),
             compute_cores: allocation.compute,
             communication_cores: allocation.communication,
             compute_queue_depth: self.compute_pool.queue().len(),
             communication_queue_depth: self.communication_pool.queue().len(),
-            latency: self.latency.lock().summary(),
+            latency: self.metrics.latency.lock().summary(),
         }
     }
 
-    /// Stops the control plane and every engine.
+    /// Stops the control plane, the dispatcher and every engine. Unsettled
+    /// invocations fail with [`DandelionError::Cancelled`].
     pub fn shutdown(&self) {
         if let Some(control) = &self.control_plane {
             control.stop();
         }
+        self.dispatcher.shutdown();
         self.compute_pool.shutdown();
         self.communication_pool.shutdown();
     }
@@ -323,8 +317,7 @@ mod tests {
     #[test]
     fn worker_runs_a_dsl_registered_composition() {
         let worker =
-            WorkerNode::start_with_control(small_config(), default_test_services(), false)
-                .unwrap();
+            WorkerNode::start_with_control(small_config(), default_test_services(), false).unwrap();
         register_copy(&worker);
         let name = worker.register_composition_dsl(identity_dsl()).unwrap();
         assert_eq!(name, "Identity");
@@ -345,8 +338,7 @@ mod tests {
     #[test]
     fn invoking_unknown_composition_fails_and_counts() {
         let worker =
-            WorkerNode::start_with_control(small_config(), default_test_services(), false)
-                .unwrap();
+            WorkerNode::start_with_control(small_config(), default_test_services(), false).unwrap();
         assert!(worker.invoke("Missing", vec![]).is_err());
         // Unknown-composition lookups fail before dispatch and are not
         // counted as failed invocations.
@@ -366,8 +358,7 @@ mod tests {
     #[test]
     fn concurrent_invocations_share_the_engine_pools() {
         let worker =
-            WorkerNode::start_with_control(small_config(), default_test_services(), false)
-                .unwrap();
+            WorkerNode::start_with_control(small_config(), default_test_services(), false).unwrap();
         register_copy(&worker);
         worker.register_composition_dsl(identity_dsl()).unwrap();
         let workers: Vec<_> = (0..8)
@@ -397,10 +388,86 @@ mod tests {
     }
 
     #[test]
+    fn parallel_submits_complete_with_per_invocation_outputs() {
+        let worker =
+            WorkerNode::start_with_control(small_config(), default_test_services(), false).unwrap();
+        register_copy(&worker);
+        worker.register_composition_dsl(identity_dsl()).unwrap();
+        // N threads submit one invocation each; the handles settle with the
+        // submitting thread's own payload.
+        let submitters: Vec<_> = (0..12)
+            .map(|index| {
+                let worker = Arc::clone(&worker);
+                std::thread::spawn(move || {
+                    let handle = worker
+                        .submit(
+                            "Identity",
+                            vec![DataSet::single("In", format!("s{index}").into_bytes())],
+                        )
+                        .unwrap();
+                    let outcome = handle
+                        .wait(Some(std::time::Duration::from_secs(10)))
+                        .unwrap();
+                    outcome.outputs[0].items[0].as_str().unwrap().to_string()
+                })
+            })
+            .collect();
+        let mut seen: Vec<String> = submitters
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect();
+        seen.sort();
+        let expected: Vec<String> = {
+            let mut e: Vec<String> = (0..12).map(|i| format!("s{i}")).collect();
+            e.sort();
+            e
+        };
+        assert_eq!(seen, expected);
+        assert_eq!(worker.stats().invocations, 12);
+        assert_eq!(worker.inflight(), 0);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn polling_unknown_or_expired_ids_returns_none() {
+        let config = WorkerConfig {
+            completed_retention: 1,
+            ..small_config()
+        };
+        let worker =
+            WorkerNode::start_with_control(config, default_test_services(), false).unwrap();
+        register_copy(&worker);
+        worker.register_composition_dsl(identity_dsl()).unwrap();
+        assert!(worker
+            .poll(dandelion_common::InvocationId::from_raw(u64::MAX))
+            .is_none());
+        // Settle two invocations without consuming their results, so the
+        // retained entries are subject to expiry alone.
+        let settle = |payload: u8| {
+            let handle = worker
+                .submit("Identity", vec![DataSet::single("In", vec![payload])])
+                .unwrap();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while !handle.status().is_terminal() {
+                assert!(std::time::Instant::now() < deadline);
+                std::thread::yield_now();
+            }
+            handle.id()
+        };
+        let first_id = settle(1);
+        assert!(worker.poll(first_id).is_some());
+        let second_id = settle(2);
+        // Retention is 1: the first invocation's retained entry has expired,
+        // the second is still pollable.
+        assert!(worker.poll(first_id).is_none());
+        assert!(worker.poll(second_id).is_some());
+        worker.shutdown();
+    }
+
+    #[test]
     fn failed_function_counts_as_failure() {
         let worker =
-            WorkerNode::start_with_control(small_config(), default_test_services(), false)
-                .unwrap();
+            WorkerNode::start_with_control(small_config(), default_test_services(), false).unwrap();
         worker
             .register_function(FunctionArtifact::new(
                 "Copy",

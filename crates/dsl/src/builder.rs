@@ -170,8 +170,7 @@ mod tests {
                 Render(HTTPResponses = all LogResponses) => (HTMLOutput = HTMLOutput);
             }
         "#;
-        let from_dsl =
-            CompositionGraph::from_ast(&parse_composition(source).unwrap()).unwrap();
+        let from_dsl = CompositionGraph::from_ast(&parse_composition(source).unwrap()).unwrap();
         assert_eq!(from_builder, from_dsl);
     }
 
@@ -218,6 +217,9 @@ mod tests {
         let text = builder.ast().to_dsl();
         let reparsed = parse_composition(&text).unwrap();
         assert_eq!(reparsed.name, "RoundTrip");
-        assert_eq!(reparsed.statements[0].inputs[0].distribution, Distribution::Key);
+        assert_eq!(
+            reparsed.statements[0].inputs[0].distribution,
+            Distribution::Key
+        );
     }
 }

@@ -336,10 +336,7 @@ impl CompositionAst {
     }
 }
 
-fn topological_sort(
-    nodes: &[GraphNode],
-    names: &[String],
-) -> Result<Vec<usize>, ValidationError> {
+fn topological_sort(nodes: &[GraphNode], names: &[String]) -> Result<Vec<usize>, ValidationError> {
     let mut in_degree = vec![0usize; nodes.len()];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for node in nodes {
@@ -434,20 +431,14 @@ mod tests {
 
     #[test]
     fn detects_unresolved_sources() {
-        let err = graph(
-            "composition X(A) => B { F(a = all Missing) => (B = Out); }",
-        )
-        .unwrap_err();
+        let err = graph("composition X(A) => B { F(a = all Missing) => (B = Out); }").unwrap_err();
         assert!(matches!(err, ValidationError::UnresolvedSource { .. }));
         assert!(err.to_string().contains("Missing"));
     }
 
     #[test]
     fn detects_unbound_outputs() {
-        let err = graph(
-            "composition X(A) => B, C { F(a = all A) => (B = Out); }",
-        )
-        .unwrap_err();
+        let err = graph("composition X(A) => B, C { F(a = all A) => (B = Out); }").unwrap_err();
         assert_eq!(err, ValidationError::UnboundOutput("C".to_string()));
     }
 
@@ -459,10 +450,8 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, ValidationError::DuplicatePublishedName(_)));
         // Publishing a name that shadows an external input is also rejected.
-        let err = graph(
-            "composition X(A) => B { F(a = all A) => (A = Out, B = Out2); }",
-        )
-        .unwrap_err();
+        let err =
+            graph("composition X(A) => B { F(a = all A) => (A = Out, B = Out2); }").unwrap_err();
         assert!(matches!(err, ValidationError::DuplicatePublishedName(_)));
     }
 
@@ -470,10 +459,8 @@ mod tests {
     fn detects_duplicate_external_names_and_input_sets() {
         let err = graph("composition X(A, A) => B { F(a = all A) => (B = Out); }").unwrap_err();
         assert!(matches!(err, ValidationError::DuplicateExternalName(_)));
-        let err = graph(
-            "composition X(A) => B { F(a = all A, a = each A) => (B = Out); }",
-        )
-        .unwrap_err();
+        let err =
+            graph("composition X(A) => B { F(a = all A, a = each A) => (B = Out); }").unwrap_err();
         assert!(matches!(err, ValidationError::DuplicateInputSet { .. }));
     }
 

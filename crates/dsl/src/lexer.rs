@@ -244,10 +244,7 @@ mod tests {
     #[test]
     fn identifiers_allow_dots_dashes_underscores() {
         let tokens = kinds("my_func-v2.0");
-        assert_eq!(
-            tokens[0],
-            TokenKind::Identifier("my_func-v2.0".to_string())
-        );
+        assert_eq!(tokens[0], TokenKind::Identifier("my_func-v2.0".to_string()));
     }
 
     #[test]

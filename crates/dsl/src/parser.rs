@@ -271,8 +271,8 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_positions() {
-        let err = parse_composition("composition X(A) => B { F(a = all A) => (B = Out) }")
-            .unwrap_err();
+        let err =
+            parse_composition("composition X(A) => B { F(a = all A) => (B = Out) }").unwrap_err();
         match err {
             DandelionError::Parse { message, .. } => {
                 assert!(message.contains("expected `;`"), "got {message}")
@@ -290,10 +290,8 @@ mod tests {
 
     #[test]
     fn rejects_trailing_tokens() {
-        let err = parse_composition(
-            "composition X(A) => B { F(a = all A) => (B = Out); } garbage",
-        )
-        .unwrap_err();
+        let err = parse_composition("composition X(A) => B { F(a = all A) => (B = Out); } garbage")
+            .unwrap_err();
         assert!(err.to_string().contains("unexpected tokens"));
     }
 

@@ -111,10 +111,7 @@ fn read_line(input: &[u8], offset: &mut usize) -> Result<String, HttpParseError>
     Ok(line)
 }
 
-fn extract_body(
-    input: &[u8],
-    head: &MessageHead,
-) -> Result<Vec<u8>, HttpParseError> {
+fn extract_body(input: &[u8], head: &MessageHead) -> Result<Vec<u8>, HttpParseError> {
     let available = &input[head.body_offset..];
     let body = match head.headers.content_length() {
         Some(length) => {

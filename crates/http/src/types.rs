@@ -99,6 +99,8 @@ impl StatusCode {
     pub const OK: StatusCode = StatusCode(200);
     /// 201 Created
     pub const CREATED: StatusCode = StatusCode(201);
+    /// 202 Accepted
+    pub const ACCEPTED: StatusCode = StatusCode(202);
     /// 204 No Content
     pub const NO_CONTENT: StatusCode = StatusCode(204);
     /// 400 Bad Request
@@ -138,6 +140,7 @@ impl StatusCode {
         match self.0 {
             200 => "OK",
             201 => "Created",
+            202 => "Accepted",
             204 => "No Content",
             301 => "Moved Permanently",
             302 => "Found",

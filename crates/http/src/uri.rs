@@ -137,9 +137,7 @@ pub fn is_valid_domain(host: &str) -> bool {
     }
     let all_labels_valid = labels.iter().all(|label| {
         label.len() <= 63
-            && label
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-')
+            && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
             && !label.starts_with('-')
             && !label.ends_with('-')
     });

@@ -94,7 +94,10 @@ pub fn validate_request(
             )));
         }
         if !policy.allowed_hosts.is_empty()
-            && !policy.allowed_hosts.iter().any(|allowed| allowed == &uri.host)
+            && !policy
+                .allowed_hosts
+                .iter()
+                .any(|allowed| allowed == &uri.host)
         {
             return Err(DandelionError::InvalidRequest(format!(
                 "host `{}` is not in the allow-list",

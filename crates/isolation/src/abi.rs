@@ -207,7 +207,9 @@ impl FunctionCtx {
     /// Stages an output item for the named set.
     pub fn push_output(&mut self, set: &str, item: DataItem) -> Result<(), FunctionError> {
         if !self.output_sets.iter().any(|name| name == set) {
-            return Err(FunctionError(format!("`{set}` is not a declared output set")));
+            return Err(FunctionError(format!(
+                "`{set}` is not a declared output set"
+            )));
         }
         match self.staged_outputs.iter_mut().find(|s| s.name == set) {
             Some(existing) => existing.push(item),
@@ -324,7 +326,8 @@ mod tests {
     #[test]
     fn outputs_merge_staged_and_fs_items() {
         let mut ctx = sample_ctx();
-        ctx.push_output_bytes("response", "r0", b"staged".to_vec()).unwrap();
+        ctx.push_output_bytes("response", "r0", b"staged".to_vec())
+            .unwrap();
         ctx.fs_mut()
             .write_output_item("response", "r1", Some("key"), b"from fs")
             .unwrap();
@@ -386,6 +389,9 @@ mod tests {
         let mut fs = VirtualFs::new(1024);
         let item = DataItem::new("part.bin", vec![9, 9]);
         write_input_item(&mut fs, "parts", &item).unwrap();
-        assert_eq!(fs.read_file(&VfsPath::new("/parts/part.bin")).unwrap(), vec![9, 9]);
+        assert_eq!(
+            fs.read_file(&VfsPath::new("/parts/part.bin")).unwrap(),
+            vec![9, 9]
+        );
     }
 }

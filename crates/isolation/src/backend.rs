@@ -192,9 +192,8 @@ impl StagedExecutor {
 
         // Stage 2: load — bring the binary into the context.
         let load_start = Instant::now();
-        let mut context = MemoryContext::new(
-            artifact.memory_requirement + artifact.binary.len() + 4096,
-        );
+        let mut context =
+            MemoryContext::new(artifact.memory_requirement + artifact.binary.len() + 4096);
         context.append(&artifact.binary)?;
         measured.record(Stage::Load, load_start.elapsed());
 
@@ -328,10 +327,7 @@ mod tests {
 
     #[test]
     fn modeled_timings_include_cold_load_penalty() {
-        let task = ExecutionTask::new(
-            echo_artifact(),
-            vec![DataSet::single("in", b"x".to_vec())],
-        );
+        let task = ExecutionTask::new(echo_artifact(), vec![DataSet::single("in", b"x".to_vec())]);
         let warm = executor().run(&task).unwrap();
         let cold = executor()
             .run(&task.clone().with_cold_binary(true))
@@ -389,9 +385,7 @@ mod tests {
                 ctx.syscall("execve").map(|_| ())
             },
         ));
-        let err = strict
-            .run(&ExecutionTask::new(nosy, vec![]))
-            .unwrap_err();
+        let err = strict.run(&ExecutionTask::new(nosy, vec![])).unwrap_err();
         assert!(matches!(err, DandelionError::FunctionFault { .. }));
         assert!(err.to_string().contains("execve"));
     }
@@ -422,9 +416,7 @@ mod tests {
             },
         ));
         let err = executor()
-            .run(
-                &ExecutionTask::new(slow, vec![]).with_timeout(Duration::from_millis(1)),
-            )
+            .run(&ExecutionTask::new(slow, vec![]).with_timeout(Duration::from_millis(1)))
             .unwrap_err();
         assert!(matches!(err, DandelionError::Timeout { .. }));
     }

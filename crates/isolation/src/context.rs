@@ -179,9 +179,7 @@ mod tests {
         source.write(0, b"transfer me").unwrap();
         source.transfer_to(&mut destination, 9, 2, 5).unwrap();
         assert_eq!(destination.read(5, 2).unwrap(), b"me");
-        assert!(source
-            .transfer_to(&mut destination, 60, 10, 0)
-            .is_err());
+        assert!(source.transfer_to(&mut destination, 60, 10, 0).is_err());
     }
 
     #[test]

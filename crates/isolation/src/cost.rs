@@ -300,8 +300,16 @@ mod tests {
                 )
             })
             .collect();
-        let cheri = totals.iter().find(|(b, _)| *b == IsolationKind::Cheri).unwrap().1;
-        let kvm = totals.iter().find(|(b, _)| *b == IsolationKind::Kvm).unwrap().1;
+        let cheri = totals
+            .iter()
+            .find(|(b, _)| *b == IsolationKind::Cheri)
+            .unwrap()
+            .1;
+        let kvm = totals
+            .iter()
+            .find(|(b, _)| *b == IsolationKind::Kvm)
+            .unwrap()
+            .1;
         assert!(totals.iter().all(|(_, total)| cheri <= *total));
         assert!(totals.iter().all(|(_, total)| kvm >= *total));
         // The paper reports CHERI sandboxes boot in under 90 µs.

@@ -40,14 +40,7 @@ impl SyscallPolicy {
     /// Syscalls the dlibc shim stubs out with error returns (paper §4.1
     /// names mmap, mprotect, socket and threading explicitly).
     pub const DEFAULT_STUBBED: [&'static str; 8] = [
-        "mmap",
-        "munmap",
-        "mprotect",
-        "socket",
-        "connect",
-        "clone",
-        "futex",
-        "openat",
+        "mmap", "munmap", "mprotect", "socket", "connect", "clone", "futex", "openat",
     ];
 
     /// The policy used by backends that intercept every call (process/KVM).

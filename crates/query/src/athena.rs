@@ -101,9 +101,8 @@ impl Ec2Model {
         fetch: Duration,
     ) -> Duration {
         let partitions = partitions.clamp(1, self.vcpus);
-        let parallel = Duration::from_secs_f64(
-            single_core_execution.as_secs_f64() / partitions as f64,
-        );
+        let parallel =
+            Duration::from_secs_f64(single_core_execution.as_secs_f64() / partitions as f64);
         parallel + per_sandbox_overhead + fetch
     }
 }
@@ -121,7 +120,11 @@ mod tests {
         let large = athena.query(700 * 1024 * 1024);
         assert!(large.cost_cents > tiny.cost_cents * 60.0);
         // The paper reports ~0.32-0.33 cents per ~700 MB SSB query.
-        assert!((0.25..0.45).contains(&large.cost_cents), "{}", large.cost_cents);
+        assert!(
+            (0.25..0.45).contains(&large.cost_cents),
+            "{}",
+            large.cost_cents
+        );
         assert!(large.latency > athena.startup);
     }
 
@@ -130,7 +133,11 @@ mod tests {
         let ec2 = Ec2Model::default();
         let short = ec2.query(Duration::from_secs(2));
         // 2 s of a $1.853/h instance ≈ 0.1 cents.
-        assert!((short.cost_cents - 0.103).abs() < 0.01, "{}", short.cost_cents);
+        assert!(
+            (short.cost_cents - 0.103).abs() < 0.01,
+            "{}",
+            short.cost_cents
+        );
         let long = ec2.query(Duration::from_secs(20));
         assert!((long.cost_cents / short.cost_cents - 10.0).abs() < 0.1);
     }
@@ -160,8 +167,12 @@ mod tests {
     fn partitioning_is_clamped_to_the_instance_size() {
         let ec2 = Ec2Model::default();
         let one = ec2.dandelion_latency(Duration::from_secs(32), 1, Duration::ZERO, Duration::ZERO);
-        let capped =
-            ec2.dandelion_latency(Duration::from_secs(32), 1000, Duration::ZERO, Duration::ZERO);
+        let capped = ec2.dandelion_latency(
+            Duration::from_secs(32),
+            1000,
+            Duration::ZERO,
+            Duration::ZERO,
+        );
         assert_eq!(one, Duration::from_secs(32));
         assert_eq!(capped, Duration::from_secs(1));
     }

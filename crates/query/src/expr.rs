@@ -72,16 +72,19 @@ impl Expr {
     }
 
     /// `self + other`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         self.binary(BinaryOp::Add, other)
     }
 
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         self.binary(BinaryOp::Sub, other)
     }
 
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         self.binary(BinaryOp::Mul, other)
     }
@@ -235,11 +238,20 @@ mod tests {
     #[test]
     fn arithmetic_and_comparison() {
         let table = table();
-        let revenue = Expr::col("qty").mul(Expr::col("price")).evaluate(&table).unwrap();
+        let revenue = Expr::col("qty")
+            .mul(Expr::col("price"))
+            .evaluate(&table)
+            .unwrap();
         assert_eq!(revenue, Column::Int64(vec![50, 140, 270]));
-        let mask = Expr::col("qty").lt(Expr::int(25)).evaluate_mask(&table).unwrap();
+        let mask = Expr::col("qty")
+            .lt(Expr::int(25))
+            .evaluate_mask(&table)
+            .unwrap();
         assert_eq!(mask, vec![true, true, false]);
-        let between = Expr::col("qty").between(15, 30).evaluate_mask(&table).unwrap();
+        let between = Expr::col("qty")
+            .between(15, 30)
+            .evaluate_mask(&table)
+            .unwrap();
         assert_eq!(between, vec![false, true, true]);
     }
 
@@ -264,8 +276,14 @@ mod tests {
     fn errors_are_reported() {
         let table = table();
         assert!(Expr::col("missing").evaluate(&table).is_err());
-        assert!(Expr::col("region").add(Expr::str("x")).evaluate(&table).is_err());
-        assert!(Expr::col("region").eq(Expr::int(1)).evaluate(&table).is_err());
+        assert!(Expr::col("region")
+            .add(Expr::str("x"))
+            .evaluate(&table)
+            .is_err());
+        assert!(Expr::col("region")
+            .eq(Expr::int(1))
+            .evaluate(&table)
+            .is_err());
         assert!(Expr::col("region").evaluate_mask(&table).is_err());
     }
 }

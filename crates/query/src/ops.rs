@@ -65,12 +65,7 @@ pub fn hash_join(
 
     let mut fields: Vec<(String, DataType)> = left_result.schema.fields.clone();
     let mut columns = left_result.columns;
-    for ((name, data_type), column) in right_result
-        .schema
-        .fields
-        .iter()
-        .zip(right_result.columns.into_iter())
-    {
+    for ((name, data_type), column) in right_result.schema.fields.iter().zip(right_result.columns) {
         let final_name = if fields.iter().any(|(existing, _)| existing == name) {
             format!("right_{name}")
         } else {
@@ -79,9 +74,7 @@ pub fn hash_join(
         fields.push((final_name, *data_type));
         columns.push(column);
     }
-    let schema = Schema {
-        fields,
-    };
+    let schema = Schema { fields };
     Table::new(schema, columns)
 }
 
@@ -128,7 +121,10 @@ pub fn aggregate(
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for row in 0..input.rows() {
-        let key: Vec<Value> = group_columns.iter().map(|column| column.value(row)).collect();
+        let key: Vec<Value> = group_columns
+            .iter()
+            .map(|column| column.value(row))
+            .collect();
         if !groups.contains_key(&key) {
             order.push(key.clone());
         }
@@ -198,7 +194,10 @@ pub fn aggregate(
                     .collect(),
             ),
             DataType::Int64 => Column::Int64(
-                values.iter().map(|value| value.as_int().unwrap_or(0)).collect(),
+                values
+                    .iter()
+                    .map(|value| value.as_int().unwrap_or(0))
+                    .collect(),
             ),
         };
         columns.push(column);
@@ -206,9 +205,7 @@ pub fn aggregate(
     for data in agg_data {
         columns.push(Column::Int64(data));
     }
-    let schema = Schema {
-        fields,
-    };
+    let schema = Schema { fields };
     Table::new(schema, columns)
 }
 
@@ -279,10 +276,7 @@ mod tests {
 
     fn customers() -> Table {
         Table::new(
-            Schema::new(&[
-                ("cust_id", DataType::Int64),
-                ("region", DataType::Utf8),
-            ]),
+            Schema::new(&[("cust_id", DataType::Int64), ("region", DataType::Utf8)]),
             vec![
                 Column::Int64(vec![10, 20, 30]),
                 Column::Utf8(vec!["ASIA".into(), "AMERICA".into(), "ASIA".into()]),
@@ -298,7 +292,10 @@ mod tests {
         assert_eq!(cheap.rows(), 2);
         let revenue = project(
             &cheap,
-            &[("order_id", Expr::col("order_id")), ("revenue", Expr::col("qty").mul(Expr::col("price")))],
+            &[
+                ("order_id", Expr::col("order_id")),
+                ("revenue", Expr::col("qty").mul(Expr::col("price"))),
+            ],
         )
         .unwrap();
         assert_eq!(revenue.int_column("revenue").unwrap(), &vec![320, 540]);
@@ -328,11 +325,17 @@ mod tests {
         let by_customer = aggregate(
             &table,
             &["cust_id"],
-            &[("total_qty", "qty", Aggregate::Sum), ("orders", "qty", Aggregate::Count)],
+            &[
+                ("total_qty", "qty", Aggregate::Sum),
+                ("orders", "qty", Aggregate::Count),
+            ],
         )
         .unwrap();
         assert_eq!(by_customer.rows(), 3);
-        assert_eq!(by_customer.int_column("total_qty").unwrap(), &vec![13, 12, 1]);
+        assert_eq!(
+            by_customer.int_column("total_qty").unwrap(),
+            &vec![13, 12, 1]
+        );
         assert_eq!(by_customer.int_column("orders").unwrap(), &vec![2, 2, 1]);
 
         let global = aggregate(
@@ -353,7 +356,10 @@ mod tests {
     fn sort_and_limit() {
         let table = orders();
         let sorted = sort(&table, &[("price", SortOrder::Descending)]).unwrap();
-        assert_eq!(sorted.int_column("price").unwrap(), &vec![900, 250, 100, 60, 40]);
+        assert_eq!(
+            sorted.int_column("price").unwrap(),
+            &vec![900, 250, 100, 60, 40]
+        );
         let top2 = limit(&sorted, 2);
         assert_eq!(top2.rows(), 2);
         assert_eq!(top2.int_column("order_id").unwrap(), &vec![4, 2]);
@@ -361,7 +367,10 @@ mod tests {
         let joined = hash_join(&orders(), "cust_id", &customers(), "cust_id").unwrap();
         let sorted = sort(
             &joined,
-            &[("region", SortOrder::Ascending), ("price", SortOrder::Ascending)],
+            &[
+                ("region", SortOrder::Ascending),
+                ("price", SortOrder::Ascending),
+            ],
         )
         .unwrap();
         assert_eq!(sorted.str_column("region").unwrap()[0], "AMERICA");

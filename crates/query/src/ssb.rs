@@ -303,8 +303,10 @@ impl SsbQuery {
             }
             SsbQuery::Q2_1 => {
                 let parts = filter(&db.part, &Expr::col("p_category").eq(Expr::str("MFGR#12")))?;
-                let suppliers =
-                    filter(&db.supplier, &Expr::col("s_region").eq(Expr::str("AMERICA")))?;
+                let suppliers = filter(
+                    &db.supplier,
+                    &Expr::col("s_region").eq(Expr::str("AMERICA")),
+                )?;
                 let joined = hash_join(lineorder, "lo_partkey", &parts, "p_partkey")?;
                 let joined = hash_join(&joined, "lo_suppkey", &suppliers, "s_suppkey")?;
                 let joined = hash_join(&joined, "lo_orderdate", &db.date, "d_datekey")?;
@@ -322,10 +324,8 @@ impl SsbQuery {
                 )
             }
             SsbQuery::Q3_1 => {
-                let customers =
-                    filter(&db.customer, &Expr::col("c_region").eq(Expr::str("ASIA")))?;
-                let suppliers =
-                    filter(&db.supplier, &Expr::col("s_region").eq(Expr::str("ASIA")))?;
+                let customers = filter(&db.customer, &Expr::col("c_region").eq(Expr::str("ASIA")))?;
+                let suppliers = filter(&db.supplier, &Expr::col("s_region").eq(Expr::str("ASIA")))?;
                 let dates = filter(
                     &db.date,
                     &Expr::col("d_year")
@@ -349,10 +349,14 @@ impl SsbQuery {
                 )
             }
             SsbQuery::Q4_1 => {
-                let customers =
-                    filter(&db.customer, &Expr::col("c_region").eq(Expr::str("AMERICA")))?;
-                let suppliers =
-                    filter(&db.supplier, &Expr::col("s_region").eq(Expr::str("AMERICA")))?;
+                let customers = filter(
+                    &db.customer,
+                    &Expr::col("c_region").eq(Expr::str("AMERICA")),
+                )?;
+                let suppliers = filter(
+                    &db.supplier,
+                    &Expr::col("s_region").eq(Expr::str("AMERICA")),
+                )?;
                 let parts = filter(
                     &db.part,
                     &Expr::col("p_mfgr")
@@ -539,7 +543,8 @@ mod tests {
             for partitions in [2, 7] {
                 let split = run_partitioned(&db, query, partitions).unwrap();
                 assert_eq!(
-                    whole, split,
+                    whole,
+                    split,
                     "{} with {partitions} partitions diverged",
                     query.label()
                 );

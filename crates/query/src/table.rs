@@ -227,7 +227,11 @@ impl Table {
     pub fn filter(&self, mask: &[bool]) -> Table {
         Table {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|column| column.filter(mask)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|column| column.filter(mask))
+                .collect(),
         }
     }
 
@@ -235,7 +239,11 @@ impl Table {
     pub fn take(&self, indices: &[usize]) -> Table {
         Table {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|column| column.take(indices)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|column| column.take(indices))
+                .collect(),
         }
     }
 
@@ -336,7 +344,11 @@ impl Table {
             }
             let cells: Vec<&str> = line.split(',').collect();
             if cells.len() != schema.len() {
-                return Err(format!("row has {} cells, expected {}", cells.len(), schema.len()));
+                return Err(format!(
+                    "row has {} cells, expected {}",
+                    cells.len(),
+                    schema.len()
+                ));
             }
             for (column, cell) in columns.iter_mut().zip(cells) {
                 match column {
@@ -392,7 +404,10 @@ mod tests {
         assert_eq!(filtered.rows(), 2);
         assert_eq!(filtered.int_column("id").unwrap(), &vec![1, 3]);
         let taken = table.take(&[3, 0]);
-        assert_eq!(taken.str_column("name").unwrap(), &vec!["d".to_string(), "a".to_string()]);
+        assert_eq!(
+            taken.str_column("name").unwrap(),
+            &vec!["d".to_string(), "a".to_string()]
+        );
         let parts = table.partition(3);
         assert_eq!(parts.len(), 3);
         assert_eq!(parts.iter().map(Table::rows).sum::<usize>(), 4);

@@ -138,15 +138,24 @@ mod tests {
     fn unknown_token_is_unauthorized() {
         let auth = service();
         let request = HttpRequest::post("http://auth.internal/authorize", b"wrong".to_vec());
-        assert_eq!(auth.handle(&request).response.status, StatusCode::UNAUTHORIZED);
+        assert_eq!(
+            auth.handle(&request).response.status,
+            StatusCode::UNAUTHORIZED
+        );
     }
 
     #[test]
     fn missing_token_and_bad_method_are_rejected() {
         let auth = service();
         let request = HttpRequest::post("http://auth.internal/authorize", Vec::new());
-        assert_eq!(auth.handle(&request).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            auth.handle(&request).response.status,
+            StatusCode::BAD_REQUEST
+        );
         let request = HttpRequest::new(Method::Delete, "http://auth.internal/authorize");
-        assert_eq!(auth.handle(&request).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            auth.handle(&request).response.status,
+            StatusCode::BAD_REQUEST
+        );
     }
 }

@@ -92,7 +92,12 @@ impl SqlDatabaseService {
     /// cities tables).
     pub fn with_demo_data(self) -> Self {
         let movies = Table {
-            columns: vec!["title".into(), "director".into(), "year".into(), "rating".into()],
+            columns: vec![
+                "title".into(),
+                "director".into(),
+                "year".into(),
+                "rating".into(),
+            ],
             rows: vec![
                 vec![
                     Value::Text("The Shawshank Redemption".into()),
@@ -313,7 +318,8 @@ impl RemoteService for SqlDatabaseService {
         match self.query(&sql) {
             Ok(csv) => ServiceResponse {
                 latency: self.latency.latency_for(request.body.len() + csv.len()),
-                response: HttpResponse::ok(csv.into_bytes()).with_header("Content-Type", "text/csv"),
+                response: HttpResponse::ok(csv.into_bytes())
+                    .with_header("Content-Type", "text/csv"),
             },
             Err(message) => ServiceResponse {
                 latency: self.latency.latency_for(request.body.len()),
@@ -352,7 +358,10 @@ mod tests {
             .query("SELECT title FROM movies WHERE year = 1994 ORDER BY rating DESC")
             .unwrap();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines, vec!["title", "The Shawshank Redemption", "Pulp Fiction"]);
+        assert_eq!(
+            lines,
+            vec!["title", "The Shawshank Redemption", "Pulp Fiction"]
+        );
     }
 
     #[test]
@@ -372,10 +381,19 @@ mod tests {
         );
         let reply = service.handle(&request);
         assert_eq!(reply.response.status, StatusCode::OK);
-        assert_eq!(reply.response.body_text(), "title\nThe Shawshank Redemption");
+        assert_eq!(
+            reply.response.body_text(),
+            "title\nThe Shawshank Redemption"
+        );
         let bad = HttpRequest::post("http://db.internal/query", b"DELETE FROM movies".to_vec());
-        assert_eq!(service.handle(&bad).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            service.handle(&bad).response.status,
+            StatusCode::BAD_REQUEST
+        );
         let get = HttpRequest::get("http://db.internal/query");
-        assert_eq!(service.handle(&get).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            service.handle(&get).response.status,
+            StatusCode::BAD_REQUEST
+        );
     }
 }

@@ -48,17 +48,13 @@ pub mod defaults {
 
     /// Intra-datacenter microservice call (auth, log service): ~1 ms base,
     /// ~10 µs per KiB.
-    pub const MICROSERVICE: LatencyModel = LatencyModel::new(
-        Duration::from_micros(1000),
-        Duration::from_micros(10),
-    );
+    pub const MICROSERVICE: LatencyModel =
+        LatencyModel::new(Duration::from_micros(1000), Duration::from_micros(10));
 
     /// Object storage (S3-like): ~15 ms first-byte latency, ~12 µs per KiB
     /// (≈ 80 MB/s effective per-request throughput).
-    pub const OBJECT_STORE: LatencyModel = LatencyModel::new(
-        Duration::from_millis(15),
-        Duration::from_micros(12),
-    );
+    pub const OBJECT_STORE: LatencyModel =
+        LatencyModel::new(Duration::from_millis(15), Duration::from_micros(12));
 
     /// LLM inference: the paper measures 1238 ms for the Text2SQL prompt on
     /// Gemma-3-4b (§7.7).

@@ -45,12 +45,12 @@ impl LlmService {
             .rsplit_once("question:")
             .map(|(_, question)| question.trim().to_string())
             .unwrap_or(full);
-        let table = if lower.contains("movie") || lower.contains("film") || lower.contains("director")
-        {
-            "movies"
-        } else {
-            "cities"
-        };
+        let table =
+            if lower.contains("movie") || lower.contains("film") || lower.contains("director") {
+                "movies"
+            } else {
+                "cities"
+            };
         let mut filters: Vec<String> = Vec::new();
         if let Some(year) = lower
             .split(|c: char| !c.is_ascii_digit())
@@ -63,7 +63,11 @@ impl LlmService {
         if lower.contains("best") || lower.contains("highest rated") || lower.contains("top") {
             return format!(
                 "SELECT title FROM movies ORDER BY rating DESC LIMIT {}",
-                if lower.contains("ten") || lower.contains("10") { 10 } else { 1 }
+                if lower.contains("ten") || lower.contains("10") {
+                    10
+                } else {
+                    1
+                }
             );
         }
         if table == "cities" {
@@ -74,7 +78,9 @@ impl LlmService {
                 let name = format!("{}{}", country[..1].to_uppercase(), &country[1..]);
                 filters.push(format!("country = '{name}'"));
             }
-            if lower.contains("population") || lower.contains("largest") || lower.contains("biggest")
+            if lower.contains("population")
+                || lower.contains("largest")
+                || lower.contains("biggest")
             {
                 let where_clause = if filters.is_empty() {
                     String::new()
@@ -86,11 +92,18 @@ impl LlmService {
                 );
             }
         }
-        let columns = if table == "movies" { "title, director" } else { "name, country" };
+        let columns = if table == "movies" {
+            "title, director"
+        } else {
+            "name, country"
+        };
         if filters.is_empty() {
             format!("SELECT {columns} FROM {table}")
         } else {
-            format!("SELECT {columns} FROM {table} WHERE {}", filters.join(" AND "))
+            format!(
+                "SELECT {columns} FROM {table} WHERE {}",
+                filters.join(" AND ")
+            )
         }
     }
 }
@@ -132,8 +145,7 @@ impl RemoteService for LlmService {
         );
         ServiceResponse {
             latency: self.latency.latency_for(request.body.len() + body.len()),
-            response: HttpResponse::ok(body.into_bytes())
-                .with_header("Content-Type", "text/plain"),
+            response: HttpResponse::ok(body.into_bytes()).with_header("Content-Type", "text/plain"),
         }
     }
 }

@@ -78,8 +78,7 @@ impl RemoteService for LogService {
         let body = self.render_log();
         let bytes = body.len();
         ServiceResponse {
-            response: HttpResponse::ok(body.into_bytes())
-                .with_header("Content-Type", "text/plain"),
+            response: HttpResponse::ok(body.into_bytes()).with_header("Content-Type", "text/plain"),
             latency: self.latency.latency_for(bytes),
         }
     }
@@ -119,6 +118,9 @@ mod tests {
     fn rejects_non_get() {
         let service = LogService::new("logs-0", 10, 7);
         let request = HttpRequest::post("http://logs-0.internal/logs", b"x".to_vec());
-        assert_eq!(service.handle(&request).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            service.handle(&request).response.status,
+            StatusCode::BAD_REQUEST
+        );
     }
 }

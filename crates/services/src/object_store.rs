@@ -112,7 +112,8 @@ impl RemoteService for ObjectStore {
                 Some(data) => {
                     let len = data.len();
                     (
-                        HttpResponse::ok(data).with_header("Content-Type", "application/octet-stream"),
+                        HttpResponse::ok(data)
+                            .with_header("Content-Type", "application/octet-stream"),
                         len,
                     )
                 }
@@ -177,7 +178,10 @@ mod tests {
         assert_eq!(reply.response.body, b"a,b,c");
 
         let delete = HttpRequest::new(Method::Delete, "http://s3.internal/ssb/lineorder.csv");
-        assert_eq!(store.handle(&delete).response.status, StatusCode::NO_CONTENT);
+        assert_eq!(
+            store.handle(&delete).response.status,
+            StatusCode::NO_CONTENT
+        );
         assert_eq!(store.handle(&get).response.status, StatusCode::NOT_FOUND);
     }
 
@@ -208,7 +212,10 @@ mod tests {
     fn malformed_paths_are_rejected() {
         let store = ObjectStore::new();
         let request = HttpRequest::get("http://s3.internal/justbucket");
-        assert_eq!(store.handle(&request).response.status, StatusCode::BAD_REQUEST);
+        assert_eq!(
+            store.handle(&request).response.status,
+            StatusCode::BAD_REQUEST
+        );
     }
 
     #[test]

@@ -143,8 +143,11 @@ impl KnativeAutoscaler {
                 };
                 let panic_start = tick.saturating_sub(config.panic_window);
                 let panic = {
-                    let arrivals =
-                        state.arrivals.iter().filter(|at| **at >= panic_start).count() as f64;
+                    let arrivals = state
+                        .arrivals
+                        .iter()
+                        .filter(|at| **at >= panic_start)
+                        .count() as f64;
                     let window_secs = config.panic_window.as_secs_f64().max(1e-9);
                     (arrivals / window_secs)
                         * state
@@ -202,11 +205,16 @@ mod tests {
         // 10 requests per second for 30 seconds → concurrency ≈ 5.
         for second in 0..30u64 {
             for request in 0..10u64 {
-                autoscaler.observe_arrival("f", seconds(second) + Duration::from_millis(request * 100));
+                autoscaler
+                    .observe_arrival("f", seconds(second) + Duration::from_millis(request * 100));
             }
         }
         autoscaler.housekeeping(seconds(30));
-        assert!(autoscaler.desired("f") >= 3, "desired {}", autoscaler.desired("f"));
+        assert!(
+            autoscaler.desired("f") >= 3,
+            "desired {}",
+            autoscaler.desired("f")
+        );
         assert!(autoscaler.stable_concurrency("f", seconds(30)) > 1.0);
     }
 
@@ -255,7 +263,9 @@ mod tests {
             autoscaler.observe_arrival("f", Duration::from_millis(index * 50));
         }
         let changes = autoscaler.housekeeping(seconds(10));
-        assert!(changes.iter().any(|(name, desired)| name == "f" && *desired > 0));
+        assert!(changes
+            .iter()
+            .any(|(name, desired)| name == "f" && *desired > 0));
         // No new arrivals, no changes on the next immediate tick.
         let changes = autoscaler.housekeeping(seconds(10));
         assert!(changes.is_empty());

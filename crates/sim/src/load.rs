@@ -151,7 +151,7 @@ pub fn run_bursty(
             }
         }
     }
-    arrivals.sort_by(|a, b| a.0.cmp(&b.0));
+    arrivals.sort_by_key(|a| a.0);
 
     let mut recorders: Vec<LatencyRecorder> = apps.iter().map(|_| LatencyRecorder::new()).collect();
     let mut counts = vec![0usize; apps.len()];
@@ -204,9 +204,7 @@ pub fn run_trace(model: &mut dyn PlatformModel, trace: &Trace) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::platforms::{
-        DandelionConfig, DandelionSim, MicroVmKind, MicroVmSim, WarmPolicy,
-    };
+    use crate::platforms::{DandelionConfig, DandelionSim, MicroVmKind, MicroVmSim, WarmPolicy};
     use crate::request::workloads;
     use dandelion_common::config::IsolationKind;
     use dandelion_isolation::{HardwarePlatform, SandboxCostModel};

@@ -160,7 +160,8 @@ impl DandelionSim {
                 self.allocation = next;
                 self.compute.resize(next.compute, tick);
                 self.communication.resize(next.communication, tick);
-                self.core_timeline.push((tick, next.compute, next.communication));
+                self.core_timeline
+                    .push((tick, next.compute, next.communication));
             }
             self.next_control_tick += self.controller.interval();
         }
@@ -297,7 +298,8 @@ impl PlatformModel for DHybridSim {
             }
         }
         self.slots.occupy_until(slot, cursor);
-        self.memory.record(slot_start, cursor, request.memory_bytes());
+        self.memory
+            .record(slot_start, cursor, request.memory_bytes());
         Completion {
             latency: cursor - arrival,
             cold_start: true,

@@ -202,8 +202,7 @@ impl WarmPool {
         let mut released = 0usize;
         for pool in self.sandboxes.values_mut() {
             pool.retain(|sandbox| {
-                let idle_expired =
-                    sandbox.free_at <= now && sandbox.last_used + keep_alive <= now;
+                let idle_expired = sandbox.free_at <= now && sandbox.last_used + keep_alive <= now;
                 if idle_expired {
                     released += sandbox.memory_bytes;
                 }
@@ -293,7 +292,7 @@ impl MemoryTracker {
             deltas.push((*start, *bytes as i128));
             deltas.push((*end, -(*bytes as i128)));
         }
-        deltas.sort_by(|a, b| a.0.cmp(&b.0));
+        deltas.sort_by_key(|a| a.0);
         let mut cursor = 0usize;
         let mut current: i128 = 0;
         for sample in 0..samples {

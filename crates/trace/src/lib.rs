@@ -22,6 +22,5 @@
 mod model;
 
 pub use model::{
-    generate_trace, sample_functions, ArrivalPattern, FunctionSpec, Trace, TraceConfig,
-    TraceEvent,
+    generate_trace, sample_functions, ArrivalPattern, FunctionSpec, Trace, TraceConfig, TraceEvent,
 };

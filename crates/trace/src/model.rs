@@ -141,13 +141,8 @@ impl Trace {
 }
 
 /// Memory sizes (MiB) typical of FaaS deployments, with selection weights.
-const MEMORY_CHOICES: [(u32, f64); 5] = [
-    (128, 0.45),
-    (192, 0.2),
-    (256, 0.2),
-    (384, 0.1),
-    (512, 0.05),
-];
+const MEMORY_CHOICES: [(u32, f64); 5] =
+    [(128, 0.45), (192, 0.2), (256, 0.2), (384, 0.1), (512, 0.05)];
 
 /// Samples a population of functions with Azure-trace-like statistics
 /// (InVitro-style sampling).
@@ -201,8 +196,8 @@ pub fn generate_trace(config: &TraceConfig) -> Trace {
             let rate = match spec.pattern {
                 ArrivalPattern::Steady => base_rate_per_second,
                 ArrivalPattern::Periodic { period, duty } => {
-                    let position = (second % period.as_secs().max(1)) as f64
-                        / period.as_secs().max(1) as f64;
+                    let position =
+                        (second % period.as_secs().max(1)) as f64 / period.as_secs().max(1) as f64;
                     if position < duty {
                         base_rate_per_second / duty.max(1e-6)
                     } else {
@@ -234,7 +229,7 @@ pub fn generate_trace(config: &TraceConfig) -> Trace {
             }
         }
     }
-    events.sort_by(|a, b| a.time.cmp(&b.time));
+    events.sort_by_key(|a| a.time);
     Trace {
         functions,
         events,
@@ -324,9 +319,9 @@ mod tests {
     #[test]
     fn memory_sizes_come_from_the_catalogue() {
         let specs = sample_functions(200, 3);
-        assert!(specs
+        assert!(specs.iter().all(|spec| MEMORY_CHOICES
             .iter()
-            .all(|spec| MEMORY_CHOICES.iter().any(|(size, _)| *size == spec.memory_mib)));
+            .any(|(size, _)| *size == spec.memory_mib)));
         // 128 MiB should be the most common choice.
         let small = specs.iter().filter(|spec| spec.memory_mib == 128).count();
         assert!(small > 50);

@@ -44,7 +44,10 @@ impl fmt::Display for VfsError {
             VfsError::AlreadyExists(path) => write!(f, "already exists: {path}"),
             VfsError::MissingParent(path) => write!(f, "missing parent directory for {path}"),
             VfsError::CapacityExceeded { limit, requested } => {
-                write!(f, "capacity exceeded: {requested} bytes requested, limit {limit}")
+                write!(
+                    f,
+                    "capacity exceeded: {requested} bytes requested, limit {limit}"
+                )
             }
             VfsError::RootOperation => write!(f, "operation not permitted on the root directory"),
         }
@@ -203,10 +206,7 @@ impl VirtualFs {
             return Err(VfsError::AlreadyExists("/".to_string()));
         }
         let parent = path.parent();
-        let name = path
-            .file_name()
-            .ok_or(VfsError::RootOperation)?
-            .to_string();
+        let name = path.file_name().ok_or(VfsError::RootOperation)?.to_string();
         match self.find_mut(&parent) {
             Some(Node::Directory { children }) => {
                 if children.contains_key(&name) {
@@ -265,10 +265,7 @@ impl VirtualFs {
             });
         }
         let parent = path.parent();
-        let name = path
-            .file_name()
-            .ok_or(VfsError::RootOperation)?
-            .to_string();
+        let name = path.file_name().ok_or(VfsError::RootOperation)?.to_string();
         match self.find_mut(&parent) {
             Some(Node::Directory { children }) => {
                 match children.get_mut(&name) {
@@ -369,10 +366,7 @@ impl VirtualFs {
             return Err(VfsError::RootOperation);
         }
         let parent = path.parent();
-        let name = path
-            .file_name()
-            .ok_or(VfsError::RootOperation)?
-            .to_string();
+        let name = path.file_name().ok_or(VfsError::RootOperation)?.to_string();
         // Determine the freed size first to keep the accounting correct.
         let freed = match self.find(path) {
             Some(Node::File { data, .. }) => data.len(),
@@ -459,7 +453,10 @@ mod tests {
             fs.list_dir(&VfsPath::new("/requests")).unwrap(),
             vec!["a.txt", "b.txt"]
         );
-        assert_eq!(fs.read_file(&VfsPath::new("/requests/a.txt")).unwrap(), b"alpha");
+        assert_eq!(
+            fs.read_file(&VfsPath::new("/requests/a.txt")).unwrap(),
+            b"alpha"
+        );
         assert_eq!(
             fs.metadata(&VfsPath::new("/requests/b.txt")).unwrap().key,
             Some("west".to_string())
@@ -472,9 +469,15 @@ mod tests {
     fn write_read_append_remove_roundtrip() {
         let mut fs = VirtualFs::new(1024);
         fs.create_dir_all(&VfsPath::new("/out/nested")).unwrap();
-        fs.write_file(&VfsPath::new("/out/nested/file"), b"12345").unwrap();
-        fs.append_file(&VfsPath::new("/out/nested/file"), b"678").unwrap();
-        assert_eq!(fs.read_to_string(&VfsPath::new("/out/nested/file")).unwrap(), "12345678");
+        fs.write_file(&VfsPath::new("/out/nested/file"), b"12345")
+            .unwrap();
+        fs.append_file(&VfsPath::new("/out/nested/file"), b"678")
+            .unwrap();
+        assert_eq!(
+            fs.read_to_string(&VfsPath::new("/out/nested/file"))
+                .unwrap(),
+            "12345678"
+        );
         assert_eq!(fs.used_bytes(), 8);
         fs.remove(&VfsPath::new("/out/nested/file")).unwrap();
         assert_eq!(fs.used_bytes(), 0);
@@ -488,7 +491,9 @@ mod tests {
         let mut fs = VirtualFs::new(10);
         fs.create_dir(&VfsPath::new("/out")).unwrap();
         fs.write_file(&VfsPath::new("/out/a"), &[0u8; 8]).unwrap();
-        let err = fs.write_file(&VfsPath::new("/out/b"), &[0u8; 4]).unwrap_err();
+        let err = fs
+            .write_file(&VfsPath::new("/out/b"), &[0u8; 4])
+            .unwrap_err();
         assert!(matches!(err, VfsError::CapacityExceeded { limit: 10, .. }));
         // Overwriting with smaller content frees space.
         fs.write_file(&VfsPath::new("/out/a"), &[0u8; 2]).unwrap();
@@ -526,8 +531,10 @@ mod tests {
     #[test]
     fn harvest_output_sets_collects_files_and_keys() {
         let mut fs = VirtualFs::new(1024);
-        fs.write_output_item("results", "1.json", Some("eu"), b"{}").unwrap();
-        fs.write_output_item("results", "0.json", None, b"[]").unwrap();
+        fs.write_output_item("results", "1.json", Some("eu"), b"{}")
+            .unwrap();
+        fs.write_output_item("results", "0.json", None, b"[]")
+            .unwrap();
         let sets = fs.harvest_output_sets(&["results".to_string(), "missing".to_string()]);
         assert_eq!(sets.len(), 2);
         assert_eq!(sets[0].name, "results");
@@ -543,7 +550,10 @@ mod tests {
         let mut fs = VirtualFs::new(1024);
         fs.create_dir(&VfsPath::new("/d")).unwrap();
         fs.write_file(&VfsPath::new("/d/f"), b"1").unwrap();
-        assert!(matches!(fs.remove(&VfsPath::root()), Err(VfsError::RootOperation)));
+        assert!(matches!(
+            fs.remove(&VfsPath::root()),
+            Err(VfsError::RootOperation)
+        ));
         assert!(matches!(
             fs.remove(&VfsPath::new("/d")),
             Err(VfsError::WrongNodeKind { .. })
@@ -556,6 +566,9 @@ mod tests {
         fs.create_dir_all(&VfsPath::new("/a/b/c")).unwrap();
         fs.create_dir_all(&VfsPath::new("/a/b/c")).unwrap();
         assert!(fs.exists(&VfsPath::new("/a/b/c")));
-        assert_eq!(fs.metadata(&VfsPath::new("/a/b")).unwrap().kind, NodeKind::Directory);
+        assert_eq!(
+            fs.metadata(&VfsPath::new("/a/b")).unwrap().kind,
+            NodeKind::Directory
+        );
     }
 }

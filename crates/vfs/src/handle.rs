@@ -152,7 +152,8 @@ mod tests {
     fn fs_with_file() -> VirtualFs {
         let mut fs = VirtualFs::new(4096);
         fs.create_dir(&VfsPath::new("/in")).unwrap();
-        fs.write_file(&VfsPath::new("/in/data"), b"hello world").unwrap();
+        fs.write_file(&VfsPath::new("/in/data"), b"hello world")
+            .unwrap();
         fs
     }
 
@@ -177,12 +178,14 @@ mod tests {
     #[test]
     fn write_handle_truncates_and_flushes() {
         let mut fs = fs_with_file();
-        let mut handle =
-            FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Write).unwrap();
+        let mut handle = FileHandle::open(&fs, &VfsPath::new("/in/data"), OpenMode::Write).unwrap();
         assert_eq!(handle.len(), 0);
         handle.write(b"new contents").unwrap();
         assert!(handle.flush_into(&mut fs).unwrap());
-        assert_eq!(fs.read_file(&VfsPath::new("/in/data")).unwrap(), b"new contents");
+        assert_eq!(
+            fs.read_file(&VfsPath::new("/in/data")).unwrap(),
+            b"new contents"
+        );
         // Second flush with no new writes is a no-op.
         assert!(!handle.flush_into(&mut fs).unwrap());
     }
@@ -195,7 +198,10 @@ mod tests {
         assert_eq!(handle.position(), 11);
         handle.write(b"!").unwrap();
         handle.flush_into(&mut fs).unwrap();
-        assert_eq!(fs.read_to_string(&VfsPath::new("/in/data")).unwrap(), "hello world!");
+        assert_eq!(
+            fs.read_to_string(&VfsPath::new("/in/data")).unwrap(),
+            "hello world!"
+        );
     }
 
     #[test]
@@ -222,8 +228,7 @@ mod tests {
     #[test]
     fn write_past_cursor_grows_file() {
         let fs = VirtualFs::new(4096);
-        let mut handle =
-            FileHandle::open(&fs, &VfsPath::new("/out/x"), OpenMode::Write).unwrap();
+        let mut handle = FileHandle::open(&fs, &VfsPath::new("/out/x"), OpenMode::Write).unwrap();
         handle.write(b"abcdef").unwrap();
         handle.seek(SeekFrom::Start(3));
         handle.write(b"XYZ123").unwrap();

@@ -52,7 +52,10 @@ fn main() {
     let dandelion_result = run_trace(&mut dandelion, &trace);
 
     let mib = 1024.0 * 1024.0;
-    println!("\n{:<34}{:>18}{:>14}", "metric", "FC + Knative", "Dandelion");
+    println!(
+        "\n{:<34}{:>18}{:>14}",
+        "metric", "FC + Knative", "Dandelion"
+    );
     println!(
         "{:<34}{:>18.0}{:>14.0}",
         "average committed memory [MB]",
@@ -79,7 +82,9 @@ fn main() {
     );
     println!(
         "\nDandelion commits {:.0}% less memory on average (paper: 96%).",
-        100.0 * (1.0 - dandelion_result.average_memory_bytes / firecracker_result.average_memory_bytes)
+        100.0
+            * (1.0
+                - dandelion_result.average_memory_bytes / firecracker_result.average_memory_bytes)
     );
 
     // A coarse committed-memory timeline (10 buckets) for both systems.

@@ -11,16 +11,21 @@
 
 use dandelion_apps::setup::{demo_worker, DEMO_TOKEN};
 use dandelion_common::DataSet;
+use dandelion_core::DandelionClient;
 
 fn main() {
     let worker = demo_worker(8, true).expect("worker starts");
+    let client = DandelionClient::for_worker(std::sync::Arc::clone(&worker));
 
     println!("compositions: {:?}", worker.registry().composition_names());
 
-    let outcome = worker
-        .invoke(
+    let outcome = client
+        .invoke_sync(
             "RenderLogs",
-            vec![DataSet::single("AccessToken", DEMO_TOKEN.as_bytes().to_vec())],
+            vec![DataSet::single(
+                "AccessToken",
+                DEMO_TOKEN.as_bytes().to_vec(),
+            )],
         )
         .expect("log processing runs");
     let html = outcome.outputs[0].items[0].as_str().unwrap_or_default();
@@ -37,8 +42,8 @@ fn main() {
     // An invalid token exercises the failure-handling path (§4.4): the
     // fan-out produces no requests and the report is empty rather than an
     // error.
-    let denied = worker
-        .invoke(
+    let denied = client
+        .invoke_sync(
             "RenderLogs",
             vec![DataSet::single("AccessToken", b"wrong-token".to_vec())],
         )

@@ -6,14 +6,16 @@
 //!
 //! Shows the minimal end-to-end flow of the platform: start a worker node,
 //! register an untrusted compute function, describe the application as a
-//! composition in the DSL, and invoke it through the HTTP frontend exactly
-//! like a client would.
+//! composition in the DSL, and drive it through the `DandelionClient`
+//! facade — both the non-blocking submit/poll path and the synchronous
+//! convenience path — exactly like an external client would over the v1
+//! JSON HTTP API.
 
 use std::sync::Arc;
 
 use dandelion_common::config::{IsolationKind, WorkerConfig};
-use dandelion_core::{Frontend, WorkerNode};
-use dandelion_http::HttpRequest;
+use dandelion_common::DataSet;
+use dandelion_core::{DandelionClient, Frontend, WorkerNode};
 use dandelion_isolation::{FunctionArtifact, FunctionCtx};
 use dandelion_services::ServiceRegistry;
 
@@ -62,16 +64,48 @@ fn main() {
         .expect("composition registers");
     println!("registered composition `{name}`");
 
-    // 4. Invoke it through the HTTP frontend, like an external client.
-    let frontend = Frontend::new(Arc::clone(&worker));
-    let request = HttpRequest::post(
-        "http://worker.local/v1/invoke/WordCount",
-        b"elasticity is the degree to which a system adapts\nto workload changes".to_vec(),
+    // 4. Drive it through the client facade over the HTTP frontend. The
+    //    submit call returns immediately with a handle; the worker executes
+    //    in the background while the client is free to submit more work.
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let client = DandelionClient::for_frontend(Arc::clone(&frontend));
+    let handle = client
+        .submit(
+            "WordCount",
+            vec![DataSet::single(
+                "Document",
+                b"elasticity is the degree to which a system adapts\nto workload changes".to_vec(),
+            )],
+        )
+        .expect("submission is accepted");
+    println!(
+        "submitted {} (status {})",
+        handle.id(),
+        handle.poll().unwrap().status
     );
-    let response = frontend.handle(&request);
-    println!("HTTP {} -> {}", response.status, response.body_text());
 
-    // 5. Worker statistics: one invocation, one sandbox created.
+    // 5. Collect the result: poll non-blockingly or wait with a timeout.
+    let outcome = handle
+        .wait(Some(std::time::Duration::from_secs(10)))
+        .expect("invocation completes");
+    println!(
+        "result: {}",
+        outcome.outputs[0].items[0].as_str().unwrap_or_default()
+    );
+
+    // The synchronous convenience path is one call.
+    let sync = client
+        .invoke_sync(
+            "WordCount",
+            vec![DataSet::single("Document", b"one two three".to_vec())],
+        )
+        .expect("sync invocation completes");
+    println!(
+        "sync result: {}",
+        sync.outputs[0].items[0].as_str().unwrap_or_default()
+    );
+
+    // 6. Worker statistics: two invocations, two sandboxes created.
     let stats = worker.stats();
     println!(
         "invocations={} sandboxes={} p50={:.2} ms",

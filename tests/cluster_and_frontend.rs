@@ -39,7 +39,13 @@ fn frontend_serves_registration_and_invocation_over_http() {
 
     // Stats endpoint reflects the invocation.
     let stats = frontend.handle(&HttpRequest::get("http://worker/v1/stats"));
-    assert!(stats.body_text().contains("invocations: 1"));
+    let stats_json = dandelion_common::JsonValue::parse(&stats.body_text()).unwrap();
+    assert_eq!(
+        stats_json
+            .get("invocations")
+            .and_then(dandelion_common::JsonValue::as_u64),
+        Some(1)
+    );
     worker.shutdown();
 }
 
@@ -66,7 +72,10 @@ fn cluster_manager_balances_across_nodes() {
 
     for seed in 0..6 {
         let outcome = cluster
-            .invoke("MatMulApp", vec![dandelion_apps::matmul::matmul_inputs(8, seed)])
+            .invoke(
+                "MatMulApp",
+                vec![dandelion_apps::matmul::matmul_inputs(8, seed)],
+            )
             .unwrap();
         assert_eq!(outcome.outputs[0].len(), 1);
     }
@@ -137,7 +146,10 @@ fn unknown_routes_and_payloads_are_rejected_cleanly() {
     );
     assert_eq!(
         frontend
-            .handle(&HttpRequest::post("http://worker/v1/invoke/NoSuchApp", vec![]))
+            .handle(&HttpRequest::post(
+                "http://worker/v1/invoke/NoSuchApp",
+                vec![]
+            ))
             .status,
         StatusCode::NOT_FOUND
     );

@@ -16,12 +16,21 @@ fn log_processing_renders_all_authorized_services() {
     let outcome = worker
         .invoke(
             "RenderLogs",
-            vec![DataSet::single("AccessToken", DEMO_TOKEN.as_bytes().to_vec())],
+            vec![DataSet::single(
+                "AccessToken",
+                DEMO_TOKEN.as_bytes().to_vec(),
+            )],
         )
         .unwrap();
     let html = outcome.outputs[0].items[0].as_str().unwrap();
-    assert_eq!(html.matches("<section><pre>").count(), dandelion_apps::setup::LOG_SERVICES);
-    assert_eq!(outcome.report.communication_tasks, 1 + dandelion_apps::setup::LOG_SERVICES);
+    assert_eq!(
+        html.matches("<section><pre>").count(),
+        dandelion_apps::setup::LOG_SERVICES
+    );
+    assert_eq!(
+        outcome.report.communication_tasks,
+        1 + dandelion_apps::setup::LOG_SERVICES
+    );
     worker.shutdown();
 }
 
@@ -45,7 +54,11 @@ fn matmul_application_is_correct_across_backends() {
     // The same composition gives identical results under every isolation
     // backend the worker can be configured with.
     let mut results = Vec::new();
-    for isolation in [IsolationKind::Native, IsolationKind::Cheri, IsolationKind::Kvm] {
+    for isolation in [
+        IsolationKind::Native,
+        IsolationKind::Cheri,
+        IsolationKind::Kvm,
+    ] {
         let config = dandelion_common::config::WorkerConfig {
             total_cores: 4,
             initial_communication_cores: 1,
@@ -98,12 +111,18 @@ fn text2sql_answers_city_and_movie_questions() {
             )],
         )
         .unwrap();
-    assert!(city.outputs[0].items[0].as_str().unwrap().contains("Zurich"));
+    assert!(city.outputs[0].items[0]
+        .as_str()
+        .unwrap()
+        .contains("Zurich"));
 
     let movie = worker
         .invoke(
             "Text2Sql",
-            vec![DataSet::single("Prompt", b"What is the best movie?".to_vec())],
+            vec![DataSet::single(
+                "Prompt",
+                b"What is the best movie?".to_vec(),
+            )],
         )
         .unwrap();
     assert!(movie.outputs[0].items[0]
@@ -123,7 +142,10 @@ fn distributed_ssb_queries_match_the_single_node_engine() {
         (SsbQuery::Q4_1, "4.1;8"),
     ] {
         let outcome = worker
-            .invoke("SsbQuery", vec![DataSet::single("QuerySpec", spec.as_bytes().to_vec())])
+            .invoke(
+                "SsbQuery",
+                vec![DataSet::single("QuerySpec", spec.as_bytes().to_vec())],
+            )
             .unwrap();
         let csv = outcome.outputs[0].items[0].as_str().unwrap();
         let expected = query.run(&db).unwrap().to_csv();
@@ -139,7 +161,10 @@ fn fetch_and_compute_chains_scale_with_phase_count() {
         let outcome = worker
             .invoke(composition, vec![DataSet::single("Phase0", b"1".to_vec())])
             .unwrap();
-        assert!(outcome.outputs[0].items[0].as_str().unwrap().contains("sum="));
+        assert!(outcome.outputs[0].items[0]
+            .as_str()
+            .unwrap()
+            .contains("sum="));
         assert_eq!(outcome.report.compute_tasks, phases * 2 + 1);
         assert_eq!(outcome.report.communication_tasks, phases);
     }
@@ -153,7 +178,10 @@ fn worker_statistics_reflect_the_executed_workload() {
         worker
             .invoke(
                 "RenderLogs",
-                vec![DataSet::single("AccessToken", DEMO_TOKEN.as_bytes().to_vec())],
+                vec![DataSet::single(
+                    "AccessToken",
+                    DEMO_TOKEN.as_bytes().to_vec(),
+                )],
             )
             .unwrap();
     }

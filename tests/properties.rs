@@ -1,117 +1,191 @@
-//! Property-based tests on the security- and correctness-critical
+//! Property-style tests on the security- and correctness-critical
 //! invariants: the untrusted output-descriptor parser, the HTTP request
 //! validator, the composition DSL round-trip, the virtual filesystem's
 //! capacity accounting and the query engine's partition-parallel execution.
+//!
+//! The workspace builds offline, so instead of `proptest` these tests drive
+//! the same invariants with the repo's deterministic [`SplitMix64`] RNG:
+//! every case is reproducible from the printed seed, and each test explores
+//! a few hundred random cases per run.
 
+use dandelion_common::rng::SplitMix64;
 use dandelion_common::{DataItem, DataSet};
 use dandelion_dsl::Distribution;
 use dandelion_http::validate::{validate_request_bytes, ValidationPolicy};
 use dandelion_isolation::output_parser::{encode_outputs, parse_outputs};
-use dandelion_query::ssb::{run_partitioned, SsbQuery};
 use dandelion_query::generate_database;
+use dandelion_query::ssb::{run_partitioned, SsbQuery};
 use dandelion_vfs::{VfsPath, VirtualFs};
-use proptest::prelude::*;
 
-fn arbitrary_item() -> impl Strategy<Value = DataItem> {
-    (
-        "[a-zA-Z0-9._-]{1,16}",
-        proptest::option::of("[a-z]{1,8}"),
-        proptest::collection::vec(any::<u8>(), 0..256),
-    )
-        .prop_map(|(name, key, data)| {
-            let mut item = DataItem::new(name, data);
-            item.key = key;
-            item
+const CASES: u64 = 300;
+
+fn random_name(rng: &mut SplitMix64, alphabet: &[u8], max_len: u64) -> String {
+    let len = 1 + rng.next_bounded(max_len);
+    (0..len)
+        .map(|_| alphabet[rng.next_bounded(alphabet.len() as u64) as usize] as char)
+        .collect()
+}
+
+fn random_bytes(rng: &mut SplitMix64, max_len: u64) -> Vec<u8> {
+    let len = rng.next_bounded(max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn arbitrary_item(rng: &mut SplitMix64) -> DataItem {
+    const NAME: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    const KEY: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let mut item = DataItem::new(random_name(rng, NAME, 16), random_bytes(rng, 256));
+    if rng.bernoulli(0.5) {
+        item.key = Some(random_name(rng, KEY, 8));
+    }
+    item
+}
+
+fn arbitrary_sets(rng: &mut SplitMix64) -> Vec<DataSet> {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    let set_count = rng.next_bounded(5);
+    (0..set_count)
+        .map(|_| {
+            let mut name = random_name(rng, FIRST, 1);
+            name.push_str(&random_name(
+                rng,
+                b"abcdefghijklmnopqrstuvwxyz0123456789_",
+                12,
+            ));
+            let items = (0..rng.next_bounded(8))
+                .map(|_| arbitrary_item(rng))
+                .collect();
+            DataSet::with_items(name, items)
         })
+        .collect()
 }
 
-fn arbitrary_sets() -> impl Strategy<Value = Vec<DataSet>> {
-    proptest::collection::vec(
-        ("[a-zA-Z][a-zA-Z0-9_]{0,12}", proptest::collection::vec(arbitrary_item(), 0..8)),
-        0..5,
-    )
-    .prop_map(|sets| {
-        sets.into_iter()
-            .map(|(name, items)| DataSet::with_items(name, items))
-            .collect()
-    })
-}
-
-proptest! {
-    /// Encoding then parsing an output descriptor is the identity.
-    #[test]
-    fn output_descriptor_roundtrip(sets in arbitrary_sets()) {
+/// Encoding then parsing an output descriptor is the identity.
+#[test]
+fn output_descriptor_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let sets = arbitrary_sets(&mut rng);
         let encoded = encode_outputs(&sets);
         let decoded = parse_outputs(&encoded).expect("well-formed descriptors parse");
-        prop_assert_eq!(decoded, sets);
+        assert_eq!(decoded, sets, "seed {seed}");
     }
+}
 
-    /// The untrusted-output parser never panics, whatever bytes a malicious
-    /// function leaves in its context (paper §8 relies on this parser being
-    /// memory safe).
-    #[test]
-    fn output_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// The untrusted-output parser never panics, whatever bytes a malicious
+/// function leaves in its context (paper §8 relies on this parser being
+/// memory safe).
+#[test]
+fn output_parser_never_panics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x9E37 ^ seed);
+        let bytes = random_bytes(&mut rng, 512);
         let _ = parse_outputs(&bytes);
     }
+}
 
-    /// Corrupting any single byte of a valid descriptor either still parses
-    /// (the flip hit payload data) or fails cleanly — it never panics.
-    #[test]
-    fn output_parser_tolerates_bit_flips(
-        sets in arbitrary_sets(),
-        index in any::<prop::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
+/// Corrupting any single byte of a valid descriptor either still parses
+/// (the flip hit payload data) or fails cleanly — it never panics.
+#[test]
+fn output_parser_tolerates_bit_flips() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0xB1F ^ seed);
+        let sets = arbitrary_sets(&mut rng);
         let mut encoded = encode_outputs(&sets);
-        if !encoded.is_empty() {
-            let position = index.index(encoded.len());
-            encoded[position] ^= flip;
-            let _ = parse_outputs(&encoded);
+        if encoded.is_empty() {
+            continue;
         }
+        let position = rng.next_bounded(encoded.len() as u64) as usize;
+        let flip = 1 + rng.next_bounded(255) as u8;
+        encoded[position] ^= flip;
+        let _ = parse_outputs(&encoded);
     }
+}
 
-    /// The HTTP validator never panics on arbitrary input and anything it
-    /// accepts re-parses as a whitelisted method with a syntactically valid
-    /// host.
-    #[test]
-    fn http_validation_is_safe(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let policy = ValidationPolicy::default();
+/// The HTTP validator never panics on arbitrary input and anything it
+/// accepts re-parses as a whitelisted method with a syntactically valid
+/// host. Half the cases are mutated from a valid request so the accept path
+/// is actually exercised.
+#[test]
+fn http_validation_is_safe() {
+    let policy = ValidationPolicy::default();
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x477 ^ seed);
+        let bytes = if rng.bernoulli(0.5) {
+            random_bytes(&mut rng, 256)
+        } else {
+            let mut request =
+                dandelion_http::HttpRequest::get("http://storage.internal/bucket/key").to_bytes();
+            for _ in 0..rng.next_bounded(4) {
+                let position = rng.next_bounded(request.len() as u64) as usize;
+                request[position] = rng.next_u64() as u8;
+            }
+            request
+        };
         if let Ok(validated) = validate_request_bytes(&bytes, &policy) {
-            prop_assert!(dandelion_http::Method::DEFAULT_WHITELIST.contains(&validated.request.method));
-            prop_assert!(validated.uri.host_is_ipv4() || validated.uri.host_is_domain());
+            assert!(
+                dandelion_http::Method::DEFAULT_WHITELIST.contains(&validated.request.method),
+                "seed {seed}"
+            );
+            assert!(
+                validated.uri.host_is_ipv4() || validated.uri.host_is_domain(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Compositions built programmatically print as DSL text that compiles
-    /// back to an equivalent executable graph.
-    #[test]
-    fn dsl_round_trips_linear_pipelines(stages in 1usize..6, each in any::<bool>()) {
-        let mut builder = dandelion_dsl::CompositionBuilder::new("Pipeline").input("In").output("Out");
-        let mut previous = "In".to_string();
-        for stage in 0..stages {
-            let published = if stage + 1 == stages { "Out".to_string() } else { format!("Mid{stage}") };
-            let source = previous.clone();
-            let published_clone = published.clone();
-            let distribution = if each { Distribution::Each } else { Distribution::All };
-            builder = builder.node(&format!("Stage{stage}"), move |node| {
-                node.bind("data", distribution, &source).publish(&published_clone, "result")
-            });
-            previous = published;
+/// Compositions built programmatically print as DSL text that compiles
+/// back to an equivalent executable graph.
+#[test]
+fn dsl_round_trips_linear_pipelines() {
+    for stages in 1usize..6 {
+        for each in [false, true] {
+            let mut builder = dandelion_dsl::CompositionBuilder::new("Pipeline")
+                .input("In")
+                .output("Out");
+            let mut previous = "In".to_string();
+            for stage in 0..stages {
+                let published = if stage + 1 == stages {
+                    "Out".to_string()
+                } else {
+                    format!("Mid{stage}")
+                };
+                let source = previous.clone();
+                let published_clone = published.clone();
+                let distribution = if each {
+                    Distribution::Each
+                } else {
+                    Distribution::All
+                };
+                builder = builder.node(&format!("Stage{stage}"), move |node| {
+                    node.bind("data", distribution, &source)
+                        .publish(&published_clone, "result")
+                });
+                previous = published;
+            }
+            let graph = builder.build().expect("pipeline is valid");
+            let reparsed =
+                dandelion_dsl::compile(&builder.ast().to_dsl()).expect("printed DSL compiles");
+            assert_eq!(graph.nodes.len(), reparsed.nodes.len());
+            assert_eq!(graph.topological_order, reparsed.topological_order);
         }
-        let graph = builder.build().expect("pipeline is valid");
-        let reparsed = dandelion_dsl::compile(&builder.ast().to_dsl()).expect("printed DSL compiles");
-        prop_assert_eq!(graph.nodes.len(), reparsed.nodes.len());
-        prop_assert_eq!(graph.topological_order, reparsed.topological_order);
     }
+}
 
-    /// The virtual filesystem's used-bytes accounting matches the sum of the
-    /// file sizes regardless of the write/overwrite/remove sequence.
-    #[test]
-    fn vfs_accounting_is_exact(operations in proptest::collection::vec((0u8..3, 0usize..6, 0usize..512), 1..40)) {
+/// The virtual filesystem's used-bytes accounting matches the sum of the
+/// file sizes regardless of the write/overwrite/remove sequence.
+#[test]
+fn vfs_accounting_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0xF5 ^ seed);
         let mut fs = VirtualFs::new(1 << 20);
         fs.create_dir(&VfsPath::new("/out")).unwrap();
         let mut expected: std::collections::HashMap<usize, usize> = Default::default();
-        for (op, slot, size) in operations {
+        for _ in 0..(1 + rng.next_bounded(40)) {
+            let op = rng.next_bounded(3);
+            let slot = rng.next_bounded(6) as usize;
+            let size = rng.next_bounded(512) as usize;
             let path = VfsPath::new(&format!("/out/file-{slot}"));
             match op {
                 0 | 1 => {
@@ -126,16 +200,24 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(fs.used_bytes(), expected.values().sum::<usize>());
+        assert_eq!(
+            fs.used_bytes(),
+            expected.values().sum::<usize>(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Partition-parallel SSB execution is equivalent to single-node
-    /// execution for any partition count.
-    #[test]
-    fn partitioned_queries_are_deterministic(partitions in 1usize..12, seed in 0u64..4) {
+/// Partition-parallel SSB execution is equivalent to single-node execution
+/// for any partition count.
+#[test]
+fn partitioned_queries_are_deterministic() {
+    for seed in 0u64..4 {
         let db = generate_database(0.02, seed);
         let whole = SsbQuery::Q1_1.run(&db).expect("query runs");
-        let split = run_partitioned(&db, SsbQuery::Q1_1, partitions).expect("partitioned runs");
-        prop_assert_eq!(whole, split);
+        for partitions in 1usize..12 {
+            let split = run_partitioned(&db, SsbQuery::Q1_1, partitions).expect("partitioned runs");
+            assert_eq!(whole, split, "seed {seed} partitions {partitions}");
+        }
     }
 }

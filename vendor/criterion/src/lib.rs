@@ -1,0 +1,264 @@
+//! Vendored, dependency-free subset of the `criterion` bench harness.
+//!
+//! The workspace builds fully offline, so this crate provides the criterion
+//! API surface the benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `black_box`) with a
+//! simple measurement loop: warm up for the configured time, then run
+//! samples for the configured measurement time and report mean and best
+//! iteration latency on stdout. No statistics, plots or baselines — the
+//! numbers are indicative, the bench *names* and code paths are the contract.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under measurement; handed to every benchmark function.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    best_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly and records its timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up time is spent (at least once).
+        let warmup_end = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warmup_end {
+                break;
+            }
+        }
+        // Measurement: run batches until the measurement time is spent or
+        // the sample count is reached, whichever comes last per batch.
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut best = Duration::MAX;
+        while iterations < self.config.sample_size as u64
+            || started.elapsed() < self.config.measurement_time
+        {
+            let iteration_start = Instant::now();
+            black_box(routine());
+            let elapsed = iteration_start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+            iterations += 1;
+            if iterations >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations.max(1) as f64;
+        self.best_ns = best.as_nanos() as f64;
+        self.iterations = iterations;
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+/// The bench context handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let config = self.config.clone();
+        run_one("", id, &config, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets how long each benchmark is warmed up.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.config.warm_up_time = time;
+        self
+    }
+
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), &self.config, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), &self.config, |bencher| {
+            f(bencher, input)
+        });
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(group: &str, id: &str, config: &Config, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        mean_ns: 0.0,
+        best_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let full_name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench {full_name:<50} mean {:>12}  best {:>12}  ({} iterations)",
+        format_ns(bencher.mean_ns),
+        format_ns(bencher.best_ns),
+        bencher.iterations,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let config = Config {
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+            sample_size: 3,
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            mean_ns: 0.0,
+            best_ns: 0.0,
+            iterations: 0,
+        };
+        bencher.iter(|| std::hint::black_box(2u64.pow(10)));
+        assert!(bencher.iterations >= 3);
+        assert!(bencher.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("kvm").to_string(), "kvm");
+    }
+}

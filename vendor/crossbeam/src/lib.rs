@@ -1,0 +1,14 @@
+//! Vendored, dependency-free subset of the `crossbeam` crate.
+//!
+//! The workspace builds fully offline, so instead of pulling the real
+//! `crossbeam` from crates.io this crate re-implements the one piece the
+//! runtime uses: multi-producer multi-consumer channels with the
+//! `crossbeam_channel` API surface (`unbounded`, `bounded`, cloneable
+//! `Sender`/`Receiver`, `try_send`, `recv_timeout`).
+//!
+//! The implementation is a `Mutex<VecDeque>` plus a condition variable. That
+//! is slower than the real lock-free implementation under heavy contention,
+//! but it is correct, small, and more than fast enough for the engine queues
+//! (tasks are milliseconds of work; the queue hand-off is microseconds).
+
+pub mod channel;
