@@ -32,7 +32,7 @@ pub fn access_artifact() -> FunctionArtifact {
 pub fn fanout_artifact() -> FunctionArtifact {
     FunctionArtifact::new("FanOut", &["HTTPRequests"], |ctx: &mut FunctionCtx| {
         let response_item = ctx.single_input("HTTPResponse")?.clone();
-        let response = dandelion_http::parse_response(&response_item.data)
+        let response = dandelion_http::parse_response_shared(&response_item.data)
             .map_err(|err| format!("malformed auth response: {err}"))?;
         if !response.status.is_success() {
             // Authorization failed: produce no requests, downstream nodes
@@ -62,7 +62,7 @@ pub fn render_artifact() -> FunctionArtifact {
             .clone();
         let mut html = String::from("<html><body><h1>Service logs</h1>\n");
         for item in &responses.items {
-            let response: HttpResponse = dandelion_http::parse_response(&item.data)
+            let response: HttpResponse = dandelion_http::parse_response_shared(&item.data)
                 .map_err(|err| format!("malformed log response: {err}"))?;
             if response.status.is_success() {
                 html.push_str("<section><pre>\n");

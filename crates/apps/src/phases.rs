@@ -36,7 +36,7 @@ pub fn sum_min_max_artifact() -> FunctionArtifact {
         &["Stats", "NextPhase"],
         |ctx: &mut FunctionCtx| {
             let response_item = ctx.single_input("Response")?.clone();
-            let response = dandelion_http::parse_response(&response_item.data)
+            let response = dandelion_http::parse_response_shared(&response_item.data)
                 .map_err(|err| format!("bad response: {err}"))?;
             if !response.status.is_success() {
                 return Err(format!("fetch failed: {}", response.status).into());

@@ -145,7 +145,7 @@ pub fn run_partition_artifact() -> FunctionArtifact {
         let mut supplier = None;
         let mut part = None;
         for item in &responses.items {
-            let response = dandelion_http::parse_response(&item.data)
+            let response = dandelion_http::parse_response_shared(&item.data)
                 .map_err(|err| format!("bad fetch response: {err}"))?;
             if !response.status.is_success() {
                 return Err(format!("object fetch failed: {}", response.status).into());

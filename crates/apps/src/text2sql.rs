@@ -63,7 +63,7 @@ pub fn extract_sql(completion: &str) -> Option<String> {
 pub fn extract_sql_artifact() -> FunctionArtifact {
     FunctionArtifact::new("ExtractSql", &["DbRequest"], |ctx: &mut FunctionCtx| {
         let response_item = ctx.single_input("LlmResponse")?.clone();
-        let response = dandelion_http::parse_response(&response_item.data)
+        let response = dandelion_http::parse_response_shared(&response_item.data)
             .map_err(|err| format!("bad LLM response: {err}"))?;
         if !response.status.is_success() {
             return Err(format!("LLM call failed: {}", response.status).into());
@@ -80,7 +80,7 @@ pub fn extract_sql_artifact() -> FunctionArtifact {
 pub fn format_response_artifact() -> FunctionArtifact {
     FunctionArtifact::new("FormatResponse", &["Answer"], |ctx: &mut FunctionCtx| {
         let response_item = ctx.single_input("DbResponse")?.clone();
-        let response = dandelion_http::parse_response(&response_item.data)
+        let response = dandelion_http::parse_response_shared(&response_item.data)
             .map_err(|err| format!("bad database response: {err}"))?;
         if !response.status.is_success() {
             return Err(format!("database query failed: {}", response.status).into());

@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce                # run every experiment
-//! reproduce fig5 table1    # run selected experiments
-//! reproduce --list         # list experiment names
-//! reproduce --json fig10   # additionally emit the rows as JSON
+//! reproduce                   # run every experiment
+//! reproduce fig5 table1       # run selected experiments
+//! reproduce --list            # list experiment names
+//! reproduce --json fig10      # additionally emit the rows as JSON
+//! reproduce --save data_plane # additionally write BENCH_<name>.json
 //! ```
 
 use std::time::Instant;
@@ -16,6 +17,7 @@ use dandelion_bench::{run_experiment, ExperimentId};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|arg| arg == "--json");
+    let save = args.iter().any(|arg| arg == "--save");
     let names: Vec<&String> = args.iter().filter(|arg| !arg.starts_with("--")).collect();
 
     if args.iter().any(|arg| arg == "--list") {
@@ -45,6 +47,13 @@ fn main() {
         println!("{report}");
         if json {
             println!("json[{}] = {}", id.name(), report.rows_json());
+        }
+        if save {
+            let path = format!("BENCH_{}.json", id.name());
+            match std::fs::write(&path, format!("{}\n", report.to_json())) {
+                Ok(()) => println!("  wrote {path}"),
+                Err(err) => eprintln!("  failed to write {path}: {err}"),
+            }
         }
         println!("  ({} finished in {:.1?})\n", id.name(), start.elapsed());
     }

@@ -49,11 +49,14 @@ pub enum ExperimentId {
     /// Repo-only: synchronous vs pipelined submission throughput on a
     /// 2-node cluster through the `DandelionClient` facade.
     Concurrency,
+    /// Repo-only: zero-copy data plane vs per-edge copying on a
+    /// large-payload pipeline with fan-out.
+    DataPlane,
 }
 
 impl ExperimentId {
     /// Every experiment in paper order.
-    pub const ALL: [ExperimentId; 13] = [
+    pub const ALL: [ExperimentId; 14] = [
         ExperimentId::Fig1,
         ExperimentId::Fig2,
         ExperimentId::Table1,
@@ -67,6 +70,7 @@ impl ExperimentId {
         ExperimentId::Fig10,
         ExperimentId::Security,
         ExperimentId::Concurrency,
+        ExperimentId::DataPlane,
     ];
 
     /// Command-line name of the experiment.
@@ -85,6 +89,7 @@ impl ExperimentId {
             ExperimentId::Fig10 => "fig10",
             ExperimentId::Security => "security",
             ExperimentId::Concurrency => "concurrency",
+            ExperimentId::DataPlane => "data_plane",
         }
     }
 
@@ -112,6 +117,7 @@ pub fn run_experiment(id: ExperimentId) -> Report {
         ExperimentId::Fig10 => fig10_azure_memory(),
         ExperimentId::Security => security_summary(),
         ExperimentId::Concurrency => concurrency_fanout(),
+        ExperimentId::DataPlane => data_plane(),
     }
 }
 
@@ -896,6 +902,139 @@ pub fn concurrency_fanout() -> Report {
     report
 }
 
+/// Repo-only experiment: how much the zero-copy data plane buys on a
+/// payload-heavy composition. A three-stage pipeline (relay → `each` fan-out
+/// relay → relay) moves large items through two composition edges plus the
+/// client boundary. The *zero-copy* functions pass their input items through
+/// by reference (`SharedBytes` clones), so no payload byte is copied on any
+/// edge; the *copy* functions re-materialize every payload with `to_vec`,
+/// reproducing the per-edge copying the platform did before `SharedBytes`
+/// (every boundary re-allocated and memcpy'd each item).
+pub fn data_plane() -> Report {
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_core::worker::{default_test_services, WorkerNode};
+    use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+
+    const PAYLOAD_BYTES: usize = 4 * MIB;
+    const ITEMS: usize = 8;
+    const HOPS: usize = 3;
+    const RUNS: usize = 5;
+
+    let worker = WorkerNode::start_with_control(
+        WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            isolation: IsolationKind::Native,
+            ..WorkerConfig::default()
+        },
+        default_test_services(),
+        false,
+    )
+    .expect("worker starts");
+
+    let relay = |name: &str, copy: bool| {
+        FunctionArtifact::new(name, &["Out"], move |ctx: &mut FunctionCtx| {
+            let items = ctx.input_set("Items").ok_or("missing Items")?.clone();
+            for item in &items.items {
+                let data = if copy {
+                    // The pre-change behaviour: one fresh allocation and
+                    // memcpy per item per edge.
+                    dandelion_common::SharedBytes::from_vec(item.data.as_slice().to_vec())
+                } else {
+                    // Zero-copy: stage a view of the incoming buffer.
+                    item.data.clone()
+                };
+                ctx.push_output(
+                    "Out",
+                    dandelion_common::DataItem::new(item.name.clone(), data),
+                )?;
+            }
+            Ok(())
+        })
+        .with_memory_requirement(512 * MIB)
+    };
+    for (suffix, copy) in [("ZeroCopy", false), ("Copy", true)] {
+        for stage in 1..=HOPS {
+            worker
+                .register_function(relay(&format!("Relay{stage}{suffix}"), copy))
+                .expect("relay registers");
+        }
+        worker
+            .register_composition_dsl(&format!(
+                "composition Pipeline{suffix}(In) => Out {{ \
+                 Relay1{suffix}(Items = all In) => (S1 = Out); \
+                 Relay2{suffix}(Items = each S1) => (S2 = Out); \
+                 Relay3{suffix}(Items = all S2) => (Out = Out); }}"
+            ))
+            .expect("pipeline registers");
+    }
+
+    let inputs = || {
+        dandelion_common::DataSet::with_items(
+            "In",
+            (0..ITEMS)
+                .map(|index| {
+                    dandelion_common::DataItem::new(
+                        format!("item-{index}"),
+                        vec![index as u8; PAYLOAD_BYTES],
+                    )
+                })
+                .collect(),
+        )
+    };
+    let run = |composition: &str| {
+        // Warm-up run, then the timed runs.
+        for _ in 0..1 {
+            worker
+                .invoke(composition, vec![inputs()])
+                .expect("pipeline runs");
+        }
+        let start = Instant::now();
+        for _ in 0..RUNS {
+            let outcome = worker
+                .invoke(composition, vec![inputs()])
+                .expect("pipeline runs");
+            assert_eq!(outcome.outputs[0].items.len(), ITEMS);
+            assert_eq!(outcome.outputs[0].items[0].data.len(), PAYLOAD_BYTES);
+        }
+        start.elapsed() / RUNS as u32
+    };
+
+    let copy_elapsed = run("PipelineCopy");
+    let zero_copy_elapsed = run("PipelineZeroCopy");
+    worker.shutdown();
+
+    // Payload bytes crossing the data plane per invocation: each of the
+    // HOPS relay stages forwards every item across one composition edge.
+    let moved_bytes = (PAYLOAD_BYTES * ITEMS * HOPS) as f64;
+    let throughput = |elapsed: Duration| moved_bytes / MIB as f64 / elapsed.as_secs_f64();
+
+    let mut report = Report::new(
+        "Data plane: zero-copy SharedBytes edges vs per-edge payload copies",
+        &format!(
+            "{ITEMS} x {} items through a {HOPS}-stage pipeline with `each` fan-out, \
+             {RUNS} runs, 4-core worker, native isolation",
+            dandelion_common::format_bytes(PAYLOAD_BYTES)
+        ),
+    );
+    report.header(&["mode", "per-invocation [ms]", "throughput [MiB/s]"]);
+    for (mode, elapsed) in [("copy", copy_elapsed), ("zero-copy", zero_copy_elapsed)] {
+        report.row(vec![
+            mode.into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", throughput(elapsed)),
+        ]);
+    }
+    report.note(&format!(
+        "zero-copy speedup {:.1}x: composition edges, `each` fan-out and the client \
+         boundary hand out views of the producer's buffer instead of copying \
+         {} per invocation",
+        copy_elapsed.as_secs_f64() / zero_copy_elapsed.as_secs_f64().max(1e-9),
+        dandelion_common::format_bytes(moved_bytes as usize),
+    ));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,6 +1083,26 @@ mod tests {
         assert!(
             dandelion < firecracker * 0.25,
             "expected >75% memory savings, got {dandelion} vs {firecracker}"
+        );
+    }
+
+    #[test]
+    fn data_plane_zero_copy_is_at_least_twice_as_fast() {
+        let report = data_plane();
+        let per_invocation_ms = |mode: &str| -> f64 {
+            report
+                .rows
+                .iter()
+                .find(|row| row[0] == mode)
+                .expect("mode row present")[1]
+                .parse()
+                .unwrap()
+        };
+        let copy = per_invocation_ms("copy");
+        let zero_copy = per_invocation_ms("zero-copy");
+        assert!(
+            copy >= 2.0 * zero_copy,
+            "expected >=2x on >=1 MiB payloads, got copy {copy} ms vs zero-copy {zero_copy} ms"
         );
     }
 

@@ -1,0 +1,428 @@
+//! `SharedBytes`: a cheaply cloneable, sliceable view of immutable bytes.
+//!
+//! The zero-copy data plane threads one type through every layer that moves
+//! payloads: a reference-counted buffer plus an `(offset, len)` window, in
+//! the style of the `bytes` crate (vendored crates only — so implemented
+//! here). Cloning and slicing never copy; the underlying allocation is freed
+//! when the last view drops. Composition edges, HTTP bodies and the memory
+//! contexts of the isolation layer all hand out `SharedBytes` views of the
+//! producer's buffer instead of copying payloads at each boundary.
+//!
+//! The type dereferences to `[u8]`, so read-only call sites written against
+//! byte slices keep working unchanged.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// An immutable, reference-counted byte buffer view.
+///
+/// `clone` is an `Arc` bump; [`SharedBytes::slice`] produces a narrower view
+/// of the same allocation. Equality and hashing are by content, so the type
+/// is a drop-in replacement for `Vec<u8>` payload fields.
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
+}
+
+/// The process-wide buffer behind every empty view, so constructing empty
+/// messages and items stays allocation-free.
+fn empty_buf() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+impl SharedBytes {
+    /// An empty view (no allocation; all empty views share one static
+    /// buffer).
+    pub fn new() -> Self {
+        Self {
+            buf: empty_buf(),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps an owned vector without copying it.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        if data.is_empty() {
+            return Self::new();
+        }
+        let len = data.len();
+        Self {
+            buf: Arc::new(data),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Copies a slice into a fresh buffer (the one constructor that copies).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from_vec(data.to_vec())
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The visible bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// A zero-copy sub-view of this view.
+    ///
+    /// The range is interpreted relative to this view (not the underlying
+    /// buffer) and must lie within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, mirroring slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> SharedBytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for SharedBytes of length {}",
+            self.len
+        );
+        SharedBytes {
+            buf: Arc::clone(&self.buf),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits the view in two at `at`, both halves sharing the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_at(&self, at: usize) -> (SharedBytes, SharedBytes) {
+        (self.slice(..at), self.slice(at..))
+    }
+
+    /// Returns `true` when both views share the same underlying allocation
+    /// (regardless of their windows). This is the observable "no copy
+    /// happened" invariant the integration tests assert across composition
+    /// edges.
+    pub fn same_buffer(a: &SharedBytes, b: &SharedBytes) -> bool {
+        Arc::ptr_eq(&a.buf, &b.buf)
+    }
+
+    /// Zero-copy merge of two adjacent views of the same buffer.
+    ///
+    /// Returns `None` when the views come from different allocations or are
+    /// not contiguous (`self` must end exactly where `other` starts); callers
+    /// fall back to copying in that case.
+    pub fn try_merge(&self, other: &SharedBytes) -> Option<SharedBytes> {
+        if !SharedBytes::same_buffer(self, other) || self.offset + self.len != other.offset {
+            return None;
+        }
+        Some(SharedBytes {
+            buf: Arc::clone(&self.buf),
+            offset: self.offset,
+            len: self.len + other.len,
+        })
+    }
+
+    /// The view's start offset within the underlying buffer (diagnostics and
+    /// tests).
+    pub fn offset_in_buffer(&self) -> usize {
+        self.offset
+    }
+
+    /// Length of the underlying buffer this view references. Equal to
+    /// [`SharedBytes::len`] only when the view covers its whole allocation —
+    /// a larger value means holding this view pins extra bytes.
+    pub fn backing_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns a view that does not pin bytes outside its window: the view
+    /// itself when it already covers its whole allocation, otherwise a
+    /// fresh copy of the visible bytes.
+    ///
+    /// Long-lived stores (e.g. the object store) compact before retaining
+    /// so that a small slice of a large producer buffer does not keep the
+    /// whole allocation alive indefinitely.
+    pub fn compact(&self) -> SharedBytes {
+        if self.len == self.buf.len() {
+            self.clone()
+        } else {
+            SharedBytes::copy_from_slice(self.as_slice())
+        }
+    }
+
+    /// Extracts an owned vector.
+    ///
+    /// When this view is the sole reference to the buffer and covers it
+    /// entirely the vector is moved out without copying; otherwise the
+    /// visible bytes are copied.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.try_unwrap_whole()
+            .unwrap_or_else(|shared| shared.as_slice().to_vec())
+    }
+
+    /// Hands back the underlying allocation for adoption by another owner
+    /// (e.g. a memory context unfreezing after an export), if this view is
+    /// the sole reference and covers the whole buffer. Returns the view
+    /// unchanged otherwise, so callers can fall back to copying.
+    pub fn try_unwrap_whole(self) -> Result<Vec<u8>, SharedBytes> {
+        if self.offset != 0 || self.len != self.buf.len() {
+            return Err(self);
+        }
+        let offset = self.offset;
+        let len = self.len;
+        Arc::try_unwrap(self.buf).map_err(|buf| SharedBytes { buf, offset, len })
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for SharedBytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl Hash for SharedBytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for SharedBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SharedBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for SharedBytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SharedBytes> for Vec<u8> {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for SharedBytes {
+    fn from(data: [u8; N]) -> Self {
+        Self::from_vec(data.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SharedBytes {
+    fn from(data: &[u8; N]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+impl From<String> for SharedBytes {
+    fn from(text: String) -> Self {
+        Self::from_vec(text.into_bytes())
+    }
+}
+
+impl From<&str> for SharedBytes {
+    fn from(text: &str) -> Self {
+        Self::copy_from_slice(text.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for SharedBytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let bytes = SharedBytes::from_vec(b"hello world".to_vec());
+        assert_eq!(bytes.len(), 11);
+        assert_eq!(&bytes[..5], b"hello");
+        let world = bytes.slice(6..);
+        assert_eq!(world.as_slice(), b"world");
+        assert_eq!(world.offset_in_buffer(), 6);
+        assert!(SharedBytes::same_buffer(&bytes, &world));
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let a = SharedBytes::from_vec(vec![7u8; 1024]);
+        let b = a.clone();
+        assert!(SharedBytes::same_buffer(&a, &b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let bytes = SharedBytes::from_vec((0u8..=99).collect());
+        let mid = bytes.slice(10..90);
+        let inner = mid.slice(5..10);
+        assert_eq!(inner.as_slice(), &[15, 16, 17, 18, 19]);
+        assert!(SharedBytes::same_buffer(&bytes, &inner));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        SharedBytes::from_vec(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip() {
+        let bytes = SharedBytes::from_vec(b"abcdef".to_vec());
+        let (left, right) = bytes.split_at(2);
+        assert_eq!(left.as_slice(), b"ab");
+        assert_eq!(right.as_slice(), b"cdef");
+        let merged = left.try_merge(&right).expect("adjacent views merge");
+        assert_eq!(merged, bytes);
+        assert!(SharedBytes::same_buffer(&merged, &bytes));
+        // Non-adjacent and cross-buffer merges are refused.
+        assert!(right.try_merge(&left).is_none());
+        let other = SharedBytes::from_vec(b"ab".to_vec());
+        assert!(other.try_merge(&right).is_none());
+    }
+
+    #[test]
+    fn compact_drops_the_parent_buffer() {
+        let big = SharedBytes::from_vec(vec![9u8; 4096]);
+        let slice = big.slice(10..20);
+        assert_eq!(slice.backing_len(), 4096);
+        let compacted = slice.compact();
+        assert_eq!(compacted, slice);
+        assert_eq!(compacted.backing_len(), 10);
+        assert!(!SharedBytes::same_buffer(&compacted, &big));
+        // A whole-buffer view compacts to itself without copying.
+        let whole = big.compact();
+        assert!(SharedBytes::same_buffer(&whole, &big));
+    }
+
+    #[test]
+    fn into_vec_moves_when_unique() {
+        let bytes = SharedBytes::from_vec(b"payload".to_vec());
+        assert_eq!(bytes.into_vec(), b"payload");
+        let shared = SharedBytes::from_vec(b"payload".to_vec());
+        let view = shared.slice(1..4);
+        assert_eq!(view.into_vec(), b"ayl");
+    }
+
+    #[test]
+    fn equality_against_slices_and_vecs() {
+        let bytes = SharedBytes::from(b"xyz");
+        assert_eq!(bytes, b"xyz");
+        assert_eq!(bytes, *b"xyz");
+        assert_eq!(bytes, b"xyz".to_vec());
+        assert_eq!(bytes, &b"xyz"[..]);
+        assert_ne!(bytes, b"xy");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SharedBytes::from("text").as_slice(), b"text");
+        assert_eq!(SharedBytes::from("text".to_string()).as_slice(), b"text");
+        assert_eq!(SharedBytes::from(vec![1u8, 2]).as_slice(), &[1, 2]);
+        let collected: SharedBytes = (1u8..=3).collect();
+        assert_eq!(collected.as_slice(), &[1, 2, 3]);
+        assert!(SharedBytes::default().is_empty());
+    }
+
+    #[test]
+    fn empty_views_share_one_static_buffer() {
+        let a = SharedBytes::new();
+        let b = SharedBytes::from_vec(Vec::new());
+        let c = SharedBytes::default();
+        assert!(SharedBytes::same_buffer(&a, &b));
+        assert!(SharedBytes::same_buffer(&a, &c));
+        assert!(a.is_empty());
+    }
+}

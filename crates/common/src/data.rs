@@ -7,29 +7,32 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+
+use crate::bytes::SharedBytes;
 
 /// A single immutable data item inside a [`DataSet`].
 ///
-/// Item payloads are reference counted so that fan-out edges (`each`) can hand
-/// the same bytes to many function instances without copying.
+/// Item payloads are [`SharedBytes`] views, so fan-out edges (`each`), `key`
+/// grouping and composition edges hand the same underlying buffer to many
+/// function instances without copying; cloning an item never copies payload
+/// bytes.
 #[derive(Clone, PartialEq, Eq)]
 pub struct DataItem {
     /// Optional grouping key, set by the producing function.
     pub key: Option<String>,
     /// Item name (the "file name" inside the set "folder").
     pub name: String,
-    /// The payload bytes.
-    pub data: Arc<Vec<u8>>,
+    /// The payload bytes (a zero-copy view).
+    pub data: SharedBytes,
 }
 
 impl DataItem {
     /// Creates an item with a name and payload and no key.
-    pub fn new(name: impl Into<String>, data: impl Into<Vec<u8>>) -> Self {
+    pub fn new(name: impl Into<String>, data: impl Into<SharedBytes>) -> Self {
         Self {
             key: None,
             name: name.into(),
-            data: Arc::new(data.into()),
+            data: data.into(),
         }
     }
 
@@ -37,12 +40,12 @@ impl DataItem {
     pub fn with_key(
         name: impl Into<String>,
         key: impl Into<String>,
-        data: impl Into<Vec<u8>>,
+        data: impl Into<SharedBytes>,
     ) -> Self {
         Self {
             key: Some(key.into()),
             name: name.into(),
-            data: Arc::new(data.into()),
+            data: data.into(),
         }
     }
 
@@ -99,7 +102,7 @@ impl DataSet {
     }
 
     /// Creates a set holding a single unnamed item containing `data`.
-    pub fn single(name: impl Into<String>, data: impl Into<Vec<u8>>) -> Self {
+    pub fn single(name: impl Into<String>, data: impl Into<SharedBytes>) -> Self {
         let name = name.into();
         let item = DataItem::new(format!("{name}.0"), data);
         Self {

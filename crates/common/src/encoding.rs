@@ -7,28 +7,49 @@
 
 const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
+/// How many input bytes each streaming write covers. 48 input bytes encode
+/// to a 64-character stack buffer, keeping the formatter call count low
+/// without any heap allocation.
+const STREAM_CHUNK_BYTES: usize = 48;
+
 /// Encodes bytes as standard base64 with padding.
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
-    for chunk in data.chunks(3) {
-        let b0 = chunk[0] as u32;
-        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
-        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
-        let triple = (b0 << 16) | (b1 << 8) | b2;
-        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
-        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
-        out.push(if chunk.len() > 1 {
-            ALPHABET[(triple >> 6) as usize & 0x3F] as char
-        } else {
-            '='
-        });
-        out.push(if chunk.len() > 2 {
-            ALPHABET[triple as usize & 0x3F] as char
-        } else {
-            '='
-        });
-    }
+    base64_encode_into(&mut out, data).expect("writing to a String cannot fail");
     out
+}
+
+/// Streams base64 straight into a [`std::fmt::Write`] sink.
+///
+/// This is the allocation-free path the JSON encoder uses to serialize
+/// binary payloads: output items stream from their [`crate::SharedBytes`]
+/// slices into the response body without an intermediate `String` per item.
+pub fn base64_encode_into(out: &mut impl std::fmt::Write, data: &[u8]) -> std::fmt::Result {
+    let mut encoded = [0u8; STREAM_CHUNK_BYTES / 3 * 4];
+    for chunk in data.chunks(STREAM_CHUNK_BYTES) {
+        let mut filled = 0;
+        for triple_chunk in chunk.chunks(3) {
+            let b0 = triple_chunk[0] as u32;
+            let b1 = triple_chunk.get(1).copied().unwrap_or(0) as u32;
+            let b2 = triple_chunk.get(2).copied().unwrap_or(0) as u32;
+            let triple = (b0 << 16) | (b1 << 8) | b2;
+            encoded[filled] = ALPHABET[(triple >> 18) as usize & 0x3F];
+            encoded[filled + 1] = ALPHABET[(triple >> 12) as usize & 0x3F];
+            encoded[filled + 2] = if triple_chunk.len() > 1 {
+                ALPHABET[(triple >> 6) as usize & 0x3F]
+            } else {
+                b'='
+            };
+            encoded[filled + 3] = if triple_chunk.len() > 2 {
+                ALPHABET[triple as usize & 0x3F]
+            } else {
+                b'='
+            };
+            filled += 4;
+        }
+        out.write_str(std::str::from_utf8(&encoded[..filled]).expect("base64 is ASCII"))?;
+    }
+    Ok(())
 }
 
 /// Decodes standard base64 (padding required, no whitespace).
@@ -91,6 +112,50 @@ mod tests {
         for len in [0, 1, 2, 3, 61, 255, 256] {
             let slice = &data[..len];
             assert_eq!(base64_decode(&base64_encode(slice)).unwrap(), slice);
+        }
+    }
+
+    /// A naive unchunked reference encoder, kept independent of the
+    /// streaming implementation so chunk-boundary bugs cannot cancel out.
+    fn reference_encode(data: &[u8]) -> String {
+        let mut out = String::new();
+        for chunk in data.chunks(3) {
+            let b0 = chunk[0] as u32;
+            let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+            let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+            let triple = (b0 << 16) | (b1 << 8) | b2;
+            out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+            out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+            out.push(if chunk.len() > 1 {
+                ALPHABET[(triple >> 6) as usize & 0x3F] as char
+            } else {
+                '='
+            });
+            out.push(if chunk.len() > 2 {
+                ALPHABET[triple as usize & 0x3F] as char
+            } else {
+                '='
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_encoder_matches_across_chunk_boundaries() {
+        let data: Vec<u8> = (0..STREAM_CHUNK_BYTES * 3 + 5)
+            .map(|i| (i * 31) as u8)
+            .collect();
+        for len in [
+            0,
+            1,
+            STREAM_CHUNK_BYTES - 1,
+            STREAM_CHUNK_BYTES,
+            STREAM_CHUNK_BYTES + 1,
+            data.len(),
+        ] {
+            let mut streamed = String::new();
+            base64_encode_into(&mut streamed, &data[..len]).unwrap();
+            assert_eq!(streamed, reference_encode(&data[..len]), "length {len}");
         }
     }
 

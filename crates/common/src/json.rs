@@ -13,6 +13,9 @@
 
 use std::fmt;
 
+use crate::bytes::SharedBytes;
+use crate::encoding::base64_encode_into;
+
 /// A JSON document or fragment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -24,6 +27,14 @@ pub enum JsonValue {
     Number(f64),
     /// A string.
     String(String),
+    /// Binary payload serialized as a base64 JSON string.
+    ///
+    /// A write-side optimization: the payload is held as a zero-copy
+    /// [`SharedBytes`] view and base64 is streamed directly into the output
+    /// during `Display`, with no intermediate `String`. Parsing produces
+    /// [`JsonValue::String`] (the parser cannot know a string is base64), so
+    /// documents containing `Bytes` round-trip as their string encoding.
+    Bytes(SharedBytes),
     /// An array.
     Array(Vec<JsonValue>),
     /// An object; keys keep insertion order.
@@ -44,6 +55,12 @@ impl JsonValue {
     /// Builds a string value.
     pub fn string(value: impl Into<String>) -> JsonValue {
         JsonValue::String(value.into())
+    }
+
+    /// Builds a binary value serialized as base64, holding a zero-copy view
+    /// of the payload until serialization.
+    pub fn bytes(value: impl Into<SharedBytes>) -> JsonValue {
+        JsonValue::Bytes(value.into())
     }
 
     /// Looks up a key in an object.
@@ -159,6 +176,13 @@ impl fmt::Display for JsonValue {
             JsonValue::Bool(false) => f.write_str("false"),
             JsonValue::Number(value) => write_number(f, *value),
             JsonValue::String(text) => write_escaped(f, text),
+            JsonValue::Bytes(data) => {
+                // Base64 contains no characters that need JSON escaping, so
+                // it streams straight between the quotes.
+                f.write_str("\"")?;
+                base64_encode_into(f, data)?;
+                f.write_str("\"")
+            }
             JsonValue::Array(values) => {
                 f.write_str("[")?;
                 for (index, value) in values.iter().enumerate() {
@@ -433,6 +457,19 @@ mod tests {
             r#"{"name":"inv-7","count":3,"ratio":0.5,"ok":true,"none":null,"items":["a","b"]}"#
         );
         assert_eq!(JsonValue::parse(&text).unwrap(), document);
+    }
+
+    #[test]
+    fn bytes_serialize_as_streamed_base64() {
+        let payload: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let document = JsonValue::object([("data", JsonValue::bytes(payload.clone()))]);
+        let text = document.to_string();
+        let expected = crate::encoding::base64_encode(&payload);
+        assert_eq!(text, format!("{{\"data\":\"{expected}\"}}"));
+        // Parsing yields the string form; decoding recovers the payload.
+        let parsed = JsonValue::parse(&text).unwrap();
+        let encoded = parsed.get("data").and_then(JsonValue::as_str).unwrap();
+        assert_eq!(crate::encoding::base64_decode(encoded).unwrap(), payload);
     }
 
     #[test]

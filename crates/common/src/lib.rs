@@ -19,7 +19,10 @@
 //! * [`json`] — a dependency-free JSON value model (writer + parser) used by
 //!   the v1 HTTP API and the benchmark reports.
 //! * [`encoding`] — base64 for binary payloads inside JSON documents.
+//! * [`bytes`] — [`bytes::SharedBytes`], the zero-copy payload view threaded
+//!   through the data plane.
 
+pub mod bytes;
 pub mod clock;
 pub mod config;
 pub mod data;
@@ -30,6 +33,7 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 
+pub use bytes::SharedBytes;
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use data::{DataItem, DataSet};
 pub use error::{DandelionError, DandelionResult};

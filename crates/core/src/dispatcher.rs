@@ -42,6 +42,17 @@ use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
 /// How often the driver thread re-checks the shutdown flag while idle.
 const DRIVER_IDLE_INTERVAL: Duration = Duration::from_millis(100);
 
+/// Number of shards of the in-flight table. Submitting clients and the
+/// driver thread contend only within a shard, so the submit/complete hot
+/// path never serializes on one global lock.
+const IN_FLIGHT_SHARDS: usize = 16;
+
+/// Maximum engine replies the driver folds into one wakeup. Batching
+/// amortizes the channel receive and keeps one reply from head-of-line
+/// blocking the rest; the cap bounds latency for replies arriving during a
+/// long drain.
+const DRIVER_MAX_BATCH: usize = 256;
+
 /// Per-invocation execution statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct InvocationReport {
@@ -229,8 +240,20 @@ impl InvocationEntry {
 /// The shared table of every invocation the dispatcher knows about:
 /// queued, running, and recently finished (retained for result polling up
 /// to the configured retention, after which polling reports not-found).
+///
+/// The table is split into [`IN_FLIGHT_SHARDS`] shards keyed by invocation
+/// id, so concurrent submitters, pollers and the driver thread only contend
+/// when they touch the same shard. The retention queue is a separate small
+/// mutex taken once per settled invocation.
+///
+/// Zero-copy trade-off: retained outputs are `SharedBytes` views, so a
+/// small output sliced from a large producer buffer (e.g. an item of a big
+/// HTTP request body) keeps that whole buffer alive until the entry is
+/// consumed or expires. That is the price of delivering results without
+/// copying; deployments retaining many results of payload-heavy
+/// compositions should size `completed_retention` accordingly.
 struct InFlightTable {
-    entries: StdMutex<HashMap<u64, Arc<InvocationEntry>>>,
+    shards: Vec<StdMutex<HashMap<u64, Arc<InvocationEntry>>>>,
     finished: StdMutex<VecDeque<u64>>,
     retention: usize,
 }
@@ -238,26 +261,30 @@ struct InFlightTable {
 impl InFlightTable {
     fn new(retention: usize) -> Self {
         Self {
-            entries: StdMutex::new(HashMap::new()),
+            shards: (0..IN_FLIGHT_SHARDS)
+                .map(|_| StdMutex::new(HashMap::new()))
+                .collect(),
             finished: StdMutex::new(VecDeque::new()),
             retention: retention.max(1),
         }
     }
 
-    fn lock_entries(&self) -> MutexGuard<'_, HashMap<u64, Arc<InvocationEntry>>> {
-        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    fn shard(&self, id: u64) -> MutexGuard<'_, HashMap<u64, Arc<InvocationEntry>>> {
+        self.shards[(id % IN_FLIGHT_SHARDS as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn insert(&self, id: InvocationId, entry: Arc<InvocationEntry>) {
-        self.lock_entries().insert(id.as_u64(), entry);
+        self.shard(id.as_u64()).insert(id.as_u64(), entry);
     }
 
     fn entry(&self, id: InvocationId) -> Option<Arc<InvocationEntry>> {
-        self.lock_entries().get(&id.as_u64()).cloned()
+        self.shard(id.as_u64()).get(&id.as_u64()).cloned()
     }
 
     fn remove(&self, id: InvocationId) {
-        self.lock_entries().remove(&id.as_u64());
+        self.shard(id.as_u64()).remove(&id.as_u64());
     }
 
     /// Records a settled invocation and expires the oldest retained results
@@ -269,19 +296,22 @@ impl InFlightTable {
             let excess = finished.len().saturating_sub(self.retention);
             finished.drain(..excess).collect()
         };
-        if !expired.is_empty() {
-            let mut entries = self.lock_entries();
-            for id in expired {
-                entries.remove(&id);
-            }
+        for id in expired {
+            self.shard(id).remove(&id);
         }
     }
 
     fn all_entries(&self) -> Vec<(InvocationId, Arc<InvocationEntry>)> {
-        self.lock_entries()
-            .iter()
-            .map(|(id, entry)| (InvocationId::from_raw(*id), Arc::clone(entry)))
-            .collect()
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            all.extend(
+                shard
+                    .iter()
+                    .map(|(id, entry)| (InvocationId::from_raw(*id), Arc::clone(entry))),
+            );
+        }
+        all
     }
 }
 
@@ -636,7 +666,21 @@ fn driver_loop(core: Arc<DispatcherCore>, results: Receiver<TaskResult>) {
             break;
         }
         match results.recv_timeout(DRIVER_IDLE_INTERVAL) {
-            Ok(result) => core.process(vec![WorkItem::from_task_result(result)]),
+            Ok(result) => {
+                // Drain whatever else the engines have produced since the
+                // last wakeup (up to the batch cap) and apply the whole
+                // batch in one pass, instead of one channel round-trip and
+                // one table lookup cycle per reply.
+                let mut batch = Vec::with_capacity(8);
+                batch.push(WorkItem::from_task_result(result));
+                while batch.len() < DRIVER_MAX_BATCH {
+                    match results.try_recv() {
+                        Ok(result) => batch.push(WorkItem::from_task_result(result)),
+                        Err(_) => break,
+                    }
+                }
+                core.process(batch);
+            }
             Err(RecvTimeoutError::Timeout) => core.reap_stalled(),
             Err(RecvTimeoutError::Disconnected) => break,
         }

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use dandelion_common::config::EngineKind;
 use dandelion_common::{DandelionError, DataItem, DataSet};
-use dandelion_http::validate::{validate_request_bytes, ValidationPolicy};
+use dandelion_http::validate::{validate_request_shared, ValidationPolicy};
 use dandelion_http::Uri;
 use dandelion_isolation::{ExecutionTask, IsolationBackend};
 use dandelion_services::ServiceRegistry;
@@ -126,7 +126,9 @@ fn execute_http(
     let mut max_latency = Duration::ZERO;
     for set in inputs {
         for item in &set.items {
-            let (response_bytes, latency) = match validate_request_bytes(&item.data, policy) {
+            // Zero-copy: the request (and its body) are views of the item's
+            // buffer, which itself is a view of the producer's region.
+            let (response_bytes, latency) = match validate_request_shared(&item.data, policy) {
                 Ok(validated) => {
                     let uri = Uri::parse(&validated.request.target)
                         .expect("validated requests carry a parseable URI");

@@ -42,7 +42,6 @@
 
 use std::sync::Arc;
 
-use dandelion_common::encoding::base64_encode;
 use dandelion_common::{DandelionError, DataSet, InvocationId, JsonValue};
 use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
 use dandelion_isolation::output_parser;
@@ -251,9 +250,13 @@ impl Frontend {
     ) -> Result<Vec<DataSet>, HttpResponse> {
         let content_type = request.headers.get("content-type").unwrap_or("");
         if content_type == SET_LIST_CONTENT_TYPE {
-            return output_parser::parse_outputs(&request.body).map_err(|err| error_response(&err));
+            // Zero-copy: input items are views of the request's receive
+            // buffer, not copies of each payload.
+            return output_parser::parse_outputs_shared(&request.body)
+                .map_err(|err| error_response(&err));
         }
-        // Raw body → single item of the composition's first external input.
+        // Raw body → single item of the composition's first external input;
+        // the item shares the receive buffer.
         let graph = self
             .worker
             .registry()
@@ -293,6 +296,11 @@ fn error_json(err: &DandelionError) -> JsonValue {
 }
 
 /// Renders outputs as JSON sets with base64-encoded item payloads.
+///
+/// Item payloads are held as zero-copy [`JsonValue::Bytes`] views until the
+/// document is serialized, at which point base64 streams straight from each
+/// item's slice into the response body — no intermediate `String` or `Vec`
+/// per item.
 pub(crate) fn outputs_json(outputs: &[DataSet]) -> JsonValue {
     JsonValue::array(outputs.iter().map(|set| {
         JsonValue::object([
@@ -304,7 +312,7 @@ pub(crate) fn outputs_json(outputs: &[DataSet]) -> JsonValue {
                         ("name".to_string(), JsonValue::string(item.name.clone())),
                         (
                             "data_base64".to_string(),
-                            JsonValue::string(base64_encode(item.data.as_slice())),
+                            JsonValue::bytes(item.data.clone()),
                         ),
                     ];
                     if let Some(key) = &item.key {
@@ -372,7 +380,8 @@ fn snapshot_json(snapshot: &InvocationSnapshot) -> JsonValue {
 /// descriptor.
 fn encode_outputs_response(outputs: &[DataSet]) -> HttpResponse {
     if outputs.len() == 1 && outputs[0].len() == 1 {
-        return HttpResponse::ok(outputs[0].items[0].data.as_slice().to_vec())
+        // Zero-copy: the response body is a view of the output item.
+        return HttpResponse::ok(outputs[0].items[0].data.clone())
             .with_header("Content-Type", "application/octet-stream");
     }
     HttpResponse::ok(output_parser::encode_outputs(outputs))

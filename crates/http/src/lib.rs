@@ -22,6 +22,8 @@ mod types;
 mod uri;
 pub mod validate;
 
-pub use parse::{parse_request, parse_response, HttpParseError};
+pub use parse::{
+    parse_request, parse_request_shared, parse_response, parse_response_shared, HttpParseError,
+};
 pub use types::{Headers, HttpRequest, HttpResponse, Method, StatusCode, Version};
 pub use uri::Uri;

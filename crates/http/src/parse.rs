@@ -6,6 +6,9 @@
 //! size rather than trusting `Content-Length` blindly.
 
 use std::fmt;
+use std::ops::Range;
+
+use dandelion_common::SharedBytes;
 
 use crate::types::{Headers, HttpRequest, HttpResponse, Method, StatusCode, Version};
 
@@ -111,33 +114,52 @@ fn read_line(input: &[u8], offset: &mut usize) -> Result<String, HttpParseError>
     Ok(line)
 }
 
-fn extract_body(input: &[u8], head: &MessageHead) -> Result<Vec<u8>, HttpParseError> {
-    let available = &input[head.body_offset..];
-    let body = match head.headers.content_length() {
+/// Determines the byte range of the message body within `input`.
+fn body_range(input: &[u8], head: &MessageHead) -> Result<Range<usize>, HttpParseError> {
+    let available = input.len() - head.body_offset;
+    let length = match head.headers.content_length() {
         Some(length) => {
             if length > MAX_BODY_BYTES {
                 return Err(HttpParseError::LimitExceeded("body size"));
             }
-            if available.len() < length {
+            if available < length {
                 return Err(HttpParseError::BodyTooShort {
                     expected: length,
-                    actual: available.len(),
+                    actual: available,
                 });
             }
-            available[..length].to_vec()
+            length
         }
         None => {
-            if available.len() > MAX_BODY_BYTES {
+            if available > MAX_BODY_BYTES {
                 return Err(HttpParseError::LimitExceeded("body size"));
             }
-            available.to_vec()
+            available
         }
     };
-    Ok(body)
+    Ok(head.body_offset..head.body_offset + length)
 }
 
-/// Parses a serialized HTTP request.
+/// Parses a serialized HTTP request, copying the body out of `input`.
+///
+/// [`parse_request_shared`] is the zero-copy variant over an owned receive
+/// buffer.
 pub fn parse_request(input: &[u8]) -> Result<HttpRequest, HttpParseError> {
+    parse_request_impl(input, &mut |range| {
+        SharedBytes::copy_from_slice(&input[range])
+    })
+}
+
+/// Parses a serialized HTTP request held in a [`SharedBytes`] receive
+/// buffer; the returned request's body is a zero-copy view of that buffer.
+pub fn parse_request_shared(input: &SharedBytes) -> Result<HttpRequest, HttpParseError> {
+    parse_request_impl(input.as_slice(), &mut |range| input.slice(range))
+}
+
+fn parse_request_impl(
+    input: &[u8],
+    make_body: &mut dyn FnMut(Range<usize>) -> SharedBytes,
+) -> Result<HttpRequest, HttpParseError> {
     let head = parse_head(input)?;
     let mut parts = head.start_line.split_whitespace();
     let method_token = parts
@@ -157,7 +179,7 @@ pub fn parse_request(input: &[u8]) -> Result<HttpRequest, HttpParseError> {
         .ok_or_else(|| HttpParseError::UnknownMethod(method_token.to_string()))?;
     let version = Version::parse(version_token)
         .ok_or_else(|| HttpParseError::UnsupportedVersion(version_token.to_string()))?;
-    let body = extract_body(input, &head)?;
+    let body = make_body(body_range(input, &head)?);
     Ok(HttpRequest {
         method,
         target,
@@ -167,8 +189,26 @@ pub fn parse_request(input: &[u8]) -> Result<HttpRequest, HttpParseError> {
     })
 }
 
-/// Parses a serialized HTTP response.
+/// Parses a serialized HTTP response, copying the body out of `input`.
+///
+/// [`parse_response_shared`] is the zero-copy variant over an owned receive
+/// buffer.
 pub fn parse_response(input: &[u8]) -> Result<HttpResponse, HttpParseError> {
+    parse_response_impl(input, &mut |range| {
+        SharedBytes::copy_from_slice(&input[range])
+    })
+}
+
+/// Parses a serialized HTTP response held in a [`SharedBytes`] receive
+/// buffer; the returned response's body is a zero-copy view of that buffer.
+pub fn parse_response_shared(input: &SharedBytes) -> Result<HttpResponse, HttpParseError> {
+    parse_response_impl(input.as_slice(), &mut |range| input.slice(range))
+}
+
+fn parse_response_impl(
+    input: &[u8],
+    make_body: &mut dyn FnMut(Range<usize>) -> SharedBytes,
+) -> Result<HttpResponse, HttpParseError> {
     let head = parse_head(input)?;
     let mut parts = head.start_line.splitn(3, ' ');
     let version_token = parts
@@ -185,7 +225,7 @@ pub fn parse_response(input: &[u8]) -> Result<HttpResponse, HttpParseError> {
     if !(100..600).contains(&status) {
         return Err(HttpParseError::InvalidStatus(status_token.to_string()));
     }
-    let body = extract_body(input, &head)?;
+    let body = make_body(body_range(input, &head)?);
     Ok(HttpResponse {
         version,
         status: StatusCode(status),
@@ -218,6 +258,22 @@ mod tests {
         assert_eq!(parsed.status, StatusCode::CREATED);
         assert_eq!(parsed.headers.get("x-request-id"), Some("77"));
         assert_eq!(parsed.body, b"created");
+    }
+
+    #[test]
+    fn shared_parse_views_the_receive_buffer() {
+        let wire = SharedBytes::from_vec(
+            HttpRequest::post("http://svc.internal/x", b"a large payload".to_vec()).to_bytes(),
+        );
+        let parsed = parse_request_shared(&wire).unwrap();
+        assert_eq!(parsed.body, b"a large payload");
+        assert!(SharedBytes::same_buffer(&parsed.body, &wire));
+
+        let response_wire =
+            SharedBytes::from_vec(HttpResponse::ok(b"response bytes".to_vec()).to_bytes());
+        let response = parse_response_shared(&response_wire).unwrap();
+        assert_eq!(response.body, b"response bytes");
+        assert!(SharedBytes::same_buffer(&response.body, &response_wire));
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! HTTP request, response, header and status types.
+//!
+//! Message bodies are [`SharedBytes`] views: parsing a received message
+//! yields a body that references the receive buffer, and moving a body into
+//! a data item or another message never copies the payload.
 
 use std::fmt;
+
+use dandelion_common::SharedBytes;
 
 /// The HTTP methods Dandelion's communication function supports.
 ///
@@ -239,8 +245,8 @@ pub struct HttpRequest {
     pub version: Version,
     /// Header fields.
     pub headers: Headers,
-    /// Message body.
-    pub body: Vec<u8>,
+    /// Message body (a zero-copy view).
+    pub body: SharedBytes,
 }
 
 impl HttpRequest {
@@ -250,14 +256,14 @@ impl HttpRequest {
     }
 
     /// Creates a POST request with a body.
-    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+    pub fn post(target: impl Into<String>, body: impl Into<SharedBytes>) -> Self {
         let mut request = Self::new(Method::Post, target);
         request.body = body.into();
         request
     }
 
     /// Creates a PUT request with a body.
-    pub fn put(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+    pub fn put(target: impl Into<String>, body: impl Into<SharedBytes>) -> Self {
         let mut request = Self::new(Method::Put, target);
         request.body = body.into();
         request
@@ -270,7 +276,7 @@ impl HttpRequest {
             target: target.into(),
             version: Version::Http11,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: SharedBytes::new(),
         }
     }
 
@@ -308,13 +314,13 @@ pub struct HttpResponse {
     pub status: StatusCode,
     /// Header fields.
     pub headers: Headers,
-    /// Message body.
-    pub body: Vec<u8>,
+    /// Message body (a zero-copy view).
+    pub body: SharedBytes,
 }
 
 impl HttpResponse {
     /// Creates a response with the given status and body.
-    pub fn new(status: StatusCode, body: impl Into<Vec<u8>>) -> Self {
+    pub fn new(status: StatusCode, body: impl Into<SharedBytes>) -> Self {
         Self {
             version: Version::Http11,
             status,
@@ -324,7 +330,7 @@ impl HttpResponse {
     }
 
     /// Creates a `200 OK` response.
-    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+    pub fn ok(body: impl Into<SharedBytes>) -> Self {
         Self::new(StatusCode::OK, body)
     }
 

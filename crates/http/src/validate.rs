@@ -7,9 +7,9 @@
 //! rest of the request (path, query, headers, body) is treated as opaque data
 //! forwarded to the remote service.
 
-use dandelion_common::{DandelionError, DandelionResult};
+use dandelion_common::{DandelionError, DandelionResult, SharedBytes};
 
-use crate::parse::parse_request;
+use crate::parse::{parse_request, parse_request_shared};
 use crate::types::{HttpRequest, Method};
 use crate::uri::Uri;
 
@@ -55,6 +55,18 @@ pub fn validate_request_bytes(
     policy: &ValidationPolicy,
 ) -> DandelionResult<ValidatedRequest> {
     let request = parse_request(raw)
+        .map_err(|err| DandelionError::InvalidRequest(format!("malformed request: {err}")))?;
+    validate_request(request, policy)
+}
+
+/// Validates a request held in a [`SharedBytes`] buffer (the bytes of a
+/// data-plane item); on success the validated request's body is a zero-copy
+/// view of that buffer. This is the communication engine's hot path.
+pub fn validate_request_shared(
+    raw: &SharedBytes,
+    policy: &ValidationPolicy,
+) -> DandelionResult<ValidatedRequest> {
+    let request = parse_request_shared(raw)
         .map_err(|err| DandelionError::InvalidRequest(format!("malformed request: {err}")))?;
     validate_request(request, policy)
 }

@@ -223,11 +223,15 @@ impl FunctionCtx {
     }
 
     /// Convenience wrapper staging a single unnamed item.
+    ///
+    /// Accepts anything convertible to a [`dandelion_common::SharedBytes`]
+    /// view; passing an input item's `data.clone()` stages the output
+    /// without copying the payload.
     pub fn push_output_bytes(
         &mut self,
         set: &str,
         name: &str,
-        data: impl Into<Vec<u8>>,
+        data: impl Into<dandelion_common::SharedBytes>,
     ) -> Result<(), FunctionError> {
         self.push_output(set, DataItem::new(name, data))
     }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dandelion_common::config::IsolationKind;
-use dandelion_common::{DandelionError, DandelionResult, DataSet};
+use dandelion_common::{DandelionError, DandelionResult, DataItem, DataSet};
 
 use crate::abi::{FunctionArtifact, FunctionCtx, SyscallAttempt};
 use crate::context::MemoryContext;
@@ -197,11 +197,15 @@ impl StagedExecutor {
         context.append(&artifact.binary)?;
         measured.record(Stage::Load, load_start.elapsed());
 
-        // Stage 3: transfer input — copy input payloads into the context.
+        // Stage 3: transfer input — attach input payloads to the context by
+        // reference (the zero-copy data passing of paper §6.1). The bytes
+        // stay in the producer's exported region; only capacity accounting
+        // happens here. `MemoryContext::transfer_to` remains the portable
+        // memcpy fallback for backends that cannot remap.
         let transfer_start = Instant::now();
         for set in &task.inputs {
             for item in &set.items {
-                context.append(&item.data)?;
+                context.import(&item.data)?;
             }
         }
         measured.record(Stage::TransferInput, transfer_start.elapsed());
@@ -252,15 +256,22 @@ impl StagedExecutor {
             });
         }
 
-        // Stage 5: output — serialize the outputs into the context exactly as
-        // the dlibc exit shim would, then parse them back with the trusted
-        // parser.
+        // Stage 5: output — the dlibc exit shim leaves a metadata *frame*
+        // (set/item names, keys, payload lengths) in the context; the
+        // payload bytes already live in the function's memory and are never
+        // re-serialized. The trusted engine round-trips the frame through
+        // the bounded frame parser, then attaches each payload by reference
+        // after checking it against the declared length — so downstream
+        // consumers receive views of the producer's buffers, not copies.
+        // (The payload-carrying descriptor of `encode_outputs` remains the
+        // wire format at the HTTP boundary.)
         let output_start = Instant::now();
         let outputs = ctx.take_outputs();
-        let encoded = output_parser::encode_outputs(&outputs);
-        let descriptor_offset = context.append(&encoded)?;
-        let descriptor = context.read(descriptor_offset, encoded.len())?;
-        let outputs = output_parser::parse_outputs(descriptor)?;
+        let frame = output_parser::encode_frame(&outputs);
+        let frame_offset = context.append(&frame)?;
+        let exported_frame = context.export(frame_offset, frame.len())?;
+        let parsed = output_parser::parse_frame(&exported_frame)?;
+        let outputs = attach_frame_payloads(&artifact.name, parsed, outputs, &mut context)?;
         measured.record(Stage::Output, output_start.elapsed());
 
         // Stage 6: other — context teardown.
@@ -283,6 +294,58 @@ impl StagedExecutor {
     pub fn kind(&self) -> IsolationKind {
         self.kind
     }
+}
+
+/// Rebuilds the output sets from a validated frame, attaching each staged
+/// payload to the context by reference and checking it against the frame's
+/// declared length. Any disagreement between the frame and the staged
+/// payloads is a function fault — the shim and the engine must agree on the
+/// output layout.
+fn attach_frame_payloads(
+    function: &str,
+    frame: Vec<output_parser::FrameSet>,
+    staged: Vec<DataSet>,
+    context: &mut MemoryContext,
+) -> DandelionResult<Vec<DataSet>> {
+    let fault = |reason: String| DandelionError::FunctionFault {
+        function: function.to_string(),
+        reason,
+    };
+    if frame.len() != staged.len() {
+        return Err(fault(format!(
+            "output frame describes {} sets but {} were staged",
+            frame.len(),
+            staged.len()
+        )));
+    }
+    let mut outputs = Vec::with_capacity(frame.len());
+    for (frame_set, staged_set) in frame.into_iter().zip(staged) {
+        if frame_set.name != staged_set.name || frame_set.items.len() != staged_set.items.len() {
+            return Err(fault(format!(
+                "output frame disagrees with staged set `{}`",
+                staged_set.name
+            )));
+        }
+        let mut set = DataSet::new(frame_set.name);
+        for (frame_item, staged_item) in frame_set.items.into_iter().zip(staged_set.items) {
+            if frame_item.data_len != staged_item.data.len() {
+                return Err(fault(format!(
+                    "output item `{}` declares {} bytes but carries {}",
+                    frame_item.name,
+                    frame_item.data_len,
+                    staged_item.data.len()
+                )));
+            }
+            context.import(&staged_item.data)?;
+            set.push(DataItem {
+                name: frame_item.name,
+                key: frame_item.key,
+                data: staged_item.data,
+            });
+        }
+        outputs.push(set);
+    }
+    Ok(outputs)
 }
 
 #[cfg(test)]

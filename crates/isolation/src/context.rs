@@ -7,18 +7,63 @@
 //! function was registered; physical pages are only committed as data is
 //! written, which is what makes Dandelion's per-request memory footprint so
 //! small in the Azure-trace experiment (Figure 10).
+//!
+//! # Zero-copy data passing
+//!
+//! Composition edges move data between contexts by reference, not by copy
+//! (paper §6.1, "Data passing"): [`MemoryContext::export`] freezes the
+//! context's own region and hands out [`SharedBytes`] views of it, and
+//! [`MemoryContext::import`] attaches a producer's exported view to a
+//! consumer context without copying — modeling the page remapping the real
+//! backends perform. The explicit byte copy survives only as the documented
+//! portable fallback, [`MemoryContext::transfer_to`], and as copy-on-write
+//! when a frozen region with outstanding views is written again.
 
-use dandelion_common::{ContextId, DandelionError, DandelionResult};
+use dandelion_common::{ContextId, DandelionError, DandelionResult, SharedBytes};
 
-/// A bounded, contiguous memory region owned by one function instance.
+/// The context's own region: writable until the first export, then frozen so
+/// outstanding views stay valid while the context is reused.
+#[derive(Debug)]
+enum Backing {
+    /// Writable storage; grows lazily up to the capacity.
+    Mutable(Vec<u8>),
+    /// Frozen storage produced by an export; downstream contexts may hold
+    /// views of it.
+    Frozen(SharedBytes),
+}
+
+impl Backing {
+    fn len(&self) -> usize {
+        match self {
+            Backing::Mutable(bytes) => bytes.len(),
+            Backing::Frozen(shared) => shared.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Mutable(bytes) => bytes,
+            Backing::Frozen(shared) => shared.as_slice(),
+        }
+    }
+}
+
+/// A bounded, contiguous memory region owned by one function instance, plus
+/// the read-only regions imported from other contexts.
 #[derive(Debug)]
 pub struct MemoryContext {
     id: ContextId,
-    /// Backing storage; grows lazily up to `capacity`.
-    bytes: Vec<u8>,
-    /// Maximum size of the region (the user-declared memory requirement).
+    /// The context's own region.
+    backing: Backing,
+    /// Regions attached by [`MemoryContext::import`]; they count toward the
+    /// capacity but are never copied.
+    imports: Vec<SharedBytes>,
+    /// Sum of the imported regions' lengths.
+    imported_bytes: usize,
+    /// Maximum size of the context (the user-declared memory requirement),
+    /// covering the own region and all imports.
     capacity: usize,
-    /// High-water mark of bytes ever committed, for accounting.
+    /// High-water mark of bytes ever committed or imported, for accounting.
     high_water: usize,
 }
 
@@ -28,7 +73,9 @@ impl MemoryContext {
     pub fn new(capacity: usize) -> Self {
         Self {
             id: ContextId::next(),
-            bytes: Vec::new(),
+            backing: Backing::Mutable(Vec::new()),
+            imports: Vec::new(),
+            imported_bytes: 0,
             capacity,
             high_water: 0,
         }
@@ -44,26 +91,62 @@ impl MemoryContext {
         self.capacity
     }
 
-    /// Bytes currently committed (the extent of data written so far).
+    /// Bytes currently committed in the context's own region.
     pub fn committed_bytes(&self) -> usize {
-        self.bytes.len()
+        self.backing.len()
     }
 
-    /// Highest number of bytes that were ever committed in this context.
+    /// Bytes attached by zero-copy imports.
+    pub fn imported_bytes(&self) -> usize {
+        self.imported_bytes
+    }
+
+    /// Highest number of bytes (committed + imported) this context ever
+    /// held.
     pub fn high_water_bytes(&self) -> usize {
         self.high_water
     }
 
+    /// Makes the own region writable again after an export.
+    ///
+    /// When no views of the frozen region are outstanding the buffer is
+    /// reclaimed without copying; otherwise the visible bytes are copied
+    /// once (copy-on-write — the documented fallback that keeps exported
+    /// views immutable).
+    fn make_mutable(&mut self) -> &mut Vec<u8> {
+        if matches!(self.backing, Backing::Frozen(_)) {
+            // Move the frozen view out before trying to unwrap it, so the
+            // context's own reference does not keep the Arc count above one.
+            let Backing::Frozen(shared) =
+                std::mem::replace(&mut self.backing, Backing::Mutable(Vec::new()))
+            else {
+                unreachable!("matched above");
+            };
+            self.backing = match shared.try_unwrap_whole() {
+                Ok(vec) => Backing::Mutable(vec),
+                Err(shared) => Backing::Mutable(shared.as_slice().to_vec()),
+            };
+        }
+        match &mut self.backing {
+            Backing::Mutable(bytes) => bytes,
+            Backing::Frozen(_) => unreachable!("unfrozen above"),
+        }
+    }
+
     fn ensure_len(&mut self, required: usize) -> DandelionResult<()> {
-        if required > self.capacity {
+        let total = required
+            .checked_add(self.imported_bytes)
+            .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
+        if total > self.capacity {
             return Err(DandelionError::ContextError(format!(
-                "write of {} bytes exceeds context capacity of {} bytes",
-                required, self.capacity
+                "write of {} bytes exceeds context capacity of {} bytes ({} bytes imported)",
+                required, self.capacity, self.imported_bytes
             )));
         }
-        if required > self.bytes.len() {
-            self.bytes.resize(required, 0);
-            self.high_water = self.high_water.max(required);
+        if required > self.backing.len() {
+            let bytes = self.make_mutable();
+            bytes.resize(required, 0);
+            self.high_water = self.high_water.max(total);
         }
         Ok(())
     }
@@ -74,42 +157,103 @@ impl MemoryContext {
             .checked_add(data.len())
             .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
         self.ensure_len(end)?;
-        self.bytes[offset..end].copy_from_slice(data);
+        self.make_mutable()[offset..end].copy_from_slice(data);
         Ok(())
     }
 
     /// Appends `data` at the current commit extent and returns its offset.
     pub fn append(&mut self, data: &[u8]) -> DandelionResult<usize> {
-        let offset = self.bytes.len();
+        let offset = self.backing.len();
         self.write(offset, data)?;
         Ok(offset)
     }
 
-    /// Reads `len` bytes starting at `offset`.
+    /// Reads `len` bytes starting at `offset` of the context's own region.
     pub fn read(&self, offset: usize, len: usize) -> DandelionResult<&[u8]> {
         let end = offset
             .checked_add(len)
             .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
-        if end > self.bytes.len() {
+        if end > self.backing.len() {
             return Err(DandelionError::ContextError(format!(
                 "read of {len} bytes at offset {offset} is out of bounds (committed {})",
-                self.bytes.len()
+                self.backing.len()
             )));
         }
-        Ok(&self.bytes[offset..end])
+        Ok(&self.backing.as_slice()[offset..end])
     }
 
     /// Returns the whole committed region.
     pub fn committed(&self) -> &[u8] {
-        &self.bytes
+        self.backing.as_slice()
+    }
+
+    /// Exports a range of the context's own region as a zero-copy view.
+    ///
+    /// The first export freezes the region (a move, not a copy); further
+    /// exports slice the same frozen buffer. Exported views remain valid
+    /// after [`MemoryContext::clear`], which is how a finished function's
+    /// outputs outlive its context without being copied. Writing to the
+    /// context after an export falls back to copy-on-write only while views
+    /// are outstanding.
+    pub fn export(&mut self, offset: usize, len: usize) -> DandelionResult<SharedBytes> {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DandelionError::ContextError("offset overflow".to_string()))?;
+        if end > self.backing.len() {
+            return Err(DandelionError::ContextError(format!(
+                "export of {len} bytes at offset {offset} is out of bounds (committed {})",
+                self.backing.len()
+            )));
+        }
+        if let Backing::Mutable(bytes) = &mut self.backing {
+            let frozen = SharedBytes::from_vec(std::mem::take(bytes));
+            self.backing = Backing::Frozen(frozen);
+        }
+        match &self.backing {
+            Backing::Frozen(shared) => Ok(shared.slice(offset..end)),
+            Backing::Mutable(_) => unreachable!("frozen above"),
+        }
+    }
+
+    /// Attaches another context's exported region to this context without
+    /// copying, returning the import's region index.
+    ///
+    /// The imported bytes count toward this context's capacity exactly as a
+    /// copy would have, so memory accounting is unchanged — only the memcpy
+    /// is gone.
+    pub fn import(&mut self, data: &SharedBytes) -> DandelionResult<usize> {
+        let total = self
+            .backing
+            .len()
+            .checked_add(self.imported_bytes)
+            .and_then(|used| used.checked_add(data.len()))
+            .ok_or_else(|| DandelionError::ContextError("import overflow".to_string()))?;
+        if total > self.capacity {
+            return Err(DandelionError::ContextError(format!(
+                "import of {} bytes exceeds context capacity of {} bytes ({} bytes in use)",
+                data.len(),
+                self.capacity,
+                self.backing.len() + self.imported_bytes
+            )));
+        }
+        self.imports.push(data.clone());
+        self.imported_bytes += data.len();
+        self.high_water = self.high_water.max(total);
+        Ok(self.imports.len() - 1)
+    }
+
+    /// Returns an imported region by index.
+    pub fn imported(&self, index: usize) -> Option<&SharedBytes> {
+        self.imports.get(index)
     }
 
     /// Copies a range from this context into another context.
     ///
-    /// This is the primitive the dispatcher uses to move a finished
-    /// function's outputs into the inputs of a waiting function (paper §6.1,
-    /// "Data passing"). Different backends could replace the copy with
-    /// remapping; the copy is the portable default.
+    /// This is the portable *fallback* for moving a finished function's
+    /// outputs into the inputs of a waiting function (paper §6.1, "Data
+    /// passing"): backends that cannot remap regions do one copy here.
+    /// The zero-copy path is [`MemoryContext::export`] on the producer plus
+    /// [`MemoryContext::import`] on the consumer.
     pub fn transfer_to(
         &self,
         destination: &mut MemoryContext,
@@ -117,14 +261,17 @@ impl MemoryContext {
         length: usize,
         destination_offset: usize,
     ) -> DandelionResult<()> {
-        let data = self.read(source_offset, length)?.to_vec();
-        destination.write(destination_offset, &data)
+        let data = self.read(source_offset, length)?;
+        destination.write(destination_offset, data)
     }
 
-    /// Releases all committed memory while keeping the capacity reservation.
+    /// Releases committed memory and detaches imports while keeping the
+    /// capacity reservation. Views handed out by [`MemoryContext::export`]
+    /// keep the frozen buffer alive independently.
     pub fn clear(&mut self) {
-        self.bytes.clear();
-        self.bytes.shrink_to_fit();
+        self.backing = Backing::Mutable(Vec::new());
+        self.imports.clear();
+        self.imported_bytes = 0;
     }
 }
 
@@ -183,12 +330,95 @@ mod tests {
     }
 
     #[test]
+    fn export_hands_out_views_without_copying() {
+        let mut context = MemoryContext::new(64);
+        context.append(b"prefix|payload").unwrap();
+        let payload = context.export(7, 7).unwrap();
+        assert_eq!(payload, b"payload");
+        let again = context.export(0, 6).unwrap();
+        assert_eq!(again, b"prefix");
+        // Both exports are windows of the same frozen buffer.
+        assert!(SharedBytes::same_buffer(&payload, &again));
+        // The region is still readable after freezing.
+        assert_eq!(context.read(0, 6).unwrap(), b"prefix");
+        assert!(context.export(10, 10).is_err());
+    }
+
+    #[test]
+    fn exported_views_survive_clear() {
+        let mut context = MemoryContext::new(64);
+        context.append(b"outlive").unwrap();
+        let view = context.export(0, 7).unwrap();
+        context.clear();
+        assert_eq!(context.committed_bytes(), 0);
+        assert_eq!(view, b"outlive");
+    }
+
+    #[test]
+    fn writes_after_export_do_not_disturb_views() {
+        let mut context = MemoryContext::new(64);
+        context.append(b"original").unwrap();
+        let view = context.export(0, 8).unwrap();
+        // Copy-on-write: the outstanding view keeps its bytes.
+        context.write(0, b"REWRITTEN").unwrap();
+        assert_eq!(view, b"original");
+        assert_eq!(context.read(0, 9).unwrap(), b"REWRITTEN");
+    }
+
+    #[test]
+    fn unfreezing_without_outstanding_views_avoids_the_copy() {
+        let mut context = MemoryContext::new(64);
+        context.append(b"transient").unwrap();
+        drop(context.export(0, 9).unwrap());
+        // No views remain, so the buffer is reclaimed and writable again.
+        context.append(b"+more").unwrap();
+        assert_eq!(context.read(0, 14).unwrap(), b"transient+more");
+    }
+
+    #[test]
+    fn import_attaches_views_and_counts_capacity() {
+        let mut producer = MemoryContext::new(64);
+        producer.append(b"shared payload").unwrap();
+        let exported = producer.export(0, 14).unwrap();
+
+        let mut consumer = MemoryContext::new(20);
+        let region = consumer.import(&exported).unwrap();
+        assert_eq!(consumer.imported_bytes(), 14);
+        assert_eq!(consumer.high_water_bytes(), 14);
+        // The attached region is the producer's buffer, not a copy.
+        assert!(SharedBytes::same_buffer(
+            consumer.imported(region).unwrap(),
+            &exported
+        ));
+        // Imports count toward the capacity: 14 imported + 7 written > 20.
+        let err = consumer.append(&[0u8; 7]).unwrap_err();
+        assert!(matches!(err, DandelionError::ContextError(_)));
+        assert!(consumer.append(&[0u8; 6]).is_ok());
+        // A second import beyond the capacity is rejected too.
+        assert!(consumer.import(&exported).is_err());
+    }
+
+    #[test]
+    fn huge_write_offsets_with_imports_fail_cleanly() {
+        let mut producer = MemoryContext::new(64);
+        producer.append(b"0123456789").unwrap();
+        let exported = producer.export(0, 10).unwrap();
+        let mut consumer = MemoryContext::new(64);
+        consumer.import(&exported).unwrap();
+        // required + imported_bytes would overflow; must be a typed error,
+        // not a panic or a wrapped-around capacity bypass.
+        let err = consumer.write(usize::MAX - 3, &[0u8; 1]).unwrap_err();
+        assert!(matches!(err, DandelionError::ContextError(_)));
+    }
+
+    #[test]
     fn clear_releases_memory_but_keeps_high_water() {
         let mut context = MemoryContext::new(1024);
         context.write(0, &[1u8; 512]).unwrap();
         assert_eq!(context.high_water_bytes(), 512);
         context.clear();
         assert_eq!(context.committed_bytes(), 0);
+        assert_eq!(context.imported_bytes(), 0);
         assert_eq!(context.high_water_bytes(), 512);
         assert_eq!(context.capacity(), 1024);
     }

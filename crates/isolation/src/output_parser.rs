@@ -26,10 +26,14 @@
 //! against the remaining buffer and against [`LIMITS`], and any violation
 //! produces a descriptive error.
 
-use dandelion_common::{DandelionError, DandelionResult, DataItem, DataSet};
+use dandelion_common::{DandelionError, DandelionResult, DataItem, DataSet, SharedBytes};
 
 /// Magic number identifying an output descriptor.
 pub const MAGIC: u32 = 0xDA4D_E110;
+
+/// Magic number identifying a metadata-only descriptor *frame*
+/// (see [`encode_frame`]).
+pub const FRAME_MAGIC: u32 = 0xDA4D_E1F2;
 
 /// Hard limits applied while parsing untrusted descriptors.
 #[derive(Debug, Clone, Copy)]
@@ -132,8 +136,32 @@ pub fn parse_outputs(bytes: &[u8]) -> DandelionResult<Vec<DataSet>> {
     parse_outputs_with_limits(bytes, &LIMITS)
 }
 
-/// Parses an output descriptor with explicit limits.
+/// Parses an output descriptor with explicit limits. Item payloads are
+/// copied out of the descriptor buffer.
 pub fn parse_outputs_with_limits(bytes: &[u8], limits: &Limits) -> DandelionResult<Vec<DataSet>> {
+    parse_outputs_impl(bytes, limits, &mut |range| {
+        SharedBytes::copy_from_slice(&bytes[range])
+    })
+}
+
+/// Parses an output descriptor held in a [`SharedBytes`] buffer, handing out
+/// item payloads as zero-copy views of that buffer.
+///
+/// This is the engine's hot path: a producer context [`exports`] its
+/// descriptor region once, and every item parsed from it — including `each`
+/// fan-out and `key` grouping downstream — references the producer's bytes
+/// instead of copying them. Validation is identical to [`parse_outputs`].
+///
+/// [`exports`]: crate::context::MemoryContext::export
+pub fn parse_outputs_shared(shared: &SharedBytes) -> DandelionResult<Vec<DataSet>> {
+    parse_outputs_impl(shared.as_slice(), &LIMITS, &mut |range| shared.slice(range))
+}
+
+fn parse_outputs_impl(
+    bytes: &[u8],
+    limits: &Limits,
+    make_data: &mut dyn FnMut(std::ops::Range<usize>) -> SharedBytes,
+) -> DandelionResult<Vec<DataSet>> {
     let mut reader = Reader::new(bytes);
     let magic = reader.read_u32()?;
     if magic != MAGIC {
@@ -158,8 +186,9 @@ pub fn parse_outputs_with_limits(bytes: &[u8], limits: &Limits) -> DandelionResu
             if data_len > limits.max_item_bytes {
                 return Err(reader.error(&format!("item of {data_len} bytes exceeds the limit")));
             }
-            let data = reader.read_bytes(data_len)?.to_vec();
-            let mut item = DataItem::new(item_name, data);
+            let start = reader.offset;
+            reader.read_bytes(data_len)?;
+            let mut item = DataItem::new(item_name, make_data(start..reader.offset));
             if !key.is_empty() {
                 item.key = Some(key);
             }
@@ -169,6 +198,101 @@ pub fn parse_outputs_with_limits(bytes: &[u8], limits: &Limits) -> DandelionResu
     }
     if reader.offset != bytes.len() {
         return Err(reader.error("trailing bytes after descriptor"));
+    }
+    Ok(sets)
+}
+
+/// One set of a parsed descriptor [frame](encode_frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSet {
+    /// The set name.
+    pub name: String,
+    /// The set's item metadata, in production order.
+    pub items: Vec<FrameItem>,
+}
+
+/// One item of a [`FrameSet`]: everything about the item except the payload
+/// bytes, which stay in the function's memory and are attached by reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameItem {
+    /// The item name.
+    pub name: String,
+    /// The grouping key, if any.
+    pub key: Option<String>,
+    /// Declared payload length in bytes, checked against the attached
+    /// payload region.
+    pub data_len: usize,
+}
+
+/// Serializes output sets into a metadata-only descriptor *frame*.
+///
+/// The frame carries the structure of the outputs — set and item names,
+/// keys, and payload lengths — but not the payload bytes: those already live
+/// in the function's memory and are passed by reference ([`SharedBytes`]).
+/// The trusted engine round-trips the frame through [`parse_frame`] with the
+/// same hard limits as the full descriptor, then attaches each payload
+/// region zero-copy after checking its length against the frame. The full
+/// payload-carrying descriptor ([`encode_outputs`]) remains the portable
+/// wire format for set lists crossing the HTTP boundary.
+pub fn encode_frame(sets: &[DataSet]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(sets.len() as u32).to_le_bytes());
+    for set in sets {
+        push_chunk(&mut out, set.name.as_bytes());
+        out.extend_from_slice(&(set.items.len() as u32).to_le_bytes());
+        for item in &set.items {
+            push_chunk(&mut out, item.name.as_bytes());
+            push_chunk(&mut out, item.key.as_deref().unwrap_or("").as_bytes());
+            out.extend_from_slice(&(item.data.len() as u32).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses a descriptor frame produced by [`encode_frame`], applying the
+/// default [`LIMITS`]. Like [`parse_outputs`] this never panics on
+/// malformed input.
+pub fn parse_frame(bytes: &[u8]) -> DandelionResult<Vec<FrameSet>> {
+    parse_frame_with_limits(bytes, &LIMITS)
+}
+
+/// Parses a descriptor frame with explicit limits.
+pub fn parse_frame_with_limits(bytes: &[u8], limits: &Limits) -> DandelionResult<Vec<FrameSet>> {
+    let mut reader = Reader::new(bytes);
+    let magic = reader.read_u32()?;
+    if magic != FRAME_MAGIC {
+        return Err(reader.error("bad frame magic"));
+    }
+    let set_count = reader.read_u32()?;
+    if set_count > limits.max_sets {
+        return Err(reader.error(&format!("{set_count} sets exceed the limit")));
+    }
+    let mut sets = Vec::with_capacity(set_count as usize);
+    for _ in 0..set_count {
+        let name = reader.read_name(limits, "set")?;
+        let item_count = reader.read_u32()?;
+        if item_count > limits.max_items_per_set {
+            return Err(reader.error(&format!("{item_count} items exceed the per-set limit")));
+        }
+        let mut items = Vec::with_capacity(item_count.min(1024) as usize);
+        for _ in 0..item_count {
+            let item_name = reader.read_name(limits, "item")?;
+            let key = reader.read_name(limits, "key")?;
+            let data_len = reader.read_u32()?;
+            if data_len > limits.max_item_bytes {
+                return Err(reader.error(&format!("item of {data_len} bytes exceeds the limit")));
+            }
+            items.push(FrameItem {
+                name: item_name,
+                key: (!key.is_empty()).then_some(key),
+                data_len: data_len as usize,
+            });
+        }
+        sets.push(FrameSet { name, items });
+    }
+    if reader.offset != bytes.len() {
+        return Err(reader.error("trailing bytes after frame"));
     }
     Ok(sets)
 }
@@ -202,6 +326,49 @@ mod tests {
     fn empty_output_roundtrip() {
         let encoded = encode_outputs(&[]);
         assert_eq!(parse_outputs(&encoded).unwrap(), Vec::<DataSet>::new());
+    }
+
+    #[test]
+    fn shared_parse_hands_out_views_of_the_descriptor() {
+        let sets = sample_sets();
+        let encoded = SharedBytes::from_vec(encode_outputs(&sets));
+        let decoded = parse_outputs_shared(&encoded).unwrap();
+        assert_eq!(decoded, sets);
+        // Every payload is a window of the descriptor buffer, not a copy.
+        for set in &decoded {
+            for item in &set.items {
+                assert!(SharedBytes::same_buffer(&item.data, &encoded));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_structure() {
+        let sets = sample_sets();
+        let frame = encode_frame(&sets);
+        let parsed = parse_frame(&frame).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "responses");
+        assert_eq!(parsed[0].items.len(), 2);
+        assert_eq!(parsed[0].items[0].name, "r0");
+        assert_eq!(parsed[0].items[0].data_len, 5);
+        assert!(parsed[0].items[0].key.is_none());
+        assert_eq!(parsed[0].items[1].key.as_deref(), Some("eu-west"));
+        assert!(parsed[1].items.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_truncation_trailing_bytes_and_wrong_magic() {
+        let frame = encode_frame(&sample_sets());
+        for cut in 0..frame.len() {
+            assert!(parse_frame(&frame[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert!(parse_frame(&trailing).is_err());
+        // A full descriptor is not a frame and vice versa.
+        assert!(parse_frame(&encode_outputs(&sample_sets())).is_err());
+        assert!(parse_outputs(&frame).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use dandelion_common::SharedBytes;
 use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode};
 use parking_lot::RwLock;
 
@@ -16,7 +17,7 @@ use crate::registry::{RemoteService, ServiceResponse};
 
 /// In-memory S3-like object store.
 pub struct ObjectStore {
-    buckets: RwLock<BTreeMap<String, BTreeMap<String, Vec<u8>>>>,
+    buckets: RwLock<BTreeMap<String, BTreeMap<String, SharedBytes>>>,
     latency: LatencyModel,
 }
 
@@ -38,17 +39,18 @@ impl ObjectStore {
     }
 
     /// Stores an object directly (bypassing HTTP), useful for test setup and
-    /// for the benchmark data generator.
-    pub fn put_object(&self, bucket: &str, key: &str, data: Vec<u8>) {
+    /// for the benchmark data generator. Objects are held as [`SharedBytes`]
+    /// so GETs serve zero-copy views of the stored buffer.
+    pub fn put_object(&self, bucket: &str, key: &str, data: impl Into<SharedBytes>) {
         self.buckets
             .write()
             .entry(bucket.to_string())
             .or_default()
-            .insert(key.to_string(), data);
+            .insert(key.to_string(), data.into());
     }
 
-    /// Reads an object directly.
-    pub fn get_object(&self, bucket: &str, key: &str) -> Option<Vec<u8>> {
+    /// Reads an object directly, as a zero-copy view of the stored buffer.
+    pub fn get_object(&self, bucket: &str, key: &str) -> Option<SharedBytes> {
         self.buckets.read().get(bucket)?.get(key).cloned()
     }
 
@@ -67,7 +69,7 @@ impl ObjectStore {
             .read()
             .values()
             .flat_map(|bucket| bucket.values())
-            .map(Vec::len)
+            .map(SharedBytes::len)
             .sum()
     }
 
@@ -124,7 +126,9 @@ impl RemoteService for ObjectStore {
             },
             Method::Put | Method::Post => {
                 let len = request.body.len();
-                self.put_object(&bucket, &key, request.body.clone());
+                // Compact before storing: the body may be a small view of a
+                // large producer buffer, and the store outlives the request.
+                self.put_object(&bucket, &key, request.body.compact());
                 (HttpResponse::new(StatusCode::CREATED, Vec::new()), len)
             }
             Method::Delete => {
@@ -192,7 +196,10 @@ mod tests {
         store.put_object("bucket", "a", vec![4]);
         assert_eq!(store.list_bucket("bucket"), vec!["a", "z"]);
         assert_eq!(store.total_bytes(), 4);
-        assert_eq!(store.get_object("bucket", "z"), Some(vec![1, 2, 3]));
+        assert_eq!(
+            store.get_object("bucket", "z"),
+            Some(SharedBytes::from(vec![1u8, 2, 3]))
+        );
         assert!(store.list_bucket("missing").is_empty());
     }
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use dandelion_common::{DataItem, DataSet};
+use dandelion_common::{DataItem, DataSet, SharedBytes};
 
 use crate::path::VfsPath;
 
@@ -87,8 +87,16 @@ pub struct Metadata {
 
 #[derive(Debug, Clone)]
 enum Node {
-    File { data: Vec<u8>, key: Option<String> },
-    Directory { children: BTreeMap<String, Node> },
+    File {
+        /// File contents as a zero-copy view: input materialization and
+        /// output harvest share buffers with the data plane instead of
+        /// copying payloads in and out of the filesystem.
+        data: SharedBytes,
+        key: Option<String>,
+    },
+    Directory {
+        children: BTreeMap<String, Node>,
+    },
 }
 
 impl Node {
@@ -137,7 +145,8 @@ impl VirtualFs {
             fs.create_dir_all(&dir)?;
             for item in &set.items {
                 let path = dir.join(&item.name);
-                fs.write_file(&path, item.data.as_slice())?;
+                // Zero-copy: the file references the input item's buffer.
+                fs.write_file_shared(&path, item.data.clone())?;
                 if let Some(key) = &item.key {
                     fs.set_key(&path, Some(key.clone()))?;
                 }
@@ -242,8 +251,17 @@ impl VirtualFs {
         Ok(())
     }
 
-    /// Writes (creates or truncates) a file with the given contents.
+    /// Writes (creates or truncates) a file with the given contents,
+    /// copying them into a fresh buffer. Use [`VirtualFs::write_file_shared`]
+    /// to attach an existing buffer without copying.
     pub fn write_file(&mut self, path: &VfsPath, data: &[u8]) -> Result<(), VfsError> {
+        self.write_file_shared(path, SharedBytes::copy_from_slice(data))
+    }
+
+    /// Writes (creates or truncates) a file backed by an existing
+    /// [`SharedBytes`] view — the zero-copy path used when materializing
+    /// input sets and when functions stage large outputs.
+    pub fn write_file_shared(&mut self, path: &VfsPath, data: SharedBytes) -> Result<(), VfsError> {
         if path.is_root() {
             return Err(VfsError::RootOperation);
         }
@@ -270,7 +288,7 @@ impl VirtualFs {
             Some(Node::Directory { children }) => {
                 match children.get_mut(&name) {
                     Some(Node::File { data: existing, .. }) => {
-                        *existing = data.to_vec();
+                        *existing = data;
                     }
                     Some(Node::Directory { .. }) => {
                         return Err(VfsError::WrongNodeKind {
@@ -279,13 +297,7 @@ impl VirtualFs {
                         })
                     }
                     None => {
-                        children.insert(
-                            name,
-                            Node::File {
-                                data: data.to_vec(),
-                                key: None,
-                            },
-                        );
+                        children.insert(name, Node::File { data, key: None });
                     }
                 }
                 self.used = new_used;
@@ -302,7 +314,7 @@ impl VirtualFs {
     /// Appends bytes to a file, creating it if necessary.
     pub fn append_file(&mut self, path: &VfsPath, data: &[u8]) -> Result<(), VfsError> {
         let mut existing = match self.find(path) {
-            Some(Node::File { data, .. }) => data.clone(),
+            Some(Node::File { data, .. }) => data.as_slice().to_vec(),
             Some(Node::Directory { .. }) => {
                 return Err(VfsError::WrongNodeKind {
                     path: path.to_string(),
@@ -312,11 +324,17 @@ impl VirtualFs {
             None => Vec::new(),
         };
         existing.extend_from_slice(data);
-        self.write_file(path, &existing)
+        self.write_file_shared(path, SharedBytes::from_vec(existing))
     }
 
-    /// Reads a file's contents.
+    /// Reads a file's contents into an owned vector (copies).
     pub fn read_file(&self, path: &VfsPath) -> Result<Vec<u8>, VfsError> {
+        self.read_file_shared(path)
+            .map(|data| data.as_slice().to_vec())
+    }
+
+    /// Reads a file's contents as a zero-copy view.
+    pub fn read_file_shared(&self, path: &VfsPath) -> Result<SharedBytes, VfsError> {
         match self.find(path) {
             Some(Node::File { data, .. }) => Ok(data.clone()),
             Some(Node::Directory { .. }) => Err(VfsError::WrongNodeKind {

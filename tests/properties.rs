@@ -208,6 +208,80 @@ fn vfs_accounting_is_exact() {
     }
 }
 
+/// Arbitrary chains of zero-copy `SharedBytes` slices always expose exactly
+/// the bytes of the corresponding `Vec` range, never copy (every view
+/// shares the root's buffer), and nested slicing composes like slice
+/// indexing.
+#[test]
+fn shared_bytes_slices_view_the_original_buffer() {
+    use dandelion_common::SharedBytes;
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x5B ^ seed);
+        let data = random_bytes(&mut rng, 1024);
+        let root = SharedBytes::from_vec(data.clone());
+        let mut view = root.clone();
+        let mut start = 0usize;
+        for _ in 0..rng.next_bounded(6) {
+            let len = view.len() as u64;
+            let a = rng.next_bounded(len + 1) as usize;
+            let b = rng.next_bounded(len + 1) as usize;
+            let (low, high) = if a <= b { (a, b) } else { (b, a) };
+            view = view.slice(low..high);
+            start += low;
+            assert_eq!(
+                view.as_slice(),
+                &data[start..start + view.len()],
+                "seed {seed}"
+            );
+            assert_eq!(view.offset_in_buffer(), start, "seed {seed}");
+            assert!(SharedBytes::same_buffer(&view, &root), "seed {seed}");
+        }
+    }
+}
+
+/// Splitting a view at any point and merging the halves back is the
+/// identity, stays zero-copy, and merging is refused exactly when the
+/// pieces are not adjacent views of one buffer.
+#[test]
+fn shared_bytes_split_merge_invariants() {
+    use dandelion_common::SharedBytes;
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E8 ^ seed);
+        let data = random_bytes(&mut rng, 512);
+        let whole = SharedBytes::from_vec(data.clone());
+        let at = rng.next_bounded(data.len() as u64 + 1) as usize;
+        let (left, right) = whole.split_at(at);
+        assert_eq!(left.len() + right.len(), data.len(), "seed {seed}");
+        assert!(SharedBytes::same_buffer(&left, &right), "seed {seed}");
+
+        let merged = left.try_merge(&right).expect("adjacent halves merge");
+        assert_eq!(merged, whole, "seed {seed}");
+        assert!(SharedBytes::same_buffer(&merged, &whole), "seed {seed}");
+
+        // Reversed order only merges in the degenerate empty cases where
+        // the halves are still adjacent (at == 0 or at == len).
+        let reversed_adjacent = right.offset_in_buffer() + right.len() == left.offset_in_buffer();
+        assert_eq!(
+            right.try_merge(&left).is_some(),
+            reversed_adjacent,
+            "seed {seed} at {at}"
+        );
+        // Views of a different buffer never merge, even with equal content.
+        // (Empty data is excluded: all empty views share one static buffer
+        // by design, so two independently built empty views *do* merge.)
+        if !data.is_empty() {
+            let copy = SharedBytes::from_vec(data.clone());
+            let (copy_left, _) = copy.split_at(at);
+            assert!(copy_left.try_merge(&right).is_none(), "seed {seed}");
+        }
+        // A merge of non-adjacent views (gap of one byte) is refused.
+        if data.len() >= 2 && at + 1 < data.len() {
+            let gapped = whole.slice(at + 1..);
+            assert!(left.try_merge(&gapped).is_none(), "seed {seed}");
+        }
+    }
+}
+
 /// Partition-parallel SSB execution is equivalent to single-node execution
 /// for any partition count.
 #[test]

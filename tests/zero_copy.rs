@@ -1,0 +1,177 @@
+//! End-to-end proof that the data plane is zero-copy: payloads cross
+//! composition edges, `each` fan-out, the client boundary and the external
+//! outputs as views of the producer's buffer (`Arc`-identity, not just
+//! equal bytes).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dandelion_common::config::{IsolationKind, WorkerConfig};
+use dandelion_common::{DataItem, DataSet, SharedBytes};
+use dandelion_core::worker::{default_test_services, WorkerNode};
+use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+use parking_lot::Mutex;
+
+const PAYLOAD_BYTES: usize = 1024 * 1024;
+
+fn worker() -> Arc<WorkerNode> {
+    WorkerNode::start_with_control(
+        WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            isolation: IsolationKind::Native,
+            ..WorkerConfig::default()
+        },
+        default_test_services(),
+        false,
+    )
+    .expect("worker starts")
+}
+
+/// A relay that records the `SharedBytes` views it receives and passes the
+/// items through by reference.
+fn capturing_relay(name: &str, seen: Arc<Mutex<Vec<SharedBytes>>>) -> FunctionArtifact {
+    FunctionArtifact::new(name, &["Out"], move |ctx: &mut FunctionCtx| {
+        let items = ctx.input_set("Items").ok_or("missing Items")?.clone();
+        for item in &items.items {
+            seen.lock().push(item.data.clone());
+            ctx.push_output("Out", item.clone())?;
+        }
+        Ok(())
+    })
+    .with_memory_requirement(64 * 1024 * 1024)
+}
+
+/// A client-provided input item reaches the function — through dispatch,
+/// instance expansion and input materialization — as a view of the very
+/// buffer the client allocated.
+#[test]
+fn client_input_reaches_the_function_without_copying() {
+    let worker = worker();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    worker
+        .register_function(capturing_relay("Relay", Arc::clone(&seen)))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition Identity(In) => Out { Relay(Items = all In) => (Out = Out); }",
+        )
+        .unwrap();
+
+    let payload = SharedBytes::from_vec(vec![0xAB; PAYLOAD_BYTES]);
+    let inputs = vec![DataSet::with_items(
+        "In",
+        vec![DataItem::new("blob", payload.clone())],
+    )];
+    let outcome = worker.invoke("Identity", inputs).unwrap();
+
+    let seen = seen.lock();
+    assert_eq!(seen.len(), 1);
+    assert!(
+        SharedBytes::same_buffer(&seen[0], &payload),
+        "the function must receive the client's buffer, not a copy"
+    );
+    // The passthrough output is still the same allocation.
+    assert!(SharedBytes::same_buffer(
+        &outcome.outputs[0].items[0].data,
+        &payload
+    ));
+    worker.shutdown();
+}
+
+/// A producer's staged outputs cross the composition edge into every
+/// fan-out instance of the consumer — and on into the external outputs —
+/// without any payload copy: all observed views share the producer's
+/// allocations.
+#[test]
+fn composition_edges_share_the_producers_buffers() {
+    let worker = worker();
+    let produced = Arc::new(Mutex::new(Vec::new()));
+    let produced_for_fn = Arc::clone(&produced);
+    worker
+        .register_function(
+            FunctionArtifact::new("Produce", &["Out"], move |ctx: &mut FunctionCtx| {
+                let count = ctx.single_input("Spec")?.as_str().unwrap_or("0").len();
+                for index in 0..count {
+                    let payload = SharedBytes::from_vec(vec![index as u8; PAYLOAD_BYTES]);
+                    produced_for_fn.lock().push(payload.clone());
+                    ctx.push_output("Out", DataItem::new(format!("p{index}"), payload))?;
+                }
+                Ok(())
+            })
+            .with_memory_requirement(64 * 1024 * 1024),
+        )
+        .unwrap();
+    let relayed = Arc::new(Mutex::new(Vec::new()));
+    worker
+        .register_function(capturing_relay("Relay", Arc::clone(&relayed)))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition FanOut(Spec) => Out { \
+             Produce(Spec = all Spec) => (Stage = Out); \
+             Relay(Items = each Stage) => (Out = Out); }",
+        )
+        .unwrap();
+
+    // Three producer items fan out to three Relay instances.
+    let outcome = worker
+        .invoke("FanOut", vec![DataSet::single("Spec", b"xxx".to_vec())])
+        .unwrap();
+
+    let produced = produced.lock();
+    let relayed = relayed.lock();
+    assert_eq!(produced.len(), 3);
+    assert_eq!(relayed.len(), 3);
+    for received in relayed.iter() {
+        assert!(
+            produced
+                .iter()
+                .any(|staged| SharedBytes::same_buffer(staged, received)),
+            "each fan-out instance must see one of the producer's buffers"
+        );
+    }
+    // The external outputs are the same allocations the producer staged.
+    assert_eq!(outcome.outputs[0].items.len(), 3);
+    for item in &outcome.outputs[0].items {
+        assert!(
+            produced
+                .iter()
+                .any(|staged| SharedBytes::same_buffer(staged, &item.data)),
+            "external outputs must reference the producer's buffers"
+        );
+    }
+    worker.shutdown();
+}
+
+/// The non-blocking submit path preserves sharing too: a handle settled on
+/// the driver thread still delivers the producer's buffer.
+#[test]
+fn submitted_invocations_preserve_sharing() {
+    let worker = worker();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    worker
+        .register_function(capturing_relay("Relay", Arc::clone(&seen)))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition Identity(In) => Out { Relay(Items = all In) => (Out = Out); }",
+        )
+        .unwrap();
+    let payload = SharedBytes::from_vec(vec![0x5A; PAYLOAD_BYTES]);
+    let handle = worker
+        .submit(
+            "Identity",
+            vec![DataSet::with_items(
+                "In",
+                vec![DataItem::new("blob", payload.clone())],
+            )],
+        )
+        .unwrap();
+    let outcome = handle.wait(Some(Duration::from_secs(10))).unwrap();
+    assert!(SharedBytes::same_buffer(
+        &outcome.outputs[0].items[0].data,
+        &payload
+    ));
+    worker.shutdown();
+}
