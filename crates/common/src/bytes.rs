@@ -186,13 +186,45 @@ impl SharedBytes {
     /// (e.g. a memory context unfreezing after an export), if this view is
     /// the sole reference and covers the whole buffer. Returns the view
     /// unchanged otherwise, so callers can fall back to copying.
-    pub fn try_unwrap_whole(self) -> Result<Vec<u8>, SharedBytes> {
+    pub fn try_unwrap_whole(mut self) -> Result<Vec<u8>, SharedBytes> {
         if self.offset != 0 || self.len != self.buf.len() {
             return Err(self);
         }
-        let offset = self.offset;
-        let len = self.len;
-        Arc::try_unwrap(self.buf).map_err(|buf| SharedBytes { buf, offset, len })
+        // Detach the buffer before `self` drops, so the drop glue sees the
+        // (shared, empty) sentinel instead of double-handling the
+        // allocation.
+        let buf = std::mem::replace(&mut self.buf, empty_buf());
+        match Arc::try_unwrap(buf) {
+            Ok(vec) => Ok(vec),
+            Err(buf) => {
+                let offset = self.offset;
+                let len = self.len;
+                // Restore the original buffer into a fresh view (`self`
+                // still drops its sentinel harmlessly).
+                Err(SharedBytes { buf, offset, len })
+            }
+        }
+    }
+}
+
+impl Drop for SharedBytes {
+    /// The last view of a buffer recycles the allocation into the global
+    /// [`BufferPool`](crate::pool::BufferPool) instead of freeing it.
+    ///
+    /// This closes the pooling loop for frozen builders and exported
+    /// context regions: a descriptor frame or HTTP head built in a pooled
+    /// buffer, frozen, shipped through the data plane and finally dropped
+    /// flows back to the pool for the next invocation. Buffers whose
+    /// capacity matches no pool class (or whose class is full) are freed
+    /// normally.
+    fn drop(&mut self) {
+        // `get_mut` succeeds only for the sole remaining reference, so at
+        // most one view ever reclaims a given buffer.
+        if let Some(vec) = Arc::get_mut(&mut self.buf) {
+            if vec.capacity() > 0 {
+                crate::pool::BufferPool::global().recycle_vec(std::mem::take(vec));
+            }
+        }
     }
 }
 
@@ -320,6 +352,150 @@ impl FromIterator<u8> for SharedBytes {
     }
 }
 
+/// An append-only builder that freezes into a [`SharedBytes`] without
+/// copying.
+///
+/// This is the write side of the zero-copy data plane: hot-path
+/// serializers (HTTP heads, output-descriptor frames) assemble their bytes
+/// here and [`freeze`](SharedBytesMut::freeze) the result — the heap
+/// allocation moves into the `SharedBytes` unchanged, so building a payload
+/// costs exactly one buffer for its whole lifetime. Builders created with
+/// [`SharedBytesMut::with_capacity`] draw that buffer from the global
+/// [`BufferPool`](crate::pool::BufferPool), and a builder dropped without
+/// freezing returns it there, so steady-state construction does not touch
+/// the global allocator at all.
+///
+/// The builder implements [`std::fmt::Write`], so `write!` formats numbers
+/// and the like straight into the buffer with no intermediate `String`.
+#[derive(Debug, Default)]
+pub struct SharedBytesMut {
+    buf: Vec<u8>,
+}
+
+impl SharedBytesMut {
+    /// Creates an empty builder with no buffer yet.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates a builder whose buffer comes from the global buffer pool
+    /// (falling back to a plain allocation for oversized capacities).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: crate::pool::BufferPool::global().acquire_vec(capacity),
+        }
+    }
+
+    /// Wraps an existing vector, keeping its contents.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity of the underlying buffer.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends a byte slice.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    /// Appends a `u32` in little-endian order (the descriptor wire order).
+    pub fn put_u32_le(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends the decimal representation of `value` without allocating.
+    pub fn put_decimal(&mut self, value: usize) {
+        let mut digits = [0u8; 20];
+        let mut cursor = digits.len();
+        let mut rest = value;
+        loop {
+            cursor -= 1;
+            digits[cursor] = b'0' + (rest % 10) as u8;
+            rest /= 10;
+            if rest == 0 {
+                break;
+            }
+        }
+        self.buf.extend_from_slice(&digits[cursor..]);
+    }
+
+    /// Appends UTF-8 text.
+    pub fn put_str(&mut self, text: &str) {
+        self.buf.extend_from_slice(text.as_bytes());
+    }
+
+    /// Discards the contents, keeping the buffer for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Freezes the builder into an immutable [`SharedBytes`].
+    ///
+    /// The heap allocation is moved, not copied: the frozen view's bytes
+    /// live at the same address the builder wrote them to (the freeze
+    /// identity the property tests assert).
+    pub fn freeze(mut self) -> SharedBytes {
+        SharedBytes::from_vec(std::mem::take(&mut self.buf))
+    }
+}
+
+impl Clone for SharedBytesMut {
+    /// Cloning copies the written bytes into a fresh pooled buffer (the
+    /// builder is the mutable stage of a payload; sharing starts at
+    /// [`SharedBytesMut::freeze`]).
+    fn clone(&self) -> Self {
+        let mut copy = SharedBytesMut::with_capacity(self.len());
+        copy.put_slice(self.as_slice());
+        copy
+    }
+}
+
+impl Drop for SharedBytesMut {
+    fn drop(&mut self) {
+        // A builder dropped without freezing returns its buffer to the pool
+        // (freeze leaves a zero-capacity vec behind, which recycle ignores).
+        crate::pool::BufferPool::global().recycle_vec(std::mem::take(&mut self.buf));
+    }
+}
+
+impl std::fmt::Write for SharedBytesMut {
+    fn write_str(&mut self, text: &str) -> std::fmt::Result {
+        self.put_str(text);
+        Ok(())
+    }
+}
+
+impl std::ops::Deref for SharedBytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +590,33 @@ mod tests {
         let collected: SharedBytes = (1u8..=3).collect();
         assert_eq!(collected.as_slice(), &[1, 2, 3]);
         assert!(SharedBytes::default().is_empty());
+    }
+
+    #[test]
+    fn builder_freeze_moves_the_allocation() {
+        let mut builder = SharedBytesMut::with_capacity(64);
+        builder.put_str("head ");
+        builder.put_decimal(12345);
+        builder.put_u8(b'!');
+        builder.put_u32_le(0xDEAD_BEEF);
+        let written_ptr = builder.as_slice().as_ptr();
+        let frozen = builder.freeze();
+        assert_eq!(&frozen[..11], b"head 12345!");
+        assert_eq!(&frozen[11..], &0xDEAD_BEEFu32.to_le_bytes());
+        // Freeze identity: the bytes were not copied.
+        assert_eq!(frozen.as_slice().as_ptr(), written_ptr);
+    }
+
+    #[test]
+    fn builder_formats_without_allocating_strings() {
+        use std::fmt::Write;
+        let mut builder = SharedBytesMut::new();
+        write!(builder, "Content-Length: {}\r\n", 42).unwrap();
+        assert_eq!(builder.as_slice(), b"Content-Length: 42\r\n");
+        builder.clear();
+        assert!(builder.is_empty());
+        builder.put_decimal(0);
+        assert_eq!(builder.freeze(), b"0");
     }
 
     #[test]

@@ -116,6 +116,63 @@ impl JsonValue {
         }
     }
 
+    /// Exact number of bytes the compact serialization of this value
+    /// occupies, computed without allocating.
+    ///
+    /// Used by [`JsonValue::to_json_string`] to size the output buffer
+    /// exactly instead of growing a `String` incrementally. Binary payloads
+    /// are sized arithmetically (base64 length is a closed formula), so
+    /// counting never encodes them; the other variants stream through a
+    /// counting writer, which for numbers and escaped strings is cheap
+    /// relative to the payload bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            JsonValue::Null | JsonValue::Bool(true) => 4,
+            JsonValue::Bool(false) => 5,
+            // Quotes + padded base64: no second encoding pass.
+            JsonValue::Bytes(data) => 2 + data.len().div_ceil(3) * 4,
+            JsonValue::Number(_) | JsonValue::String(_) => {
+                let mut counter = CountWriter(0);
+                write_value(&mut counter, self).expect("counting cannot fail");
+                counter.0
+            }
+            JsonValue::Array(values) => {
+                let separators = values.len().saturating_sub(1);
+                2 + separators + values.iter().map(JsonValue::encoded_len).sum::<usize>()
+            }
+            JsonValue::Object(pairs) => {
+                let separators = pairs.len().saturating_sub(1);
+                let keys: usize = pairs
+                    .iter()
+                    .map(|(key, _)| {
+                        let mut counter = CountWriter(0);
+                        write_escaped(&mut counter, key).expect("counting cannot fail");
+                        counter.0 + 1 // plus the `:`
+                    })
+                    .sum();
+                let values: usize = pairs
+                    .iter()
+                    .map(|(_, value)| value.encoded_len())
+                    .sum::<usize>();
+                2 + separators + keys + values
+            }
+        }
+    }
+
+    /// Serializes the value into a `String` preallocated to the exact
+    /// output size: one allocation, no incremental growth, regardless of
+    /// document shape or payload size.
+    pub fn to_json_string(&self) -> String {
+        let encoded_len = self.encoded_len();
+        let mut out = String::with_capacity(encoded_len);
+        write_value(&mut out, self).expect("writing to a String cannot fail");
+        // The allocator may round the capacity up, but the sizing itself
+        // must be exact: nothing was reserved beyond the request and the
+        // request was fully used.
+        debug_assert_eq!(out.len(), encoded_len);
+        out
+    }
+
     /// Parses a JSON document. The whole input must be consumed.
     pub fn parse(input: &str) -> Result<JsonValue, String> {
         let mut parser = Parser {
@@ -170,46 +227,62 @@ impl From<String> for JsonValue {
 
 impl fmt::Display for JsonValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JsonValue::Null => f.write_str("null"),
-            JsonValue::Bool(true) => f.write_str("true"),
-            JsonValue::Bool(false) => f.write_str("false"),
-            JsonValue::Number(value) => write_number(f, *value),
-            JsonValue::String(text) => write_escaped(f, text),
-            JsonValue::Bytes(data) => {
-                // Base64 contains no characters that need JSON escaping, so
-                // it streams straight between the quotes.
-                f.write_str("\"")?;
-                base64_encode_into(f, data)?;
-                f.write_str("\"")
-            }
-            JsonValue::Array(values) => {
-                f.write_str("[")?;
-                for (index, value) in values.iter().enumerate() {
-                    if index > 0 {
-                        f.write_str(",")?;
-                    }
-                    value.fmt(f)?;
+        write_value(f, self)
+    }
+}
+
+/// A `fmt::Write` sink that only counts bytes, for exact-capacity sizing.
+struct CountWriter(usize);
+
+impl fmt::Write for CountWriter {
+    fn write_str(&mut self, text: &str) -> fmt::Result {
+        self.0 += text.len();
+        Ok(())
+    }
+}
+
+/// Serializes a value into any `fmt::Write` sink (the single implementation
+/// behind `Display`, `encoded_len` and `to_json_string`).
+fn write_value<W: fmt::Write>(f: &mut W, value: &JsonValue) -> fmt::Result {
+    match value {
+        JsonValue::Null => f.write_str("null"),
+        JsonValue::Bool(true) => f.write_str("true"),
+        JsonValue::Bool(false) => f.write_str("false"),
+        JsonValue::Number(value) => write_number(f, *value),
+        JsonValue::String(text) => write_escaped(f, text),
+        JsonValue::Bytes(data) => {
+            // Base64 contains no characters that need JSON escaping, so
+            // it streams straight between the quotes.
+            f.write_str("\"")?;
+            base64_encode_into(f, data)?;
+            f.write_str("\"")
+        }
+        JsonValue::Array(values) => {
+            f.write_str("[")?;
+            for (index, value) in values.iter().enumerate() {
+                if index > 0 {
+                    f.write_str(",")?;
                 }
-                f.write_str("]")
+                write_value(f, value)?;
             }
-            JsonValue::Object(pairs) => {
-                f.write_str("{")?;
-                for (index, (key, value)) in pairs.iter().enumerate() {
-                    if index > 0 {
-                        f.write_str(",")?;
-                    }
-                    write_escaped(f, key)?;
-                    f.write_str(":")?;
-                    value.fmt(f)?;
+            f.write_str("]")
+        }
+        JsonValue::Object(pairs) => {
+            f.write_str("{")?;
+            for (index, (key, value)) in pairs.iter().enumerate() {
+                if index > 0 {
+                    f.write_str(",")?;
                 }
-                f.write_str("}")
+                write_escaped(f, key)?;
+                f.write_str(":")?;
+                write_value(f, value)?;
             }
+            f.write_str("}")
         }
     }
 }
 
-fn write_number(f: &mut fmt::Formatter<'_>, value: f64) -> fmt::Result {
+fn write_number<W: fmt::Write>(f: &mut W, value: f64) -> fmt::Result {
     if !value.is_finite() {
         // JSON has no NaN/Infinity; fall back to null like serde_json does
         // for lossy serializers.
@@ -222,7 +295,7 @@ fn write_number(f: &mut fmt::Formatter<'_>, value: f64) -> fmt::Result {
     }
 }
 
-fn write_escaped(f: &mut fmt::Formatter<'_>, text: &str) -> fmt::Result {
+fn write_escaped<W: fmt::Write>(f: &mut W, text: &str) -> fmt::Result {
     f.write_str("\"")?;
     for ch in text.chars() {
         match ch {
@@ -517,6 +590,37 @@ mod tests {
             "\"\\ud800\"",
         ] {
             assert!(JsonValue::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_and_to_json_string_preallocates() {
+        let documents = [
+            JsonValue::Null,
+            JsonValue::from(true),
+            JsonValue::from(-12.5),
+            JsonValue::from(9_007_199_254_740_991.0),
+            JsonValue::Number(f64::NAN),
+            JsonValue::string("line\nquote\" tab\t \u{0001} é😀"),
+            JsonValue::bytes(vec![0u8, 1, 2, 3, 4]),
+            JsonValue::object([
+                (
+                    "outputs",
+                    JsonValue::array([JsonValue::bytes(vec![7u8; 100])]),
+                ),
+                ("status", JsonValue::string("completed")),
+                ("count", JsonValue::from(3u64)),
+            ]),
+        ];
+        for document in documents {
+            let via_display = document.to_string();
+            assert_eq!(document.encoded_len(), via_display.len());
+            let exact = document.to_json_string();
+            assert_eq!(exact, via_display);
+            // The capacity request is exactly the serialized length (the
+            // allocator is allowed to round up, so compare lengths, not
+            // capacity).
+            assert!(exact.capacity() >= exact.len());
         }
     }
 

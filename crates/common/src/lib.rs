@@ -20,7 +20,12 @@
 //!   the v1 HTTP API and the benchmark reports.
 //! * [`encoding`] — base64 for binary payloads inside JSON documents.
 //! * [`bytes`] — [`bytes::SharedBytes`], the zero-copy payload view threaded
-//!   through the data plane.
+//!   through the data plane, and [`bytes::SharedBytesMut`], the append-only
+//!   builder that freezes into it without copying.
+//! * [`rope`] — [`rope::Rope`], multi-part payloads as lists of zero-copy
+//!   segments with vectored delivery.
+//! * [`pool`] — [`pool::BufferPool`], the fixed-class slab of reusable
+//!   buffers behind builders and memory-context arenas.
 
 pub mod bytes;
 pub mod clock;
@@ -30,15 +35,19 @@ pub mod encoding;
 pub mod error;
 pub mod id;
 pub mod json;
+pub mod pool;
 pub mod rng;
+pub mod rope;
 pub mod stats;
 
-pub use bytes::SharedBytes;
+pub use bytes::{SharedBytes, SharedBytesMut};
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use data::{DataItem, DataSet};
 pub use error::{DandelionError, DandelionResult};
 pub use id::{CompositionId, ContextId, EngineId, FunctionId, InvocationId, NodeId};
 pub use json::JsonValue;
+pub use pool::BufferPool;
+pub use rope::Rope;
 
 /// Number of bytes in a kibibyte.
 pub const KIB: usize = 1024;

@@ -1,0 +1,444 @@
+//! `Rope`: a multi-part payload as a list of [`SharedBytes`] views.
+//!
+//! Serializing a message used to mean flattening every part into one fresh
+//! `Vec<u8>` — for an HTTP response that is a memcpy of the whole body just
+//! to prepend a few dozen header bytes. A [`Rope`] instead keeps the parts
+//! as zero-copy segments (in the style of the `bytes` crate's `Buf` chains):
+//! builders contribute a frozen header block, payloads attach by reference,
+//! and delivery walks the segments with a vectored [`Rope::write_to`] — no
+//! flattening on the steady-state path. [`Rope::into_shared`] collapses to a
+//! single contiguous view only when a caller really needs one, with exactly
+//! one exact-capacity copy (and none at all for single-segment ropes).
+//!
+//! The first two segments are stored inline, so the common head+body
+//! message is built and delivered without touching the allocator at all.
+
+use std::io::{self, IoSlice, Write};
+
+use crate::bytes::{SharedBytes, SharedBytesMut};
+
+/// One rope segment: a frozen zero-copy view, or a still-mutable builder
+/// whose pooled buffer is carried through delivery and recycled when the
+/// rope drops (no `Arc` is ever allocated for it).
+#[derive(Debug, Clone)]
+enum Segment {
+    Shared(SharedBytes),
+    Builder(SharedBytesMut),
+}
+
+impl Segment {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Segment::Shared(shared) => shared.as_slice(),
+            Segment::Builder(builder) => builder.as_slice(),
+        }
+    }
+}
+
+/// A byte sequence stored as zero-copy segments.
+#[derive(Debug, Clone, Default)]
+pub struct Rope {
+    /// Inline storage for the first two segments (head + body needs no
+    /// heap); `rest` spills further segments and is `Vec::new()` (no
+    /// allocation) until then.
+    first: Option<Segment>,
+    second: Option<Segment>,
+    rest: Vec<Segment>,
+    len: usize,
+}
+
+impl Rope {
+    /// An empty rope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the rope holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        usize::from(self.first.is_some()) + usize::from(self.second.is_some()) + self.rest.len()
+    }
+
+    /// Iterates over the segments' bytes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.segments().map(Segment::as_slice)
+    }
+
+    fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.first
+            .iter()
+            .chain(self.second.iter())
+            .chain(self.rest.iter())
+    }
+
+    /// Iterates over the frozen zero-copy segments (builder segments are
+    /// skipped) — the view the `same_buffer` sharing assertions inspect.
+    pub fn shared_segments(&self) -> impl Iterator<Item = &SharedBytes> {
+        self.segments().filter_map(|segment| match segment {
+            Segment::Shared(shared) => Some(shared),
+            Segment::Builder(_) => None,
+        })
+    }
+
+    /// The last segment, if it is a frozen view (`None` for builders).
+    pub fn last_segment(&self) -> Option<&SharedBytes> {
+        match self
+            .rest
+            .last()
+            .or(self.second.as_ref())
+            .or(self.first.as_ref())
+        {
+            Some(Segment::Shared(shared)) => Some(shared),
+            _ => None,
+        }
+    }
+
+    fn push_segment(&mut self, segment: Segment) {
+        if self.first.is_none() {
+            self.first = Some(segment);
+        } else if self.second.is_none() {
+            self.second = Some(segment);
+        } else {
+            self.rest.push(segment);
+        }
+    }
+
+    fn last_segment_mut(&mut self) -> Option<&mut Segment> {
+        if !self.rest.is_empty() {
+            self.rest.last_mut()
+        } else if self.second.is_some() {
+            self.second.as_mut()
+        } else {
+            self.first.as_mut()
+        }
+    }
+
+    /// Attaches a segment by reference (no copy). Empty segments are
+    /// skipped; a segment contiguous with the previous one in the same
+    /// buffer is merged into it, so repeated slicing does not fragment the
+    /// rope.
+    pub fn push(&mut self, segment: SharedBytes) {
+        if segment.is_empty() {
+            return;
+        }
+        self.len += segment.len();
+        if let Some(Segment::Shared(last)) = self.last_segment_mut() {
+            if let Some(merged) = last.try_merge(&segment) {
+                *last = merged;
+                return;
+            }
+        }
+        self.push_segment(Segment::Shared(segment));
+    }
+
+    /// Attaches a builder's bytes *without freezing them*: no `Arc` is
+    /// allocated, and the pooled buffer flows back to the pool when the
+    /// rope is dropped after delivery. This is how message heads travel.
+    pub fn push_builder(&mut self, builder: SharedBytesMut) {
+        if builder.is_empty() {
+            return;
+        }
+        self.len += builder.len();
+        self.push_segment(Segment::Builder(builder));
+    }
+
+    /// Reads the byte at `offset`, if in bounds.
+    pub fn byte_at(&self, mut offset: usize) -> Option<u8> {
+        for segment in self.iter() {
+            if offset < segment.len() {
+                return Some(segment[offset]);
+            }
+            offset -= segment.len();
+        }
+        None
+    }
+
+    /// Copies `dest.len()` bytes starting at `offset` into `dest`,
+    /// crossing segment boundaries as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + dest.len()` exceeds the rope length, mirroring
+    /// slice indexing.
+    pub fn copy_range_to(&self, offset: usize, dest: &mut [u8]) {
+        assert!(
+            offset
+                .checked_add(dest.len())
+                .is_some_and(|end| end <= self.len),
+            "range {offset}..{} out of bounds for Rope of length {}",
+            offset + dest.len(),
+            self.len
+        );
+        let mut skip = offset;
+        let mut filled = 0;
+        for segment in self.iter() {
+            if skip >= segment.len() {
+                skip -= segment.len();
+                continue;
+            }
+            let available = &segment[skip..];
+            skip = 0;
+            let take = available.len().min(dest.len() - filled);
+            dest[filled..filled + take].copy_from_slice(&available[..take]);
+            filled += take;
+            if filled == dest.len() {
+                break;
+            }
+        }
+    }
+
+    /// Flattens the rope into an owned vector with exactly one exact-size
+    /// allocation.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for segment in self.iter() {
+            out.extend_from_slice(segment);
+        }
+        out
+    }
+
+    /// Collapses the rope into one contiguous [`SharedBytes`].
+    ///
+    /// Zero-copy for empty and single-segment ropes (the segment is handed
+    /// through unchanged); multi-segment ropes are flattened with one
+    /// exact-capacity copy.
+    pub fn into_shared(mut self) -> SharedBytes {
+        match self.segment_count() {
+            0 => SharedBytes::new(),
+            1 => match self.first.take().expect("sole segment is stored inline") {
+                Segment::Shared(shared) => shared,
+                Segment::Builder(builder) => builder.freeze(),
+            },
+            _ => SharedBytes::from_vec(self.to_vec()),
+        }
+    }
+
+    /// Writes every segment to `writer` with vectored I/O, retrying partial
+    /// writes until the whole rope is delivered.
+    ///
+    /// Ropes of up to eight segments build their `IoSlice` table on the
+    /// stack, so steady-state delivery does not allocate.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        const INLINE_SEGMENTS: usize = 8;
+        let count = self.segment_count();
+        let mut inline = [IoSlice::new(&[]); INLINE_SEGMENTS];
+        let mut heap: Vec<IoSlice<'_>>;
+        let slices: &mut [IoSlice<'_>] = if count <= INLINE_SEGMENTS {
+            for (slot, segment) in inline.iter_mut().zip(self.iter()) {
+                *slot = IoSlice::new(segment);
+            }
+            &mut inline[..count]
+        } else {
+            heap = self.iter().map(IoSlice::new).collect();
+            &mut heap
+        };
+        let mut remaining: &mut [IoSlice<'_>] = slices;
+        let mut written_of_first = 0usize;
+        while !remaining.is_empty() {
+            // Partial first segment: vectored writes cannot express an
+            // offset, so finish it with a plain write first.
+            if written_of_first > 0 {
+                let first = &remaining[0][written_of_first..];
+                let n = writer.write(first)?;
+                if n == 0 {
+                    return Err(io::ErrorKind::WriteZero.into());
+                }
+                written_of_first += n;
+                if written_of_first == remaining[0].len() {
+                    remaining = &mut remaining[1..];
+                    written_of_first = 0;
+                }
+                continue;
+            }
+            let mut n = writer.write_vectored(remaining)?;
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            while n > 0 && !remaining.is_empty() {
+                if n >= remaining[0].len() {
+                    n -= remaining[0].len();
+                    remaining = &mut remaining[1..];
+                } else {
+                    written_of_first = n;
+                    n = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<SharedBytes> for Rope {
+    fn from(segment: SharedBytes) -> Self {
+        let mut rope = Rope::new();
+        rope.push(segment);
+        rope
+    }
+}
+
+impl FromIterator<SharedBytes> for Rope {
+    fn from_iter<I: IntoIterator<Item = SharedBytes>>(iter: I) -> Self {
+        let mut rope = Rope::new();
+        for segment in iter {
+            rope.push(segment);
+        }
+        rope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rope {
+        let mut rope = Rope::new();
+        rope.push(SharedBytes::from("hello "));
+        rope.push(SharedBytes::from("rope "));
+        rope.push(SharedBytes::from("world"));
+        rope
+    }
+
+    #[test]
+    fn push_tracks_length_and_skips_empties() {
+        let mut rope = Rope::new();
+        assert!(rope.is_empty());
+        rope.push(SharedBytes::new());
+        assert!(rope.is_empty());
+        rope.push(SharedBytes::from("abc"));
+        assert_eq!(rope.len(), 3);
+        assert_eq!(rope.segment_count(), 1);
+    }
+
+    #[test]
+    fn segments_spill_beyond_the_inline_pair() {
+        let mut rope = Rope::new();
+        for text in ["a", "bb", "ccc", "dddd", "eeeee"] {
+            rope.push(SharedBytes::from(text));
+        }
+        assert_eq!(rope.segment_count(), 5);
+        assert_eq!(rope.len(), 15);
+        assert_eq!(rope.to_vec(), b"abbcccddddeeeee");
+        assert_eq!(rope.last_segment().unwrap().as_slice(), b"eeeee");
+        let collected: Vec<&[u8]> = rope.iter().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[0], b"a");
+    }
+
+    #[test]
+    fn adjacent_views_merge_instead_of_fragmenting() {
+        let whole = SharedBytes::from("abcdef");
+        let (left, right) = whole.split_at(3);
+        let mut rope = Rope::new();
+        rope.push(left);
+        rope.push(right);
+        assert_eq!(rope.segment_count(), 1);
+        assert!(SharedBytes::same_buffer(
+            rope.last_segment().unwrap(),
+            &whole
+        ));
+        assert_eq!(rope.to_vec(), b"abcdef");
+    }
+
+    #[test]
+    fn cross_segment_reads() {
+        let rope = sample();
+        assert_eq!(rope.len(), 16);
+        assert_eq!(rope.byte_at(0), Some(b'h'));
+        assert_eq!(rope.byte_at(6), Some(b'r'));
+        assert_eq!(rope.byte_at(15), Some(b'd'));
+        assert_eq!(rope.byte_at(16), None);
+        let mut mid = [0u8; 7];
+        rope.copy_range_to(4, &mut mid);
+        assert_eq!(&mid, b"o rope ");
+        assert_eq!(rope.to_vec(), b"hello rope world");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_copy_panics() {
+        sample().copy_range_to(10, &mut [0u8; 10]);
+    }
+
+    #[test]
+    fn into_shared_is_zero_copy_for_single_segments() {
+        let payload = SharedBytes::from_vec(vec![1u8; 512]);
+        let rope: Rope = Rope::from(payload.clone());
+        let collapsed = rope.into_shared();
+        assert!(SharedBytes::same_buffer(&collapsed, &payload));
+        assert!(Rope::new().into_shared().is_empty());
+        let multi = sample().into_shared();
+        assert_eq!(multi, b"hello rope world"[..]);
+    }
+
+    #[test]
+    fn write_to_delivers_every_segment() {
+        let rope = sample();
+        let mut out = Vec::new();
+        rope.write_to(&mut out).unwrap();
+        assert_eq!(out, b"hello rope world");
+        // More segments than the inline IoSlice table holds.
+        let mut many = Rope::new();
+        for index in 0u8..20 {
+            many.push(SharedBytes::from_vec(vec![index; 3]));
+        }
+        let mut out = Vec::new();
+        many.write_to(&mut out).unwrap();
+        assert_eq!(out.len(), 60);
+        assert_eq!(out, many.to_vec());
+    }
+
+    /// A writer that accepts one byte per call, forcing the partial-write
+    /// resumption paths.
+    struct Trickle(Vec<u8>);
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_to_handles_partial_writes() {
+        let rope = sample();
+        let mut trickle = Trickle(Vec::new());
+        rope.write_to(&mut trickle).unwrap();
+        assert_eq!(trickle.0, b"hello rope world");
+    }
+
+    #[test]
+    fn builders_attach_frozen() {
+        let mut builder = SharedBytesMut::with_capacity(16);
+        builder.put_str("head:");
+        let mut rope = Rope::new();
+        rope.push_builder(builder);
+        rope.push(SharedBytes::from("body"));
+        assert_eq!(rope.to_vec(), b"head:body");
+    }
+
+    #[test]
+    fn from_iterator_collects_segments() {
+        let rope: Rope = ["a", "bb", "ccc"]
+            .into_iter()
+            .map(SharedBytes::from)
+            .collect();
+        assert_eq!(rope.len(), 6);
+        assert_eq!(rope.to_vec(), b"abbccc");
+    }
+}

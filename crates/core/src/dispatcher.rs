@@ -42,16 +42,32 @@ use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
 /// How often the driver thread re-checks the shutdown flag while idle.
 const DRIVER_IDLE_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Number of shards of the in-flight table. Submitting clients and the
-/// driver thread contend only within a shard, so the submit/complete hot
-/// path never serializes on one global lock.
-const IN_FLIGHT_SHARDS: usize = 16;
+/// Number of shards of the in-flight table: the machine's available
+/// parallelism rounded up to a power of two, clamped to `[4, 64]`.
+/// Submitting clients and the driver thread contend only within a shard, so
+/// the submit/complete hot path never serializes on one global lock, and the
+/// shard count scales with the number of threads that can actually contend
+/// instead of being hard-coded.
+fn in_flight_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|cores| cores.get())
+        .unwrap_or(16)
+        .next_power_of_two()
+        .clamp(4, 64)
+}
 
 /// Maximum engine replies the driver folds into one wakeup. Batching
 /// amortizes the channel receive and keeps one reply from head-of-line
 /// blocking the rest; the cap bounds latency for replies arriving during a
-/// long drain.
+/// long drain. (Engines additionally coalesce same-invocation results into
+/// one channel message before they get here.)
 const DRIVER_MAX_BATCH: usize = 256;
+
+/// A retained result view smaller than `1/RETAINED_PIN_FACTOR` of its
+/// parent buffer is copy-compacted when the invocation settles, so that
+/// keeping a few result bytes around for polling does not pin a multi-MiB
+/// producer buffer until retention expiry.
+const RETAINED_PIN_FACTOR: usize = 8;
 
 /// Per-invocation execution statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -261,7 +277,7 @@ struct InFlightTable {
 impl InFlightTable {
     fn new(retention: usize) -> Self {
         Self {
-            shards: (0..IN_FLIGHT_SHARDS)
+            shards: (0..in_flight_shard_count())
                 .map(|_| StdMutex::new(HashMap::new()))
                 .collect(),
             finished: StdMutex::new(VecDeque::new()),
@@ -270,7 +286,7 @@ impl InFlightTable {
     }
 
     fn shard(&self, id: u64) -> MutexGuard<'_, HashMap<u64, Arc<InvocationEntry>>> {
-        self.shards[(id % IN_FLIGHT_SHARDS as u64) as usize]
+        self.shards[(id % self.shards.len() as u64) as usize]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
     }
@@ -487,7 +503,7 @@ struct DispatcherCore {
     config: WorkerConfig,
     rng: Mutex<SplitMix64>,
     table: Arc<InFlightTable>,
-    results: Sender<TaskResult>,
+    results: Sender<Vec<TaskResult>>,
     metrics: Arc<DispatchMetrics>,
     shutting_down: AtomicBool,
 }
@@ -524,7 +540,7 @@ impl Dispatcher {
         config: WorkerConfig,
         metrics: Arc<DispatchMetrics>,
     ) -> Self {
-        let (results_tx, results_rx) = unbounded::<TaskResult>();
+        let (results_tx, results_rx) = unbounded::<Vec<TaskResult>>();
         let core = Arc::new(DispatcherCore {
             registry,
             compute_queue,
@@ -640,14 +656,14 @@ impl Dispatcher {
         self.core.shutting_down.store(true, Ordering::SeqCst);
         // Wake the driver promptly with a sentinel result for an id the
         // table has never issued.
-        let _ = self.core.results.send(TaskResult {
+        let _ = self.core.results.send(vec![TaskResult {
             invocation: InvocationId::from_raw(0),
             node: 0,
             instance: 0,
             outcome: Err(DandelionError::Cancelled),
             context_high_water: 0,
             modeled_latency: Duration::ZERO,
-        });
+        }]);
         if let Some(driver) = self.driver.lock().take() {
             let _ = driver.join();
         }
@@ -660,22 +676,23 @@ impl Drop for Dispatcher {
     }
 }
 
-fn driver_loop(core: Arc<DispatcherCore>, results: Receiver<TaskResult>) {
+fn driver_loop(core: Arc<DispatcherCore>, results: Receiver<Vec<TaskResult>>) {
     loop {
         if core.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         match results.recv_timeout(DRIVER_IDLE_INTERVAL) {
-            Ok(result) => {
-                // Drain whatever else the engines have produced since the
-                // last wakeup (up to the batch cap) and apply the whole
-                // batch in one pass, instead of one channel round-trip and
-                // one table lookup cycle per reply.
-                let mut batch = Vec::with_capacity(8);
-                batch.push(WorkItem::from_task_result(result));
+            Ok(first) => {
+                // Engines already coalesce same-invocation results into one
+                // message; drain whatever further messages have arrived
+                // since the last wakeup (up to the batch cap) and apply
+                // everything in one pass, instead of one channel round-trip
+                // and one table lookup cycle per reply.
+                let mut batch: Vec<WorkItem> = Vec::with_capacity(first.len());
+                batch.extend(first.into_iter().map(WorkItem::from_task_result));
                 while batch.len() < DRIVER_MAX_BATCH {
                     match results.try_recv() {
-                        Ok(result) => batch.push(WorkItem::from_task_result(result)),
+                        Ok(more) => batch.extend(more.into_iter().map(WorkItem::from_task_result)),
                         Err(_) => break,
                     }
                 }
@@ -938,12 +955,20 @@ impl DispatcherCore {
         outcome: DandelionResult<Vec<DataSet>>,
         out: &mut Vec<WorkItem>,
     ) {
-        let result = outcome.map(|outputs| InvocationOutcome {
+        let mut result = outcome.map(|outputs| InvocationOutcome {
             outputs,
             report: inner.report.clone(),
         });
         let top_level = inner.parent.is_none();
         if top_level {
+            // Retained results live in the table until consumed or expired;
+            // compact views that would pin a much larger parent buffer for
+            // that whole time. Child outputs are not compacted — they flow
+            // straight back into the parent's dataflow, where keeping the
+            // producer's buffer shared is the point.
+            if let Ok(outcome) = &mut result {
+                compact_retained_outputs(&mut outcome.outputs);
+            }
             match &result {
                 Ok(outcome) => {
                     self.metrics.invocations.fetch_add(1, Ordering::Relaxed);
@@ -1035,6 +1060,22 @@ impl DispatcherCore {
         inner.outcome = Some(Err(DandelionError::Cancelled));
         inner.dataflow = None;
         entry.settled.notify_all();
+    }
+}
+
+/// Copy-compacts retained result views whose window is less than
+/// `1/RETAINED_PIN_FACTOR` of their parent buffer (ROADMAP follow-up e): a
+/// 40-byte result sliced out of a multi-MiB receive buffer must not keep
+/// that buffer alive until retention expiry. Views at or above the
+/// threshold — including every whole-buffer view, for which `compact` is
+/// free — keep their zero-copy sharing.
+fn compact_retained_outputs(sets: &mut [DataSet]) {
+    for set in sets {
+        for item in &mut set.items {
+            if item.data.len() * RETAINED_PIN_FACTOR < item.data.backing_len() {
+                item.data = item.data.compact();
+            }
+        }
     }
 }
 
@@ -1569,6 +1610,64 @@ mod tests {
         let second = handle.wait_snapshot(Some(Duration::from_secs(10))).unwrap();
         assert_eq!(second.outputs[0].items[0].as_str(), Some("keep"));
         assert!(harness.dispatcher.poll(handle.id()).is_some());
+    }
+
+    #[test]
+    fn shard_count_is_core_derived_and_bounded() {
+        let shards = in_flight_shard_count();
+        assert!((4..=64).contains(&shards));
+        assert!(shards.is_power_of_two());
+        let table = InFlightTable::new(8);
+        assert_eq!(table.shards.len(), shards);
+    }
+
+    #[test]
+    fn small_retained_views_are_compacted_at_settle() {
+        use dandelion_common::SharedBytes;
+        let harness = harness();
+        harness
+            .registry
+            .register_function(FunctionArtifact::new(
+                "Slice",
+                &["Out"],
+                |ctx: &mut FunctionCtx| {
+                    let data = ctx.single_input("Data")?.data.clone();
+                    // A tiny window of the (large) input buffer.
+                    ctx.push_output(
+                        "Out",
+                        dandelion_common::DataItem::new("head", data.slice(..16)),
+                    )
+                },
+            ))
+            .unwrap();
+        let graph = CompositionBuilder::new("SliceHead")
+            .input("In")
+            .output("Out")
+            .node("Slice", |node| {
+                node.bind("Data", Distribution::All, "In")
+                    .publish("Out", "Out")
+            })
+            .build()
+            .unwrap();
+        harness
+            .registry
+            .register_composition(graph.clone())
+            .unwrap();
+        let payload = SharedBytes::from_vec(vec![0xEE; 4 * 1024 * 1024]);
+        let inputs = vec![DataSet::with_items(
+            "In",
+            vec![dandelion_common::DataItem::new("blob", payload.clone())],
+        )];
+        let outcome = harness.dispatcher.invoke(Arc::new(graph), inputs).unwrap();
+        let item = &outcome.outputs[0].items[0];
+        assert_eq!(item.data.as_slice(), &[0xEE; 16]);
+        // The retained view no longer pins the 4 MiB producer buffer.
+        assert!(!SharedBytes::same_buffer(&item.data, &payload));
+        assert!(
+            item.data.backing_len() <= 16,
+            "compacted view must not pin extra bytes, backing is {}",
+            item.data.backing_len()
+        );
     }
 
     #[test]

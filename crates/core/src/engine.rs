@@ -28,6 +28,15 @@ use parking_lot::Mutex;
 
 use crate::task::{Task, TaskPayload, TaskQueue, TaskResult};
 
+/// Maximum task results an engine coalesces into one reply message.
+///
+/// Same-invocation tasks that are already waiting on the queue when a task
+/// finishes are executed back-to-back and their results cross the
+/// dispatcher channel as one batch (one send, one driver wakeup, one table
+/// lookup run) instead of one message each. The cap bounds how long the
+/// first result of a batch can be held back.
+const ENGINE_COALESCE_MAX: usize = 32;
+
 /// The execution capability shared by every engine of a pool.
 #[derive(Clone)]
 pub enum EngineExecutor {
@@ -127,20 +136,23 @@ fn execute_http(
     for set in inputs {
         for item in &set.items {
             // Zero-copy: the request (and its body) are views of the item's
-            // buffer, which itself is a view of the producer's region.
+            // buffer, which itself is a view of the producer's region. The
+            // response is serialized through the rope path: the head is
+            // built once in a pooled buffer and a body-less response is
+            // frozen without any copy at all.
             let (response_bytes, latency) = match validate_request_shared(&item.data, policy) {
                 Ok(validated) => {
                     let uri = Uri::parse(&validated.request.target)
                         .expect("validated requests carry a parseable URI");
                     let reply = registry.dispatch(&uri, &validated.request);
-                    (reply.response.to_bytes(), reply.latency)
+                    (reply.response.to_shared(), reply.latency)
                 }
                 Err(err) => {
                     let response = dandelion_http::HttpResponse::error(
                         dandelion_http::StatusCode::BAD_REQUEST,
                         &err.to_string(),
                     );
-                    (response.to_bytes(), Duration::ZERO)
+                    (response.to_shared(), Duration::ZERO)
                 }
             };
             max_latency = max_latency.max(latency);
@@ -243,14 +255,42 @@ impl EnginePool {
             .spawn(move || {
                 // Block on the queue; a shutdown marker (or queue teardown)
                 // ends the engine, so no idle polling is needed.
-                while let Some(task) = queue.pop_wait() {
+                let mut carried: Option<Task> = None;
+                'engine: loop {
+                    let task = match carried.take().or_else(|| queue.pop_wait()) {
+                        Some(task) => task,
+                        None => break,
+                    };
                     if matches!(task.payload, TaskPayload::Shutdown) {
                         break;
                     }
-                    let result = executor.execute(&task);
+                    let mut batch = vec![executor.execute(&task)];
+                    // Coalesce: execute same-invocation tasks already queued
+                    // and reply with one batch. A task for a different
+                    // invocation (or reply channel) flushes the batch and is
+                    // carried into the next iteration.
+                    while batch.len() < ENGINE_COALESCE_MAX {
+                        match queue.try_pop() {
+                            Some(next) if matches!(next.payload, TaskPayload::Shutdown) => {
+                                let _ = task.reply.send(batch);
+                                break 'engine;
+                            }
+                            Some(next)
+                                if next.invocation == task.invocation
+                                    && task.reply.same_channel(&next.reply) =>
+                            {
+                                batch.push(executor.execute(&next));
+                            }
+                            Some(next) => {
+                                carried = Some(next);
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
                     // A dropped receiver means the invocation was abandoned;
                     // the engine simply moves on.
-                    let _ = task.reply.send(result);
+                    let _ = task.reply.send(batch);
                 }
                 active.fetch_sub(1, Ordering::SeqCst);
             })
@@ -338,15 +378,80 @@ mod tests {
             });
         }
         let mut seen = Vec::new();
-        for _ in 0..4 {
-            let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
-            let outputs = result.outcome.unwrap();
-            seen.push(String::from_utf8(outputs[0].items[0].data.as_slice().to_vec()).unwrap());
+        while seen.len() < 4 {
+            let batch = results.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(!batch.is_empty());
+            for result in batch {
+                let outputs = result.outcome.unwrap();
+                seen.push(String::from_utf8(outputs[0].items[0].data.as_slice().to_vec()).unwrap());
+            }
         }
         seen.sort();
         assert_eq!(seen, vec!["p0", "p1", "p2", "p3"]);
         pool.shutdown();
         assert_eq!(pool.engine_count(), 0);
+    }
+
+    #[test]
+    fn same_invocation_results_coalesce_into_one_reply() {
+        let pool = compute_pool();
+        let (reply, results) = unbounded();
+        // Queue every task before any engine exists, so a single engine
+        // deterministically finds the rest of the invocation's tasks queued
+        // when the first one finishes.
+        for instance in 0..6 {
+            pool.queue().push(Task {
+                invocation: InvocationId::from_raw(42),
+                node: 0,
+                instance,
+                payload: TaskPayload::Compute {
+                    artifact: echo_artifact(),
+                    inputs: vec![DataSet::single("in", format!("c{instance}").into_bytes())],
+                    cold_binary: false,
+                    timeout: Duration::from_secs(5),
+                },
+                reply: reply.clone(),
+            });
+        }
+        pool.resize(1);
+        let batch = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            batch.len(),
+            6,
+            "all six queued same-invocation results must arrive as one batch"
+        );
+        let mut instances: Vec<usize> = batch.iter().map(|result| result.instance).collect();
+        instances.sort_unstable();
+        assert_eq!(instances, (0..6).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn different_invocations_do_not_coalesce() {
+        let pool = compute_pool();
+        let (reply, results) = unbounded();
+        for (index, invocation) in [7u64, 7, 9, 9].into_iter().enumerate() {
+            pool.queue().push(Task {
+                invocation: InvocationId::from_raw(invocation),
+                node: 0,
+                instance: index,
+                payload: TaskPayload::Compute {
+                    artifact: echo_artifact(),
+                    inputs: vec![DataSet::single("in", vec![index as u8])],
+                    cold_binary: false,
+                    timeout: Duration::from_secs(5),
+                },
+                reply: reply.clone(),
+            });
+        }
+        pool.resize(1);
+        let first = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        let second = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|r| r.invocation.as_u64() == 7));
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|r| r.invocation.as_u64() == 9));
+        pool.shutdown();
     }
 
     #[test]
@@ -374,8 +479,10 @@ mod tests {
             },
             reply,
         });
-        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
-        let outputs = result.outcome.unwrap();
+        let batch = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(batch.len(), 1);
+        let result = &batch[0];
+        let outputs = result.outcome.clone().unwrap();
         assert_eq!(outputs[0].name, "Response");
         assert_eq!(outputs[0].len(), 3);
         let parse = |item: &DataItem| dandelion_http::parse_response(&item.data).unwrap();
@@ -404,8 +511,8 @@ mod tests {
             },
             reply,
         });
-        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(matches!(result.outcome, Err(DandelionError::Dispatch(_))));
+        let batch = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(batch[0].outcome, Err(DandelionError::Dispatch(_))));
         pool.shutdown();
     }
 
@@ -438,8 +545,8 @@ mod tests {
             },
             reply,
         });
-        let result = results.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(result.outcome.is_ok());
+        let batch = results.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(batch[0].outcome.is_ok());
         pool.shutdown();
     }
 
@@ -469,14 +576,13 @@ mod tests {
         // shrink are still queued behind the tasks.
         pool.resize(1);
         pool.resize(3);
-        let mut instances: Vec<usize> = (0..total)
-            .map(|_| {
-                results
-                    .recv_timeout(Duration::from_secs(10))
-                    .expect("every queued task completes")
-                    .instance
-            })
-            .collect();
+        let mut instances: Vec<usize> = Vec::new();
+        while instances.len() < total {
+            let batch = results
+                .recv_timeout(Duration::from_secs(10))
+                .expect("every queued task completes");
+            instances.extend(batch.into_iter().map(|result| result.instance));
+        }
         instances.sort_unstable();
         assert_eq!(instances, (0..total).collect::<Vec<_>>());
         let deadline = std::time::Instant::now() + Duration::from_secs(5);

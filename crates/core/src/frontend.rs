@@ -273,7 +273,10 @@ impl Frontend {
 }
 
 fn json_response(status: StatusCode, value: &JsonValue) -> HttpResponse {
-    HttpResponse::new(status, value.to_string().into_bytes())
+    // Exact-capacity serialization: the document size is computed first, so
+    // even status documents carrying base64 payloads are written into one
+    // right-sized buffer instead of growing a `String` incrementally.
+    HttpResponse::new(status, value.to_json_string().into_bytes())
         .with_header("Content-Type", JSON_CONTENT_TYPE)
 }
 

@@ -50,6 +50,14 @@ impl TaskPayload {
     }
 }
 
+/// The reply channel engines send completed task results on.
+///
+/// Results cross the channel in *batches*: an engine coalesces the results
+/// of consecutively executed same-invocation tasks into one message, so a
+/// fan-out of N small instances costs one channel round-trip instead of N.
+/// The driver drains whole batches per wakeup on the receiving side.
+pub type ReplySender = Sender<Vec<TaskResult>>;
+
 /// A schedulable unit of work.
 #[derive(Debug, Clone)]
 pub struct Task {
@@ -61,8 +69,8 @@ pub struct Task {
     pub instance: usize,
     /// The work itself.
     pub payload: TaskPayload,
-    /// Channel the executing engine replies on.
-    pub reply: Sender<TaskResult>,
+    /// Channel the executing engine replies on (in batches).
+    pub reply: ReplySender,
 }
 
 /// The result an engine sends back to the dispatcher.
@@ -150,6 +158,21 @@ impl TaskQueue {
         }
     }
 
+    /// Dequeues the next task if one is immediately available, without
+    /// blocking.
+    ///
+    /// Engines use this after finishing a task to coalesce further
+    /// already-queued work of the same invocation into one reply batch.
+    pub fn try_pop(&self) -> Option<Task> {
+        match self.receiver.try_recv() {
+            Ok(task) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                Some(task)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Dequeues the next task, blocking until one arrives.
     ///
     /// Engines use this instead of polling [`TaskQueue::pop`] in a loop: an
@@ -198,7 +221,7 @@ mod tests {
     use super::*;
     use dandelion_isolation::FunctionCtx;
 
-    fn dummy_task(reply: Sender<TaskResult>) -> Task {
+    fn dummy_task(reply: ReplySender) -> Task {
         Task {
             invocation: InvocationId::from_raw(1),
             node: 0,
@@ -262,6 +285,17 @@ mod tests {
         queue.push(dummy_task(reply));
         assert_eq!(clone.len(), 1);
         assert!(clone.pop(Duration::from_millis(10)).is_some());
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn try_pop_is_nonblocking() {
+        let queue = TaskQueue::new(EngineKind::Compute, 8);
+        assert!(queue.try_pop().is_none());
+        let (reply, _rx) = unbounded();
+        queue.push(dummy_task(reply));
+        assert!(queue.try_pop().is_some());
+        assert!(queue.try_pop().is_none());
         assert!(queue.is_empty());
     }
 }

@@ -6,7 +6,47 @@
 
 use std::fmt;
 
-use dandelion_common::SharedBytes;
+use dandelion_common::{Rope, SharedBytes, SharedBytesMut};
+
+/// Number of decimal digits in `value` (at least 1).
+fn decimal_len(mut value: usize) -> usize {
+    let mut digits = 1;
+    while value >= 10 {
+        value /= 10;
+        digits += 1;
+    }
+    digits
+}
+
+/// Exact wire length of the `Content-Length` header line.
+fn content_length_line_len(body_len: usize) -> usize {
+    "Content-Length: ".len() + decimal_len(body_len) + 2
+}
+
+/// Exact wire length of the header block (every `name: value\r\n` line).
+fn header_lines_len(headers: &Headers) -> usize {
+    headers
+        .iter()
+        .map(|(name, value)| name.len() + 2 + value.len() + 2)
+        .sum()
+}
+
+/// Writes the header block into a head builder.
+fn put_header_lines(head: &mut SharedBytesMut, headers: &Headers) {
+    for (name, value) in headers.iter() {
+        head.put_str(name);
+        head.put_str(": ");
+        head.put_str(value);
+        head.put_str("\r\n");
+    }
+}
+
+/// Writes a `Content-Length` line into a head builder.
+fn put_content_length_line(head: &mut SharedBytesMut, body_len: usize) {
+    head.put_str("Content-Length: ");
+    head.put_decimal(body_len);
+    head.put_str("\r\n");
+}
 
 /// The HTTP methods Dandelion's communication function supports.
 ///
@@ -286,22 +326,54 @@ impl HttpRequest {
         self
     }
 
+    /// Exact wire length of the request head (everything before the body).
+    fn head_len(&self) -> usize {
+        let mut len = self.method.as_str().len() + 1 + self.target.len() + 1;
+        len += self.version.as_str().len() + 2;
+        len += header_lines_len(&self.headers);
+        if !self.body.is_empty() && self.headers.content_length().is_none() {
+            len += content_length_line_len(self.body.len());
+        }
+        len + 2
+    }
+
+    /// Serializes the request as a [`Rope`]: the head is built once into a
+    /// pooled, exactly sized buffer and the body attaches by reference.
+    ///
+    /// This is the allocation-free serialization path — delivery walks the
+    /// rope segments ([`Rope::write_to`] is vectored), so the body is never
+    /// flattened behind the head. `Content-Length` is added when a body is
+    /// present and the header is missing.
+    pub fn to_rope(&self) -> Rope {
+        let mut head = SharedBytesMut::with_capacity(self.head_len());
+        head.put_str(self.method.as_str());
+        head.put_u8(b' ');
+        head.put_str(&self.target);
+        head.put_u8(b' ');
+        head.put_str(self.version.as_str());
+        head.put_str("\r\n");
+        put_header_lines(&mut head, &self.headers);
+        if !self.body.is_empty() && self.headers.content_length().is_none() {
+            put_content_length_line(&mut head, self.body.len());
+        }
+        head.put_str("\r\n");
+        debug_assert_eq!(head.len(), self.head_len());
+        let mut rope = Rope::new();
+        rope.push_builder(head);
+        rope.push(self.body.clone());
+        rope
+    }
+
+    /// Serializes the request into one contiguous zero-copy view
+    /// (one exact-capacity allocation; none when the body is empty).
+    pub fn to_shared(&self) -> SharedBytes {
+        self.to_rope().into_shared()
+    }
+
     /// Serializes the request to wire format, adding `Content-Length` when a
     /// body is present and the header is missing.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.body.len());
-        out.extend_from_slice(
-            format!("{} {} {}\r\n", self.method, self.target, self.version).as_bytes(),
-        );
-        for (name, value) in self.headers.iter() {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
-        }
-        if !self.body.is_empty() && self.headers.content_length().is_none() {
-            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
-        out
+        self.to_rope().to_vec()
     }
 }
 
@@ -350,27 +422,50 @@ impl HttpResponse {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
+    /// Exact wire length of the response head (everything before the body).
+    fn head_len(&self) -> usize {
+        let mut len = self.version.as_str().len() + 1 + decimal_len(self.status.0 as usize) + 1;
+        len += self.status.reason().len() + 2;
+        len += header_lines_len(&self.headers);
+        if self.headers.content_length().is_none() {
+            len += content_length_line_len(self.body.len());
+        }
+        len + 2
+    }
+
+    /// Serializes the response as a [`Rope`]: the head is built once into a
+    /// pooled, exactly sized buffer and the body attaches by reference —
+    /// sending a 4 MiB body prepends a few dozen header bytes without ever
+    /// copying the payload. `Content-Length` is added unless already set.
+    pub fn to_rope(&self) -> Rope {
+        let mut head = SharedBytesMut::with_capacity(self.head_len());
+        head.put_str(self.version.as_str());
+        head.put_u8(b' ');
+        head.put_decimal(self.status.0 as usize);
+        head.put_u8(b' ');
+        head.put_str(self.status.reason());
+        head.put_str("\r\n");
+        put_header_lines(&mut head, &self.headers);
+        if self.headers.content_length().is_none() {
+            put_content_length_line(&mut head, self.body.len());
+        }
+        head.put_str("\r\n");
+        debug_assert_eq!(head.len(), self.head_len());
+        let mut rope = Rope::new();
+        rope.push_builder(head);
+        rope.push(self.body.clone());
+        rope
+    }
+
+    /// Serializes the response into one contiguous zero-copy view
+    /// (one exact-capacity allocation; none when the body is empty).
+    pub fn to_shared(&self) -> SharedBytes {
+        self.to_rope().into_shared()
+    }
+
     /// Serializes the response to wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.body.len());
-        out.extend_from_slice(
-            format!(
-                "{} {} {}\r\n",
-                self.version,
-                self.status.0,
-                self.status.reason()
-            )
-            .as_bytes(),
-        );
-        for (name, value) in self.headers.iter() {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
-        }
-        if self.headers.content_length().is_none() {
-            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
-        out
+        self.to_rope().to_vec()
     }
 }
 
@@ -425,6 +520,53 @@ mod tests {
         assert!(text.starts_with("POST http://svc.example/api HTTP/1.1\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn rope_serialization_matches_to_bytes_and_shares_the_body() {
+        let body = SharedBytes::from_vec(vec![0x42; 8 * 1024]);
+        let request = HttpRequest::put("http://svc.example/obj", body.clone())
+            .with_header("X-Trace", "abc123");
+        let rope = request.to_rope();
+        assert_eq!(rope.to_vec(), request.to_bytes());
+        // The body segment is the caller's buffer, attached by reference.
+        let body_segment = rope.last_segment().unwrap();
+        assert!(SharedBytes::same_buffer(body_segment, &body));
+
+        let response = HttpResponse::ok(body.clone()).with_header("X-Test", "1");
+        let rope = response.to_rope();
+        assert_eq!(rope.to_vec(), response.to_bytes());
+        assert!(SharedBytes::same_buffer(
+            rope.last_segment().unwrap(),
+            &body
+        ));
+        // Vectored delivery reproduces the flat serialization.
+        let mut delivered = Vec::new();
+        rope.write_to(&mut delivered).unwrap();
+        assert_eq!(delivered, response.to_bytes());
+    }
+
+    #[test]
+    fn to_shared_is_head_only_for_empty_bodies() {
+        let request = HttpRequest::get("http://svc.example/x");
+        assert_eq!(request.to_rope().segment_count(), 1);
+        assert_eq!(request.to_shared().as_slice(), request.to_bytes());
+        // An unusual status exercises the decimal head writer.
+        let response = HttpResponse::new(StatusCode(599), SharedBytes::new());
+        let text = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 599 Unknown\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+    }
+
+    #[test]
+    fn explicit_content_length_is_not_duplicated() {
+        let response = HttpResponse::ok(b"abc".to_vec()).with_header("Content-Length", "3");
+        let text = String::from_utf8(response.to_bytes()).unwrap();
+        assert_eq!(text.matches("Content-Length").count(), 1);
+        let request =
+            HttpRequest::post("http://h/x", b"abc".to_vec()).with_header("Content-Length", "3");
+        let text = String::from_utf8(request.to_bytes()).unwrap();
+        assert_eq!(text.matches("Content-Length").count(), 1);
     }
 
     #[test]

@@ -259,18 +259,19 @@ impl StagedExecutor {
         // Stage 5: output — the dlibc exit shim leaves a metadata *frame*
         // (set/item names, keys, payload lengths) in the context; the
         // payload bytes already live in the function's memory and are never
-        // re-serialized. The trusted engine round-trips the frame through
-        // the bounded frame parser, then attaches each payload by reference
-        // after checking it against the declared length — so downstream
-        // consumers receive views of the producer's buffers, not copies.
-        // (The payload-carrying descriptor of `encode_outputs` remains the
-        // wire format at the HTTP boundary.)
+        // re-serialized. The frame is built once in a pooled, exactly sized
+        // buffer, attached to the context by reference (counting toward its
+        // capacity exactly as writing it there would), and round-tripped
+        // through the bounded frame parser; each payload is then attached by
+        // reference after checking it against the declared length — so
+        // downstream consumers receive views of the producer's buffers, not
+        // copies. (The payload-carrying descriptor of `encode_outputs`
+        // remains the wire format at the HTTP boundary.)
         let output_start = Instant::now();
         let outputs = ctx.take_outputs();
-        let frame = output_parser::encode_frame(&outputs);
-        let frame_offset = context.append(&frame)?;
-        let exported_frame = context.export(frame_offset, frame.len())?;
-        let parsed = output_parser::parse_frame(&exported_frame)?;
+        let frame = output_parser::encode_frame_shared(&outputs);
+        context.import(&frame)?;
+        let parsed = output_parser::parse_frame(&frame)?;
         let outputs = attach_frame_payloads(&artifact.name, parsed, outputs, &mut context)?;
         measured.record(Stage::Output, output_start.elapsed());
 

@@ -19,6 +19,21 @@
 //! portable fallback, [`MemoryContext::transfer_to`], and as copy-on-write
 //! when a frozen region with outstanding views is written again.
 
+//!
+//! # Pooled arenas
+//!
+//! Sandbox setup/teardown is the per-invocation hot path, so a context's
+//! own region is drawn from the process-wide
+//! [`BufferPool`](dandelion_common::pool::BufferPool) instead of the global
+//! allocator: the first committed write acquires a pooled arena, and
+//! [`MemoryContext::clear`] (or dropping the context) recycles it — including
+//! a frozen region whose exported views have all been dropped. Steady-state
+//! invocation turnover therefore allocates nothing. Regions above the
+//! largest pool class fall back to plain allocation transparently.
+
+use std::sync::Arc;
+
+use dandelion_common::pool::BufferPool;
 use dandelion_common::{ContextId, DandelionError, DandelionResult, SharedBytes};
 
 /// The context's own region: writable until the first export, then frozen so
@@ -65,12 +80,34 @@ pub struct MemoryContext {
     capacity: usize,
     /// High-water mark of bytes ever committed or imported, for accounting.
     high_water: usize,
+    /// The pool the own region is drawn from and recycled to; `None` means
+    /// every arena comes from the global allocator.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl MemoryContext {
     /// Creates a context with the given capacity. No memory is committed
-    /// until data is written (mirroring demand paging).
+    /// until data is written (mirroring demand paging); the arena backing
+    /// the committed region comes from the global buffer pool.
     pub fn new(capacity: usize) -> Self {
+        Self::with_pool_handle(capacity, Some(Arc::clone(BufferPool::global())))
+    }
+
+    /// Creates a context whose arena always comes from the global allocator,
+    /// bypassing the buffer pool. This is the pre-pooling reference
+    /// behaviour, kept for benchmark baselines and allocator-sensitivity
+    /// tests.
+    pub fn new_unpooled(capacity: usize) -> Self {
+        Self::with_pool_handle(capacity, None)
+    }
+
+    /// Creates a context drawing its arena from a specific pool (tests use
+    /// private pools to observe recycling deterministically).
+    pub fn with_pool(capacity: usize, pool: Arc<BufferPool>) -> Self {
+        Self::with_pool_handle(capacity, Some(pool))
+    }
+
+    fn with_pool_handle(capacity: usize, pool: Option<Arc<BufferPool>>) -> Self {
         Self {
             id: ContextId::next(),
             backing: Backing::Mutable(Vec::new()),
@@ -78,6 +115,7 @@ impl MemoryContext {
             imported_bytes: 0,
             capacity,
             high_water: 0,
+            pool,
         }
     }
 
@@ -124,7 +162,16 @@ impl MemoryContext {
             };
             self.backing = match shared.try_unwrap_whole() {
                 Ok(vec) => Backing::Mutable(vec),
-                Err(shared) => Backing::Mutable(shared.as_slice().to_vec()),
+                Err(shared) => {
+                    // Copy-on-write into a fresh (pooled) arena: outstanding
+                    // views keep the frozen buffer alive.
+                    let mut vec = match &self.pool {
+                        Some(pool) => pool.acquire_vec(shared.len()),
+                        None => Vec::with_capacity(shared.len()),
+                    };
+                    vec.extend_from_slice(shared.as_slice());
+                    Backing::Mutable(vec)
+                }
             };
         }
         match &mut self.backing {
@@ -144,7 +191,15 @@ impl MemoryContext {
             )));
         }
         if required > self.backing.len() {
+            let pool = self.pool.clone();
             let bytes = self.make_mutable();
+            if let Some(pool) = &pool {
+                if bytes.capacity() == 0 {
+                    // First committed write: draw the arena from the pool
+                    // instead of the global allocator.
+                    *bytes = pool.acquire_vec(required);
+                }
+            }
             bytes.resize(required, 0);
             self.high_water = self.high_water.max(total);
         }
@@ -268,10 +323,40 @@ impl MemoryContext {
     /// Releases committed memory and detaches imports while keeping the
     /// capacity reservation. Views handed out by [`MemoryContext::export`]
     /// keep the frozen buffer alive independently.
+    ///
+    /// A pooled context recycles its arena here — including a frozen region
+    /// whose exported views have all been dropped — so sandbox teardown
+    /// feeds the next sandbox's setup instead of the global allocator.
     pub fn clear(&mut self) {
-        self.backing = Backing::Mutable(Vec::new());
+        self.reclaim_backing();
         self.imports.clear();
         self.imported_bytes = 0;
+    }
+
+    /// Replaces the backing with an empty region, returning the old arena
+    /// to the buffer pool when possible.
+    fn reclaim_backing(&mut self) {
+        let backing = std::mem::replace(&mut self.backing, Backing::Mutable(Vec::new()));
+        let Some(pool) = &self.pool else {
+            return;
+        };
+        match backing {
+            Backing::Mutable(vec) => pool.recycle_vec(vec),
+            Backing::Frozen(shared) => {
+                // Recycles only when no exported views remain; otherwise the
+                // views keep the buffer alive and it is freed with the last
+                // of them.
+                if let Ok(vec) = shared.try_unwrap_whole() {
+                    pool.recycle_vec(vec);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MemoryContext {
+    fn drop(&mut self) {
+        self.reclaim_backing();
     }
 }
 
@@ -421,6 +506,83 @@ mod tests {
         assert_eq!(context.imported_bytes(), 0);
         assert_eq!(context.high_water_bytes(), 512);
         assert_eq!(context.capacity(), 1024);
+    }
+
+    #[test]
+    fn cleared_contexts_recycle_their_arena() {
+        // First context commits an arena, clears, and the next context gets
+        // the very same allocation back from the (private) pool.
+        let pool = Arc::new(BufferPool::new());
+        let mut first = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+        first.write(0, &[1u8; 8 * 1024]).unwrap();
+        let arena_ptr = first.committed().as_ptr();
+        first.clear();
+        assert_eq!(pool.stats().recycled, 1);
+
+        let mut second = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+        second.write(0, &[2u8; 8 * 1024]).unwrap();
+        assert_eq!(
+            second.committed().as_ptr(),
+            arena_ptr,
+            "the recycled arena must be reused"
+        );
+        assert_eq!(pool.stats().reuses, 1);
+        // Recycled arenas are cleared: reads past the new commit extent fail
+        // instead of exposing the previous context's bytes.
+        assert!(second.read(8 * 1024, 1).is_err());
+    }
+
+    #[test]
+    fn dropping_a_context_recycles_like_clear() {
+        let pool = Arc::new(BufferPool::new());
+        let arena_ptr = {
+            let mut context = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+            context.write(0, &[3u8; 4 * 1024]).unwrap();
+            context.committed().as_ptr()
+        };
+        assert_eq!(pool.stats().recycled, 1);
+        let mut next = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+        next.write(0, &[4u8; 4 * 1024]).unwrap();
+        assert_eq!(next.committed().as_ptr(), arena_ptr);
+    }
+
+    #[test]
+    fn outstanding_views_block_recycling() {
+        let pool = Arc::new(BufferPool::new());
+        let mut context = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+        context.append(&[5u8; 4 * 1024]).unwrap();
+        let view = context.export(0, 4 * 1024).unwrap();
+        context.clear();
+        // The exported view still owns the old arena, so nothing flowed back
+        // to the pool.
+        assert_eq!(view[0], 5);
+        assert_eq!(pool.stats().recycled, 0);
+        assert_eq!(pool.pooled_buffers(), 0);
+        // Once the last view drops, the arena is simply freed (not pooled —
+        // ownership already left the context).
+        drop(view);
+        assert_eq!(pool.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn exports_without_views_recycle_on_clear() {
+        let pool = Arc::new(BufferPool::new());
+        let mut context = MemoryContext::with_pool(64 * 1024, Arc::clone(&pool));
+        context.append(&[8u8; 4 * 1024]).unwrap();
+        drop(context.export(0, 4 * 1024).unwrap());
+        // The region is frozen but no views remain: clear reclaims the
+        // buffer into the pool.
+        context.clear();
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn unpooled_contexts_bypass_the_pool() {
+        let mut context = MemoryContext::new_unpooled(64 * 1024);
+        context.write(0, &[7u8; 8 * 1024]).unwrap();
+        assert!(context.pool.is_none());
+        context.clear();
+        assert_eq!(context.read(0, 1).ok(), None);
     }
 
     #[test]

@@ -26,7 +26,9 @@
 //! against the remaining buffer and against [`LIMITS`], and any violation
 //! produces a descriptive error.
 
-use dandelion_common::{DandelionError, DandelionResult, DataItem, DataSet, SharedBytes};
+use dandelion_common::{
+    DandelionError, DandelionResult, DataItem, DataSet, Rope, SharedBytes, SharedBytesMut,
+};
 
 /// Magic number identifying an output descriptor.
 pub const MAGIC: u32 = 0xDA4D_E110;
@@ -56,26 +58,79 @@ pub const LIMITS: Limits = Limits {
     max_item_bytes: 256 * 1024 * 1024,
 };
 
-/// Serializes output sets into the descriptor format.
-pub fn encode_outputs(sets: &[DataSet]) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&(sets.len() as u32).to_le_bytes());
+/// Exact byte length of the descriptor *metadata* (everything except item
+/// payload bytes).
+fn descriptor_meta_len(sets: &[DataSet]) -> usize {
+    let mut len = 8; // magic + set count
     for set in sets {
-        push_chunk(&mut out, set.name.as_bytes());
-        out.extend_from_slice(&(set.items.len() as u32).to_le_bytes());
+        len += 4 + set.name.len() + 4;
         for item in &set.items {
-            push_chunk(&mut out, item.name.as_bytes());
-            push_chunk(&mut out, item.key.as_deref().unwrap_or("").as_bytes());
-            push_chunk(&mut out, &item.data);
+            len += 4 + item.name.len();
+            len += 4 + item.key.as_deref().unwrap_or("").len();
+            len += 4; // payload length prefix
         }
     }
-    out
+    len
 }
 
-fn push_chunk(out: &mut Vec<u8>, data: &[u8]) {
-    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    out.extend_from_slice(data);
+/// Serializes output sets into the descriptor format as a flat vector
+/// (one exact-size allocation; payload bytes are copied in).
+///
+/// This remains the portable wire format at the HTTP boundary; the
+/// in-process path uses [`encode_outputs_rope`], which never copies
+/// payloads.
+pub fn encode_outputs(sets: &[DataSet]) -> Vec<u8> {
+    encode_outputs_rope(sets).to_vec()
+}
+
+/// Serializes output sets into the descriptor format as a [`Rope`].
+///
+/// All descriptor metadata (magic, counts, names, keys, length prefixes) is
+/// written once into a single pooled, exactly sized buffer; every item
+/// payload is attached to the rope *by reference* as a [`SharedBytes`]
+/// segment between slices of that metadata buffer. Building the descriptor
+/// therefore costs one buffer regardless of payload sizes, and vectored
+/// delivery ([`Rope::write_to`]) never flattens the payloads.
+pub fn encode_outputs_rope(sets: &[DataSet]) -> Rope {
+    let mut meta = SharedBytesMut::with_capacity(descriptor_meta_len(sets));
+    // Pass 1: write the contiguous metadata, remembering where each payload
+    // interleaves.
+    let mut splits: Vec<usize> = Vec::new();
+    meta.put_u32_le(MAGIC);
+    meta.put_u32_le(sets.len() as u32);
+    for set in sets {
+        put_chunk(&mut meta, set.name.as_bytes());
+        meta.put_u32_le(set.items.len() as u32);
+        for item in &set.items {
+            put_chunk(&mut meta, item.name.as_bytes());
+            put_chunk(&mut meta, item.key.as_deref().unwrap_or("").as_bytes());
+            meta.put_u32_le(item.data.len() as u32);
+            splits.push(meta.len());
+        }
+    }
+    debug_assert_eq!(meta.len(), descriptor_meta_len(sets));
+    // Pass 2: interleave zero-copy views of the metadata buffer with the
+    // payload views.
+    let meta = meta.freeze();
+    let mut rope = Rope::new();
+    let mut cursor = 0;
+    let mut split_index = 0;
+    for set in sets {
+        for item in &set.items {
+            let split = splits[split_index];
+            split_index += 1;
+            rope.push(meta.slice(cursor..split));
+            cursor = split;
+            rope.push(item.data.clone());
+        }
+    }
+    rope.push(meta.slice(cursor..));
+    rope
+}
+
+fn put_chunk(out: &mut SharedBytesMut, data: &[u8]) {
+    out.put_u32_le(data.len() as u32);
+    out.put_slice(data);
 }
 
 struct Reader<'a> {
@@ -235,19 +290,33 @@ pub struct FrameItem {
 /// payload-carrying descriptor ([`encode_outputs`]) remains the portable
 /// wire format for set lists crossing the HTTP boundary.
 pub fn encode_frame(sets: &[DataSet]) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(sets.len() as u32).to_le_bytes());
+    encode_frame_shared(sets).into_vec()
+}
+
+/// Like [`encode_frame`] but returns the frame as a frozen [`SharedBytes`]
+/// built in one pooled, exactly sized buffer.
+///
+/// This is the engine's steady-state path: the frame is written once, frozen
+/// without copy, attached to the function's memory context by reference
+/// (capacity-accounted like any import) and parsed in place — no descriptor
+/// bytes ever round-trip through the global allocator.
+pub fn encode_frame_shared(sets: &[DataSet]) -> SharedBytes {
+    // A frame is the descriptor metadata with payload bytes omitted, so the
+    // metadata length is exact for it too.
+    let mut out = SharedBytesMut::with_capacity(descriptor_meta_len(sets));
+    out.put_u32_le(FRAME_MAGIC);
+    out.put_u32_le(sets.len() as u32);
     for set in sets {
-        push_chunk(&mut out, set.name.as_bytes());
-        out.extend_from_slice(&(set.items.len() as u32).to_le_bytes());
+        put_chunk(&mut out, set.name.as_bytes());
+        out.put_u32_le(set.items.len() as u32);
         for item in &set.items {
-            push_chunk(&mut out, item.name.as_bytes());
-            push_chunk(&mut out, item.key.as_deref().unwrap_or("").as_bytes());
-            out.extend_from_slice(&(item.data.len() as u32).to_le_bytes());
+            put_chunk(&mut out, item.name.as_bytes());
+            put_chunk(&mut out, item.key.as_deref().unwrap_or("").as_bytes());
+            out.put_u32_le(item.data.len() as u32);
         }
     }
-    out
+    debug_assert_eq!(out.len(), descriptor_meta_len(sets));
+    out.freeze()
 }
 
 /// Parses a descriptor frame produced by [`encode_frame`], applying the
@@ -326,6 +395,44 @@ mod tests {
     fn empty_output_roundtrip() {
         let encoded = encode_outputs(&[]);
         assert_eq!(parse_outputs(&encoded).unwrap(), Vec::<DataSet>::new());
+    }
+
+    #[test]
+    fn rope_encoding_matches_the_flat_descriptor_and_shares_payloads() {
+        let big = SharedBytes::from_vec(vec![0x7Au8; 64 * 1024]);
+        let sets = vec![DataSet::with_items(
+            "blobs",
+            vec![
+                DataItem::new("b0", big.clone()),
+                DataItem::with_key("b1", "k", b"tiny".to_vec()),
+            ],
+        )];
+        let rope = encode_outputs_rope(&sets);
+        assert_eq!(rope.to_vec(), encode_outputs(&sets));
+        // The big payload is attached by reference, not copied.
+        assert!(
+            rope.shared_segments()
+                .any(|segment| SharedBytes::same_buffer(segment, &big)),
+            "payload must appear in the rope as a view of the caller's buffer"
+        );
+        // And the rope round-trips through the untrusted parser.
+        let decoded = parse_outputs(&rope.to_vec()).unwrap();
+        assert_eq!(decoded, sets);
+    }
+
+    #[test]
+    fn empty_rope_descriptor_is_header_only() {
+        let rope = encode_outputs_rope(&[]);
+        assert_eq!(rope.to_vec(), encode_outputs(&[]));
+        assert_eq!(rope.segment_count(), 1);
+    }
+
+    #[test]
+    fn frame_shared_matches_frame() {
+        let sets = sample_sets();
+        assert_eq!(encode_frame_shared(&sets).as_slice(), encode_frame(&sets));
+        let parsed = parse_frame(&encode_frame_shared(&sets)).unwrap();
+        assert_eq!(parsed.len(), 2);
     }
 
     #[test]

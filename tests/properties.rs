@@ -60,6 +60,170 @@ fn arbitrary_sets(rng: &mut SplitMix64) -> Vec<DataSet> {
         .collect()
 }
 
+/// `SharedBytesMut::freeze` is the identity on the written bytes and never
+/// copies: the frozen view's bytes live at the address the builder wrote
+/// them to.
+#[test]
+fn builder_freeze_identity() {
+    use dandelion_common::SharedBytesMut;
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let mut builder = SharedBytesMut::with_capacity(rng.next_bounded(512) as usize);
+        let mut reference = Vec::new();
+        for _ in 0..rng.next_bounded(16) {
+            match rng.next_bounded(4) {
+                0 => {
+                    let chunk = random_bytes(&mut rng, 64);
+                    builder.put_slice(&chunk);
+                    reference.extend_from_slice(&chunk);
+                }
+                1 => {
+                    let value = rng.next_u64() as u32;
+                    builder.put_u32_le(value);
+                    reference.extend_from_slice(&value.to_le_bytes());
+                }
+                2 => {
+                    let value = rng.next_bounded(1_000_000) as usize;
+                    builder.put_decimal(value);
+                    reference.extend_from_slice(value.to_string().as_bytes());
+                }
+                _ => {
+                    let byte = rng.next_u64() as u8;
+                    builder.put_u8(byte);
+                    reference.push(byte);
+                }
+            }
+        }
+        let written_ptr = builder.as_slice().as_ptr();
+        let written_len = builder.len();
+        let frozen = builder.freeze();
+        assert_eq!(frozen.as_slice(), reference.as_slice(), "seed {seed}");
+        if written_len > 0 {
+            assert_eq!(
+                frozen.as_slice().as_ptr(),
+                written_ptr,
+                "freeze must not copy (seed {seed})"
+            );
+        }
+    }
+}
+
+/// A rope assembled from arbitrary segment splits of arbitrary payloads is
+/// byte-identical to the concatenation, under flattening, vectored writes
+/// and cross-chunk range reads alike.
+#[test]
+fn rope_reads_cross_chunk_boundaries() {
+    use dandelion_common::{Rope, SharedBytes, SharedBytesMut};
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let mut rope = Rope::new();
+        let mut reference = Vec::new();
+        for _ in 0..rng.next_bounded(8) {
+            let chunk = random_bytes(&mut rng, 128);
+            reference.extend_from_slice(&chunk);
+            if rng.bernoulli(0.3) {
+                let mut builder = SharedBytesMut::with_capacity(chunk.len());
+                builder.put_slice(&chunk);
+                rope.push_builder(builder);
+            } else if rng.bernoulli(0.5) && chunk.len() > 1 {
+                // Adjacent split views of one buffer (exercises merging).
+                let shared = SharedBytes::from_vec(chunk);
+                let at = 1 + rng.next_bounded(shared.len() as u64 - 1) as usize;
+                let (left, right) = shared.split_at(at);
+                rope.push(left);
+                rope.push(right);
+            } else {
+                rope.push(SharedBytes::from_vec(chunk));
+            }
+        }
+        assert_eq!(rope.len(), reference.len(), "seed {seed}");
+        assert_eq!(rope.to_vec(), reference, "flatten, seed {seed}");
+        let mut delivered = Vec::new();
+        rope.write_to(&mut delivered)
+            .expect("Vec writes never fail");
+        assert_eq!(delivered, reference, "vectored delivery, seed {seed}");
+        // Random cross-chunk range reads.
+        for _ in 0..8 {
+            if reference.is_empty() {
+                break;
+            }
+            let start = rng.next_bounded(reference.len() as u64) as usize;
+            let len = rng.next_bounded((reference.len() - start) as u64 + 1) as usize;
+            let mut window = vec![0u8; len];
+            rope.copy_range_to(start, &mut window);
+            assert_eq!(window, &reference[start..start + len], "seed {seed}");
+        }
+        let offset = if reference.is_empty() {
+            0
+        } else {
+            rng.next_bounded(reference.len() as u64) as usize
+        };
+        assert_eq!(rope.byte_at(offset), reference.get(offset).copied());
+        assert_eq!(rope.byte_at(reference.len()), None);
+        // Collapsing preserves the bytes.
+        assert_eq!(rope.into_shared().as_slice(), reference.as_slice());
+    }
+}
+
+/// Hammering one pool from many threads never aliases two live buffers:
+/// every thread stamps its acquired buffer with a pattern derived from the
+/// handle's unique generation tag and must read it back intact, and no two
+/// live handles ever observe the same generation.
+#[test]
+fn pool_recycling_never_aliases_buffers() {
+    use std::collections::HashSet;
+    use std::sync::{Arc, Mutex};
+
+    use dandelion_common::BufferPool;
+
+    let pool = Arc::new(BufferPool::new());
+    let live_generations = Arc::new(Mutex::new(HashSet::new()));
+    let threads: Vec<_> = (0..8)
+        .map(|worker| {
+            let pool = Arc::clone(&pool);
+            let live_generations = Arc::clone(&live_generations);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xA11A5 + worker);
+                for _ in 0..400 {
+                    let capacity = 1 + rng.next_bounded(128 * 1024) as usize;
+                    let mut buf = pool.acquire(capacity);
+                    let generation = buf.generation();
+                    assert!(
+                        live_generations.lock().unwrap().insert(generation),
+                        "two live handles share generation {generation}"
+                    );
+                    assert!(buf.is_empty(), "recycled buffers must arrive cleared");
+                    // Stamp a generation-derived pattern across the buffer.
+                    let fill = capacity.min(4096);
+                    buf.extend((0..fill).map(|i| (generation as usize + i) as u8));
+                    if rng.bernoulli(0.5) {
+                        std::thread::yield_now();
+                    }
+                    // The pattern must survive other threads' pool traffic.
+                    for (i, byte) in buf.iter().enumerate() {
+                        assert_eq!(
+                            *byte,
+                            (generation as usize + i) as u8,
+                            "buffer of generation {generation} was aliased"
+                        );
+                    }
+                    assert!(live_generations.lock().unwrap().remove(&generation));
+                    pool.recycle_vec(buf.detach());
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("no pool worker panics");
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.acquires, 8 * 400);
+    assert!(
+        stats.reuses > 0,
+        "the stress test must actually exercise recycling, stats: {stats:?}"
+    );
+}
+
 /// Encoding then parsing an output descriptor is the identity.
 #[test]
 fn output_descriptor_roundtrip() {

@@ -144,6 +144,119 @@ fn composition_edges_share_the_producers_buffers() {
     worker.shutdown();
 }
 
+/// A payload assembled in a `SharedBytesMut` inside a function freezes into
+/// the very allocation the builder wrote, and that allocation — not a copy —
+/// is what crosses the output boundary into the invocation's external
+/// outputs.
+#[test]
+fn builder_frozen_payloads_reach_outputs_without_copying() {
+    use dandelion_common::SharedBytesMut;
+    let worker = worker();
+    let frozen = Arc::new(Mutex::new(Vec::new()));
+    let frozen_for_fn = Arc::clone(&frozen);
+    worker
+        .register_function(
+            FunctionArtifact::new("Assemble", &["Out"], move |ctx: &mut FunctionCtx| {
+                let mut builder = SharedBytesMut::with_capacity(PAYLOAD_BYTES);
+                builder.put_slice(&[0xC3; PAYLOAD_BYTES]);
+                let written_ptr = builder.as_slice().as_ptr() as usize;
+                let payload = builder.freeze();
+                assert_eq!(
+                    payload.as_slice().as_ptr() as usize,
+                    written_ptr,
+                    "freeze must reuse the builder's allocation"
+                );
+                frozen_for_fn.lock().push(payload.clone());
+                ctx.push_output("Out", DataItem::new("built", payload))
+            })
+            .with_memory_requirement(64 * 1024 * 1024),
+        )
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition Build(In) => Out { Assemble(Items = all In) => (Out = Out); }",
+        )
+        .unwrap();
+    let outcome = worker
+        .invoke("Build", vec![DataSet::single("In", b"go".to_vec())])
+        .unwrap();
+    let frozen = frozen.lock();
+    assert_eq!(frozen.len(), 1);
+    assert!(
+        SharedBytes::same_buffer(&outcome.outputs[0].items[0].data, &frozen[0]),
+        "the frozen builder allocation must reach the external outputs"
+    );
+    worker.shutdown();
+}
+
+/// HTTP responses serialize as ropes whose body segment IS the handler's
+/// buffer: proving the serialization boundary is zero-copy for payloads.
+#[test]
+fn http_rope_serialization_attaches_bodies_by_reference() {
+    use dandelion_http::HttpResponse;
+    let body = SharedBytes::from_vec(vec![0x77; PAYLOAD_BYTES]);
+    let response = HttpResponse::ok(body.clone()).with_header("X-Path", "rope");
+    let rope = response.to_rope();
+    assert!(
+        SharedBytes::same_buffer(rope.last_segment().expect("body segment"), &body),
+        "the rope must reference the body buffer, not a copy"
+    );
+    // The descriptor rope shares payloads the same way.
+    let sets = vec![DataSet::with_items(
+        "Out",
+        vec![DataItem::new("blob", body.clone())],
+    )];
+    let descriptor = dandelion_isolation::output_parser::encode_outputs_rope(&sets);
+    assert!(
+        descriptor
+            .shared_segments()
+            .any(|segment| SharedBytes::same_buffer(segment, &body)),
+        "the descriptor rope must reference the item payload"
+    );
+}
+
+/// Retained results that are tiny windows of huge buffers are compacted at
+/// settle time (ROADMAP follow-up e): polling keeps working, but the big
+/// producer buffer is no longer pinned. Whole-buffer outputs (the tests
+/// above) keep full sharing.
+#[test]
+fn retained_slivers_do_not_pin_their_parent_buffers() {
+    let worker = worker();
+    worker
+        .register_function(
+            FunctionArtifact::new("Head16", &["Out"], |ctx: &mut FunctionCtx| {
+                let data = ctx.single_input("Items")?.data.clone();
+                ctx.push_output("Out", DataItem::new("head", data.slice(..16)))
+            })
+            .with_memory_requirement(64 * 1024 * 1024),
+        )
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition Head(In) => Out { Head16(Items = all In) => (Out = Out); }",
+        )
+        .unwrap();
+    let payload = SharedBytes::from_vec(vec![0x42; PAYLOAD_BYTES]);
+    let handle = worker
+        .submit(
+            "Head",
+            vec![DataSet::with_items(
+                "In",
+                vec![DataItem::new("blob", payload.clone())],
+            )],
+        )
+        .unwrap();
+    let outcome = handle.wait(Some(Duration::from_secs(10))).unwrap();
+    let item = &outcome.outputs[0].items[0];
+    assert_eq!(item.data.as_slice(), &[0x42; 16]);
+    assert!(
+        !SharedBytes::same_buffer(&item.data, &payload),
+        "a 16-byte window must not retain the {PAYLOAD_BYTES}-byte input"
+    );
+    assert!(item.data.backing_len() <= 16);
+    worker.shutdown();
+}
+
 /// The non-blocking submit path preserves sharing too: a handle settled on
 /// the driver thread still delivers the producer's buffer.
 #[test]

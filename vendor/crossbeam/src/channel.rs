@@ -112,6 +112,12 @@ impl<T> Sender<T> {
         Ok(())
     }
 
+    /// Returns `true` when both senders feed the same channel (mirrors the
+    /// real crossbeam-channel API).
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
     /// Enqueues a value unless the channel is full or disconnected.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
         let mut state = self.shared.lock();
