@@ -56,11 +56,14 @@ pub enum ExperimentId {
     /// builders) vs the Vec-assembly reference on a high-rate 4 KiB
     /// payload pipeline.
     SmallInvocations,
+    /// Repo-only: loopback throughput of the real TCP serving layer,
+    /// keep-alive connection reuse vs a fresh connection per request.
+    Network,
 }
 
 impl ExperimentId {
     /// Every experiment in paper order.
-    pub const ALL: [ExperimentId; 15] = [
+    pub const ALL: [ExperimentId; 16] = [
         ExperimentId::Fig1,
         ExperimentId::Fig2,
         ExperimentId::Table1,
@@ -76,6 +79,7 @@ impl ExperimentId {
         ExperimentId::Concurrency,
         ExperimentId::DataPlane,
         ExperimentId::SmallInvocations,
+        ExperimentId::Network,
     ];
 
     /// Command-line name of the experiment.
@@ -96,6 +100,7 @@ impl ExperimentId {
             ExperimentId::Concurrency => "concurrency",
             ExperimentId::DataPlane => "data_plane",
             ExperimentId::SmallInvocations => "small_invocations",
+            ExperimentId::Network => "network",
         }
     }
 
@@ -125,6 +130,7 @@ pub fn run_experiment(id: ExperimentId) -> Report {
         ExperimentId::Concurrency => concurrency_fanout(),
         ExperimentId::DataPlane => data_plane(),
         ExperimentId::SmallInvocations => small_invocations(),
+        ExperimentId::Network => network(),
     }
 }
 
@@ -1242,6 +1248,149 @@ pub fn small_invocations() -> Report {
     report
 }
 
+/// Repo-only experiment: end-to-end throughput of the real network serving
+/// layer on loopback TCP. A 4-core worker serves a tiny echo composition
+/// through `dandelion-server`; the in-repo load generator drives it with
+/// several client threads issuing synchronous `/v1/invoke` requests. The
+/// *keep-alive* mode reuses one connection per client (the steady state of
+/// a real deployment); the *reconnect* mode opens a fresh TCP connection
+/// per request, paying the handshake and a cold receive buffer each time.
+pub fn network() -> Report {
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_core::worker::{default_test_services, WorkerNode};
+    use dandelion_core::Frontend;
+    use dandelion_http::HttpRequest;
+    use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+    use dandelion_server::{HttpClientConnection, Server, ServerConfig};
+
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 1_500;
+    const PAYLOAD_BYTES: usize = 512;
+    const WARMUP_PER_CLIENT: usize = 50;
+
+    let worker = WorkerNode::start_with_control(
+        WorkerConfig {
+            total_cores: 4,
+            initial_communication_cores: 1,
+            isolation: IsolationKind::Native,
+            ..WorkerConfig::default()
+        },
+        default_test_services(),
+        false,
+    )
+    .expect("worker starts");
+    worker
+        .register_function(FunctionArtifact::new(
+            "Echo",
+            &["Out"],
+            |ctx: &mut FunctionCtx| {
+                let data = ctx.single_input("In")?.data.clone();
+                ctx.push_output("Out", dandelion_common::DataItem::new("echo", data))
+            },
+        ))
+        .expect("function registers");
+    worker
+        .register_composition_dsl(
+            "composition Echoed(Input) => Output { Echo(In = all Input) => (Output = Out); }",
+        )
+        .expect("composition registers");
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: CLIENTS,
+            ..ServerConfig::default()
+        },
+        Arc::new(Frontend::new(Arc::clone(&worker))),
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    let request = || {
+        HttpRequest::post("/v1/invoke/Echoed", vec![0x5A; PAYLOAD_BYTES])
+            .with_header("Content-Type", "application/octet-stream")
+    };
+    let check = |response: &dandelion_http::HttpResponse| {
+        assert_eq!(response.status.0, 200, "{}", response.body_text());
+        assert_eq!(response.body.len(), PAYLOAD_BYTES);
+    };
+
+    let run = |keep_alive: bool| -> Duration {
+        let start = Instant::now();
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let connect =
+                        || HttpClientConnection::connect(addr, Duration::from_secs(30)).unwrap();
+                    if keep_alive {
+                        let mut connection = connect();
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            check(&connection.request(&request()).unwrap());
+                        }
+                    } else {
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            let mut connection = connect();
+                            check(
+                                &connection
+                                    .request(&request().with_header("Connection", "close"))
+                                    .unwrap(),
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("load generator succeeds");
+        }
+        start.elapsed()
+    };
+
+    // Warm up the worker, the pools and the page cache.
+    {
+        let mut connection = HttpClientConnection::connect(addr, Duration::from_secs(30)).unwrap();
+        for _ in 0..WARMUP_PER_CLIENT * CLIENTS {
+            check(&connection.request(&request()).unwrap());
+        }
+    }
+    let reconnect_elapsed = run(false);
+    let keep_alive_elapsed = run(true);
+    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let served = server.stats().requests;
+    assert!(
+        served as f64 >= 2.0 * total_requests,
+        "all requests counted"
+    );
+    server.shutdown();
+    worker.shutdown();
+
+    let mut report = Report::new(
+        "Network: loopback TCP serving throughput, keep-alive vs reconnect-per-request",
+        &format!(
+            "{CLIENTS} client threads x {REQUESTS_PER_CLIENT} sync /v1/invoke echoes of \
+             {PAYLOAD_BYTES} B over 127.0.0.1, {CLIENTS} handler threads, 4-core worker, \
+             native isolation"
+        ),
+    );
+    report.header(&["mode", "wall time [ms]", "throughput [RPS]"]);
+    for (mode, elapsed) in [
+        ("reconnect", reconnect_elapsed),
+        ("keep-alive", keep_alive_elapsed),
+    ] {
+        report.row(vec![
+            mode.into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", total_requests / elapsed.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    report.note(&format!(
+        "keep-alive is {:.2}x reconnect: persistent connections amortize the TCP \
+         handshake and keep the pooled receive buffers warm; responses leave through \
+         vectored rope writes either way",
+        reconnect_elapsed.as_secs_f64() / keep_alive_elapsed.as_secs_f64().max(1e-9)
+    ));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1342,6 +1491,36 @@ mod tests {
         }
         let (pooled, vec_assembly) = last;
         panic!("expected >=2x RPS for the pooled/rope path, got {pooled} vs {vec_assembly}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "loopback RPS is only meaningful with optimizations; \
+                  run with `cargo test --release -p dandelion-bench` (CI does)"
+    )]
+    fn network_keep_alive_sustains_loopback_throughput() {
+        // The guard is deliberately far below steady-state loopback numbers
+        // (tens of thousands of RPS on a laptop): it exists to catch the
+        // serving layer falling off a cliff — per-request allocation storms,
+        // accidental connection churn — not to benchmark the runner.
+        const MIN_KEEP_ALIVE_RPS: f64 = 2_000.0;
+        let mut last = 0.0;
+        for _attempt in 0..2 {
+            let report = network();
+            let rps: f64 = report
+                .rows
+                .iter()
+                .find(|row| row[0] == "keep-alive")
+                .expect("keep-alive row present")[2]
+                .parse()
+                .unwrap();
+            last = rps;
+            if rps >= MIN_KEEP_ALIVE_RPS {
+                return;
+            }
+        }
+        panic!("expected >= {MIN_KEEP_ALIVE_RPS} RPS over loopback keep-alive, got {last}");
     }
 
     #[test]

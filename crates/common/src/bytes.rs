@@ -452,6 +452,29 @@ impl SharedBytesMut {
         self.buf.clear();
     }
 
+    /// Reads up to `max_bytes` from `reader` straight into this builder's
+    /// buffer, appending after the bytes already written. Returns the number
+    /// of bytes read (`0` at end of stream).
+    ///
+    /// This is the socket receive path of the network server: the connection
+    /// handler reads into a pooled builder, freezes it once a request is
+    /// complete, and the parsed request's body is a zero-copy view of the
+    /// very buffer the kernel copied into.
+    pub fn read_from<R: std::io::Read>(
+        &mut self,
+        reader: &mut R,
+        max_bytes: usize,
+    ) -> std::io::Result<usize> {
+        let len = self.buf.len();
+        // Zero-fill the landing area (no unsafe set_len); the cost is one
+        // memset per read, dwarfed by the syscall it precedes.
+        self.buf.resize(len + max_bytes, 0);
+        let result = reader.read(&mut self.buf[len..]);
+        self.buf
+            .truncate(len + result.as_ref().copied().unwrap_or(0));
+        result
+    }
+
     /// Freezes the builder into an immutable [`SharedBytes`].
     ///
     /// The heap allocation is moved, not copied: the frozen view's bytes
@@ -617,6 +640,20 @@ mod tests {
         assert!(builder.is_empty());
         builder.put_decimal(0);
         assert_eq!(builder.freeze(), b"0");
+    }
+
+    #[test]
+    fn read_from_appends_and_reports_eof() {
+        let mut builder = SharedBytesMut::with_capacity(32);
+        builder.put_str("head:");
+        let mut source: &[u8] = b"socket payload";
+        assert_eq!(builder.read_from(&mut source, 6).unwrap(), 6);
+        assert_eq!(builder.as_slice(), b"head:socket");
+        assert_eq!(builder.read_from(&mut source, 64).unwrap(), 8);
+        assert_eq!(builder.as_slice(), b"head:socket payload");
+        // End of stream reads zero bytes and leaves the buffer untouched.
+        assert_eq!(builder.read_from(&mut source, 64).unwrap(), 0);
+        assert_eq!(builder.len(), 19);
     }
 
     #[test]

@@ -218,6 +218,24 @@ impl WorkerNode {
         }
     }
 
+    /// Waits until no invocation is in flight or `timeout` elapses; returns
+    /// `true` when the node drained.
+    ///
+    /// This is the graceful half of shutting down a serving node: the
+    /// network server stops admitting work, drains, and only then calls
+    /// [`WorkerNode::shutdown`] — so accepted invocations finish instead of
+    /// failing with [`DandelionError::Cancelled`].
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.inflight() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
+    }
+
     /// Stops the control plane, the dispatcher and every engine. Unsettled
     /// invocations fail with [`DandelionError::Cancelled`].
     pub fn shutdown(&self) {

@@ -18,12 +18,17 @@
 //! covered by property tests.
 
 mod parse;
+pub mod stream;
 mod types;
 mod uri;
 pub mod validate;
 
 pub use parse::{
     parse_request, parse_request_shared, parse_response, parse_response_shared, HttpParseError,
+};
+pub use stream::{
+    probe_request, probe_response, rejection_code, rejection_status, ParseLimits, Probe,
+    RequestDecoder, ResponseDecoder,
 };
 pub use types::{Headers, HttpRequest, HttpResponse, Method, StatusCode, Version};
 pub use uri::Uri;

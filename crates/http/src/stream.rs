@@ -1,0 +1,530 @@
+//! Incremental parsing for messages arriving over a byte stream.
+//!
+//! The one-shot parsers in [`crate::parse`] assume the whole message is in
+//! hand. A socket delivers bytes in arbitrary fragments, possibly several
+//! pipelined messages per read, so the network server needs three extra
+//! capabilities, provided here:
+//!
+//! * [`probe_request`] / [`probe_response`] decide — without building
+//!   anything — whether a buffer holds a complete message and how many bytes
+//!   it spans, enforcing configurable [`ParseLimits`] so oversized heads and
+//!   bodies are rejected before they are buffered in full.
+//! * [`RequestDecoder`] / [`ResponseDecoder`] own the receive buffer: bytes
+//!   accumulate in a pooled [`SharedBytesMut`]; once a message is complete
+//!   the buffer is frozen and the message parsed with the one-shot shared
+//!   parsers, so bodies are zero-copy views of the receive buffer and
+//!   pipelined messages parse from one freeze.
+//! * [`rejection_status`] maps a parse failure to the HTTP status the server
+//!   answers with before closing the connection (`400`, `413` or `431`).
+//!
+//! Decoded results are byte-identical to the one-shot path: a decoder that
+//! was fed a serialized request in arbitrary fragments yields exactly what
+//! [`parse_request_shared`] yields on the whole buffer (the property tests
+//! split at every byte boundary to prove it).
+
+use std::io::Read;
+
+use dandelion_common::{SharedBytes, SharedBytesMut};
+
+use crate::parse::{
+    parse_request_shared, parse_response_shared, HttpParseError, MAX_BODY_BYTES, MAX_LINE_BYTES,
+};
+use crate::types::{HttpRequest, HttpResponse, StatusCode};
+
+/// Per-message limits enforced while a message is still arriving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum size of the head (start line + headers + blank line) in
+    /// bytes. Exceeding it is a [`431`](rejection_status) rejection.
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length` in bytes. Exceeding it is a
+    /// [`413`](rejection_status) rejection.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            // The head limit bounds what a slow or malicious client can make
+            // the server buffer before a request is rejected.
+            max_head_bytes: 2 * MAX_LINE_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// The outcome of probing a buffer for one complete message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// A complete message spans the first `consumed` bytes of the buffer.
+    Complete {
+        /// Bytes of the buffer the message occupies (head + body).
+        consumed: usize,
+    },
+    /// The buffer holds only a prefix of a message; read more bytes.
+    Partial,
+}
+
+/// Locates the end of the head section (the `\r\n\r\n` terminator),
+/// enforcing the head-size limit on what has arrived so far.
+fn head_end(input: &[u8], limits: &ParseLimits) -> Result<Option<usize>, HttpParseError> {
+    // A conforming head fits in `max_head_bytes`, terminator included, so
+    // only that window needs scanning.
+    let window = input.len().min(limits.max_head_bytes);
+    if let Some(position) = input[..window]
+        .windows(4)
+        .position(|candidate| candidate == b"\r\n\r\n")
+    {
+        return Ok(Some(position + 4));
+    }
+    if input.len() >= limits.max_head_bytes {
+        return Err(HttpParseError::LimitExceeded("head size"));
+    }
+    Ok(None)
+}
+
+/// Extracts the declared `Content-Length` from a raw head section without
+/// building a header map. Returns `None` when the header is absent,
+/// an error when it is present but not a number.
+fn declared_content_length(head: &[u8]) -> Result<Option<usize>, HttpParseError> {
+    const NAME: &[u8] = b"content-length";
+    for line in head.split(|&byte| byte == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&byte| byte == b':') else {
+            continue;
+        };
+        // The strict parser trims the name before matching; mirror it so
+        // probe and parse agree on which header declares the length.
+        let mut name = &line[..colon];
+        while let [b' ' | b'\t', rest @ ..] = name {
+            name = rest;
+        }
+        while let [rest @ .., b' ' | b'\t'] = name {
+            name = rest;
+        }
+        if name.eq_ignore_ascii_case(NAME) {
+            let value = String::from_utf8_lossy(&line[colon + 1..]);
+            return value
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| HttpParseError::MalformedHeader(value.trim().to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// Probes `input` for one complete HTTP request, enforcing `limits`.
+///
+/// Requests without a `Content-Length` header have no body (RFC 9112 §6):
+/// unlike the one-shot parser — which is handed exactly one message and
+/// treats the remainder as the body — a stream decoder must not swallow a
+/// pipelined successor, so the message ends at the head terminator.
+pub fn probe_request(input: &[u8], limits: &ParseLimits) -> Result<Probe, HttpParseError> {
+    let Some(body_offset) = head_end(input, limits)? else {
+        return Ok(Probe::Partial);
+    };
+    let length = declared_content_length(&input[..body_offset])?.unwrap_or(0);
+    if length > limits.max_body_bytes {
+        return Err(HttpParseError::LimitExceeded("body size"));
+    }
+    if input.len() < body_offset + length {
+        return Ok(Probe::Partial);
+    }
+    Ok(Probe::Complete {
+        consumed: body_offset + length,
+    })
+}
+
+/// Probes `input` for one complete HTTP response, enforcing `limits`.
+///
+/// Responses without a `Content-Length` header are treated as having an
+/// empty body: the v1 server always declares the length, and a
+/// read-to-close fallback would deadlock a keep-alive client.
+pub fn probe_response(input: &[u8], limits: &ParseLimits) -> Result<Probe, HttpParseError> {
+    // Requests and responses share the head/Content-Length framing; only the
+    // start-line shape differs, which probing does not inspect.
+    probe_request(input, limits)
+}
+
+/// Maps a parse failure onto the status code of the rejection response:
+/// oversized heads are `431`, oversized bodies `413`, everything else `400`.
+pub fn rejection_status(error: &HttpParseError) -> StatusCode {
+    match error {
+        HttpParseError::LimitExceeded("body size") => StatusCode(413),
+        HttpParseError::LimitExceeded("head size")
+        | HttpParseError::LimitExceeded("line length")
+        | HttpParseError::LimitExceeded("header count") => StatusCode(431),
+        _ => StatusCode::BAD_REQUEST,
+    }
+}
+
+/// Stable machine-readable code for a parse rejection, mirroring
+/// `DandelionError::code` for the platform's own errors.
+pub fn rejection_code(error: &HttpParseError) -> &'static str {
+    match rejection_status(error).0 {
+        413 => "body_too_large",
+        431 => "headers_too_large",
+        _ => "malformed_request",
+    }
+}
+
+/// How the decoders parse one complete message out of a frozen buffer.
+trait Decode: Sized {
+    fn probe(input: &[u8], limits: &ParseLimits) -> Result<Probe, HttpParseError>;
+    fn parse(message: &SharedBytes) -> Result<Self, HttpParseError>;
+}
+
+impl Decode for HttpRequest {
+    fn probe(input: &[u8], limits: &ParseLimits) -> Result<Probe, HttpParseError> {
+        probe_request(input, limits)
+    }
+
+    fn parse(message: &SharedBytes) -> Result<Self, HttpParseError> {
+        parse_request_shared(message)
+    }
+}
+
+impl Decode for HttpResponse {
+    fn probe(input: &[u8], limits: &ParseLimits) -> Result<Probe, HttpParseError> {
+        probe_response(input, limits)
+    }
+
+    fn parse(message: &SharedBytes) -> Result<Self, HttpParseError> {
+        parse_response_shared(message)
+    }
+}
+
+/// The stream decoder shared by [`RequestDecoder`] and [`ResponseDecoder`].
+///
+/// Unparsed bytes live in exactly one of two places: the pooled `builder`
+/// (still mutable, accepting reads) or the `frozen` view left over from the
+/// last parse (pipelined successors and partial tails). A message that
+/// arrives across many reads accumulates in the builder without re-copying;
+/// only a tail left behind by an earlier parse is copied — once — into the
+/// next builder when more bytes are needed.
+#[derive(Debug, Default)]
+struct StreamDecoder {
+    builder: SharedBytesMut,
+    frozen: SharedBytes,
+    limits: ParseLimits,
+}
+
+impl StreamDecoder {
+    fn new(limits: ParseLimits) -> Self {
+        Self {
+            builder: SharedBytesMut::new(),
+            frozen: SharedBytes::new(),
+            limits,
+        }
+    }
+
+    /// Bytes buffered but not yet parsed into a message.
+    fn buffered(&self) -> usize {
+        self.builder.len() + self.frozen.len()
+    }
+
+    /// Moves any frozen leftover back into the builder so new bytes can
+    /// append after it (the one copy a parse tail ever pays).
+    fn unfreeze(&mut self, reserve: usize) {
+        if self.frozen.is_empty() {
+            return;
+        }
+        // The invariant that unparsed bytes live in exactly one place means
+        // the builder is always empty here; the tail keeps its order.
+        debug_assert!(self.builder.is_empty());
+        self.builder = SharedBytesMut::with_capacity(self.frozen.len() + reserve);
+        self.builder.put_slice(&self.frozen);
+        self.frozen = SharedBytes::new();
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        self.unfreeze(bytes.len());
+        self.builder.put_slice(bytes);
+    }
+
+    fn read_from<R: Read>(&mut self, reader: &mut R, max_bytes: usize) -> std::io::Result<usize> {
+        self.unfreeze(max_bytes);
+        if self.builder.capacity() == 0 {
+            self.builder = SharedBytesMut::with_capacity(max_bytes);
+        }
+        self.builder.read_from(reader, max_bytes)
+    }
+
+    fn next<M: Decode>(&mut self) -> Result<Option<M>, HttpParseError> {
+        let unparsed: &[u8] = if self.frozen.is_empty() {
+            &self.builder
+        } else {
+            &self.frozen
+        };
+        if unparsed.is_empty() {
+            return Ok(None);
+        }
+        let consumed = match M::probe(unparsed, &self.limits)? {
+            Probe::Complete { consumed } => consumed,
+            Probe::Partial => return Ok(None),
+        };
+        if self.frozen.is_empty() {
+            // Freeze moves the allocation: the parsed body will view the
+            // buffer the bytes were received into.
+            self.frozen = std::mem::take(&mut self.builder).freeze();
+        }
+        let (message, rest) = self.frozen.split_at(consumed);
+        self.frozen = rest;
+        M::parse(&message).map(Some)
+    }
+}
+
+/// An incremental decoder for HTTP requests read from a stream.
+///
+/// ```
+/// use dandelion_http::{RequestDecoder, ParseLimits};
+///
+/// let mut decoder = RequestDecoder::new(ParseLimits::default());
+/// decoder.feed(b"GET /healthz HTTP/1.1\r\n");
+/// assert!(decoder.next_request().unwrap().is_none()); // head incomplete
+/// decoder.feed(b"Host: svc\r\n\r\n");
+/// let request = decoder.next_request().unwrap().expect("complete");
+/// assert_eq!(request.target, "/healthz");
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestDecoder {
+    inner: StreamDecoder,
+}
+
+impl RequestDecoder {
+    /// Creates a decoder enforcing `limits`.
+    pub fn new(limits: ParseLimits) -> Self {
+        Self {
+            inner: StreamDecoder::new(limits),
+        }
+    }
+
+    /// Appends bytes by copy (tests and in-memory callers; the socket path
+    /// uses [`RequestDecoder::read_from`]).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Reads up to `max_bytes` from `reader` into the receive buffer.
+    /// Returns the byte count (`0` at end of stream).
+    pub fn read_from<R: Read>(
+        &mut self,
+        reader: &mut R,
+        max_bytes: usize,
+    ) -> std::io::Result<usize> {
+        self.inner.read_from(reader, max_bytes)
+    }
+
+    /// Bytes buffered but not yet parsed into a request.
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+
+    /// Parses the next complete request out of the buffer, or `None` when
+    /// more bytes are needed. Bodies are zero-copy views of the receive
+    /// buffer. Errors are terminal: the connection should answer with
+    /// [`rejection_status`] and close.
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpParseError> {
+        self.inner.next()
+    }
+}
+
+/// An incremental decoder for HTTP responses read from a stream — the
+/// client half of [`RequestDecoder`], used by the in-repo load generator.
+#[derive(Debug, Default)]
+pub struct ResponseDecoder {
+    inner: StreamDecoder,
+}
+
+impl ResponseDecoder {
+    /// Creates a decoder enforcing `limits`.
+    pub fn new(limits: ParseLimits) -> Self {
+        Self {
+            inner: StreamDecoder::new(limits),
+        }
+    }
+
+    /// Appends bytes by copy.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Reads up to `max_bytes` from `reader` into the receive buffer.
+    pub fn read_from<R: Read>(
+        &mut self,
+        reader: &mut R,
+        max_bytes: usize,
+    ) -> std::io::Result<usize> {
+        self.inner.read_from(reader, max_bytes)
+    }
+
+    /// Bytes buffered but not yet parsed into a response.
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+
+    /// Parses the next complete response, or `None` when more bytes are
+    /// needed.
+    pub fn next_response(&mut self) -> Result<Option<HttpResponse>, HttpParseError> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Method;
+
+    fn sample_request() -> HttpRequest {
+        HttpRequest::post("/v1/invoke/Echo", b"hello body".to_vec())
+            .with_header("Content-Type", "application/octet-stream")
+    }
+
+    #[test]
+    fn probe_reports_partial_then_complete() {
+        let wire = sample_request().to_bytes();
+        let limits = ParseLimits::default();
+        for cut in 0..wire.len() {
+            assert_eq!(
+                probe_request(&wire[..cut], &limits).unwrap(),
+                Probe::Partial,
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        assert_eq!(
+            probe_request(&wire, &limits).unwrap(),
+            Probe::Complete {
+                consumed: wire.len()
+            }
+        );
+    }
+
+    #[test]
+    fn request_without_content_length_ends_at_the_head() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: svc\r\n\r\nGET /next HTTP/1.1\r\n\r\n";
+        match probe_request(wire, &ParseLimits::default()).unwrap() {
+            Probe::Complete { consumed } => assert_eq!(consumed, 36),
+            Probe::Partial => panic!("head is complete"),
+        }
+    }
+
+    #[test]
+    fn probe_enforces_head_and_body_limits() {
+        let limits = ParseLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 128,
+        };
+        let oversized_head = format!("GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "y".repeat(100));
+        assert_eq!(
+            probe_request(oversized_head.as_bytes(), &limits),
+            Err(HttpParseError::LimitExceeded("head size"))
+        );
+        // The limit triggers even before the terminator arrives.
+        let unterminated = vec![b'a'; 80];
+        assert_eq!(
+            probe_request(&unterminated, &limits),
+            Err(HttpParseError::LimitExceeded("head size"))
+        );
+        let oversized_body = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        assert_eq!(
+            probe_request(oversized_body, &limits),
+            Err(HttpParseError::LimitExceeded("body size"))
+        );
+        let bad_length = b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n";
+        assert!(matches!(
+            probe_request(bad_length, &limits),
+            Err(HttpParseError::MalformedHeader(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_yields_pipelined_requests_from_one_read() {
+        let first = sample_request();
+        let second = HttpRequest::get("/healthz").with_header("Host", "svc");
+        let mut wire = first.to_bytes();
+        wire.extend_from_slice(&second.to_bytes());
+
+        let mut decoder = RequestDecoder::new(ParseLimits::default());
+        decoder.feed(&wire);
+        let parsed_first = decoder.next_request().unwrap().expect("first request");
+        assert_eq!(parsed_first.method, Method::Post);
+        assert_eq!(parsed_first.body, b"hello body");
+        let parsed_second = decoder.next_request().unwrap().expect("second request");
+        assert_eq!(parsed_second.method, Method::Get);
+        assert_eq!(parsed_second.target, "/healthz");
+        assert!(parsed_second.body.is_empty());
+        assert_eq!(decoder.buffered(), 0);
+        assert!(decoder.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_matches_one_shot_parse_at_every_split() {
+        let request = sample_request();
+        let wire = request.to_bytes();
+        let reference =
+            parse_request_shared(&dandelion_common::SharedBytes::from_vec(wire.clone())).unwrap();
+        for cut in 0..=wire.len() {
+            let mut decoder = RequestDecoder::new(ParseLimits::default());
+            decoder.feed(&wire[..cut]);
+            if let Some(early) = decoder.next_request().unwrap() {
+                // Only the full buffer can complete the message.
+                assert_eq!(cut, wire.len());
+                assert_eq!(early, reference);
+                continue;
+            }
+            decoder.feed(&wire[cut..]);
+            let parsed = decoder.next_request().unwrap().expect("complete");
+            assert_eq!(parsed, reference, "split at byte {cut} diverged");
+        }
+    }
+
+    #[test]
+    fn decoder_reads_from_a_reader_and_bodies_view_the_receive_buffer() {
+        let request = sample_request();
+        let wire = request.to_bytes();
+        let mut source: &[u8] = &wire;
+        let mut decoder = RequestDecoder::new(ParseLimits::default());
+        // Trickle in 7-byte reads.
+        loop {
+            match decoder.next_request().unwrap() {
+                Some(parsed) => {
+                    assert_eq!(parsed.body, request.body);
+                    break;
+                }
+                None => {
+                    assert!(decoder.read_from(&mut source, 7).unwrap() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_decoder_roundtrip_and_empty_body_without_length() {
+        let response = HttpResponse::ok(b"result".to_vec()).with_header("X-Test", "1");
+        let mut decoder = ResponseDecoder::new(ParseLimits::default());
+        decoder.feed(&response.to_bytes());
+        let parsed = decoder.next_response().unwrap().expect("complete");
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, b"result");
+        // Responses with no Content-Length decode with an empty body rather
+        // than waiting for close.
+        decoder.feed(b"HTTP/1.1 204 No Content\r\n\r\n");
+        let empty = decoder.next_response().unwrap().expect("complete");
+        assert_eq!(empty.status.0, 204);
+        assert!(empty.body.is_empty());
+    }
+
+    #[test]
+    fn rejection_statuses_and_codes_are_stable() {
+        let body = HttpParseError::LimitExceeded("body size");
+        let head = HttpParseError::LimitExceeded("head size");
+        let malformed = HttpParseError::MalformedStartLine("x".into());
+        assert_eq!(rejection_status(&body).0, 413);
+        assert_eq!(rejection_status(&head).0, 431);
+        assert_eq!(rejection_status(&malformed), StatusCode::BAD_REQUEST);
+        assert_eq!(rejection_code(&body), "body_too_large");
+        assert_eq!(rejection_code(&head), "headers_too_large");
+        assert_eq!(rejection_code(&malformed), "malformed_request");
+    }
+}

@@ -1,0 +1,99 @@
+//! Serves the demo worker over TCP.
+//!
+//! ```text
+//! dandelion-serve [--addr 127.0.0.1:8080] [--cores N] [--threads N]
+//!                 [--max-connections N] [--max-head-bytes N]
+//!                 [--max-body-bytes N] [--read-timeout-ms N]
+//! ```
+//!
+//! The worker comes up with every demo application registered (matmul,
+//! log processing, image compression, fetch-and-compute, Text2SQL, SSB
+//! queries) and the simulated service environment, so the v1 endpoints are
+//! immediately invocable with `curl` — see the README's "Serving over the
+//! network" section for examples.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use dandelion_core::Frontend;
+use dandelion_server::{Server, ServerConfig};
+
+struct Options {
+    config: ServerConfig,
+    cores: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dandelion-serve [--addr HOST:PORT] [--cores N] [--threads N] \
+         [--max-connections N] [--max-head-bytes N] [--max-body-bytes N] \
+         [--read-timeout-ms N]"
+    );
+    exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        config: ServerConfig::default(),
+        cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        let Some(value) = args.next() else { usage() };
+        let numeric = || -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got `{value}`");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => options.config.addr = value.clone(),
+            "--cores" => options.cores = numeric(),
+            "--threads" => options.config.threads = numeric(),
+            "--max-connections" => options.config.max_connections = numeric(),
+            "--max-head-bytes" => options.config.limits.max_head_bytes = numeric(),
+            "--max-body-bytes" => options.config.limits.max_body_bytes = numeric(),
+            "--read-timeout-ms" => {
+                options.config.read_timeout = std::time::Duration::from_millis(numeric() as u64)
+            }
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let worker = match dandelion_apps::setup::demo_worker(options.cores, false) {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("failed to start worker: {error}");
+            exit(1);
+        }
+    };
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let server = match Server::start(options.config, frontend) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("failed to bind: {error}");
+            exit(1);
+        }
+    };
+    println!(
+        "dandelion-serve listening on http://{}",
+        server.local_addr()
+    );
+    println!("  {} cores, {} registered compositions", options.cores, {
+        worker.registry().composition_names().len()
+    });
+    println!("  try: curl http://{}/healthz", server.local_addr());
+    // Serve until the process is killed; the server's threads do the work.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,75 @@
+//! Configuration of the network server.
+
+use std::time::Duration;
+
+use dandelion_common::KIB;
+use dandelion_http::ParseLimits;
+
+/// Tunables of the TCP serving layer.
+///
+/// The defaults serve loopback benchmarks and tests well; a deployment
+/// mostly adjusts `addr`, `threads` and the admission limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection-handler threads; `0` means one per available core.
+    pub threads: usize,
+    /// Admission control: connections accepted concurrently (queued +
+    /// being served). Further clients get `503` and an immediate close.
+    pub max_connections: usize,
+    /// Per-request head/body size limits (oversized requests are rejected
+    /// with `431`/`413` before they are buffered in full).
+    pub limits: ParseLimits,
+    /// Read deadline per socket read. A client that stalls mid-request
+    /// longer than this gets `408` and the connection is closed, so slow
+    /// clients cannot pin a handler; an idle keep-alive connection is
+    /// closed silently.
+    pub read_timeout: Duration,
+    /// How long shutdown waits for in-flight invocations to settle.
+    pub drain_timeout: Duration,
+    /// Bytes requested from the kernel per socket read.
+    pub read_chunk_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 0,
+            max_connections: 256,
+            limits: ParseLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(30),
+            read_chunk_bytes: 64 * KIB,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The handler-thread count after resolving the `0` = per-core default.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_threads_from_the_machine() {
+        let config = ServerConfig::default();
+        assert!(config.resolved_threads() >= 1);
+        let fixed = ServerConfig {
+            threads: 3,
+            ..ServerConfig::default()
+        };
+        assert_eq!(fixed.resolved_threads(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! The per-connection state machine.
+//!
+//! One handler thread drives one connection at a time: it reads into the
+//! connection's [`RequestDecoder`] (pooled receive buffers, zero-copy
+//! bodies), serves every complete request through the frontend, and writes
+//! each response with a vectored [`Rope::write_to`] — so a function's output
+//! buffer travels from context export to the socket by reference.
+//!
+//! Protocol behaviour:
+//!
+//! * **Keep-alive and pipelining.** HTTP/1.1 connections persist by
+//!   default; all requests already buffered are served in order before the
+//!   next read. `Connection: close` (or HTTP/1.0 without
+//!   `Connection: keep-alive`) closes after the response.
+//! * **Malformed requests** are answered with a structured JSON error body
+//!   (stable `code`: `malformed_request`, `headers_too_large` for `431`,
+//!   `body_too_large` for `413`) and the connection is closed — never a
+//!   silent drop.
+//! * **Slow clients** hit the per-connection read deadline: a stall
+//!   mid-request is answered with `408` and closed; an idle keep-alive
+//!   connection is closed silently.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+use dandelion_common::{JsonValue, Rope};
+use dandelion_core::Frontend;
+use dandelion_http::{
+    rejection_code, rejection_status, HttpParseError, HttpRequest, HttpResponse, RequestDecoder,
+    StatusCode, Version,
+};
+
+use crate::config::ServerConfig;
+use crate::server::ServerStats;
+
+/// Builds the JSON error body shared by every connection-level rejection.
+fn error_body(code: &str, message: &str, retryable: bool) -> HttpResponse {
+    let document = JsonValue::object([(
+        "error",
+        JsonValue::object([
+            ("code", JsonValue::string(code)),
+            ("message", JsonValue::string(message)),
+            ("retryable", JsonValue::from(retryable)),
+        ]),
+    )]);
+    HttpResponse::new(StatusCode::OK, document.to_json_string().into_bytes())
+        .with_header("Content-Type", "application/json")
+}
+
+/// The response for a request that failed parsing: `400`, `413` or `431`
+/// with a stable machine-readable code.
+pub fn rejection_response(error: &HttpParseError) -> HttpResponse {
+    let mut response = error_body(rejection_code(error), &error.to_string(), false);
+    response.status = rejection_status(error);
+    response
+}
+
+/// The `503` answer for a connection refused by admission control.
+pub fn overloaded_response(max_connections: usize) -> HttpResponse {
+    let mut response = error_body(
+        "overloaded",
+        &format!("connection limit of {max_connections} reached"),
+        true,
+    );
+    response.status = StatusCode::SERVICE_UNAVAILABLE;
+    response
+}
+
+/// The `408` answer for a client that stalled mid-request past the read
+/// deadline.
+pub fn timeout_response() -> HttpResponse {
+    let mut response = error_body(
+        "read_timeout",
+        "request was not received within the read deadline",
+        true,
+    );
+    response.status = StatusCode::REQUEST_TIMEOUT;
+    response
+}
+
+/// Finalizes a response for delivery: stamps the `Connection` header and
+/// serializes to a [`Rope`] so the body leaves by reference (the zero-copy
+/// invariant the integration tests assert by `Arc` identity).
+pub fn response_rope(mut response: HttpResponse, close: bool) -> Rope {
+    response
+        .headers
+        .insert("Connection", if close { "close" } else { "keep-alive" });
+    response.to_rope()
+}
+
+/// Whether the request asks for the connection to close after the response.
+fn wants_close(request: &HttpRequest) -> bool {
+    match request.headers.get("connection") {
+        Some(value) if value.eq_ignore_ascii_case("close") => true,
+        Some(value) => {
+            request.version == Version::Http10 && !value.eq_ignore_ascii_case("keep-alive")
+        }
+        None => request.version == Version::Http10,
+    }
+}
+
+/// Classifies a read error as the deadline firing (distinct from a hard
+/// socket error); both `WouldBlock` and `TimedOut` appear depending on the
+/// platform.
+fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes a response; delivery failures just close the connection (the
+/// peer is gone — there is nobody to report to).
+fn deliver(stream: &mut TcpStream, response: HttpResponse, close: bool) -> bool {
+    let rope = response_rope(response, close);
+    rope.write_to(stream).and_then(|()| stream.flush()).is_ok()
+}
+
+/// Serves one connection until it closes, errors, or the server drains.
+pub(crate) fn handle_connection(
+    mut stream: TcpStream,
+    frontend: &Frontend,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    stopping: &std::sync::atomic::AtomicBool,
+) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut decoder = RequestDecoder::new(config.limits);
+    // The read deadline is per *request*, not per read: it starts when the
+    // first byte of a request arrives, so a client dripping one byte per
+    // read cannot reset it and pin the handler forever.
+    let mut request_deadline: Option<std::time::Instant> = None;
+    loop {
+        match decoder.next_request() {
+            Ok(Some(request)) => {
+                request_deadline = None;
+                let response = frontend.handle(&request);
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                // A draining server closes keep-alive connections at the
+                // next response boundary instead of mid-exchange.
+                let close = wants_close(&request) || stopping.load(Ordering::Acquire);
+                if !deliver(&mut stream, response, close) || close {
+                    return;
+                }
+            }
+            Ok(None) => {
+                if stopping.load(Ordering::Acquire) && decoder.buffered() == 0 {
+                    return;
+                }
+                let now = std::time::Instant::now();
+                let deadline = if decoder.buffered() == 0 {
+                    // Between requests the clock restarts; the deadline is
+                    // pinned once the next request starts arriving.
+                    request_deadline = None;
+                    now + config.read_timeout
+                } else {
+                    *request_deadline.get_or_insert(now + config.read_timeout)
+                };
+                let remaining = deadline.saturating_duration_since(now);
+                if remaining.is_zero() {
+                    if decoder.buffered() > 0 {
+                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        deliver(&mut stream, timeout_response(), true);
+                    }
+                    return;
+                }
+                if stream.set_read_timeout(Some(remaining)).is_err() {
+                    return;
+                }
+                match decoder.read_from(&mut stream, config.read_chunk_bytes) {
+                    // Peer closed the connection.
+                    Ok(0) => return,
+                    Ok(_) => {}
+                    Err(error) if is_timeout(&error) => {
+                        if decoder.buffered() > 0 {
+                            // Mid-request stall: tell the client before
+                            // closing so it is never a silent drop.
+                            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            deliver(&mut stream, timeout_response(), true);
+                        }
+                        return;
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(error) => {
+                stats.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                deliver(&mut stream, rejection_response(&error), true);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dandelion_http::ParseLimits;
+
+    #[test]
+    fn rejection_responses_carry_stable_codes() {
+        let malformed = rejection_response(&HttpParseError::MalformedStartLine("x".into()));
+        assert_eq!(malformed.status, StatusCode::BAD_REQUEST);
+        assert!(malformed.body_text().contains("\"malformed_request\""));
+        let oversized_head = rejection_response(&HttpParseError::LimitExceeded("head size"));
+        assert_eq!(oversized_head.status.0, 431);
+        assert!(oversized_head.body_text().contains("\"headers_too_large\""));
+        let oversized_body = rejection_response(&HttpParseError::LimitExceeded("body size"));
+        assert_eq!(oversized_body.status.0, 413);
+        assert!(oversized_body.body_text().contains("\"body_too_large\""));
+        assert_eq!(overloaded_response(7).status.0, 503);
+        assert_eq!(timeout_response().status.0, 408);
+    }
+
+    #[test]
+    fn connection_header_negotiation() {
+        let http11 = HttpRequest::get("/x");
+        assert!(!wants_close(&http11));
+        let close = HttpRequest::get("/x").with_header("Connection", "Close");
+        assert!(wants_close(&close));
+        let mut http10 = HttpRequest::get("/x");
+        http10.version = Version::Http10;
+        assert!(wants_close(&http10));
+        let mut http10_keep = HttpRequest::get("/x").with_header("Connection", "keep-alive");
+        http10_keep.version = Version::Http10;
+        assert!(!wants_close(&http10_keep));
+    }
+
+    #[test]
+    fn response_rope_stamps_the_connection_header() {
+        let rope = response_rope(HttpResponse::ok(b"x".to_vec()), true);
+        let text = String::from_utf8(rope.to_vec()).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        let rope = response_rope(HttpResponse::ok(b"x".to_vec()), false);
+        let text = String::from_utf8(rope.to_vec()).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn decoder_limits_flow_into_rejections() {
+        // An oversized declared body maps to 413 through the decoder path.
+        let mut decoder = RequestDecoder::new(ParseLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 16,
+        });
+        decoder.feed(b"POST /x HTTP/1.1\r\nContent-Length: 64\r\n\r\n");
+        let error = decoder.next_request().unwrap_err();
+        assert_eq!(rejection_response(&error).status.0, 413);
+    }
+}

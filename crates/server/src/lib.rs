@@ -1,0 +1,34 @@
+//! `dandelion-server`: real network serving for the Dandelion frontend.
+//!
+//! The frontend ([`dandelion_core::Frontend`]) is transport-agnostic: it
+//! maps [`HttpRequest`](dandelion_http::HttpRequest)s to worker operations.
+//! This crate is the transport — the subsystem the paper's platform puts
+//! between untrusted clients and the dispatcher:
+//!
+//! * a TCP listener with an accept loop feeding a **fixed pool of
+//!   connection-handler threads** (one per core by default),
+//! * **per-connection state machines** that read into pooled buffers,
+//!   parse requests incrementally (partial reads, pipelined keep-alive
+//!   requests, `Connection: close`), and write responses with vectored
+//!   [`Rope`](dandelion_common::Rope) writes so bodies leave the process
+//!   by reference,
+//! * **admission control**: a concurrent-connection cap (`503` past it),
+//!   head/body size limits (`431`/`413`), and a per-connection read
+//!   deadline (`408`) so slow clients cannot pin a handler,
+//! * **graceful shutdown** that stops admitting, closes keep-alive
+//!   connections at their next response boundary and drains in-flight
+//!   invocations before returning.
+//!
+//! The `dandelion-serve` binary wires a demo worker behind a [`Server`];
+//! [`HttpClientConnection`] is the in-repo load generator used by the
+//! `network` benchmark and the integration tests.
+
+mod client;
+mod config;
+mod conn;
+mod server;
+
+pub use client::HttpClientConnection;
+pub use config::ServerConfig;
+pub use conn::{overloaded_response, rejection_response, response_rope, timeout_response};
+pub use server::{Server, ServerStats, ServerStatsSnapshot};

@@ -1,0 +1,269 @@
+//! The TCP listener, handler pool and admission control.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use dandelion_core::Frontend;
+
+use crate::config::ServerConfig;
+use crate::conn::{handle_connection, overloaded_response, response_rope};
+
+/// How often idle handler threads wake to check the stop flag.
+const HANDLER_POLL: Duration = Duration::from_millis(25);
+
+/// Monotonic counters of the serving layer (all relaxed; they feed
+/// dashboards and tests, not control flow).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections admitted to the handler pool.
+    pub accepted: AtomicU64,
+    /// Connections refused by admission control (answered `503`).
+    pub rejected_connections: AtomicU64,
+    /// Requests served (any status).
+    pub requests: AtomicU64,
+    /// Requests rejected by the parser (`400`/`413`/`431`).
+    pub rejected_requests: AtomicU64,
+    /// Connections closed for stalling past the read deadline (`408`).
+    pub timeouts: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections admitted to the handler pool.
+    pub accepted: u64,
+    /// Connections refused by admission control.
+    pub rejected_connections: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests rejected by the parser.
+    pub rejected_requests: u64,
+    /// Read-deadline closes.
+    pub timeouts: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running network server: accept loop plus a fixed pool of
+/// connection-handler threads, all serving one [`Frontend`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use dandelion_core::Frontend;
+/// use dandelion_server::{Server, ServerConfig};
+///
+/// let worker = dandelion_apps::setup::demo_worker(4, false).unwrap();
+/// let frontend = Arc::new(Frontend::new(worker));
+/// let server = Server::start(ServerConfig::default(), frontend).unwrap();
+/// println!("serving on http://{}", server.local_addr());
+/// server.shutdown();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    frontend: Arc<Frontend>,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    handler_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop and handler pool.
+    pub fn start(config: ServerConfig, frontend: Arc<Frontend>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let active = Arc::new(AtomicUsize::new(0));
+        // The channel holds admitted connections awaiting a free handler;
+        // its capacity is the admission limit, so `try_send` never blocks.
+        let (sender, receiver) = bounded::<TcpStream>(config.max_connections.max(1));
+
+        let threads = config.resolved_threads();
+        let mut handler_threads = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let receiver = receiver.clone();
+            let frontend = Arc::clone(&frontend);
+            let config = config.clone();
+            let stats = Arc::clone(&stats);
+            let stopping = Arc::clone(&stopping);
+            let active = Arc::clone(&active);
+            handler_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dandelion-conn-{index}"))
+                    .spawn(move || {
+                        handler_loop(&receiver, &frontend, &config, &stats, &stopping, &active)
+                    })?,
+            );
+        }
+
+        let accept_thread = {
+            let config = config.clone();
+            let stats = Arc::clone(&stats);
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("dandelion-accept".to_string())
+                .spawn(move || accept_loop(listener, sender, &config, &stats, &stopping, &active))?
+        };
+
+        Ok(Server {
+            addr,
+            frontend,
+            config,
+            stats,
+            stopping,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The frontend this server exposes.
+    pub fn frontend(&self) -> &Arc<Frontend> {
+        &self.frontend
+    }
+
+    /// Snapshot of the serving-layer counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Gracefully shuts the server down: stop admitting connections, let
+    /// every handler finish (keep-alive connections close at their next
+    /// response boundary), then wait for in-flight invocations to drain.
+    ///
+    /// Returns `true` when the worker drained within the configured
+    /// timeout. The worker itself is left running — it belongs to the
+    /// caller, which may serve it elsewhere or shut it down.
+    pub fn shutdown(mut self) -> bool {
+        self.stop_and_join();
+        self.frontend.worker().drain(self.config.drain_timeout)
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; it observes
+        // the flag before admitting it. When the bind address is a
+        // wildcard, loop back through localhost.
+        let mut wake_addr = self.addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let woke = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1)).is_ok();
+        if let Some(thread) = self.accept_thread.take() {
+            if woke {
+                let _ = thread.join();
+            }
+            // If the wake-up connect failed (firewalled bind address), the
+            // accept thread is left parked in `accept` rather than hanging
+            // shutdown on a join that can never finish; it exits with the
+            // process. Handlers only depend on the stop flag, so they join
+            // either way.
+        }
+        for thread in self.handler_threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    sender: Sender<TcpStream>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    stopping: &AtomicBool,
+    active: &AtomicUsize,
+) {
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else {
+            // Accept failures (fd exhaustion under flood, transient
+            // resets) must not busy-spin the accept thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Admission control: `active` counts connections queued plus being
+        // served; past the limit the client gets a 503 and a close instead
+        // of unbounded queueing.
+        if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections {
+            active.fetch_sub(1, Ordering::AcqRel);
+            reject(stream, stats, config);
+            continue;
+        }
+        match sender.try_send(stream) {
+            Ok(()) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                active.fetch_sub(1, Ordering::AcqRel);
+                reject(stream, stats, config);
+            }
+        }
+    }
+}
+
+/// Answers a refused connection with `503` before closing it.
+fn reject(mut stream: TcpStream, stats: &ServerStats, config: &ServerConfig) {
+    stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    let rope = response_rope(overloaded_response(config.max_connections), true);
+    let _ = rope.write_to(&mut stream);
+}
+
+fn handler_loop(
+    receiver: &Receiver<TcpStream>,
+    frontend: &Frontend,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    stopping: &AtomicBool,
+    active: &AtomicUsize,
+) {
+    loop {
+        match receiver.recv_timeout(HANDLER_POLL) {
+            Ok(stream) => {
+                // A panic while serving must cost only that connection:
+                // swallow the unwind so the handler thread survives, and
+                // release the admission slot on every path.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, frontend, config, stats, stopping)
+                }));
+                active.fetch_sub(1, Ordering::AcqRel);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stopping.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Socket-level tests of the serving layer: admission control, the read
+//! deadline, malformed-request hardening and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dandelion_core::worker::{default_test_services, WorkerNode};
+use dandelion_core::Frontend;
+use dandelion_http::{HttpRequest, ParseLimits};
+use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+use dandelion_server::{HttpClientConnection, Server, ServerConfig};
+
+fn test_worker() -> Arc<WorkerNode> {
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    let config = WorkerConfig {
+        total_cores: 4,
+        initial_communication_cores: 1,
+        isolation: IsolationKind::Native,
+        ..WorkerConfig::default()
+    };
+    let worker = WorkerNode::start_with_control(config, default_test_services(), false).unwrap();
+    worker
+        .register_function(FunctionArtifact::new(
+            "Echo",
+            &["Out"],
+            |ctx: &mut FunctionCtx| {
+                let data = ctx.single_input("In")?.data.clone();
+                ctx.push_output("Out", dandelion_common::DataItem::new("echo", data))
+            },
+        ))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition EchoComp(Input) => Output { Echo(In = all Input) => (Output = Out); }",
+        )
+        .unwrap();
+    worker
+}
+
+fn start_server(config: ServerConfig) -> (Server, Arc<WorkerNode>) {
+    let worker = test_worker();
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let server = Server::start(config, frontend).expect("server binds");
+    (server, worker)
+}
+
+fn loopback_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        read_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn serves_health_and_sync_invoke_over_a_real_socket() {
+    let (server, worker) = start_server(loopback_config());
+    let mut client =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let health = client.request(&HttpRequest::get("/healthz")).unwrap();
+    assert_eq!(health.status.0, 200);
+    assert_eq!(health.body_text(), "ok");
+    assert_eq!(health.headers.get("connection"), Some("keep-alive"));
+
+    // Same connection, second request: keep-alive works.
+    let invoke = client
+        .request(&HttpRequest::post(
+            "/v1/invoke/EchoComp",
+            b"over the wire".to_vec(),
+        ))
+        .unwrap();
+    assert_eq!(invoke.status.0, 200);
+    assert_eq!(invoke.body_text(), "over the wire");
+    assert_eq!(server.stats().requests, 2);
+    assert!(server.shutdown(), "drains with nothing in flight");
+    worker.shutdown();
+}
+
+#[test]
+fn connection_close_is_honored() {
+    let (server, worker) = start_server(loopback_config());
+    let mut client =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let response = client
+        .request(&HttpRequest::get("/healthz").with_header("Connection", "close"))
+        .unwrap();
+    assert_eq!(response.headers.get("connection"), Some("close"));
+    // The server closed its end: the next receive sees EOF.
+    assert!(client.request(&HttpRequest::get("/healthz")).is_err());
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_a_structured_400_and_a_close() {
+    let (server, worker) = start_server(loopback_config());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"NOT-HTTP garbage\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap(); // EOF proves the close
+    assert!(reply.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+    assert!(reply.contains("\"malformed_request\""));
+    assert!(reply.contains("Connection: close\r\n"));
+    assert_eq!(server.stats().rejected_requests, 1);
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn oversized_heads_and_bodies_get_431_and_413() {
+    let config = ServerConfig {
+        limits: ParseLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 1024,
+        },
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let huge_header = format!(
+        "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "x".repeat(600)
+    );
+    stream.write_all(huge_header.as_bytes()).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 431 "));
+    assert!(reply.contains("\"headers_too_large\""));
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/invoke/EchoComp HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 413 "));
+    assert!(reply.contains("\"body_too_large\""));
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn slow_clients_hit_the_read_deadline_with_a_408() {
+    let (server, worker) = start_server(loopback_config());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Half a request, then a stall longer than the 250 ms deadline.
+    stream.write_all(b"GET /healthz HTT").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 408 "));
+    assert!(reply.contains("\"read_timeout\""));
+    assert_eq!(server.stats().timeouts, 1);
+
+    // An *idle* keep-alive connection is closed silently instead.
+    let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reply = String::new();
+    idle.read_to_string(&mut reply).unwrap();
+    assert!(reply.is_empty(), "idle close carries no response");
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn drip_feeding_bytes_cannot_reset_the_request_deadline() {
+    let (server, worker) = start_server(loopback_config());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send one byte every 50 ms — each read succeeds, but the per-request
+    // deadline (250 ms from the first byte) must still fire.
+    let start = std::time::Instant::now();
+    let writer = {
+        let mut stream = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for byte in b"GET /healthz HTTP/1.1\r\nHost: svc\r\n" {
+                if stream.write_all(&[*byte]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 408 "), "got: {reply}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "the deadline must fire from the first byte, not the last read"
+    );
+    writer.join().unwrap();
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_connections_past_the_limit() {
+    let config = ServerConfig {
+        max_connections: 2,
+        threads: 1,
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    // Two idle keep-alive connections occupy the whole admission budget
+    // (one pinned to the single handler, one queued).
+    let hold_a = TcpStream::connect(server.local_addr()).unwrap();
+    let hold_b = TcpStream::connect(server.local_addr()).unwrap();
+    // Give the accept loop time to admit both before the third arrives.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut rejected = TcpStream::connect(server.local_addr()).unwrap();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reply = String::new();
+    rejected.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 503 "), "got: {reply}");
+    assert!(reply.contains("\"overloaded\""));
+    assert!(reply.contains("\"retryable\":true"));
+    assert_eq!(server.stats().rejected_connections, 1);
+    drop(hold_a);
+    drop(hold_b);
+    server.shutdown();
+    worker.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_invocations() {
+    let worker = test_worker();
+    worker
+        .register_function(FunctionArtifact::new(
+            "Slow",
+            &["Out"],
+            |ctx: &mut FunctionCtx| {
+                std::thread::sleep(Duration::from_millis(300));
+                let data = ctx.single_input("In")?.data.clone();
+                ctx.push_output("Out", dandelion_common::DataItem::new("slow", data))
+            },
+        ))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition SlowComp(Input) => Output { Slow(In = all Input) => (Output = Out); }",
+        )
+        .unwrap();
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let server = Server::start(loopback_config(), frontend).expect("server binds");
+    let addr = server.local_addr();
+
+    let request_thread = std::thread::spawn(move || {
+        let mut client = HttpClientConnection::connect(addr, Duration::from_secs(10)).unwrap();
+        client
+            .request(&HttpRequest::post(
+                "/v1/invoke/SlowComp",
+                b"drain me".to_vec(),
+            ))
+            .unwrap()
+    });
+    // Let the request reach the worker, then shut down while it runs.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(server.shutdown(), "shutdown waits for the invocation");
+    let response = request_thread.join().unwrap();
+    assert_eq!(response.status.0, 200);
+    assert_eq!(response.body_text(), "drain me");
+    // A draining server closes the connection after the response.
+    assert_eq!(response.headers.get("connection"), Some("close"));
+    worker.shutdown();
+}

@@ -446,6 +446,117 @@ fn shared_bytes_split_merge_invariants() {
     }
 }
 
+/// Builds a random but well-formed HTTP request out of the characters the
+/// strict parser accepts.
+fn arbitrary_request(rng: &mut SplitMix64) -> dandelion_http::HttpRequest {
+    use dandelion_http::{HttpRequest, Method};
+    const PATH: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/_-.";
+    const VALUE: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    let method = Method::DEFAULT_WHITELIST[rng.next_bounded(4) as usize];
+    let mut request = HttpRequest::new(method, format!("/{}", random_name(rng, PATH, 24)));
+    for index in 0..rng.next_bounded(5) {
+        request = request.with_header(&format!("X-H{index}"), &random_name(rng, VALUE, 20));
+    }
+    if rng.bernoulli(0.7) {
+        request.body = random_bytes(rng, 300).into();
+    }
+    request
+}
+
+/// The incremental stream decoder is split-invariant: feeding a serialized
+/// request to `RequestDecoder` fragmented at *every* byte boundary (plus
+/// SplitMix64-sampled three-way splits) yields a request byte-identical to
+/// the one-shot `parse_request_shared` path.
+#[test]
+fn incremental_request_parsing_is_split_invariant() {
+    use dandelion_common::SharedBytes;
+    use dandelion_http::{parse_request_shared, ParseLimits, RequestDecoder};
+    for seed in 0..100 {
+        let mut rng = SplitMix64::new(0x11770 ^ seed);
+        let request = arbitrary_request(&mut rng);
+        let wire = request.to_bytes();
+        let reference = parse_request_shared(&SharedBytes::from_vec(wire.clone()))
+            .expect("serialized requests reparse");
+
+        // Every two-fragment split.
+        for cut in 0..=wire.len() {
+            let mut decoder = RequestDecoder::new(ParseLimits::default());
+            decoder.feed(&wire[..cut]);
+            let early = decoder.next_request().expect("no spurious error");
+            if let Some(parsed) = early {
+                assert_eq!(cut, wire.len(), "seed {seed}: early completion at {cut}");
+                assert_eq!(parsed, reference, "seed {seed}");
+                continue;
+            }
+            decoder.feed(&wire[cut..]);
+            let parsed = decoder
+                .next_request()
+                .expect("no error after completion")
+                .expect("request completes once all bytes arrived");
+            assert_eq!(
+                parsed, reference,
+                "seed {seed}: split at byte {cut} diverged"
+            );
+            assert_eq!(decoder.buffered(), 0, "seed {seed}");
+        }
+
+        // Sampled three-fragment splits.
+        for _ in 0..16 {
+            let mut cuts = [
+                rng.next_bounded(wire.len() as u64 + 1) as usize,
+                rng.next_bounded(wire.len() as u64 + 1) as usize,
+            ];
+            cuts.sort_unstable();
+            let mut decoder = RequestDecoder::new(ParseLimits::default());
+            let mut decoded = Vec::new();
+            for fragment in [&wire[..cuts[0]], &wire[cuts[0]..cuts[1]], &wire[cuts[1]..]] {
+                decoder.feed(fragment);
+                while let Some(request) = decoder.next_request().expect("no spurious error") {
+                    decoded.push(request);
+                }
+            }
+            assert_eq!(decoded.len(), 1, "seed {seed}: cuts {cuts:?}");
+            assert_eq!(decoded[0], reference, "seed {seed}: cuts {cuts:?} diverged");
+        }
+    }
+}
+
+/// Pipelined messages survive fragmentation too: several requests
+/// concatenated on one "connection" and split at a SplitMix64-sampled
+/// boundary decode to exactly the per-request one-shot results, in order.
+#[test]
+fn incremental_parsing_preserves_pipelined_request_order() {
+    use dandelion_common::SharedBytes;
+    use dandelion_http::{parse_request_shared, ParseLimits, RequestDecoder};
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x9199e ^ seed);
+        let count = 1 + rng.next_bounded(3) as usize;
+        let requests: Vec<_> = (0..count).map(|_| arbitrary_request(&mut rng)).collect();
+        let references: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                parse_request_shared(&SharedBytes::from_vec(request.to_bytes())).unwrap()
+            })
+            .collect();
+        let wire: Vec<u8> = requests
+            .iter()
+            .flat_map(|request| request.to_bytes())
+            .collect();
+        let cut = rng.next_bounded(wire.len() as u64 + 1) as usize;
+
+        let mut decoder = RequestDecoder::new(ParseLimits::default());
+        let mut decoded = Vec::new();
+        for fragment in [&wire[..cut], &wire[cut..]] {
+            decoder.feed(fragment);
+            while let Some(request) = decoder.next_request().expect("valid pipeline") {
+                decoded.push(request);
+            }
+        }
+        assert_eq!(decoded, references, "seed {seed}: split at {cut}");
+        assert_eq!(decoder.buffered(), 0, "seed {seed}");
+    }
+}
+
 /// Partition-parallel SSB execution is equivalent to single-node execution
 /// for any partition count.
 #[test]
