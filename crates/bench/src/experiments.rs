@@ -1250,11 +1250,16 @@ pub fn small_invocations() -> Report {
 
 /// Repo-only experiment: end-to-end throughput of the real network serving
 /// layer on loopback TCP. A 4-core worker serves a tiny echo composition
-/// through `dandelion-server`; the in-repo load generator drives it with
-/// several client threads issuing synchronous `/v1/invoke` requests. The
-/// *keep-alive* mode reuses one connection per client (the steady state of
-/// a real deployment); the *reconnect* mode opens a fresh TCP connection
-/// per request, paying the handshake and a cold receive buffer each time.
+/// through `dandelion-server` bound with **two epoll event loops**; the
+/// in-repo load generator drives it with client threads issuing synchronous
+/// `/v1/invoke` requests. The *keep-alive* mode reuses one connection per
+/// client (the steady state of a real deployment); the *reconnect* mode
+/// opens a fresh TCP connection per request, paying the handshake and a
+/// cold receive buffer each time; the *high-connection* mode holds 2000
+/// additional idle keep-alive connections open while 64 active clients
+/// issue requests — the headline of the readiness-driven rewrite is that
+/// the mostly-idle thousands cost the two loops almost nothing, where the
+/// old thread-per-connection pool would have refused or thrashed.
 pub fn network() -> Report {
     use dandelion_common::config::{IsolationKind, WorkerConfig};
     use dandelion_core::worker::{default_test_services, WorkerNode};
@@ -1263,10 +1268,18 @@ pub fn network() -> Report {
     use dandelion_isolation::{FunctionArtifact, FunctionCtx};
     use dandelion_server::{HttpClientConnection, Server, ServerConfig};
 
+    const EVENT_LOOPS: usize = 2;
     const CLIENTS: usize = 4;
     const REQUESTS_PER_CLIENT: usize = 1_500;
+    const IDLE_CONNECTIONS: usize = 2_000;
+    const ACTIVE_CLIENTS: usize = 64;
+    const REQUESTS_PER_ACTIVE: usize = 120;
     const PAYLOAD_BYTES: usize = 512;
     const WARMUP_PER_CLIENT: usize = 50;
+
+    // Idle + active sockets exist twice in this process (client and server
+    // end); a conservative `ulimit -n` would fail the scenario spuriously.
+    dandelion_server::sys::raise_nofile_limit(8 * 1024).expect("open-file limit raised");
 
     let worker = WorkerNode::start_with_control(
         WorkerConfig {
@@ -1297,7 +1310,10 @@ pub fn network() -> Report {
     let server = Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            threads: CLIENTS,
+            event_loops: EVENT_LOOPS,
+            max_connections: IDLE_CONNECTIONS + ACTIVE_CLIENTS + 64,
+            // The idle herd must survive the whole measurement.
+            read_timeout: Duration::from_secs(120),
             ..ServerConfig::default()
         },
         Arc::new(Frontend::new(Arc::clone(&worker))),
@@ -1314,20 +1330,20 @@ pub fn network() -> Report {
         assert_eq!(response.body.len(), PAYLOAD_BYTES);
     };
 
-    let run = |keep_alive: bool| -> Duration {
+    let run = |clients: usize, per_client: usize, keep_alive: bool| -> Duration {
         let start = Instant::now();
-        let clients: Vec<_> = (0..CLIENTS)
+        let clients: Vec<_> = (0..clients)
             .map(|_| {
                 std::thread::spawn(move || {
                     let connect =
                         || HttpClientConnection::connect(addr, Duration::from_secs(30)).unwrap();
                     if keep_alive {
                         let mut connection = connect();
-                        for _ in 0..REQUESTS_PER_CLIENT {
+                        for _ in 0..per_client {
                             check(&connection.request(&request()).unwrap());
                         }
                     } else {
-                        for _ in 0..REQUESTS_PER_CLIENT {
+                        for _ in 0..per_client {
                             let mut connection = connect();
                             check(
                                 &connection
@@ -1352,41 +1368,69 @@ pub fn network() -> Report {
             check(&connection.request(&request()).unwrap());
         }
     }
-    let reconnect_elapsed = run(false);
-    let keep_alive_elapsed = run(true);
-    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let reconnect_elapsed = run(CLIENTS, REQUESTS_PER_CLIENT, false);
+    let keep_alive_elapsed = run(CLIENTS, REQUESTS_PER_CLIENT, true);
+
+    // High-connection scenario: park an idle herd, then measure active
+    // throughput on top of it.
+    let idle_herd: Vec<std::net::TcpStream> = (0..IDLE_CONNECTIONS)
+        .map(|index| {
+            std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|error| panic!("idle connection {index} refused: {error}"))
+        })
+        .collect();
+    // Wait until every idle connection is adopted by a loop.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (server.stats().open_connections as usize) < IDLE_CONNECTIONS {
+        assert!(Instant::now() < deadline, "idle herd not adopted in time");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let high_conn_elapsed = run(ACTIVE_CLIENTS, REQUESTS_PER_ACTIVE, true);
+    assert!(
+        server.stats().open_connections as usize >= IDLE_CONNECTIONS,
+        "the idle herd must survive the measurement"
+    );
+    drop(idle_herd);
+
+    let few_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let high_requests = (ACTIVE_CLIENTS * REQUESTS_PER_ACTIVE) as f64;
     let served = server.stats().requests;
     assert!(
-        served as f64 >= 2.0 * total_requests,
+        served as f64 >= 2.0 * few_requests + high_requests,
         "all requests counted"
     );
     server.shutdown();
     worker.shutdown();
 
     let mut report = Report::new(
-        "Network: loopback TCP serving throughput, keep-alive vs reconnect-per-request",
+        "Network: loopback TCP serving throughput on epoll event loops",
         &format!(
-            "{CLIENTS} client threads x {REQUESTS_PER_CLIENT} sync /v1/invoke echoes of \
-             {PAYLOAD_BYTES} B over 127.0.0.1, {CLIENTS} handler threads, 4-core worker, \
-             native isolation"
+            "sync /v1/invoke echoes of {PAYLOAD_BYTES} B over 127.0.0.1, {EVENT_LOOPS} event \
+             loops, 4-core worker, native isolation; few-connection modes: {CLIENTS} clients x \
+             {REQUESTS_PER_CLIENT}; high-connection mode: {IDLE_CONNECTIONS} idle keep-alive \
+             connections held open while {ACTIVE_CLIENTS} clients x {REQUESTS_PER_ACTIVE} drive \
+             load"
         ),
     );
     report.header(&["mode", "wall time [ms]", "throughput [RPS]"]);
-    for (mode, elapsed) in [
-        ("reconnect", reconnect_elapsed),
-        ("keep-alive", keep_alive_elapsed),
+    for (mode, requests, elapsed) in [
+        ("reconnect", few_requests, reconnect_elapsed),
+        ("keep-alive", few_requests, keep_alive_elapsed),
+        ("keep-alive + 2000 idle", high_requests, high_conn_elapsed),
     ] {
         report.row(vec![
             mode.into(),
             format!("{:.1}", elapsed.as_secs_f64() * 1e3),
-            format!("{:.0}", total_requests / elapsed.as_secs_f64().max(1e-9)),
+            format!("{:.0}", requests / elapsed.as_secs_f64().max(1e-9)),
         ]);
     }
     report.note(&format!(
-        "keep-alive is {:.2}x reconnect: persistent connections amortize the TCP \
-         handshake and keep the pooled receive buffers warm; responses leave through \
-         vectored rope writes either way",
-        reconnect_elapsed.as_secs_f64() / keep_alive_elapsed.as_secs_f64().max(1e-9)
+        "keep-alive is {:.2}x reconnect; with {IDLE_CONNECTIONS} idle connections parked on \
+         the same {EVENT_LOOPS} loops, active throughput stays at {:.2}x the few-connection \
+         case — idle keep-alives cost memory, not threads",
+        reconnect_elapsed.as_secs_f64() / keep_alive_elapsed.as_secs_f64().max(1e-9),
+        (high_requests / high_conn_elapsed.as_secs_f64().max(1e-9))
+            / (few_requests / keep_alive_elapsed.as_secs_f64()).max(1e-9)
     ));
     report
 }
@@ -1521,6 +1565,42 @@ mod tests {
             }
         }
         panic!("expected >= {MIN_KEEP_ALIVE_RPS} RPS over loopback keep-alive, got {last}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "loopback RPS is only meaningful with optimizations; \
+                  run with `cargo test --release -p dandelion-bench` (CI does)"
+    )]
+    fn network_throughput_survives_thousands_of_idle_connections() {
+        // The scaling contract of the event-loop rewrite: parking 2000 idle
+        // keep-alive connections must leave active throughput within 2x of
+        // the few-connection case. A thread-per-connection regression fails
+        // this immediately (the idle herd would pin every handler or be
+        // refused outright). One retry absorbs noisy-neighbor runs.
+        let mut last = (0.0, 0.0);
+        for _attempt in 0..2 {
+            let report = network();
+            let rps = |mode: &str| -> f64 {
+                report
+                    .rows
+                    .iter()
+                    .find(|row| row[0] == mode)
+                    .expect("mode row present")[2]
+                    .parse()
+                    .unwrap()
+            };
+            last = (rps("keep-alive + 2000 idle"), rps("keep-alive"));
+            if last.0 * 2.0 >= last.1 {
+                return;
+            }
+        }
+        let (high, few) = last;
+        panic!(
+            "expected the 2000-idle-connection scenario within 2x of the few-connection \
+             RPS, got {high} vs {few}"
+        );
     }
 
     #[test]

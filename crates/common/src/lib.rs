@@ -47,7 +47,7 @@ pub use error::{DandelionError, DandelionResult};
 pub use id::{CompositionId, ContextId, EngineId, FunctionId, InvocationId, NodeId};
 pub use json::JsonValue;
 pub use pool::BufferPool;
-pub use rope::Rope;
+pub use rope::{Rope, RopeWriter};
 
 /// Number of bytes in a kibibyte.
 pub const KIB: usize = 1024;

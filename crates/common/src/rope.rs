@@ -277,6 +277,122 @@ impl Rope {
     }
 }
 
+impl Rope {
+    /// Performs **one** vectored write of the rope's suffix starting at byte
+    /// `offset`, returning how many bytes the writer accepted.
+    ///
+    /// This is the readiness-driven sibling of [`Rope::write_to`]: a
+    /// non-blocking socket accepts however many bytes fit in its send buffer
+    /// and then fails with [`WouldBlock`](io::ErrorKind::WouldBlock); the
+    /// caller remembers the new offset and retries when the socket signals
+    /// writability. The segments themselves are never touched — resuming a
+    /// partial write re-slices the same zero-copy views, so `Arc` identity
+    /// of every payload segment survives any interleaving of partial writes.
+    ///
+    /// Returns `Ok(0)` when `offset` is already at the end of the rope.
+    pub fn write_vectored_at<W: Write>(&self, writer: &mut W, offset: usize) -> io::Result<usize> {
+        const INLINE_SEGMENTS: usize = 8;
+        if offset >= self.len {
+            return Ok(0);
+        }
+        // Build the IoSlice table for the unwritten suffix: skip whole
+        // segments covered by `offset`, trim the first partially written one.
+        let mut skip = offset;
+        let mut inline = [IoSlice::new(&[]); INLINE_SEGMENTS];
+        let mut heap: Vec<IoSlice<'_>> = Vec::new();
+        let mut count = 0usize;
+        for segment in self.iter() {
+            if skip >= segment.len() {
+                skip -= segment.len();
+                continue;
+            }
+            let slice = IoSlice::new(&segment[skip..]);
+            skip = 0;
+            if count < INLINE_SEGMENTS {
+                inline[count] = slice;
+            } else {
+                if heap.is_empty() {
+                    heap.reserve(self.segment_count());
+                    heap.extend_from_slice(&inline[..count]);
+                }
+                heap.push(slice);
+            }
+            count += 1;
+        }
+        let slices: &[IoSlice<'_>] = if heap.is_empty() {
+            &inline[..count]
+        } else {
+            &heap
+        };
+        writer.write_vectored(slices)
+    }
+}
+
+/// A resumable write cursor over a [`Rope`].
+///
+/// Event-loop servers write responses to non-blocking sockets: the kernel
+/// accepts part of the message and the rest must be retried when the socket
+/// becomes writable again. A `RopeWriter` owns the rope and the number of
+/// bytes already delivered; [`RopeWriter::write_some`] pushes the remainder
+/// with vectored writes until the message completes or the writer would
+/// block. The rope's zero-copy segments are carried untouched across
+/// suspensions — a payload attached by reference is still the same
+/// allocation when the final byte leaves.
+#[derive(Debug)]
+pub struct RopeWriter {
+    rope: Rope,
+    written: usize,
+}
+
+impl RopeWriter {
+    /// Wraps a rope in a cursor positioned at its first byte.
+    pub fn new(rope: Rope) -> Self {
+        Self { rope, written: 0 }
+    }
+
+    /// The rope being delivered (segments are never modified by writing).
+    pub fn rope(&self) -> &Rope {
+        &self.rope
+    }
+
+    /// Bytes already accepted by the writer.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Bytes not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.rope.len() - self.written
+    }
+
+    /// Returns `true` once every byte has been delivered.
+    pub fn is_finished(&self) -> bool {
+        self.written >= self.rope.len()
+    }
+
+    /// Writes as much of the remainder as the writer accepts.
+    ///
+    /// Returns `Ok(true)` when the rope is fully delivered and `Ok(false)`
+    /// when the writer signalled [`WouldBlock`](io::ErrorKind::WouldBlock) —
+    /// call again when the destination is writable. `Interrupted` writes are
+    /// retried internally; a writer that accepts zero bytes without an error
+    /// yields [`WriteZero`](io::ErrorKind::WriteZero) like [`Rope::write_to`].
+    pub fn write_some<W: Write>(&mut self, writer: &mut W) -> io::Result<bool> {
+        loop {
+            if self.is_finished() {
+                return Ok(true);
+            }
+            match self.rope.write_vectored_at(writer, self.written) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.written += n,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
 impl From<SharedBytes> for Rope {
     fn from(segment: SharedBytes) -> Self {
         let mut rope = Rope::new();
@@ -420,6 +536,89 @@ mod tests {
         let mut trickle = Trickle(Vec::new());
         rope.write_to(&mut trickle).unwrap();
         assert_eq!(trickle.0, b"hello rope world");
+    }
+
+    /// A writer that accepts at most `quota` bytes per readiness window and
+    /// then reports `WouldBlock` until the next `write_some` call.
+    struct Choppy {
+        out: Vec<u8>,
+        quota: usize,
+        left: usize,
+    }
+
+    impl Choppy {
+        fn new(quota: usize) -> Self {
+            Self {
+                out: Vec::new(),
+                quota,
+                left: quota,
+            }
+        }
+    }
+
+    impl Write for Choppy {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.left == 0 {
+                self.left = self.quota;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let take = buf.len().min(self.left);
+            self.left -= take;
+            self.out.extend_from_slice(&buf[..take]);
+            Ok(take)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_vectored_at_resumes_mid_segment_and_mid_rope() {
+        let rope = sample();
+        let reference = rope.to_vec();
+        for offset in 0..=rope.len() {
+            let mut out = Vec::new();
+            let written = rope.write_vectored_at(&mut out, offset).unwrap();
+            assert!(offset == rope.len() || written > 0);
+            assert_eq!(out, &reference[offset..offset + written]);
+        }
+    }
+
+    #[test]
+    fn rope_writer_resumes_across_would_block_for_every_quota() {
+        let rope = sample();
+        let reference = rope.to_vec();
+        for quota in 1..=reference.len() {
+            let mut writer = RopeWriter::new(rope.clone());
+            let mut choppy = Choppy::new(quota);
+            let mut rounds = 0;
+            while !writer.write_some(&mut choppy).unwrap() {
+                rounds += 1;
+                assert!(rounds < 10_000, "quota {quota} did not make progress");
+            }
+            assert!(writer.is_finished());
+            assert_eq!(writer.remaining(), 0);
+            assert_eq!(choppy.out, reference, "quota {quota} diverged");
+        }
+    }
+
+    #[test]
+    fn rope_writer_keeps_segments_by_reference_across_suspension() {
+        let payload = SharedBytes::from_vec(vec![7u8; 64]);
+        let mut rope = Rope::new();
+        rope.push(SharedBytes::from("head:"));
+        rope.push(payload.clone());
+        let mut writer = RopeWriter::new(rope);
+        let mut choppy = Choppy::new(9);
+        while !writer.write_some(&mut choppy).unwrap() {}
+        // The body segment is still the caller's allocation after delivery
+        // resumed mid-payload — no copy was made to suspend the write.
+        assert!(SharedBytes::same_buffer(
+            writer.rope().last_segment().unwrap(),
+            &payload
+        ));
+        assert_eq!(choppy.out.len(), writer.rope().len());
     }
 
     #[test]

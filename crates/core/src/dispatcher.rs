@@ -197,6 +197,13 @@ impl Default for DispatchMetrics {
     }
 }
 
+/// A one-shot callback fired when an invocation settles, carrying a clone
+/// of the outcome (the retained result stays pollable). Registered through
+/// [`InvocationHandle::on_settle`]; invoked on the dispatcher driver thread
+/// (or the registering thread when the invocation already settled), never
+/// while an entry lock is held — so the callback may use the table freely.
+pub type SettleCallback = Box<dyn FnOnce(DandelionResult<InvocationOutcome>) + Send>;
+
 /// Links a child invocation to the parent instance awaiting it.
 #[derive(Debug, Clone)]
 struct ParentLink {
@@ -215,6 +222,8 @@ struct EntryInner {
     outstanding: usize,
     /// The settled result; `take`n by the first consumer.
     outcome: Option<DandelionResult<InvocationOutcome>>,
+    /// Fired (with a clone of the outcome) when the invocation settles.
+    notify: Option<SettleCallback>,
     parent: Option<ParentLink>,
     started: Instant,
     /// When the invocation last made progress (registered, or an instance
@@ -240,6 +249,7 @@ impl InvocationEntry {
                 report: InvocationReport::default(),
                 outstanding: 0,
                 outcome: None,
+                notify: None,
                 parent,
                 started: Instant::now(),
                 last_progress: Instant::now(),
@@ -362,6 +372,42 @@ impl InvocationHandle {
         self.entry.lock().status
     }
 
+    /// Registers a one-shot callback fired when the invocation settles,
+    /// with a clone of the outcome (the retained result stays pollable by
+    /// id until retention expiry).
+    ///
+    /// This is the asynchronous completion hook of the serving layer: an
+    /// event loop submits an invocation, parks the connection, and the
+    /// callback posts the finished response back to the owning loop —
+    /// no thread ever blocks in [`InvocationHandle::wait`]. The callback
+    /// runs on the dispatcher driver thread (or immediately on the calling
+    /// thread when the invocation has already settled) and is never invoked
+    /// while the entry lock is held, so it may poll or consume the handle.
+    /// Only one callback can be registered per invocation; a later
+    /// registration replaces an unfired earlier one.
+    pub fn on_settle<F>(&self, callback: F)
+    where
+        F: FnOnce(DandelionResult<InvocationOutcome>) + Send + 'static,
+    {
+        let mut callback: Option<SettleCallback> = Some(Box::new(callback));
+        let immediate = {
+            let mut inner = self.entry.lock();
+            if inner.status.is_terminal() {
+                Some(inner.outcome.clone().unwrap_or_else(|| {
+                    Err(DandelionError::Dispatch(
+                        "invocation result was already taken".to_string(),
+                    ))
+                }))
+            } else {
+                inner.notify = callback.take();
+                None
+            }
+        };
+        if let (Some(callback), Some(outcome)) = (callback, immediate) {
+            callback(outcome);
+        }
+    }
+
     /// Takes the result if the invocation has settled; `None` while it is
     /// still queued/running (or if the result was already consumed).
     pub fn try_result(&self) -> Option<DandelionResult<InvocationOutcome>> {
@@ -479,6 +525,13 @@ enum WorkItem {
         parent: ParentLink,
         graph: Arc<CompositionGraph>,
         inputs: Vec<DataSet>,
+    },
+    /// A settle callback to fire now that the owning entry's lock has been
+    /// released (firing under the lock would deadlock callbacks that touch
+    /// the handle or the table).
+    Notify {
+        callback: SettleCallback,
+        outcome: DandelionResult<InvocationOutcome>,
     },
 }
 
@@ -766,6 +819,10 @@ impl DispatcherCore {
                         }),
                     )
                 }
+                WorkItem::Notify { callback, outcome } => {
+                    callback(outcome);
+                    continue;
+                }
                 WorkItem::SpawnChild {
                     parent,
                     graph,
@@ -1005,6 +1062,15 @@ impl DispatcherCore {
         } else {
             InvocationStatus::Failed
         };
+        // The callback is deferred as a work item so it runs after this
+        // entry's lock is released; it gets a clone, the retained result
+        // stays available for polling.
+        if let Some(callback) = inner.notify.take() {
+            out.push(WorkItem::Notify {
+                callback,
+                outcome: result.clone(),
+            });
+        }
         inner.outcome = Some(result);
         inner.dataflow = None;
         entry.settled.notify_all();
@@ -1048,18 +1114,25 @@ impl DispatcherCore {
     /// Fails one invocation with [`DandelionError::Cancelled`]; a no-op if
     /// it already settled.
     fn cancel_entry(&self, entry: &Arc<InvocationEntry>) {
-        let mut inner = entry.lock();
-        if inner.status.is_terminal() {
-            return;
+        let notify = {
+            let mut inner = entry.lock();
+            if inner.status.is_terminal() {
+                return;
+            }
+            if inner.parent.is_none() {
+                self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+            inner.status = InvocationStatus::Failed;
+            inner.outcome = Some(Err(DandelionError::Cancelled));
+            inner.dataflow = None;
+            entry.settled.notify_all();
+            inner.notify.take()
+        };
+        // Fired outside the entry lock, like every settle notification.
+        if let Some(callback) = notify {
+            callback(Err(DandelionError::Cancelled));
         }
-        if inner.parent.is_none() {
-            self.metrics.failures.fetch_add(1, Ordering::Relaxed);
-            self.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
-        }
-        inner.status = InvocationStatus::Failed;
-        inner.outcome = Some(Err(DandelionError::Cancelled));
-        inner.dataflow = None;
-        entry.settled.notify_all();
     }
 }
 
@@ -1594,6 +1667,61 @@ mod tests {
             matches!(&err, DandelionError::Dispatch(message) if message.contains("timed out")),
             "expected the stall reaper's dispatch timeout, got {err:?}"
         );
+    }
+
+    #[test]
+    fn on_settle_fires_with_the_outcome_without_blocking_a_thread() {
+        let harness = harness();
+        let graph = register_copy_identity(&harness.registry);
+        let handle = harness
+            .dispatcher
+            .submit(graph, vec![DataSet::single("In", b"cb".to_vec())])
+            .unwrap();
+        let (sender, receiver) = std::sync::mpsc::channel();
+        handle.on_settle(move |outcome| sender.send(outcome).unwrap());
+        let outcome = receiver
+            .recv_timeout(Duration::from_secs(10))
+            .expect("callback fires")
+            .expect("invocation succeeds");
+        assert_eq!(outcome.outputs[0].items[0].as_str(), Some("cb"));
+        // The callback got a clone: the retained result is still pollable.
+        assert!(harness.dispatcher.poll(handle.id()).is_some());
+        // Registering after settlement fires immediately, on this thread.
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        handle.on_settle(move |outcome| {
+            assert!(outcome.is_ok());
+            flag.store(true, Ordering::SeqCst);
+        });
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn on_settle_reports_cancellation_when_the_dispatcher_stops() {
+        // No engines: the invocation can never complete, so shutdown must
+        // deliver `Cancelled` through the registered callback.
+        let registry = Arc::new(Registry::new());
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&registry),
+            TaskQueue::new(EngineKind::Compute, 1024),
+            TaskQueue::new(EngineKind::Communication, 1024),
+            WorkerConfig {
+                total_cores: 4,
+                initial_communication_cores: 1,
+                ..WorkerConfig::default()
+            },
+        );
+        let graph = register_copy_identity(&registry);
+        let handle = dispatcher
+            .submit(graph, vec![DataSet::single("In", vec![1])])
+            .unwrap();
+        let (sender, receiver) = std::sync::mpsc::channel();
+        handle.on_settle(move |outcome| sender.send(outcome).unwrap());
+        dispatcher.shutdown();
+        let outcome = receiver
+            .recv_timeout(Duration::from_secs(10))
+            .expect("cancellation reaches the callback");
+        assert!(matches!(outcome, Err(DandelionError::Cancelled)));
     }
 
     #[test]

@@ -42,11 +42,12 @@
 
 use std::sync::Arc;
 
-use dandelion_common::{DandelionError, DataSet, InvocationId, JsonValue};
+use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId, JsonValue};
 use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
 use dandelion_isolation::output_parser;
+use parking_lot::RwLock;
 
-use crate::dispatcher::{InvocationOutcome, InvocationSnapshot};
+use crate::dispatcher::{InvocationHandle, InvocationOutcome, InvocationSnapshot};
 use crate::worker::WorkerNode;
 
 /// Content type for binary-encoded set lists.
@@ -96,15 +97,38 @@ impl Route {
     }
 }
 
+/// A named provider of extra key/value pairs merged into the `/v1/stats`
+/// document (e.g. the network server contributing connection gauges).
+pub type StatsSource = Arc<dyn Fn() -> JsonValue + Send + Sync>;
+
+/// The outcome of [`Frontend::begin`]: either the response is already in
+/// hand, or a synchronous invocation is executing and the caller decides how
+/// to wait for it.
+pub enum FrontendReply {
+    /// The response is complete; deliver it.
+    Ready(HttpResponse),
+    /// A `POST /v1/invoke/{name}` is running on the worker. Block on the
+    /// handle (what [`Frontend::handle`] does) or register an
+    /// [`InvocationHandle::on_settle`] callback and encode the outcome with
+    /// [`sync_invoke_response`] — the readiness-driven server's path, which
+    /// parks the connection instead of a thread.
+    Pending(InvocationHandle),
+}
+
 /// The HTTP frontend of a worker node.
 pub struct Frontend {
     worker: Arc<WorkerNode>,
+    /// Extra named objects merged into the `/v1/stats` document.
+    stats_sources: RwLock<Vec<(String, StatsSource)>>,
 }
 
 impl Frontend {
     /// Creates a frontend serving the given worker.
     pub fn new(worker: Arc<WorkerNode>) -> Self {
-        Self { worker }
+        Self {
+            worker,
+            stats_sources: RwLock::new(Vec::new()),
+        }
     }
 
     /// The worker behind this frontend.
@@ -112,24 +136,58 @@ impl Frontend {
         &self.worker
     }
 
-    /// Handles one client request.
+    /// Registers (or replaces) a named stats source whose JSON value is
+    /// merged into the `/v1/stats` document under `name`. The serving layer
+    /// uses this to surface connection gauges next to the worker counters.
+    pub fn add_stats_source(&self, name: &str, source: StatsSource) {
+        let mut sources = self.stats_sources.write();
+        if let Some(slot) = sources.iter_mut().find(|(existing, _)| existing == name) {
+            slot.1 = source;
+        } else {
+            sources.push((name.to_string(), source));
+        }
+    }
+
+    /// Removes a stats source registered under `name` (a stopped server
+    /// must not keep reporting frozen gauges through a frontend that may
+    /// be served elsewhere).
+    pub fn remove_stats_source(&self, name: &str) {
+        self.stats_sources
+            .write()
+            .retain(|(existing, _)| existing != name);
+    }
+
+    /// Handles one client request, blocking until the response is complete
+    /// (synchronous invocations wait for the worker).
     pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        match self.begin(request) {
+            FrontendReply::Ready(response) => response,
+            FrontendReply::Pending(handle) => sync_invoke_response(handle.wait(None)),
+        }
+    }
+
+    /// Handles one client request without ever blocking on the worker.
+    ///
+    /// Every endpoint except the synchronous `POST /v1/invoke/{name}`
+    /// completes immediately; the sync invoke is submitted and returned as
+    /// [`FrontendReply::Pending`] for the caller to await however it wants.
+    pub fn begin(&self, request: &HttpRequest) -> FrontendReply {
         let Some(uri) = Uri::parse(&request.target) else {
-            return error_response(&DandelionError::InvalidRequest(format!(
+            return FrontendReply::Ready(error_response(&DandelionError::InvalidRequest(format!(
                 "unparseable request target `{}`",
                 request.target
-            )));
+            ))));
         };
         if let Some(query) = &uri.query {
-            return error_response(&DandelionError::InvalidRequest(format!(
+            return FrontendReply::Ready(error_response(&DandelionError::InvalidRequest(format!(
                 "query strings are not accepted (got `?{query}`)"
-            )));
+            ))));
         }
         let route = match Route::resolve(request.method, &uri.path) {
             Ok(route) => route,
-            Err(response) => return response,
+            Err(response) => return FrontendReply::Ready(response),
         };
-        match route {
+        FrontendReply::Ready(match route {
             Route::Health => HttpResponse::ok(b"ok".to_vec()),
             Route::ListCompositions => {
                 let names = self.worker.registry().composition_names();
@@ -143,10 +201,10 @@ impl Frontend {
             }
             Route::RegisterComposition => self.register_composition(request),
             Route::Stats => self.stats(),
-            Route::InvokeSync(name) => self.invoke_sync(&name, request),
+            Route::InvokeSync(name) => return self.invoke_sync(&name, request),
             Route::SubmitInvocation(name) => self.submit_invocation(&name, request),
             Route::PollInvocation(id) => self.poll_invocation(&id),
-        }
+        })
     }
 
     fn register_composition(&self, request: &HttpRequest) -> HttpResponse {
@@ -162,33 +220,36 @@ impl Frontend {
 
     fn stats(&self) -> HttpResponse {
         let stats = self.worker.stats();
-        json_response(
-            StatusCode::OK,
-            &JsonValue::object([
-                ("invocations", JsonValue::from(stats.invocations)),
-                ("failures", JsonValue::from(stats.failures)),
-                ("compute_tasks", JsonValue::from(stats.compute_tasks)),
-                (
-                    "communication_tasks",
-                    JsonValue::from(stats.communication_tasks),
-                ),
-                ("compute_cores", JsonValue::from(stats.compute_cores)),
-                (
-                    "communication_cores",
-                    JsonValue::from(stats.communication_cores),
-                ),
-                (
-                    "compute_queue_depth",
-                    JsonValue::from(stats.compute_queue_depth),
-                ),
-                (
-                    "communication_queue_depth",
-                    JsonValue::from(stats.communication_queue_depth),
-                ),
-                ("p50_ms", JsonValue::from(stats.latency.p50_ms())),
-                ("p99_ms", JsonValue::from(stats.latency.p99_ms())),
-            ]),
-        )
+        let mut pairs: Vec<(String, JsonValue)> = vec![
+            ("invocations".into(), JsonValue::from(stats.invocations)),
+            ("failures".into(), JsonValue::from(stats.failures)),
+            ("compute_tasks".into(), JsonValue::from(stats.compute_tasks)),
+            (
+                "communication_tasks".into(),
+                JsonValue::from(stats.communication_tasks),
+            ),
+            ("compute_cores".into(), JsonValue::from(stats.compute_cores)),
+            (
+                "communication_cores".into(),
+                JsonValue::from(stats.communication_cores),
+            ),
+            (
+                "compute_queue_depth".into(),
+                JsonValue::from(stats.compute_queue_depth),
+            ),
+            (
+                "communication_queue_depth".into(),
+                JsonValue::from(stats.communication_queue_depth),
+            ),
+            ("p50_ms".into(), JsonValue::from(stats.latency.p50_ms())),
+            ("p99_ms".into(), JsonValue::from(stats.latency.p99_ms())),
+        ];
+        // Registered sources (e.g. the network server's connection gauges)
+        // ride along in the same document under their registered name.
+        for (name, source) in self.stats_sources.read().iter() {
+            pairs.push((name.clone(), source()));
+        }
+        json_response(StatusCode::OK, &JsonValue::Object(pairs))
     }
 
     /// `POST /v1/invocations/{name}`: submit and return `202 Accepted` with
@@ -230,16 +291,18 @@ impl Frontend {
         }
     }
 
-    /// `POST /v1/invoke/{name}`: the synchronous compatibility path; blocks
-    /// until the composition finishes and returns the output bytes directly.
-    fn invoke_sync(&self, name: &str, request: &HttpRequest) -> HttpResponse {
+    /// `POST /v1/invoke/{name}`: the synchronous compatibility path. The
+    /// invocation is *submitted* here; how to wait is the caller's choice
+    /// (see [`FrontendReply::Pending`]), so an event-loop server never parks
+    /// a thread on it.
+    fn invoke_sync(&self, name: &str, request: &HttpRequest) -> FrontendReply {
         let inputs = match self.decode_inputs(name, request) {
             Ok(inputs) => inputs,
-            Err(response) => return response,
+            Err(response) => return FrontendReply::Ready(response),
         };
-        match self.worker.invoke(name, inputs) {
-            Ok(outcome) => encode_outputs_response(&outcome.outputs),
-            Err(err) => error_response(&err),
+        match self.worker.submit(name, inputs) {
+            Ok(handle) => FrontendReply::Pending(handle),
+            Err(err) => FrontendReply::Ready(error_response(&err)),
         }
     }
 
@@ -376,6 +439,16 @@ fn snapshot_json(snapshot: &InvocationSnapshot) -> JsonValue {
         None => {}
     }
     JsonValue::Object(pairs)
+}
+
+/// Encodes a settled synchronous invocation as its HTTP response — the
+/// shared tail of the blocking [`Frontend::handle`] path and the event-loop
+/// completion callback.
+pub fn sync_invoke_response(outcome: DandelionResult<InvocationOutcome>) -> HttpResponse {
+    match outcome {
+        Ok(outcome) => encode_outputs_response(&outcome.outputs),
+        Err(err) => error_response(&err),
+    }
 }
 
 /// Encodes a set list as the synchronous invoke response: a single item of a

@@ -44,6 +44,6 @@ pub use dispatcher::{
     DispatchMetrics, Dispatcher, InvocationHandle, InvocationOutcome, InvocationSnapshot,
     InvocationStatus,
 };
-pub use frontend::Frontend;
+pub use frontend::{sync_invoke_response, Frontend, FrontendReply, StatsSource};
 pub use registry::{CommunicationKind, Registry, Vertex};
 pub use worker::{WorkerNode, WorkerStats};

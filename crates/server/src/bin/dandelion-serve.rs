@@ -1,9 +1,10 @@
 //! Serves the demo worker over TCP.
 //!
 //! ```text
-//! dandelion-serve [--addr 127.0.0.1:8080] [--cores N] [--threads N]
+//! dandelion-serve [--addr 127.0.0.1:8080] [--cores N] [--event-loops N]
 //!                 [--max-connections N] [--max-head-bytes N]
 //!                 [--max-body-bytes N] [--read-timeout-ms N]
+//!                 [--rate-limit RPS] [--rate-burst N]
 //! ```
 //!
 //! The worker comes up with every demo application registered (matmul,
@@ -11,12 +12,16 @@
 //! queries) and the simulated service environment, so the v1 endpoints are
 //! immediately invocable with `curl` — see the README's "Serving over the
 //! network" section for examples.
+//!
+//! Flag combinations are validated up front (a clear message and exit code
+//! `2`, never a panic), and the *actually bound* address is reported on
+//! startup — `--addr 127.0.0.1:0` picks an ephemeral port and prints it.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use dandelion_core::Frontend;
-use dandelion_server::{Server, ServerConfig};
+use dandelion_server::{RateLimit, Server, ServerConfig};
 
 struct Options {
     config: ServerConfig,
@@ -25,20 +30,31 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dandelion-serve [--addr HOST:PORT] [--cores N] [--threads N] \
+        "usage: dandelion-serve [--addr HOST:PORT] [--cores N] [--event-loops N] \
          [--max-connections N] [--max-head-bytes N] [--max-body-bytes N] \
-         [--read-timeout-ms N]"
+         [--read-timeout-ms N] [--rate-limit RPS] [--rate-burst N]"
     );
+    exit(2);
+}
+
+fn invalid(message: &str) -> ! {
+    eprintln!("invalid options: {message}");
     exit(2);
 }
 
 fn parse_options() -> Options {
     let mut options = Options {
         config: ServerConfig::default(),
+        // The worker needs one compute plus one communication core, so the
+        // default is floored at 2 even on single-core machines.
         cores: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4),
+            .unwrap_or(4)
+            .max(2),
     };
+    let mut rate_limit: Option<u32> = None;
+    let mut rate_burst: Option<u32> = None;
+    let mut event_loops_flag = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
@@ -54,15 +70,46 @@ fn parse_options() -> Options {
         match flag.as_str() {
             "--addr" => options.config.addr = value.clone(),
             "--cores" => options.cores = numeric(),
-            "--threads" => options.config.threads = numeric(),
+            "--event-loops" => {
+                options.config.event_loops = numeric();
+                event_loops_flag = true;
+            }
             "--max-connections" => options.config.max_connections = numeric(),
             "--max-head-bytes" => options.config.limits.max_head_bytes = numeric(),
             "--max-body-bytes" => options.config.limits.max_body_bytes = numeric(),
             "--read-timeout-ms" => {
                 options.config.read_timeout = std::time::Duration::from_millis(numeric() as u64)
             }
+            "--rate-limit" => rate_limit = Some(numeric() as u32),
+            "--rate-burst" => rate_burst = Some(numeric() as u32),
             _ => usage(),
         }
+    }
+    // Flag-combination validation, before any resource is created.
+    if options.cores < 2 {
+        invalid("--cores must be >= 2 (one compute core plus one communication core)");
+    }
+    match (rate_limit, rate_burst) {
+        (Some(rps), burst) => {
+            if rps == 0 {
+                invalid("--rate-limit must be >= 1 request/second");
+            }
+            // Default burst: double the sustained rate.
+            options.config.rate_limit = Some(RateLimit {
+                requests_per_sec: rps,
+                burst: burst.unwrap_or(rps.saturating_mul(2)).max(1),
+            });
+        }
+        (None, Some(_)) => invalid("--rate-burst requires --rate-limit"),
+        (None, None) => {}
+    }
+    // `0` means "auto" in the config but is almost certainly a mistake on
+    // the command line; the explicit flag must name a real count.
+    if event_loops_flag && options.config.event_loops == 0 {
+        invalid("--event-loops must be >= 1");
+    }
+    if let Err(problem) = options.config.validate() {
+        invalid(&problem);
     }
     options
 }
@@ -77,6 +124,7 @@ fn main() {
         }
     };
     let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let event_loops = options.config.resolved_event_loops();
     let server = match Server::start(options.config, frontend) {
         Ok(server) => server,
         Err(error) => {
@@ -84,13 +132,18 @@ fn main() {
             exit(1);
         }
     };
+    // The *bound* address: with `--addr host:0` this carries the ephemeral
+    // port the kernel picked.
     println!(
         "dandelion-serve listening on http://{}",
         server.local_addr()
     );
-    println!("  {} cores, {} registered compositions", options.cores, {
+    println!(
+        "  {} cores, {} event loops, {} registered compositions",
+        options.cores,
+        event_loops,
         worker.registry().composition_names().len()
-    });
+    );
     println!("  try: curl http://{}/healthz", server.local_addr());
     // Serve until the process is killed; the server's threads do the work.
     loop {

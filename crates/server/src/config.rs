@@ -5,56 +5,107 @@ use std::time::Duration;
 use dandelion_common::KIB;
 use dandelion_http::ParseLimits;
 
+use crate::rate::RateLimit;
+
 /// Tunables of the TCP serving layer.
 ///
 /// The defaults serve loopback benchmarks and tests well; a deployment
-/// mostly adjusts `addr`, `threads` and the admission limits.
+/// mostly adjusts `addr`, `event_loops` and the admission limits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Address to bind (`host:port`; port `0` picks an ephemeral port).
     pub addr: String,
-    /// Connection-handler threads; `0` means one per available core.
-    pub threads: usize,
-    /// Admission control: connections accepted concurrently (queued +
-    /// being served). Further clients get `503` and an immediate close.
+    /// Event-loop threads multiplexing all connections; `0` resolves to a
+    /// core-derived default. Connections are distributed round-robin, and a
+    /// connection consumes memory only — never a thread — so a small pool
+    /// serves thousands of mostly-idle keep-alive clients.
+    pub event_loops: usize,
+    /// Admission control: connections held open concurrently. Further
+    /// clients get `503` and an immediate close.
     pub max_connections: usize,
     /// Per-request head/body size limits (oversized requests are rejected
     /// with `431`/`413` before they are buffered in full).
     pub limits: ParseLimits,
-    /// Read deadline per socket read. A client that stalls mid-request
-    /// longer than this gets `408` and the connection is closed, so slow
-    /// clients cannot pin a handler; an idle keep-alive connection is
-    /// closed silently.
+    /// Deadline for a request to finish arriving once its first byte is in,
+    /// and for an idle keep-alive connection to show a next request. A
+    /// mid-request stall past it gets `408` and a close; an idle connection
+    /// is closed silently (counted in `idle_closed`).
     pub read_timeout: Duration,
-    /// How long shutdown waits for in-flight invocations to settle.
+    /// How long shutdown waits for in-flight invocations to settle — and
+    /// the hard ceiling on how long a draining event loop keeps unfinished
+    /// connections open.
     pub drain_timeout: Duration,
     /// Bytes requested from the kernel per socket read.
     pub read_chunk_bytes: usize,
+    /// Per-client-IP token-bucket rate limit applied before request
+    /// dispatch; `None` disables it. Over-limit requests are answered with
+    /// `429` and the stable `rate_limited` code, the connection stays open.
+    pub rate_limit: Option<RateLimit>,
+    /// Responses a connection may have queued or in flight before the
+    /// server stops reading further pipelined requests from it (read
+    /// interest resumes as the backlog drains).
+    pub max_pipelined: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:8080".to_string(),
-            threads: 0,
-            max_connections: 256,
+            event_loops: 0,
+            max_connections: 4096,
             limits: ParseLimits::default(),
             read_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(30),
             read_chunk_bytes: 64 * KIB,
+            rate_limit: None,
+            max_pipelined: 64,
         }
     }
 }
 
 impl ServerConfig {
-    /// The handler-thread count after resolving the `0` = per-core default.
-    pub fn resolved_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
+    /// The event-loop count after resolving the `0` = core-derived default:
+    /// one loop per available core, capped at 8 — readiness-driven loops
+    /// are I/O bound, so a handful multiplexes tens of thousands of
+    /// connections and the worker's engines get the remaining cores.
+    pub fn resolved_event_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            return self.event_loops;
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
+            .min(8)
+    }
+
+    /// Validates the configuration, returning a human-readable description
+    /// of the first problem. [`Server::start`](crate::Server::start) calls
+    /// this so misconfiguration is a clear error, not a panic or a hang.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_connections == 0 {
+            return Err("max_connections must be >= 1".to_string());
+        }
+        if self.read_chunk_bytes == 0 {
+            return Err("read_chunk_bytes must be >= 1".to_string());
+        }
+        if self.max_pipelined == 0 {
+            return Err("max_pipelined must be >= 1".to_string());
+        }
+        if self.limits.max_head_bytes < 16 {
+            return Err("limits.max_head_bytes must be >= 16 (a minimal request line)".to_string());
+        }
+        if self.read_timeout.is_zero() {
+            return Err("read_timeout must be non-zero".to_string());
+        }
+        if let Some(rate) = &self.rate_limit {
+            if rate.requests_per_sec == 0 {
+                return Err("rate_limit.requests_per_sec must be >= 1".to_string());
+            }
+            if rate.burst == 0 {
+                return Err("rate_limit.burst must be >= 1".to_string());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -63,13 +114,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_resolve_threads_from_the_machine() {
+    fn defaults_resolve_event_loops_from_the_machine() {
         let config = ServerConfig::default();
-        assert!(config.resolved_threads() >= 1);
+        assert!((1..=8).contains(&config.resolved_event_loops()));
         let fixed = ServerConfig {
-            threads: 3,
+            event_loops: 3,
             ..ServerConfig::default()
         };
-        assert_eq!(fixed.resolved_threads(), 3);
+        assert_eq!(fixed.resolved_event_loops(), 3);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_settings() {
+        assert!(ServerConfig::default().validate().is_ok());
+        let no_conns = ServerConfig {
+            max_connections: 0,
+            ..ServerConfig::default()
+        };
+        assert!(no_conns.validate().unwrap_err().contains("max_connections"));
+        let zero_rate = ServerConfig {
+            rate_limit: Some(RateLimit {
+                requests_per_sec: 0,
+                burst: 8,
+            }),
+            ..ServerConfig::default()
+        };
+        assert!(zero_rate.validate().unwrap_err().contains("rate_limit"));
+        let zero_chunk = ServerConfig {
+            read_chunk_bytes: 0,
+            ..ServerConfig::default()
+        };
+        assert!(zero_chunk.validate().is_err());
     }
 }

@@ -1,38 +1,50 @@
 //! The per-connection state machine.
 //!
-//! One handler thread drives one connection at a time: it reads into the
-//! connection's [`RequestDecoder`] (pooled receive buffers, zero-copy
-//! bodies), serves every complete request through the frontend, and writes
-//! each response with a vectored [`Rope::write_to`] — so a function's output
-//! buffer travels from context export to the socket by reference.
+//! A connection no longer owns a thread: it is a small state machine inside
+//! an event loop's slab, advanced whenever its socket signals readiness or
+//! a completion message arrives for it. The machine reads into its
+//! [`RequestDecoder`] (pooled receive buffers, zero-copy bodies), dispatches
+//! every complete request through [`Frontend::begin`], and delivers each
+//! response through a resumable [`RopeWriter`] — so a function's output
+//! buffer still travels from context export to the socket by reference,
+//! even when the kernel accepts the response in pieces.
 //!
 //! Protocol behaviour:
 //!
 //! * **Keep-alive and pipelining.** HTTP/1.1 connections persist by
-//!   default; all requests already buffered are served in order before the
-//!   next read. `Connection: close` (or HTTP/1.0 without
-//!   `Connection: keep-alive`) closes after the response.
+//!   default; pipelined requests are dispatched in arrival order and their
+//!   responses delivered in that same order, with synchronous invocations
+//!   parking a *response slot* (not a thread) until the worker settles
+//!   them. Reads pause once `max_pipelined` responses are queued and
+//!   resume as the backlog drains. `Connection: close` (or HTTP/1.0
+//!   without `Connection: keep-alive`) closes after the response.
 //! * **Malformed requests** are answered with a structured JSON error body
 //!   (stable `code`: `malformed_request`, `headers_too_large` for `431`,
 //!   `body_too_large` for `413`) and the connection is closed — never a
 //!   silent drop.
-//! * **Slow clients** hit the per-connection read deadline: a stall
+//! * **Rate-limited clients** (token bucket per peer IP) get `429` with the
+//!   stable `rate_limited` code; the connection stays open.
+//! * **Slow clients** hit the per-request read deadline: a stall
 //!   mid-request is answered with `408` and closed; an idle keep-alive
-//!   connection is closed silently.
+//!   connection is closed silently and counted in `idle_closed`.
 
-use std::io::Write;
-use std::net::TcpStream;
+use std::collections::VecDeque;
+use std::net::{IpAddr, TcpStream};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
-use dandelion_common::{JsonValue, Rope};
-use dandelion_core::Frontend;
+use dandelion_common::{JsonValue, Rope, RopeWriter};
+use dandelion_core::{sync_invoke_response, FrontendReply};
 use dandelion_http::{
     rejection_code, rejection_status, HttpParseError, HttpRequest, HttpResponse, RequestDecoder,
     StatusCode, Version,
 };
 
-use crate::config::ServerConfig;
-use crate::server::ServerStats;
+use crate::event_loop::{LoopMsg, LoopShared};
+use crate::rate::RateLimit;
+use crate::server::Shared;
+use crate::sys::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Builds the JSON error body shared by every connection-level rejection.
 fn error_body(code: &str, message: &str, retryable: bool) -> HttpResponse {
@@ -79,6 +91,20 @@ pub fn timeout_response() -> HttpResponse {
     response
 }
 
+/// The `429` answer for a client over its per-IP token bucket.
+pub fn rate_limited_response(limit: RateLimit) -> HttpResponse {
+    let mut response = error_body(
+        "rate_limited",
+        &format!(
+            "client exceeded {} requests/second (burst {})",
+            limit.requests_per_sec, limit.burst
+        ),
+        true,
+    );
+    response.status = StatusCode::TOO_MANY_REQUESTS;
+    response
+}
+
 /// Finalizes a response for delivery: stamps the `Connection` header and
 /// serializes to a [`Rope`] so the body leaves by reference (the zero-copy
 /// invariant the integration tests assert by `Arc` identity).
@@ -100,99 +126,353 @@ fn wants_close(request: &HttpRequest) -> bool {
     }
 }
 
-/// Classifies a read error as the deadline firing (distinct from a hard
-/// socket error); both `WouldBlock` and `TimedOut` appear depending on the
-/// platform.
-fn is_timeout(error: &std::io::Error) -> bool {
-    matches!(
-        error.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
+/// One queued response, in pipeline order.
+enum Slot {
+    /// The response is in hand, waiting its turn on the wire.
+    Ready { response: HttpResponse, close: bool },
+    /// A synchronous invocation is running on the worker; its completion
+    /// callback fills this slot via a [`LoopMsg::Complete`].
+    Waiting { close: bool },
 }
 
-/// Writes a response; delivery failures just close the connection (the
-/// peer is gone — there is nobody to report to).
-fn deliver(stream: &mut TcpStream, response: HttpResponse, close: bool) -> bool {
-    let rope = response_rope(response, close);
-    rope.write_to(stream).and_then(|()| stream.flush()).is_ok()
+/// What [`Conn::pump`] and friends tell the event loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Keep the connection; re-arm interest from [`Conn::desired_interest`].
+    Keep,
+    /// Close and release the connection now.
+    Close,
 }
 
-/// Serves one connection until it closes, errors, or the server drains.
-pub(crate) fn handle_connection(
-    mut stream: TcpStream,
-    frontend: &Frontend,
-    config: &ServerConfig,
-    stats: &ServerStats,
-    stopping: &std::sync::atomic::AtomicBool,
-) {
-    if stream.set_nodelay(true).is_err() {
-        return;
+/// The state of one multiplexed connection.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    peer: IpAddr,
+    /// The slab token completions use to find this connection again.
+    token: u64,
+    decoder: RequestDecoder,
+    /// The response currently (partially) on the wire.
+    writer: Option<RopeWriter>,
+    /// Whether the in-flight response closes the connection once delivered.
+    close_after_write: bool,
+    /// Responses queued behind the writer, in request order.
+    slots: VecDeque<Slot>,
+    /// Sequence number of `slots.front()`.
+    front_seq: u64,
+    /// Sequence number the next dispatched request will get.
+    next_seq: u64,
+    /// No further requests are read or parsed (close requested, parse
+    /// error, deadline fired, or server draining past this connection).
+    stop_reading: bool,
+    /// Readiness interest currently registered with the epoll.
+    interest: u32,
+    /// Deadline for the partially received request to finish arriving;
+    /// armed when its first byte lands, disarmed when it completes.
+    request_deadline: Option<Instant>,
+    /// When an idle keep-alive connection (nothing buffered, nothing
+    /// queued) is closed silently.
+    idle_deadline: Instant,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, peer: IpAddr, token: u64, shared: &Shared) -> Conn {
+        Conn {
+            stream,
+            peer,
+            token,
+            decoder: RequestDecoder::new(shared.config.limits),
+            writer: None,
+            close_after_write: false,
+            slots: VecDeque::new(),
+            front_seq: 0,
+            next_seq: 0,
+            stop_reading: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+            request_deadline: None,
+            idle_deadline: Instant::now() + shared.config.read_timeout,
+        }
     }
-    let mut decoder = RequestDecoder::new(config.limits);
-    // The read deadline is per *request*, not per read: it starts when the
-    // first byte of a request arrives, so a client dripping one byte per
-    // read cannot reset it and pin the handler forever.
-    let mut request_deadline: Option<std::time::Instant> = None;
-    loop {
-        match decoder.next_request() {
-            Ok(Some(request)) => {
-                request_deadline = None;
-                let response = frontend.handle(&request);
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                // A draining server closes keep-alive connections at the
-                // next response boundary instead of mid-exchange.
-                let close = wants_close(&request) || stopping.load(Ordering::Acquire);
-                if !deliver(&mut stream, response, close) || close {
-                    return;
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// The readiness mask this connection currently needs: readable while
+    /// it accepts new requests (and the pipeline backlog has room),
+    /// writable while a response is partially delivered.
+    pub(crate) fn desired_interest(&self, shared: &Shared) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if !self.stop_reading && self.slots.len() < shared.config.max_pipelined {
+            mask |= EPOLLIN;
+        }
+        if self.writer.is_some() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// The interest mask registered with the epoll (updated by the loop).
+    pub(crate) fn registered_interest(&self) -> u32 {
+        self.interest
+    }
+
+    pub(crate) fn set_registered_interest(&mut self, mask: u32) {
+        self.interest = mask;
+    }
+
+    /// Nothing buffered, queued or in flight: safe to close silently.
+    fn is_idle(&self) -> bool {
+        self.writer.is_none() && self.slots.is_empty() && self.decoder.buffered() == 0
+    }
+
+    /// Advances the connection as far as readiness allows: parses buffered
+    /// requests, reads while `readable` and the socket has bytes,
+    /// dispatches through the frontend, and flushes queued responses.
+    pub(crate) fn pump(
+        &mut self,
+        shared: &Shared,
+        me: &Arc<LoopShared>,
+        mut readable: bool,
+    ) -> Verdict {
+        let stopping = shared.stopping.load(Ordering::Acquire);
+        loop {
+            let mut progressed = false;
+            // Parse whatever is already buffered, bounded by the backlog.
+            while !self.stop_reading && self.slots.len() < shared.config.max_pipelined {
+                match self.decoder.next_request() {
+                    Ok(Some(request)) => {
+                        self.dispatch(request, shared, me);
+                        progressed = true;
+                    }
+                    Ok(None) => break,
+                    Err(error) => {
+                        shared
+                            .stats
+                            .rejected_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.enqueue(rejection_response(&error), true);
+                        progressed = true;
+                        break;
+                    }
                 }
             }
-            Ok(None) => {
-                if stopping.load(Ordering::Acquire) && decoder.buffered() == 0 {
-                    return;
-                }
-                let now = std::time::Instant::now();
-                let deadline = if decoder.buffered() == 0 {
-                    // Between requests the clock restarts; the deadline is
-                    // pinned once the next request starts arriving.
-                    request_deadline = None;
-                    now + config.read_timeout
-                } else {
-                    *request_deadline.get_or_insert(now + config.read_timeout)
-                };
-                let remaining = deadline.saturating_duration_since(now);
-                if remaining.is_zero() {
-                    if decoder.buffered() > 0 {
-                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                        deliver(&mut stream, timeout_response(), true);
+            // Pull more bytes while the kernel has them for us.
+            if readable && !self.stop_reading && self.slots.len() < shared.config.max_pipelined {
+                match self
+                    .decoder
+                    .read_from(&mut self.stream, shared.config.read_chunk_bytes)
+                {
+                    // Peer finished sending (close or half-close). Requests
+                    // already received are still owed their responses — a
+                    // "send, shutdown(WR), read replies" client must get
+                    // them — so stop reading and let flush drain the queue;
+                    // the final flush closes the connection.
+                    Ok(0) => {
+                        self.stop_reading = true;
+                        readable = false;
+                        continue;
                     }
-                    return;
-                }
-                if stream.set_read_timeout(Some(remaining)).is_err() {
-                    return;
-                }
-                match decoder.read_from(&mut stream, config.read_chunk_bytes) {
-                    // Peer closed the connection.
-                    Ok(0) => return,
-                    Ok(_) => {}
-                    Err(error) if is_timeout(&error) => {
-                        if decoder.buffered() > 0 {
-                            // Mid-request stall: tell the client before
-                            // closing so it is never a silent drop.
-                            stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                            deliver(&mut stream, timeout_response(), true);
-                        }
-                        return;
+                    Ok(_) => {
+                        continue;
                     }
-                    Err(_) => return,
+                    Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                        readable = false;
+                    }
+                    Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Verdict::Close,
                 }
             }
-            Err(error) => {
-                stats.rejected_requests.fetch_add(1, Ordering::Relaxed);
-                deliver(&mut stream, rejection_response(&error), true);
+            match self.flush(stopping) {
+                Flush::Close => return Verdict::Close,
+                Flush::Progress => progressed = true,
+                Flush::Blocked => {}
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Deadline bookkeeping: a partial request pins its deadline at the
+        // first byte (a drip-feeding client cannot reset it); an empty
+        // buffer restarts the idle clock. Bytes left unparsed because the
+        // pipeline backlog is full are server-side backpressure, not a
+        // client stall, so they must not arm (or sustain) the deadline.
+        if self.slots.len() >= shared.config.max_pipelined {
+            self.request_deadline = None;
+        } else if self.decoder.buffered() > 0 {
+            if self.request_deadline.is_none() {
+                self.request_deadline = Some(Instant::now() + shared.config.read_timeout);
+            }
+        } else {
+            self.request_deadline = None;
+            self.idle_deadline = Instant::now() + shared.config.read_timeout;
+        }
+        if stopping && self.is_idle() {
+            return Verdict::Close;
+        }
+        Verdict::Keep
+    }
+
+    /// Routes one parsed request: rate limit first, then the frontend.
+    /// Synchronous invocations park a `Waiting` slot and hand their
+    /// completion callback the loop's inbox.
+    fn dispatch(&mut self, request: HttpRequest, shared: &Shared, me: &Arc<LoopShared>) {
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let close = wants_close(&request);
+        if close {
+            // Pipelined successors after an explicit close are ignored.
+            self.stop_reading = true;
+        }
+        if let Some(limiter) = &shared.limiter {
+            if !limiter.admit(self.peer) {
+                shared.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(rate_limited_response(limiter.limit()), close);
                 return;
             }
         }
+        match shared.frontend.begin(&request) {
+            FrontendReply::Ready(response) => self.enqueue(response, close),
+            FrontendReply::Pending(handle) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.slots.push_back(Slot::Waiting { close });
+                let me = Arc::clone(me);
+                let token = self.token;
+                // Runs on the dispatcher driver thread when the worker
+                // settles the invocation: encode there (cheap, zero-copy
+                // for single outputs) and wake the owning event loop.
+                handle.on_settle(move |outcome| {
+                    me.post(LoopMsg::Complete {
+                        token,
+                        seq,
+                        response: sync_invoke_response(outcome),
+                    });
+                });
+            }
+        }
     }
+
+    /// Queues a response that is already in hand.
+    fn enqueue(&mut self, response: HttpResponse, close: bool) {
+        self.next_seq += 1;
+        self.slots.push_back(Slot::Ready { response, close });
+        if close {
+            self.stop_reading = true;
+        }
+    }
+
+    /// Fills the `Waiting` slot `seq` with its settled response. Out-of-
+    /// window sequences (a slot discarded by a close that raced the
+    /// completion) are dropped silently.
+    pub(crate) fn complete(&mut self, seq: u64, response: HttpResponse) {
+        let Some(offset) = seq.checked_sub(self.front_seq) else {
+            return;
+        };
+        if let Some(slot) = self.slots.get_mut(offset as usize) {
+            if let Slot::Waiting { close } = *slot {
+                *slot = Slot::Ready { response, close };
+            }
+        }
+    }
+
+    /// The mid-request read deadline fired: answer `408` and close (after
+    /// any queued responses drain). Returns `Close` when there is nothing
+    /// to flush at all.
+    pub(crate) fn fire_request_timeout(&mut self, shared: &Shared) -> Verdict {
+        shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.request_deadline = None;
+        self.stop_reading = true;
+        self.enqueue(timeout_response(), true);
+        let stopping = shared.stopping.load(Ordering::Acquire);
+        match self.flush(stopping) {
+            Flush::Close => Verdict::Close,
+            _ => Verdict::Keep,
+        }
+    }
+
+    /// Whether a deadline has passed, and which one.
+    pub(crate) fn due(&self, now: Instant) -> Option<Due> {
+        if let Some(deadline) = self.request_deadline {
+            if now >= deadline && !self.stop_reading {
+                return Some(Due::RequestStalled);
+            }
+        }
+        if self.is_idle() && !self.stop_reading && now >= self.idle_deadline {
+            return Some(Due::Idle);
+        }
+        None
+    }
+
+    /// Pushes queued responses onto the wire until everything ready is
+    /// delivered or the socket refuses more bytes.
+    fn flush(&mut self, stopping: bool) -> Flush {
+        let mut progressed = false;
+        loop {
+            if let Some(writer) = &mut self.writer {
+                match writer.write_some(&mut self.stream) {
+                    Ok(true) => {
+                        self.writer = None;
+                        progressed = true;
+                        if self.close_after_write {
+                            return Flush::Close;
+                        }
+                    }
+                    Ok(false) => return Flush::Blocked,
+                    Err(_) => return Flush::Close,
+                }
+                continue;
+            }
+            match self.slots.front() {
+                Some(Slot::Ready { .. }) => {
+                    let Some(Slot::Ready { response, close }) = self.slots.pop_front() else {
+                        unreachable!("front was just matched as Ready");
+                    };
+                    self.front_seq += 1;
+                    // A draining server closes keep-alives at the response
+                    // boundary instead of mid-exchange.
+                    let close = close || stopping;
+                    if close {
+                        self.stop_reading = true;
+                        self.close_after_write = true;
+                    }
+                    self.writer = Some(RopeWriter::new(response_rope(response, close)));
+                    progressed = true;
+                }
+                Some(Slot::Waiting { .. }) => break,
+                None => {
+                    if self.stop_reading {
+                        // Everything owed is delivered and no more requests
+                        // will be accepted.
+                        return Flush::Close;
+                    }
+                    break;
+                }
+            }
+        }
+        if progressed {
+            Flush::Progress
+        } else {
+            Flush::Blocked
+        }
+    }
+}
+
+/// Which per-connection deadline fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Due {
+    /// A request's first byte arrived but the rest did not in time: `408`.
+    RequestStalled,
+    /// An idle keep-alive connection outlived the idle window: silent close.
+    Idle,
+}
+
+enum Flush {
+    /// Something was written or popped; the caller should loop.
+    Progress,
+    /// Nothing more can happen until readiness or a completion.
+    Blocked,
+    /// The connection is done (close requested and delivered, or a write
+    /// error).
+    Close,
 }
 
 #[cfg(test)]
@@ -213,6 +493,13 @@ mod tests {
         assert!(oversized_body.body_text().contains("\"body_too_large\""));
         assert_eq!(overloaded_response(7).status.0, 503);
         assert_eq!(timeout_response().status.0, 408);
+        let limited = rate_limited_response(RateLimit {
+            requests_per_sec: 5,
+            burst: 10,
+        });
+        assert_eq!(limited.status.0, 429);
+        assert!(limited.body_text().contains("\"rate_limited\""));
+        assert!(limited.body_text().contains("\"retryable\":true"));
     }
 
     #[test]

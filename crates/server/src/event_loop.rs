@@ -1,0 +1,437 @@
+//! The epoll-driven event loops that multiplex every connection.
+//!
+//! A small, fixed pool of loop threads replaces the PR 4 model of one
+//! handler thread per connection: each loop owns an [`Epoll`] instance, an
+//! [`EventFd`] waker, and a slab of [`Conn`] state machines. All sockets
+//! are non-blocking; a connection consumes memory only — never a thread —
+//! while it is idle or while an invocation runs on the worker, which is
+//! what lets two loops hold thousands of keep-alive connections open.
+//!
+//! Cross-thread traffic arrives through each loop's inbox: the accept path
+//! (loop 0 owns the non-blocking listener) posts admitted connections
+//! round-robin, and the dispatcher's completion callbacks post finished
+//! responses ([`LoopMsg::Complete`]) — both followed by an `eventfd` signal
+//! so the target loop wakes from `epoll_wait` immediately.
+//!
+//! Tokens carry a generation tag: when a connection closes its slab index
+//! is recycled, and the bumped generation makes stale epoll events or
+//! late completions for the old occupant fall harmlessly on the floor.
+
+use std::collections::VecDeque;
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dandelion_http::HttpResponse;
+use parking_lot::Mutex;
+
+use crate::conn::{overloaded_response, response_rope, Conn, Due, Verdict};
+use crate::server::Shared;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLRDHUP};
+
+/// Token of the listener registration (loop 0 only).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token of the loop's own waker eventfd.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+/// Readiness events drained per `epoll_wait`.
+const EVENT_BATCH: usize = 256;
+/// Idle `epoll_wait` timeout; bounds how late a deadline scan can run.
+const TICK_MS: i32 = 25;
+
+/// A message for one event loop, posted by another thread.
+pub(crate) enum LoopMsg {
+    /// An admitted connection to adopt (from the accept path).
+    Accept(TcpStream, IpAddr),
+    /// A settled synchronous invocation's response for slot `seq` of the
+    /// connection identified by `token`.
+    Complete {
+        token: u64,
+        seq: u64,
+        response: HttpResponse,
+    },
+}
+
+/// The cross-thread half of one event loop: an inbox plus the eventfd that
+/// wakes the loop to drain it. Shared with the accept path and with every
+/// completion callback targeting this loop.
+pub(crate) struct LoopShared {
+    inbox: Mutex<VecDeque<LoopMsg>>,
+    waker: EventFd,
+}
+
+impl LoopShared {
+    pub(crate) fn new() -> std::io::Result<LoopShared> {
+        Ok(LoopShared {
+            inbox: Mutex::new(VecDeque::new()),
+            waker: EventFd::new()?,
+        })
+    }
+
+    /// Enqueues a message and wakes the loop.
+    pub(crate) fn post(&self, msg: LoopMsg) {
+        self.inbox.lock().push_back(msg);
+        self.waker.signal();
+    }
+
+    /// Wakes the loop without a message (shutdown broadcast).
+    pub(crate) fn wake(&self) {
+        self.waker.signal();
+    }
+
+    fn drain(&self) -> VecDeque<LoopMsg> {
+        self.waker.drain();
+        std::mem::take(&mut *self.inbox.lock())
+    }
+}
+
+/// One slab entry; the generation survives the occupant so stale tokens
+/// can be recognized.
+struct SlabEntry {
+    generation: u32,
+    conn: Option<Conn>,
+}
+
+/// One epoll-driven event loop thread.
+pub(crate) struct EventLoop {
+    index: usize,
+    shared: Arc<Shared>,
+    me: Arc<LoopShared>,
+    epoll: Epoll,
+    /// Loop 0 owns the (non-blocking) listener and runs the accept path.
+    listener: Option<TcpListener>,
+    slab: Vec<SlabEntry>,
+    free: Vec<usize>,
+    open: usize,
+    /// Set when draining begins; connections still open past it are
+    /// force-closed so shutdown cannot hang on a stuck client.
+    drain_deadline: Option<Instant>,
+}
+
+fn token_of(index: usize, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | index as u64
+}
+
+impl EventLoop {
+    pub(crate) fn new(
+        index: usize,
+        shared: Arc<Shared>,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<EventLoop> {
+        let epoll = Epoll::new()?;
+        let me = Arc::clone(&shared.loops[index]);
+        epoll.add(me.waker.raw_fd(), EPOLLIN, WAKER_TOKEN)?;
+        if let Some(listener) = &listener {
+            listener.set_nonblocking(true)?;
+            epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+        }
+        Ok(EventLoop {
+            index,
+            shared,
+            me,
+            epoll,
+            listener,
+            slab: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            drain_deadline: None,
+        })
+    }
+
+    /// Runs until the server drains: stopping flag set and every owned
+    /// connection released.
+    pub(crate) fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
+        loop {
+            let ready = self.epoll.wait(&mut events, TICK_MS).unwrap_or_default();
+            let stopping = self.shared.stopping.load(Ordering::Acquire);
+            if stopping && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            for event in &events[..ready] {
+                match event.data {
+                    WAKER_TOKEN => {} // drained with the inbox below
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token, event.events),
+                }
+            }
+            self.drain_inbox();
+            self.scan_deadlines();
+            if self.shared.stopping.load(Ordering::Acquire) && self.open == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Stops admitting (loop 0 closes the listener) and sweeps idle
+    /// connections; busy ones drain at their next response boundary, with a
+    /// hard deadline backstop.
+    fn begin_drain(&mut self) {
+        self.drain_deadline = Some(Instant::now() + self.shared.config.drain_timeout);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        for index in 0..self.slab.len() {
+            if self.slab[index].conn.is_some() {
+                self.service(index, false);
+            }
+        }
+    }
+
+    /// Accepts until the listener would block, applying admission control.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => self.admit(stream, peer.ip()),
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Persistent accept failures (fd exhaustion under flood)
+                // leave the backlog entry in place, so the level-triggered
+                // listener readiness re-fires immediately; back off briefly
+                // instead of spinning this loop at 100% CPU.
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admission control plus round-robin placement across the loops.
+    fn admit(&mut self, stream: TcpStream, peer: IpAddr) {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        // `active` counts connections open plus in transit to a loop; past
+        // the limit the client gets a 503 instead of unbounded queueing.
+        if self.shared.active.fetch_add(1, Ordering::AcqRel) >= self.shared.config.max_connections {
+            self.shared.active.fetch_sub(1, Ordering::AcqRel);
+            self.reject(stream);
+            return;
+        }
+        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let target =
+            self.shared.next_loop.fetch_add(1, Ordering::Relaxed) % self.shared.loops.len();
+        if target == self.index {
+            self.adopt(stream, peer);
+        } else {
+            self.shared.loops[target].post(LoopMsg::Accept(stream, peer));
+        }
+    }
+
+    /// Answers a refused connection with `503` before closing it. The
+    /// socket is still in blocking mode here and the body is far smaller
+    /// than any socket buffer, so the write cannot stall the loop.
+    fn reject(&self, mut stream: TcpStream) {
+        self.shared
+            .stats
+            .rejected_connections
+            .fetch_add(1, Ordering::Relaxed);
+        let rope = response_rope(
+            overloaded_response(self.shared.config.max_connections),
+            true,
+        );
+        let _ = rope.write_to(&mut stream);
+    }
+
+    /// Takes ownership of an admitted connection: non-blocking, slab slot,
+    /// epoll registration.
+    fn adopt(&mut self, stream: TcpStream, peer: IpAddr) {
+        if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+            self.shared.active.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let index = match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.slab.push(SlabEntry {
+                    generation: 0,
+                    conn: None,
+                });
+                self.slab.len() - 1
+            }
+        };
+        let token = token_of(index, self.slab[index].generation);
+        let conn = Conn::new(stream, peer, token, &self.shared);
+        if self
+            .epoll
+            .add(conn.stream().as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .is_err()
+        {
+            self.free.push(index);
+            self.shared.active.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        self.slab[index].conn = Some(conn);
+        self.open += 1;
+        self.shared
+            .stats
+            .open_connections
+            .fetch_add(1, Ordering::Relaxed);
+        // A freshly adopted connection may already have bytes waiting (the
+        // level-triggered registration reports them on the next wait, but
+        // serving them now saves a syscall round trip).
+        self.service(index, true);
+    }
+
+    /// Routes one readiness event to its connection, ignoring stale tokens.
+    fn conn_event(&mut self, token: u64, events: u32) {
+        let index = (token & u32::MAX as u64) as usize;
+        let generation = (token >> 32) as u32;
+        let Some(entry) = self.slab.get(index) else {
+            return;
+        };
+        if entry.generation != generation || entry.conn.is_none() {
+            return;
+        }
+        if events & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(index);
+            return;
+        }
+        // EPOLLRDHUP without data: the read path observes the EOF itself.
+        self.service(index, events & (EPOLLIN | EPOLLRDHUP) != 0);
+    }
+
+    /// Pumps one connection and applies the verdict (close or re-arm).
+    ///
+    /// A panic while servicing must cost only that connection, never the
+    /// loop thread (which owns thousands of others): the unwind is caught
+    /// and the offending connection closed.
+    fn service(&mut self, index: usize, readable: bool) {
+        let shared = Arc::clone(&self.shared);
+        let me = Arc::clone(&self.me);
+        let verdict = {
+            let Some(conn) = self.slab[index].conn.as_mut() else {
+                return;
+            };
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                conn.pump(&shared, &me, readable)
+            }))
+            .unwrap_or(Verdict::Close)
+        };
+        match verdict {
+            Verdict::Close => self.close(index),
+            Verdict::Keep => self.rearm(index),
+        }
+    }
+
+    /// Updates the epoll interest mask if the connection's needs changed.
+    fn rearm(&mut self, index: usize) {
+        let shared = Arc::clone(&self.shared);
+        let generation = self.slab[index].generation;
+        let Some(conn) = self.slab[index].conn.as_mut() else {
+            return;
+        };
+        let desired = conn.desired_interest(&shared);
+        if desired == conn.registered_interest() {
+            return;
+        }
+        let token = token_of(index, generation);
+        if self
+            .epoll
+            .modify(conn.stream().as_raw_fd(), desired, token)
+            .is_ok()
+        {
+            conn.set_registered_interest(desired);
+        }
+    }
+
+    /// Releases a connection: epoll deregistration, slab slot recycling
+    /// (generation bump), gauge updates.
+    fn close(&mut self, index: usize) {
+        let Some(conn) = self.slab[index].conn.take() else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.stream().as_raw_fd());
+        self.slab[index].generation = self.slab[index].generation.wrapping_add(1);
+        self.free.push(index);
+        self.open -= 1;
+        self.shared
+            .stats
+            .open_connections
+            .fetch_sub(1, Ordering::Relaxed);
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Applies queued cross-thread messages: adopted connections and
+    /// settled invocation responses.
+    fn drain_inbox(&mut self) {
+        for msg in self.me.drain() {
+            match msg {
+                LoopMsg::Accept(stream, peer) => {
+                    if self.shared.stopping.load(Ordering::Acquire) {
+                        // Admitted but the server started draining before
+                        // the loop adopted it: release the admission slot.
+                        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    }
+                    self.adopt(stream, peer);
+                }
+                LoopMsg::Complete {
+                    token,
+                    seq,
+                    response,
+                } => {
+                    let index = (token & u32::MAX as u64) as usize;
+                    let generation = (token >> 32) as u32;
+                    let Some(entry) = self.slab.get_mut(index) else {
+                        continue;
+                    };
+                    if entry.generation != generation {
+                        continue;
+                    }
+                    if let Some(conn) = entry.conn.as_mut() {
+                        conn.complete(seq, response);
+                        self.service(index, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires per-connection deadlines and the drain backstop.
+    fn scan_deadlines(&mut self) {
+        let now = Instant::now();
+        let force_close = self.drain_deadline.is_some_and(|deadline| now >= deadline);
+        for index in 0..self.slab.len() {
+            if self.slab[index].conn.is_none() {
+                continue;
+            }
+            if force_close {
+                self.close(index);
+                continue;
+            }
+            let due = self.slab[index]
+                .conn
+                .as_ref()
+                .and_then(|conn| conn.due(now));
+            match due {
+                Some(Due::Idle) => {
+                    self.shared
+                        .stats
+                        .idle_closed
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.close(index);
+                }
+                Some(Due::RequestStalled) => {
+                    let shared = Arc::clone(&self.shared);
+                    let verdict = self.slab[index].conn.as_mut().map(|conn| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            conn.fire_request_timeout(&shared)
+                        }))
+                        .unwrap_or(Verdict::Close)
+                    });
+                    match verdict {
+                        Some(Verdict::Close) => self.close(index),
+                        _ => self.rearm(index),
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+}

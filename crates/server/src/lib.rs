@@ -5,16 +5,25 @@
 //! This crate is the transport — the subsystem the paper's platform puts
 //! between untrusted clients and the dispatcher:
 //!
-//! * a TCP listener with an accept loop feeding a **fixed pool of
-//!   connection-handler threads** (one per core by default),
+//! * a non-blocking TCP listener feeding a **small pool of epoll event
+//!   loops** ([`sys`] declares the few libc symbols needed — no async
+//!   runtime is vendored). Each loop multiplexes thousands of connections:
+//!   an idle keep-alive client or one waiting on an invocation consumes
+//!   memory only, never a thread,
 //! * **per-connection state machines** that read into pooled buffers,
 //!   parse requests incrementally (partial reads, pipelined keep-alive
-//!   requests, `Connection: close`), and write responses with vectored
-//!   [`Rope`](dandelion_common::Rope) writes so bodies leave the process
-//!   by reference,
+//!   requests, `Connection: close`), dispatch without blocking
+//!   ([`dandelion_core::Frontend::begin`]), and write responses with
+//!   resumable vectored [`RopeWriter`](dandelion_common::RopeWriter)
+//!   writes so bodies leave the process by reference even across
+//!   `EWOULDBLOCK` suspensions,
+//! * **asynchronous completion**: the dispatcher settles a synchronous
+//!   invocation by posting the finished response to the owning event loop
+//!   through an `eventfd` wakeup,
 //! * **admission control**: a concurrent-connection cap (`503` past it),
-//!   head/body size limits (`431`/`413`), and a per-connection read
-//!   deadline (`408`) so slow clients cannot pin a handler,
+//!   per-client-IP token-bucket rate limiting (`429`), head/body size
+//!   limits (`431`/`413`), and a per-request read deadline (`408`; idle
+//!   keep-alives are closed silently and counted),
 //! * **graceful shutdown** that stops admitting, closes keep-alive
 //!   connections at their next response boundary and drains in-flight
 //!   invocations before returning.
@@ -26,9 +35,15 @@
 mod client;
 mod config;
 mod conn;
+mod event_loop;
+mod rate;
 mod server;
+pub mod sys;
 
 pub use client::HttpClientConnection;
 pub use config::ServerConfig;
-pub use conn::{overloaded_response, rejection_response, response_rope, timeout_response};
+pub use conn::{
+    overloaded_response, rate_limited_response, rejection_response, response_rope, timeout_response,
+};
+pub use rate::{RateLimit, RateLimiter};
 pub use server::{Server, ServerStats, ServerStatsSnapshot};

@@ -1,50 +1,61 @@
-//! The TCP listener, handler pool and admission control.
+//! The server façade: binding, event-loop pool lifecycle, stats and
+//! graceful shutdown.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use dandelion_common::JsonValue;
 use dandelion_core::Frontend;
 
 use crate::config::ServerConfig;
-use crate::conn::{handle_connection, overloaded_response, response_rope};
+use crate::event_loop::{EventLoop, LoopShared};
+use crate::rate::RateLimiter;
 
-/// How often idle handler threads wake to check the stop flag.
-const HANDLER_POLL: Duration = Duration::from_millis(25);
-
-/// Monotonic counters of the serving layer (all relaxed; they feed
-/// dashboards and tests, not control flow).
+/// Counters and gauges of the serving layer (all relaxed; they feed
+/// dashboards, `/v1/stats` and tests, not control flow).
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Connections admitted to the handler pool.
+    /// Connections admitted past admission control.
     pub accepted: AtomicU64,
     /// Connections refused by admission control (answered `503`).
     pub rejected_connections: AtomicU64,
+    /// Gauge: connections currently held open across all event loops.
+    pub open_connections: AtomicU64,
     /// Requests served (any status).
     pub requests: AtomicU64,
     /// Requests rejected by the parser (`400`/`413`/`431`).
     pub rejected_requests: AtomicU64,
-    /// Connections closed for stalling past the read deadline (`408`).
+    /// Requests refused by the per-client rate limiter (`429`).
+    pub rate_limited: AtomicU64,
+    /// Connections closed for stalling mid-request past the read deadline
+    /// (`408`).
     pub timeouts: AtomicU64,
+    /// Idle keep-alive connections closed silently after the idle window.
+    pub idle_closed: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`ServerStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStatsSnapshot {
-    /// Connections admitted to the handler pool.
+    /// Connections admitted past admission control.
     pub accepted: u64,
     /// Connections refused by admission control.
     pub rejected_connections: u64,
+    /// Connections currently held open (gauge).
+    pub open_connections: u64,
     /// Requests served.
     pub requests: u64,
     /// Requests rejected by the parser.
     pub rejected_requests: u64,
-    /// Read-deadline closes.
+    /// Requests refused by the rate limiter.
+    pub rate_limited: u64,
+    /// Read-deadline `408` closes.
     pub timeouts: u64,
+    /// Silent idle keep-alive closes.
+    pub idle_closed: u64,
 }
 
 impl ServerStats {
@@ -52,15 +63,61 @@ impl ServerStats {
         ServerStatsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
         }
+    }
+
+    /// The stats as the JSON object `/v1/stats` embeds under `"server"`.
+    pub fn to_json(&self, event_loops: usize) -> JsonValue {
+        let snapshot = self.snapshot();
+        JsonValue::object([
+            ("event_loops", JsonValue::from(event_loops)),
+            ("accepted", JsonValue::from(snapshot.accepted)),
+            (
+                "rejected_connections",
+                JsonValue::from(snapshot.rejected_connections),
+            ),
+            (
+                "open_connections",
+                JsonValue::from(snapshot.open_connections),
+            ),
+            ("requests", JsonValue::from(snapshot.requests)),
+            (
+                "rejected_requests",
+                JsonValue::from(snapshot.rejected_requests),
+            ),
+            ("rate_limited", JsonValue::from(snapshot.rate_limited)),
+            ("timeouts", JsonValue::from(snapshot.timeouts)),
+            ("idle_closed", JsonValue::from(snapshot.idle_closed)),
+        ])
     }
 }
 
-/// A running network server: accept loop plus a fixed pool of
-/// connection-handler threads, all serving one [`Frontend`].
+/// State shared by every event loop, the accept path and the dispatcher's
+/// completion callbacks.
+pub(crate) struct Shared {
+    pub(crate) frontend: Arc<Frontend>,
+    pub(crate) config: ServerConfig,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) limiter: Option<RateLimiter>,
+    /// Set once by shutdown; loops observe it and drain.
+    pub(crate) stopping: AtomicBool,
+    /// Admission gauge: connections open plus in transit to a loop.
+    pub(crate) active: AtomicUsize,
+    /// Round-robin cursor for placing accepted connections.
+    pub(crate) next_loop: AtomicUsize,
+    /// The cross-thread half of each event loop, indexed by loop.
+    pub(crate) loops: Vec<Arc<LoopShared>>,
+}
+
+/// A running network server: a non-blocking listener plus a small pool of
+/// epoll event loops multiplexing every connection, all serving one
+/// [`Frontend`].
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -78,58 +135,63 @@ pub struct Server {
     frontend: Arc<Frontend>,
     config: ServerConfig,
     stats: Arc<ServerStats>,
-    stopping: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    handler_threads: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the accept loop and handler pool.
+    /// Validates `config`, binds `config.addr` and starts the event loops.
     pub fn start(config: ServerConfig, frontend: Arc<Frontend>) -> io::Result<Server> {
+        config
+            .validate()
+            .map_err(|problem| io::Error::new(io::ErrorKind::InvalidInput, problem))?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let stopping = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let active = Arc::new(AtomicUsize::new(0));
-        // The channel holds admitted connections awaiting a free handler;
-        // its capacity is the admission limit, so `try_send` never blocks.
-        let (sender, receiver) = bounded::<TcpStream>(config.max_connections.max(1));
+        let loop_count = config.resolved_event_loops();
+        let loops = (0..loop_count)
+            .map(|_| LoopShared::new().map(Arc::new))
+            .collect::<io::Result<Vec<_>>>()?;
+        let shared = Arc::new(Shared {
+            frontend: Arc::clone(&frontend),
+            limiter: config.rate_limit.map(RateLimiter::new),
+            config: config.clone(),
+            stats: Arc::clone(&stats),
+            stopping: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_loop: AtomicUsize::new(0),
+            loops,
+        });
 
-        let threads = config.resolved_threads();
-        let mut handler_threads = Vec::with_capacity(threads);
-        for index in 0..threads {
-            let receiver = receiver.clone();
-            let frontend = Arc::clone(&frontend);
-            let config = config.clone();
+        // Surface the serving-layer gauges through `GET /v1/stats` next to
+        // the worker counters.
+        {
             let stats = Arc::clone(&stats);
-            let stopping = Arc::clone(&stopping);
-            let active = Arc::clone(&active);
-            handler_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("dandelion-conn-{index}"))
-                    .spawn(move || {
-                        handler_loop(&receiver, &frontend, &config, &stats, &stopping, &active)
-                    })?,
-            );
+            frontend.add_stats_source("server", Arc::new(move || stats.to_json(loop_count)));
         }
 
-        let accept_thread = {
-            let config = config.clone();
-            let stats = Arc::clone(&stats);
-            let stopping = Arc::clone(&stopping);
-            std::thread::Builder::new()
-                .name("dandelion-accept".to_string())
-                .spawn(move || accept_loop(listener, sender, &config, &stats, &stopping, &active))?
-        };
+        let mut threads = Vec::with_capacity(loop_count);
+        for index in 0..loop_count {
+            let event_loop = EventLoop::new(
+                index,
+                Arc::clone(&shared),
+                (index == 0).then(|| listener.try_clone()).transpose()?,
+            )?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dandelion-loop-{index}"))
+                    .spawn(move || event_loop.run())?,
+            );
+        }
+        drop(listener);
 
         Ok(Server {
             addr,
             frontend,
             config,
             stats,
-            stopping,
-            accept_thread: Some(accept_thread),
-            handler_threads,
+            shared,
+            threads,
         })
     }
 
@@ -143,14 +205,20 @@ impl Server {
         &self.frontend
     }
 
-    /// Snapshot of the serving-layer counters.
+    /// Number of event-loop threads serving connections.
+    pub fn event_loops(&self) -> usize {
+        self.threads.len().max(self.shared.loops.len())
+    }
+
+    /// Snapshot of the serving-layer counters and gauges.
     pub fn stats(&self) -> ServerStatsSnapshot {
         self.stats.snapshot()
     }
 
-    /// Gracefully shuts the server down: stop admitting connections, let
-    /// every handler finish (keep-alive connections close at their next
-    /// response boundary), then wait for in-flight invocations to drain.
+    /// Gracefully shuts the server down: stop admitting connections, close
+    /// idle keep-alives, let busy connections finish at their next response
+    /// boundary (bounded by `drain_timeout`), then wait for in-flight
+    /// invocations to drain.
     ///
     /// Returns `true` when the worker drained within the configured
     /// timeout. The worker itself is left running — it belongs to the
@@ -161,109 +229,23 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        self.stopping.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection; it observes
-        // the flag before admitting it. When the bind address is a
-        // wildcard, loop back through localhost.
-        let mut wake_addr = self.addr;
-        if wake_addr.ip().is_unspecified() {
-            wake_addr.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        self.shared.stopping.store(true, Ordering::Release);
+        for loop_shared in &self.shared.loops {
+            loop_shared.wake();
         }
-        let woke = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1)).is_ok();
-        if let Some(thread) = self.accept_thread.take() {
-            if woke {
-                let _ = thread.join();
-            }
-            // If the wake-up connect failed (firewalled bind address), the
-            // accept thread is left parked in `accept` rather than hanging
-            // shutdown on a join that can never finish; it exits with the
-            // process. Handlers only depend on the stop flag, so they join
-            // either way.
-        }
-        for thread in self.handler_threads.drain(..) {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
+        // A stopped server's gauges must disappear from `/v1/stats`: the
+        // frontend outlives the server and may be served elsewhere.
+        self.frontend.remove_stats_source("server");
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if !self.threads.is_empty() {
             self.stop_and_join();
-        }
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    sender: Sender<TcpStream>,
-    config: &ServerConfig,
-    stats: &ServerStats,
-    stopping: &AtomicBool,
-    active: &AtomicUsize,
-) {
-    for stream in listener.incoming() {
-        if stopping.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(stream) = stream else {
-            // Accept failures (fd exhaustion under flood, transient
-            // resets) must not busy-spin the accept thread at 100% CPU.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        // Admission control: `active` counts connections queued plus being
-        // served; past the limit the client gets a 503 and a close instead
-        // of unbounded queueing.
-        if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections {
-            active.fetch_sub(1, Ordering::AcqRel);
-            reject(stream, stats, config);
-            continue;
-        }
-        match sender.try_send(stream) {
-            Ok(()) => {
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
-                active.fetch_sub(1, Ordering::AcqRel);
-                reject(stream, stats, config);
-            }
-        }
-    }
-}
-
-/// Answers a refused connection with `503` before closing it.
-fn reject(mut stream: TcpStream, stats: &ServerStats, config: &ServerConfig) {
-    stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
-    let rope = response_rope(overloaded_response(config.max_connections), true);
-    let _ = rope.write_to(&mut stream);
-}
-
-fn handler_loop(
-    receiver: &Receiver<TcpStream>,
-    frontend: &Frontend,
-    config: &ServerConfig,
-    stats: &ServerStats,
-    stopping: &AtomicBool,
-    active: &AtomicUsize,
-) {
-    loop {
-        match receiver.recv_timeout(HANDLER_POLL) {
-            Ok(stream) => {
-                // A panic while serving must cost only that connection:
-                // swallow the unwind so the handler thread survives, and
-                // release the admission slot on every path.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, frontend, config, stats, stopping)
-                }));
-                active.fetch_sub(1, Ordering::AcqRel);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if stopping.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }

@@ -1,0 +1,269 @@
+//! The handful of Linux syscalls the event loop needs, declared directly.
+//!
+//! No async runtime is vendored, and the readiness machinery required for
+//! multiplexing thousands of connections over a few threads is tiny: an
+//! epoll instance per event loop, an `eventfd` so other threads (the accept
+//! path, the dispatcher's completion callbacks) can wake a loop, and
+//! `setrlimit` so tests and benches can raise the open-file ceiling before
+//! opening thousands of sockets. The `extern "C"` declarations below bind
+//! those symbols from the platform libc; everything is wrapped in small
+//! RAII types ([`Epoll`], [`EventFd`]) so the rest of the crate never sees
+//! a raw file descriptor outside of registration calls.
+//!
+//! Linux-only by design (matching the runtime's `X86Linux` hardware
+//! platform); the constants below are the stable Linux ABI values.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (`EPOLLHUP`); always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+const RLIMIT_NOFILE: c_int = 7;
+
+/// One readiness event, in the kernel's wire layout (packed on x86-64).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn check(result: c_int) -> io::Result<c_int> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// An epoll instance: the readiness multiplexer one event loop blocks on.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        check(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut event) }).map(|_| ())
+    }
+
+    /// Registers `fd` for the given readiness `events` under `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the registered interest of `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest list (closing the fd does this too,
+    /// but an explicit delete keeps already-queued events from referencing
+    /// a recycled descriptor).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and fills `events` with
+    /// ready descriptors, returning how many. Interrupted waits report `0`
+    /// ready events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let count = unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if count < 0 {
+            let error = io::Error::last_os_error();
+            if error.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(error);
+        }
+        Ok(count as usize)
+    }
+}
+
+/// A wakeup channel another thread can signal to interrupt an
+/// [`Epoll::wait`]: registered in the loop's epoll set, written by the
+/// accept path and by dispatcher completion callbacks.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: OwnedFd,
+}
+
+impl EventFd {
+    /// Creates a non-blocking, close-on-exec eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The descriptor to register with an [`Epoll`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the owning loop. Signalling is best-effort and idempotent: the
+    /// counter saturating (or any other failure) still leaves the loop
+    /// readable, which is all a wakeup needs.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(
+                self.fd.as_raw_fd(),
+                (&one as *const u64).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+
+    /// Clears pending wakeups so level-triggered polling goes quiet again.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        unsafe {
+            read(
+                self.fd.as_raw_fd(),
+                (&mut counter as *mut u64).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+}
+
+/// Raises the process's soft open-file limit to at least `want` descriptors
+/// (capped by the hard limit), returning the resulting soft limit. Tests
+/// and benches that open thousands of loopback sockets call this first so a
+/// conservative default `ulimit -n` does not fail them spuriously.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut limit = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    check(unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) })?;
+    if limit.rlim_cur >= want {
+        return Ok(limit.rlim_cur);
+    }
+    limit.rlim_cur = want.min(limit.rlim_max);
+    check(unsafe { setrlimit(RLIMIT_NOFILE, &limit) })?;
+    Ok(limit.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn eventfd_wakes_an_epoll_wait_and_drains_quiet() {
+        let epoll = Epoll::new().unwrap();
+        let waker = EventFd::new().unwrap();
+        epoll.add(waker.raw_fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing signalled: the wait times out empty.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        waker.signal();
+        waker.signal();
+        let ready = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready, 1);
+        let data = events[0].data;
+        assert_eq!(data, 7);
+        waker.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_flows_through_epoll() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(served.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "idle socket");
+
+        client.write_all(b"ping").unwrap();
+        let ready = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready, 1);
+        let (data, mask) = (events[0].data, events[0].events);
+        assert_eq!(data, 42);
+        assert_ne!(mask & EPOLLIN, 0);
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 4);
+
+        // Interest can be switched to writability and deleted again.
+        epoll.modify(served.as_raw_fd(), EPOLLOUT, 42).unwrap();
+        let ready = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready, 1);
+        let mask = events[0].events;
+        assert_ne!(mask & EPOLLOUT, 0);
+        epoll.delete(served.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_raised_monotonically() {
+        let current = raise_nofile_limit(64).unwrap();
+        assert!(current >= 64);
+        // Asking again for less never lowers it.
+        assert!(raise_nofile_limit(1).unwrap() >= current.min(64));
+    }
+}

@@ -49,7 +49,7 @@ fn start_server(config: ServerConfig) -> (Server, Arc<WorkerNode>) {
 fn loopback_config() -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        threads: 2,
+        event_loops: 2,
         read_timeout: Duration::from_millis(250),
         ..ServerConfig::default()
     }
@@ -215,12 +215,12 @@ fn drip_feeding_bytes_cannot_reset_the_request_deadline() {
 fn admission_control_rejects_connections_past_the_limit() {
     let config = ServerConfig {
         max_connections: 2,
-        threads: 1,
+        event_loops: 1,
         ..loopback_config()
     };
     let (server, worker) = start_server(config);
     // Two idle keep-alive connections occupy the whole admission budget
-    // (one pinned to the single handler, one queued).
+    // (they cost the event loop memory only, but the cap is the cap).
     let hold_a = TcpStream::connect(server.local_addr()).unwrap();
     let hold_b = TcpStream::connect(server.local_addr()).unwrap();
     // Give the accept loop time to admit both before the third arrives.
@@ -238,6 +238,227 @@ fn admission_control_rejects_connections_past_the_limit() {
     drop(hold_a);
     drop(hold_b);
     server.shutdown();
+    worker.shutdown();
+}
+
+/// Reads the kernel's thread count for this process (Linux procfs).
+fn process_thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|value| value.trim().parse().ok())
+        .expect("procfs reports a thread count")
+}
+
+/// The tentpole invariant: two event-loop threads hold >= 1000 concurrently
+/// open keep-alive connections — the process thread count stays flat while
+/// connections scale, and sampled connections still serve requests.
+#[test]
+fn two_event_loops_sustain_a_thousand_open_connections() {
+    const CONNECTIONS: usize = 1000;
+    dandelion_server::sys::raise_nofile_limit(3 * CONNECTIONS as u64 + 256).unwrap();
+    let config = ServerConfig {
+        // Long deadlines so the held connections stay open for the whole
+        // test; admission must clear the 1000 plus the sampling clients.
+        read_timeout: Duration::from_secs(60),
+        max_connections: CONNECTIONS + 64,
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    let threads_before = process_thread_count();
+
+    let mut held = Vec::with_capacity(CONNECTIONS);
+    for index in 0..CONNECTIONS {
+        match TcpStream::connect(server.local_addr()) {
+            Ok(stream) => held.push(stream),
+            Err(error) => panic!("connection {index} refused: {error}"),
+        }
+    }
+    // Connections pin no threads: the count is what it was at startup.
+    assert_eq!(
+        process_thread_count(),
+        threads_before,
+        "open connections must not grow the thread count"
+    );
+    // The gauge sees (at least) the held connections once the loops have
+    // adopted them all.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while (server.stats().open_connections as usize) < CONNECTIONS {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {} of {CONNECTIONS} connections adopted",
+            server.stats().open_connections
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A sample of the held sockets serves real requests while the other
+    // hundreds sit idle on the same two loops.
+    for stream in held.iter_mut().step_by(100) {
+        stream
+            .write_all(b"POST /v1/invoke/EchoComp HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reply = [0u8; 4096];
+        let mut filled = 0;
+        while !reply[..filled].windows(5).any(|w| w == b"hello") {
+            let n = stream.read(&mut reply[filled..]).unwrap();
+            assert!(n > 0, "server closed mid-response");
+            filled += n;
+        }
+        let text = String::from_utf8_lossy(&reply[..filled]);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "got: {text}");
+    }
+    assert_eq!(process_thread_count(), threads_before);
+    drop(held);
+    assert!(server.shutdown());
+    worker.shutdown();
+}
+
+/// Per-client rate limiting: a burst beyond the token bucket gets `429`
+/// with the stable `rate_limited` code, the connection survives, and the
+/// refusal is counted.
+#[test]
+fn rate_limited_clients_get_429_and_keep_their_connection() {
+    use dandelion_server::RateLimit;
+    let config = ServerConfig {
+        rate_limit: Some(RateLimit {
+            requests_per_sec: 1,
+            burst: 3,
+        }),
+        // Longer than the refill wait below, so the idle close stays out of
+        // this test's way.
+        read_timeout: Duration::from_secs(10),
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    let mut client =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let mut limited = 0;
+    for _ in 0..6 {
+        let response = client.request(&HttpRequest::get("/healthz")).unwrap();
+        match response.status.0 {
+            200 => {}
+            429 => {
+                limited += 1;
+                assert!(response.body_text().contains("\"rate_limited\""));
+                assert!(response.body_text().contains("\"retryable\":true"));
+            }
+            status => panic!("unexpected status {status}"),
+        }
+    }
+    assert!(limited >= 2, "burst of 3 must cap 6 rapid requests");
+    assert_eq!(server.stats().rate_limited, limited as u64);
+    // The connection is still usable: wait for a refill token.
+    std::thread::sleep(Duration::from_millis(1100));
+    let ok = client.request(&HttpRequest::get("/healthz")).unwrap();
+    assert_eq!(ok.status.0, 200);
+    server.shutdown();
+    worker.shutdown();
+}
+
+/// The serving-layer gauges ride inside `GET /v1/stats` under `"server"`,
+/// and silent idle closes are observable.
+#[test]
+fn server_stats_are_exposed_through_v1_stats() {
+    let (server, worker) = start_server(loopback_config());
+    // One idle connection that will be closed silently (250 ms window).
+    let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let mut client =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let response = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+    assert_eq!(response.status.0, 200);
+    let document =
+        dandelion_common::JsonValue::parse(&response.body_text()).expect("stats body is JSON");
+    let gauges = document.get("server").expect("server object present");
+    assert!(gauges.get("accepted").is_some());
+    assert!(gauges.get("rate_limited").is_some());
+    let open = gauges
+        .get("open_connections")
+        .and_then(dandelion_common::JsonValue::as_u64)
+        .expect("open_connections gauge");
+    assert!(open >= 2, "idle + client connection are open, got {open}");
+
+    // The idle connection is closed silently and counted.
+    let mut reply = String::new();
+    idle.read_to_string(&mut reply).unwrap();
+    assert!(reply.is_empty(), "idle close carries no response");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().idle_closed == 0 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The first client may have been idle-closed too by now (same 250 ms
+    // window); fetch the updated document on a fresh connection.
+    let mut client =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let response = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+    let document = dandelion_common::JsonValue::parse(&response.body_text()).unwrap();
+    let reported = document
+        .get("server")
+        .and_then(|server| server.get("idle_closed"))
+        .and_then(dandelion_common::JsonValue::as_u64)
+        .expect("idle_closed gauge present");
+    // More connections may idle out between the render and this check, so
+    // bound rather than pin the value.
+    assert!((1..=server.stats().idle_closed).contains(&reported));
+
+    // After shutdown the gauges unregister: the frontend outlives the
+    // server and must not report a dead server's numbers.
+    let frontend = Arc::clone(server.frontend());
+    server.shutdown();
+    let stats = frontend.handle(&HttpRequest::get("/v1/stats"));
+    let document = dandelion_common::JsonValue::parse(&stats.body_text()).unwrap();
+    assert!(
+        document.get("server").is_none(),
+        "stopped server still reports gauges"
+    );
+    worker.shutdown();
+}
+
+/// A client that sends its request and immediately half-closes
+/// (`shutdown(SHUT_WR)`) still gets its response: responses owed for
+/// received requests drain before the connection closes on EOF.
+#[test]
+fn half_closed_clients_still_receive_their_responses() {
+    let (server, worker) = start_server(loopback_config());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/invoke/EchoComp HTTP/1.1\r\nContent-Length: 7\r\n\r\nsend-wr")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
+    assert!(reply.ends_with("send-wr"), "got: {reply}");
+    server.shutdown();
+    worker.shutdown();
+}
+
+/// Misconfiguration is a clear error from `Server::start`, not a panic.
+#[test]
+fn invalid_configs_are_rejected_at_start() {
+    let worker = test_worker();
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let bad = ServerConfig {
+        max_connections: 0,
+        ..loopback_config()
+    };
+    let error = match Server::start(bad, frontend) {
+        Err(error) => error,
+        Ok(_) => panic!("zero connections must be rejected"),
+    };
+    assert_eq!(error.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(error.to_string().contains("max_connections"));
     worker.shutdown();
 }
 

@@ -557,6 +557,70 @@ fn incremental_parsing_preserves_pipelined_request_order() {
     }
 }
 
+/// The resumable write path is suspension-invariant: every response of the
+/// pipelined-order corpus, written through a `WouldBlock`-injecting writer
+/// that accepts `k` bytes per readiness window — for *every* `k` — is
+/// byte-identical to the one-shot `Rope::write_to`, and payload segments
+/// keep their `Arc` identity across suspensions.
+#[test]
+fn resumed_partial_writes_are_byte_identical_for_every_chunk_size() {
+    use dandelion_common::{RopeWriter, SharedBytes};
+    use dandelion_http::HttpResponse;
+    use dandelion_integration_tests::ChoppyWriter;
+    use dandelion_server::response_rope;
+
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(0x40b3_11fe ^ seed);
+        // The pipelined-order corpus: several requests on one connection,
+        // each answered by echoing its body — the response stream the
+        // server would deliver, in order.
+        let count = 1 + rng.next_bounded(3) as usize;
+        let responses: Vec<_> = (0..count)
+            .map(|index| {
+                let request = arbitrary_request(&mut rng);
+                let close = index + 1 == count && rng.bernoulli(0.5);
+                let payload = request.body.clone();
+                (
+                    response_rope(HttpResponse::ok(request.body.clone()), close),
+                    payload,
+                )
+            })
+            .collect();
+        for (rope, payload) in &responses {
+            let mut reference = Vec::new();
+            rope.write_to(&mut reference).unwrap();
+            for quota in 1..=reference.len() {
+                let mut writer = RopeWriter::new(rope.clone());
+                let mut choppy = ChoppyWriter::new(quota);
+                let mut windows = 0;
+                while !writer.write_some(&mut choppy).unwrap() {
+                    windows += 1;
+                    assert!(
+                        windows <= reference.len() + 2,
+                        "seed {seed}: quota {quota} stalled"
+                    );
+                }
+                assert_eq!(
+                    choppy.out, reference,
+                    "seed {seed}: quota {quota} diverged from one-shot write_to"
+                );
+                // Zero-copy across suspensions: the body segment still *is*
+                // the original payload buffer.
+                if !payload.is_empty() {
+                    let last = writer
+                        .rope()
+                        .last_segment()
+                        .expect("body rides as a segment");
+                    assert!(
+                        SharedBytes::same_buffer(last, payload),
+                        "seed {seed}: quota {quota} copied the body"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Partition-parallel SSB execution is equivalent to single-node execution
 /// for any partition count.
 #[test]

@@ -50,7 +50,7 @@ fn start_server() -> (Server, Arc<WorkerNode>) {
     let server = Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            threads: 2,
+            event_loops: 2,
             ..ServerConfig::default()
         },
         frontend,
@@ -203,5 +203,27 @@ fn function_output_reaches_the_socket_write_path_by_arc_identity() {
     let text_head = String::from_utf8_lossy(&delivered[..64]);
     assert!(text_head.starts_with("HTTP/1.1 200 OK\r\n"));
     assert!(delivered.ends_with(payload.as_slice()));
+
+    // The event-loop delivery path: the same rope through a RopeWriter that
+    // suspends on WouldBlock mid-payload (the non-blocking socket model)
+    // still shares the buffer after resumption and emits identical bytes.
+    let mut writer = dandelion_common::RopeWriter::new(rope);
+    let mut choppy = dandelion_integration_tests::ChoppyWriter::new(100 * 1024);
+    let mut suspensions = 0;
+    while !writer.write_some(&mut choppy).unwrap() {
+        suspensions += 1;
+    }
+    assert!(
+        suspensions >= 2,
+        "the 512 KiB body must suspend mid-payload"
+    );
+    assert_eq!(choppy.out, delivered, "resumed delivery diverged");
+    assert!(
+        SharedBytes::same_buffer(
+            writer.rope().last_segment().expect("body segment"),
+            &payload
+        ),
+        "the body must still be the client's buffer after resumed partial writes"
+    );
     worker.shutdown();
 }
