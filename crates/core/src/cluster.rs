@@ -6,6 +6,7 @@
 //! registration is broadcast to every node, and each invocation is routed by
 //! the configured load-balancing policy.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -14,15 +15,47 @@ use dandelion_common::{DandelionResult, DataSet, InvocationId, NodeId};
 use dandelion_dsl::CompositionGraph;
 use dandelion_isolation::FunctionArtifact;
 use dandelion_services::ServiceRegistry;
+use parking_lot::{Mutex, RwLock};
 
 use crate::dispatcher::{InvocationHandle, InvocationOutcome, InvocationSnapshot};
 use crate::worker::{WorkerNode, WorkerStats};
 
+/// Most recent invocation-to-node routes the manager remembers; older
+/// entries fall back to the scan path when polled.
+const INVOCATION_ROUTE_CAPACITY: usize = 64 * 1024;
+
+/// One member of the cluster.
+struct ClusterNode {
+    id: NodeId,
+    worker: Arc<WorkerNode>,
+}
+
+/// Remembers which node owns which invocation so polls route directly
+/// instead of scanning every member (bounded, FIFO-evicted).
+struct InvocationRoutes {
+    owners: HashMap<InvocationId, NodeId>,
+    order: VecDeque<InvocationId>,
+}
+
+impl InvocationRoutes {
+    fn record(&mut self, id: InvocationId, node: NodeId) {
+        if self.owners.insert(id, node).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > INVOCATION_ROUTE_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.owners.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 /// Orchestrates several worker nodes.
 pub struct ClusterManager {
-    nodes: Vec<(NodeId, Arc<WorkerNode>)>,
+    nodes: RwLock<Vec<ClusterNode>>,
     policy: LoadBalancing,
     round_robin: AtomicUsize,
+    routes: Mutex<InvocationRoutes>,
 }
 
 impl ClusterManager {
@@ -31,12 +64,19 @@ impl ClusterManager {
         let mut nodes = Vec::with_capacity(config.nodes);
         for _ in 0..config.nodes.max(1) {
             let worker = WorkerNode::start(config.worker.clone(), services.clone())?;
-            nodes.push((NodeId::next(), worker));
+            nodes.push(ClusterNode {
+                id: NodeId::next(),
+                worker,
+            });
         }
         Ok(Self {
-            nodes,
+            nodes: RwLock::new(nodes),
             policy: config.load_balancing,
             round_robin: AtomicUsize::new(0),
+            routes: Mutex::new(InvocationRoutes {
+                owners: HashMap::new(),
+                order: VecDeque::new(),
+            }),
         })
     }
 
@@ -44,15 +84,56 @@ impl ClusterManager {
     /// benchmark harness to control per-node configuration).
     pub fn from_workers(workers: Vec<Arc<WorkerNode>>, policy: LoadBalancing) -> Self {
         Self {
-            nodes: workers.into_iter().map(|w| (NodeId::next(), w)).collect(),
+            nodes: RwLock::new(
+                workers
+                    .into_iter()
+                    .map(|worker| ClusterNode {
+                        id: NodeId::next(),
+                        worker,
+                    })
+                    .collect(),
+            ),
             policy,
             round_robin: AtomicUsize::new(0),
+            routes: Mutex::new(InvocationRoutes {
+                owners: HashMap::new(),
+                order: VecDeque::new(),
+            }),
         }
     }
 
-    /// Number of worker nodes.
+    /// Number of worker nodes (drained members are removed).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().len()
+    }
+
+    /// Adds an already-started worker as a new member and returns its id —
+    /// the remote-member path a gateway uses when a node joins at runtime.
+    pub fn join(&self, worker: Arc<WorkerNode>) -> NodeId {
+        let id = NodeId::next();
+        self.nodes.write().push(ClusterNode { id, worker });
+        id
+    }
+
+    /// Removes a member from the cluster, returning its worker so the
+    /// caller can shut it down or hand it elsewhere. In-flight invocations
+    /// on the node keep running; routes already recorded still resolve.
+    pub fn eject(&self, node: NodeId) -> Option<Arc<WorkerNode>> {
+        let mut nodes = self.nodes.write();
+        let index = nodes.iter().position(|entry| entry.id == node)?;
+        Some(nodes.remove(index).worker)
+    }
+
+    /// Raises the drain signal on one member: it refuses new submissions
+    /// and [`ClusterManager::submit`] stops routing to it, while in-flight
+    /// invocations finish. Returns `false` for an unknown node.
+    pub fn drain_node(&self, node: NodeId) -> bool {
+        let nodes = self.nodes.read();
+        let Some(entry) = nodes.iter().find(|entry| entry.id == node) else {
+            return false;
+        };
+        entry.worker.begin_drain();
+        true
     }
 
     /// Registers a compute function on every node.
@@ -60,44 +141,48 @@ impl ClusterManager {
         &self,
         make_artifact: impl Fn() -> FunctionArtifact,
     ) -> DandelionResult<()> {
-        for (_, node) in &self.nodes {
-            node.register_function(make_artifact())?;
+        for entry in self.nodes.read().iter() {
+            entry.worker.register_function(make_artifact())?;
         }
         Ok(())
     }
 
     /// Registers a composition on every node.
     pub fn register_composition(&self, graph: CompositionGraph) -> DandelionResult<()> {
-        for (_, node) in &self.nodes {
-            node.register_composition(graph.clone())?;
+        for entry in self.nodes.read().iter() {
+            entry.worker.register_composition(graph.clone())?;
         }
         Ok(())
     }
 
-    /// Picks a node for an invocation according to the policy.
-    fn pick_node(&self, composition: &str) -> (NodeId, &Arc<WorkerNode>) {
-        let index = match self.policy {
+    /// Picks a node for an invocation according to the policy, skipping
+    /// draining members.
+    fn pick_node(&self, composition: &str) -> DandelionResult<(NodeId, Arc<WorkerNode>)> {
+        let nodes = self.nodes.read();
+        let eligible: Vec<usize> = (0..nodes.len())
+            .filter(|&index| !nodes[index].worker.is_draining())
+            .collect();
+        if eligible.is_empty() {
+            return Err(dandelion_common::DandelionError::ResourceExhausted(
+                "no cluster node accepts new invocations (all draining or ejected)".to_string(),
+            ));
+        }
+        let pick = match self.policy {
             LoadBalancing::RoundRobin => {
-                self.round_robin.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
+                self.round_robin.fetch_add(1, Ordering::Relaxed) % eligible.len()
             }
-            LoadBalancing::LeastLoaded => self
-                .nodes
+            LoadBalancing::LeastLoaded => eligible
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, (_, node))| node.inflight())
-                .map(|(index, _)| index)
+                .min_by_key(|(_, &index)| nodes[index].worker.inflight())
+                .map(|(position, _)| position)
                 .unwrap_or(0),
             LoadBalancing::CompositionAffinity => {
-                let mut hash = 0xcbf2_9ce4_8422_2325u64;
-                for byte in composition.as_bytes() {
-                    hash ^= *byte as u64;
-                    hash = hash.wrapping_mul(0x1000_0000_01b3);
-                }
-                (hash % self.nodes.len() as u64) as usize
+                (composition_affinity_hash(composition) % eligible.len() as u64) as usize
             }
         };
-        let (id, node) = &self.nodes[index];
-        (*id, node)
+        let entry = &nodes[eligible[pick]];
+        Ok((entry.id, Arc::clone(&entry.worker)))
     }
 
     /// Submits an invocation on a node chosen by the load-balancing policy
@@ -111,8 +196,10 @@ impl ClusterManager {
         composition: &str,
         inputs: Vec<DataSet>,
     ) -> DandelionResult<(NodeId, InvocationHandle)> {
-        let (id, node) = self.pick_node(composition);
-        node.submit(composition, inputs).map(|handle| (id, handle))
+        let (id, node) = self.pick_node(composition)?;
+        let handle = node.submit(composition, inputs)?;
+        self.routes.lock().record(handle.id(), id);
+        Ok((id, handle))
     }
 
     /// Invokes a composition on a node chosen by the load-balancing policy.
@@ -124,27 +211,53 @@ impl ClusterManager {
         self.submit(composition, inputs)?.1.wait(None)
     }
 
-    /// Polls an invocation by id across every node's in-flight table.
-    ///
-    /// Invocation ids are process-wide, so at most one node knows the id.
+    /// Polls an invocation by id without the caller knowing the owning
+    /// node: the submit-time id-to-node route resolves directly, and ids
+    /// submitted behind the manager's back (or evicted from the bounded
+    /// route table) fall back to scanning every member.
     pub fn poll(&self, id: InvocationId) -> Option<InvocationSnapshot> {
-        self.nodes.iter().find_map(|(_, node)| node.poll(id))
+        let owner = self.routes.lock().owners.get(&id).copied();
+        let nodes = self.nodes.read();
+        if let Some(owner) = owner {
+            if let Some(entry) = nodes.iter().find(|entry| entry.id == owner) {
+                return entry.worker.poll(id);
+            }
+        }
+        nodes.iter().find_map(|entry| entry.worker.poll(id))
+    }
+
+    /// The node an invocation was routed to, if the manager remembers it.
+    pub fn invocation_owner(&self, id: InvocationId) -> Option<NodeId> {
+        self.routes.lock().owners.get(&id).copied()
     }
 
     /// Per-node statistics snapshots.
     pub fn stats(&self) -> Vec<(NodeId, WorkerStats)> {
         self.nodes
+            .read()
             .iter()
-            .map(|(id, node)| (*id, node.stats()))
+            .map(|entry| (entry.id, entry.worker.stats()))
             .collect()
     }
 
     /// Stops every worker.
     pub fn shutdown(&self) {
-        for (_, node) in &self.nodes {
-            node.shutdown();
+        for entry in self.nodes.read().iter() {
+            entry.worker.shutdown();
         }
     }
+}
+
+/// FNV-1a over the composition name: the stable hash behind
+/// composition-affinity placement (the network gateway uses the same one so
+/// in-process and remote clusters agree on stickiness).
+pub fn composition_affinity_hash(composition: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in composition.as_bytes() {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -260,6 +373,59 @@ mod tests {
         assert!(cluster
             .poll(dandelion_common::InvocationId::from_raw(u64::MAX))
             .is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn poll_routes_by_recorded_owner() {
+        let cluster = cluster(LoadBalancing::RoundRobin, 3);
+        let (node, handle) = cluster
+            .submit("Identity", vec![DataSet::single("In", vec![7])])
+            .unwrap();
+        let id = handle.id();
+        assert_eq!(cluster.invocation_owner(id), Some(node));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !handle.status().is_terminal() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        let snapshot = cluster.poll(id).expect("routed poll finds the invocation");
+        assert_eq!(snapshot.id, id);
+        assert!(snapshot.status.is_terminal());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn draining_nodes_stop_receiving_work() {
+        let cluster = cluster(LoadBalancing::RoundRobin, 2);
+        let drained = cluster.stats()[0].0;
+        assert!(cluster.drain_node(drained));
+        assert!(!cluster.drain_node(NodeId::from_raw(u64::MAX)));
+        for _ in 0..4 {
+            cluster
+                .invoke("Identity", vec![DataSet::single("In", vec![1])])
+                .unwrap();
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats[0].1.invocations, 0, "draining node got new work");
+        assert_eq!(stats[1].1.invocations, 4);
+        // Ejecting the drained member shrinks the cluster; the survivor
+        // still serves.
+        assert!(cluster.eject(drained).is_some());
+        assert_eq!(cluster.node_count(), 1);
+        cluster
+            .invoke("Identity", vec![DataSet::single("In", vec![2])])
+            .unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn all_draining_refuses_submissions() {
+        let cluster = cluster(LoadBalancing::LeastLoaded, 1);
+        let node = cluster.stats()[0].0;
+        assert!(cluster.drain_node(node));
+        let refused = cluster.submit("Identity", vec![DataSet::single("In", vec![1])]);
+        assert!(refused.is_err());
         cluster.shutdown();
     }
 

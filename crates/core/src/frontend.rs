@@ -63,6 +63,7 @@ enum Route {
     ListCompositions,
     RegisterComposition,
     Stats,
+    Drain,
     InvokeSync(String),
     SubmitInvocation(String),
     PollInvocation(String),
@@ -77,6 +78,7 @@ impl Route {
             (Method::Get, ["v1", "compositions"]) => Route::ListCompositions,
             (Method::Post, ["v1", "compositions"]) => Route::RegisterComposition,
             (Method::Get, ["v1", "stats"]) => Route::Stats,
+            (Method::Post, ["v1", "drain"]) => Route::Drain,
             (Method::Post, ["v1", "invoke", name]) if !name.is_empty() => {
                 Route::InvokeSync((*name).to_string())
             }
@@ -201,6 +203,7 @@ impl Frontend {
             }
             Route::RegisterComposition => self.register_composition(request),
             Route::Stats => self.stats(),
+            Route::Drain => self.drain(),
             Route::InvokeSync(name) => return self.invoke_sync(&name, request),
             Route::SubmitInvocation(name) => self.submit_invocation(&name, request),
             Route::PollInvocation(id) => self.poll_invocation(&id),
@@ -218,9 +221,28 @@ impl Frontend {
         }
     }
 
+    /// `POST /v1/drain`: raise the node's drain signal. New invocations are
+    /// refused with a retryable `503` while in-flight work completes; the
+    /// cluster gateway sends this before taking a member out of rotation.
+    fn drain(&self) -> HttpResponse {
+        self.worker.begin_drain();
+        json_response(
+            StatusCode::ACCEPTED,
+            &JsonValue::object([
+                ("status", JsonValue::string("draining")),
+                ("inflight", JsonValue::from(self.worker.inflight())),
+            ]),
+        )
+    }
+
     fn stats(&self) -> HttpResponse {
         let stats = self.worker.stats();
         let mut pairs: Vec<(String, JsonValue)> = vec![
+            ("inflight".into(), JsonValue::from(self.worker.inflight())),
+            (
+                "draining".into(),
+                JsonValue::from(self.worker.is_draining()),
+            ),
             ("invocations".into(), JsonValue::from(stats.invocations)),
             ("failures".into(), JsonValue::from(stats.failures)),
             ("compute_tasks".into(), JsonValue::from(stats.compute_tasks)),

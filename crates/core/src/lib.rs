@@ -38,7 +38,7 @@ pub mod task;
 pub mod worker;
 
 pub use client::{ClientHandle, ClientPoll, DandelionClient};
-pub use cluster::ClusterManager;
+pub use cluster::{composition_affinity_hash, ClusterManager};
 pub use control::PiController;
 pub use dispatcher::{
     DispatchMetrics, Dispatcher, InvocationHandle, InvocationOutcome, InvocationSnapshot,

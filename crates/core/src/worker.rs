@@ -57,6 +57,9 @@ pub struct WorkerNode {
     communication_pool: Arc<EnginePool>,
     control_plane: Option<ControlPlane>,
     metrics: Arc<DispatchMetrics>,
+    /// Drain signal: while set, `submit` refuses new work so in-flight
+    /// invocations can finish (rolling restarts, gateway-driven draining).
+    draining: std::sync::atomic::AtomicBool,
 }
 
 impl WorkerNode {
@@ -123,6 +126,7 @@ impl WorkerNode {
             communication_pool,
             control_plane,
             metrics,
+            draining: std::sync::atomic::AtomicBool::new(false),
         }))
     }
 
@@ -166,6 +170,12 @@ impl WorkerNode {
         composition: &str,
         inputs: Vec<DataSet>,
     ) -> DandelionResult<InvocationHandle> {
+        if self.is_draining() {
+            return Err(DandelionError::ServiceError {
+                status: 503,
+                message: "node is draining and refuses new invocations".to_string(),
+            });
+        }
         let graph = self.registry.composition(composition)?;
         self.dispatcher.submit(graph, inputs)
     }
@@ -227,6 +237,28 @@ impl WorkerNode {
     /// failing with [`DandelionError::Cancelled`].
     pub fn drain(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
+        self.wait_drained(deadline)
+    }
+
+    /// Raises the drain signal: [`WorkerNode::submit`] refuses further work
+    /// with a retryable `503` while in-flight invocations run to completion.
+    /// A cluster gateway sends this ahead of a rolling restart so the node
+    /// empties before it is taken out of rotation.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Lowers the drain signal, returning the node to service.
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the drain signal is raised.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn wait_drained(&self, deadline: std::time::Instant) -> bool {
         while self.inflight() > 0 {
             if std::time::Instant::now() >= deadline {
                 return false;

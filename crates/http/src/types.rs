@@ -241,6 +241,17 @@ impl Headers {
             .map(|(_, value)| value.as_str())
     }
 
+    /// Removes every value of a header, case-insensitively. Returns `true`
+    /// when at least one entry was removed. Proxies use this to strip
+    /// hop-by-hop headers (`Connection`, `Content-Length`) before a message
+    /// is re-framed for the next hop.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(key, _)| !key.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
     /// Returns all values of a header, case-insensitively.
     pub fn get_all(&self, name: &str) -> Vec<&str> {
         self.entries

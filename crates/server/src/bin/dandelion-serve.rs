@@ -1,17 +1,24 @@
-//! Serves the demo worker over TCP.
+//! Serves the demo worker over TCP — standalone, as a cluster gateway, or
+//! as a cluster member.
 //!
 //! ```text
 //! dandelion-serve [--addr 127.0.0.1:8080] [--cores N] [--event-loops N]
 //!                 [--max-connections N] [--max-head-bytes N]
 //!                 [--max-body-bytes N] [--read-timeout-ms N]
 //!                 [--rate-limit RPS] [--rate-burst N]
+//!                 [--gateway] [--member HOST:PORT]... [--join HOST:PORT]
 //! ```
 //!
-//! The worker comes up with every demo application registered (matmul,
-//! log processing, image compression, fetch-and-compute, Text2SQL, SSB
-//! queries) and the simulated service environment, so the v1 endpoints are
-//! immediately invocable with `curl` — see the README's "Serving over the
-//! network" section for examples.
+//! Roles:
+//!
+//! * **standalone** (default): one worker behind one server, every demo
+//!   application registered and immediately invocable with `curl`.
+//! * **gateway** (`--gateway`): no local worker. The server fronts the
+//!   cluster members named by `--member` flags (more can join at runtime
+//!   via `POST /v1/cluster/members`) and routes v1 traffic across them —
+//!   see the README's "Cluster serving" section.
+//! * **member** (`--join GATEWAY`): a standalone worker that announces
+//!   itself to a running gateway after binding, then serves as usual.
 //!
 //! Flag combinations are validated up front (a clear message and exit code
 //! `2`, never a panic), and the *actually bound* address is reported on
@@ -21,18 +28,25 @@ use std::process::exit;
 use std::sync::Arc;
 
 use dandelion_core::Frontend;
-use dandelion_server::{RateLimit, Server, ServerConfig};
+use dandelion_server::{GatewayConfig, RateLimit, Router, Server, ServerConfig};
 
 struct Options {
     config: ServerConfig,
     cores: usize,
+    /// Run as the cluster gateway (no local worker).
+    gateway: bool,
+    /// Members a gateway joins at startup.
+    members: Vec<String>,
+    /// Gateway a member announces itself to after binding.
+    join: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dandelion-serve [--addr HOST:PORT] [--cores N] [--event-loops N] \
          [--max-connections N] [--max-head-bytes N] [--max-body-bytes N] \
-         [--read-timeout-ms N] [--rate-limit RPS] [--rate-burst N]"
+         [--read-timeout-ms N] [--rate-limit RPS] [--rate-burst N] \
+         [--gateway] [--member HOST:PORT]... [--join HOST:PORT]"
     );
     exit(2);
 }
@@ -51,6 +65,9 @@ fn parse_options() -> Options {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .max(2),
+        gateway: false,
+        members: Vec::new(),
+        join: None,
     };
     let mut rate_limit: Option<u32> = None;
     let mut rate_burst: Option<u32> = None;
@@ -59,6 +76,10 @@ fn parse_options() -> Options {
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             usage();
+        }
+        if flag == "--gateway" {
+            options.gateway = true;
+            continue;
         }
         let Some(value) = args.next() else { usage() };
         let numeric = || -> usize {
@@ -82,6 +103,8 @@ fn parse_options() -> Options {
             }
             "--rate-limit" => rate_limit = Some(numeric() as u32),
             "--rate-burst" => rate_burst = Some(numeric() as u32),
+            "--member" => options.members.push(value.clone()),
+            "--join" => options.join = Some(value.clone()),
             _ => usage(),
         }
     }
@@ -108,14 +131,82 @@ fn parse_options() -> Options {
     if event_loops_flag && options.config.event_loops == 0 {
         invalid("--event-loops must be >= 1");
     }
+    if options.gateway && options.join.is_some() {
+        invalid("--gateway and --join are mutually exclusive (a gateway is not a member)");
+    }
+    if !options.gateway && !options.members.is_empty() {
+        invalid("--member requires --gateway");
+    }
     if let Err(problem) = options.config.validate() {
         invalid(&problem);
     }
     options
 }
 
+/// Gateway role: no local worker; route across the members.
+fn run_gateway(options: Options) -> ! {
+    let router = Router::start(GatewayConfig::default());
+    let event_loops = options.config.resolved_event_loops();
+    let members = options.members.clone();
+    let server = match Server::start_gateway(options.config, Arc::clone(&router)) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("failed to bind: {error}");
+            exit(1);
+        }
+    };
+    for member in &members {
+        match member.parse() {
+            Ok(addr) => match router.join(addr) {
+                Ok(node) => println!("  member {member} joined as {node}"),
+                Err(problem) => eprintln!("  member {member} failed to join: {problem}"),
+            },
+            Err(_) => invalid(&format!("--member expects HOST:PORT, got `{member}`")),
+        }
+    }
+    println!(
+        "dandelion-serve gateway listening on http://{}",
+        server.local_addr()
+    );
+    println!(
+        "  {} event loops, {} members",
+        event_loops,
+        router.member_rows().len()
+    );
+    println!(
+        "  try: curl http://{}/v1/cluster/members",
+        server.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Announces a member's bound address to its gateway.
+fn announce_to_gateway(gateway: &str, local: std::net::SocketAddr) {
+    use dandelion_http::HttpRequest;
+    use dandelion_server::HttpClientConnection;
+    let body = format!("{{\"addr\":\"{local}\"}}").into_bytes();
+    let result = HttpClientConnection::connect(gateway, std::time::Duration::from_secs(2))
+        .and_then(|mut client| client.request(&HttpRequest::post("/v1/cluster/members", body)));
+    match result {
+        Ok(response) if response.status.is_success() => {
+            println!("  joined gateway {gateway}");
+        }
+        Ok(response) => eprintln!(
+            "  gateway {gateway} refused the join ({}): {}",
+            response.status.0,
+            response.body_text()
+        ),
+        Err(error) => eprintln!("  could not reach gateway {gateway}: {error}"),
+    }
+}
+
 fn main() {
     let options = parse_options();
+    if options.gateway {
+        run_gateway(options);
+    }
     let worker = match dandelion_apps::setup::demo_worker(options.cores, false) {
         Ok(worker) => worker,
         Err(error) => {
@@ -125,6 +216,7 @@ fn main() {
     };
     let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
     let event_loops = options.config.resolved_event_loops();
+    let join = options.join.clone();
     let server = match Server::start(options.config, frontend) {
         Ok(server) => server,
         Err(error) => {
@@ -145,6 +237,9 @@ fn main() {
         worker.registry().composition_names().len()
     );
     println!("  try: curl http://{}/healthz", server.local_addr());
+    if let Some(gateway) = join {
+        announce_to_gateway(&gateway, server.local_addr());
+    }
     // Serve until the process is killed; the server's threads do the work.
     loop {
         std::thread::park();

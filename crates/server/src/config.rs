@@ -31,6 +31,11 @@ pub struct ServerConfig {
     /// mid-request stall past it gets `408` and a close; an idle connection
     /// is closed silently (counted in `idle_closed`).
     pub read_timeout: Duration,
+    /// Deadline for an in-flight response to make write progress. A client
+    /// that stops reading (zero bytes drained for this long) is closed
+    /// silently and counted in `write_timeouts` — it would otherwise pin
+    /// its response buffers until drain.
+    pub write_timeout: Duration,
     /// How long shutdown waits for in-flight invocations to settle — and
     /// the hard ceiling on how long a draining event loop keeps unfinished
     /// connections open.
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             max_connections: 4096,
             limits: ParseLimits::default(),
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
             read_chunk_bytes: 64 * KIB,
             rate_limit: None,
@@ -96,6 +102,9 @@ impl ServerConfig {
         }
         if self.read_timeout.is_zero() {
             return Err("read_timeout must be non-zero".to_string());
+        }
+        if self.write_timeout.is_zero() {
+            return Err("write_timeout must be non-zero".to_string());
         }
         if let Some(rate) = &self.rate_limit {
             if rate.requests_per_sec == 0 {

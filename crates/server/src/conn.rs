@@ -42,8 +42,9 @@ use dandelion_http::{
 };
 
 use crate::event_loop::{LoopMsg, LoopShared};
+use crate::gateway::GatewayReply;
 use crate::rate::RateLimit;
-use crate::server::Shared;
+use crate::server::{AppKind, Shared};
 use crate::sys::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Builds the JSON error body shared by every connection-level rejection.
@@ -172,6 +173,15 @@ pub(crate) struct Conn {
     /// When an idle keep-alive connection (nothing buffered, nothing
     /// queued) is closed silently.
     idle_deadline: Instant,
+    /// Deadline for the in-flight response to make write progress; armed
+    /// when the socket refuses bytes, pushed forward whenever the client
+    /// drains some, disarmed when the response completes. A client that
+    /// never reads is closed (counted in `write_timeouts`) instead of
+    /// holding its buffers until drain.
+    write_deadline: Option<Instant>,
+    /// `RopeWriter::written` when the write deadline was last (re)armed;
+    /// progress past it counts as the client still reading.
+    write_progress_mark: usize,
 }
 
 impl Conn {
@@ -190,6 +200,8 @@ impl Conn {
             interest: EPOLLIN | EPOLLRDHUP,
             request_deadline: None,
             idle_deadline: Instant::now() + shared.config.read_timeout,
+            write_deadline: None,
+            write_progress_mark: 0,
         }
     }
 
@@ -282,7 +294,7 @@ impl Conn {
                     Err(_) => return Verdict::Close,
                 }
             }
-            match self.flush(stopping) {
+            match self.flush(shared, stopping) {
                 Flush::Close => return Verdict::Close,
                 Flush::Progress => progressed = true,
                 Flush::Blocked => {}
@@ -329,25 +341,45 @@ impl Conn {
                 return;
             }
         }
-        match shared.frontend.begin(&request) {
-            FrontendReply::Ready(response) => self.enqueue(response, close),
-            FrontendReply::Pending(handle) => {
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                self.slots.push_back(Slot::Waiting { close });
-                let me = Arc::clone(me);
-                let token = self.token;
-                // Runs on the dispatcher driver thread when the worker
-                // settles the invocation: encode there (cheap, zero-copy
-                // for single outputs) and wake the owning event loop.
-                handle.on_settle(move |outcome| {
-                    me.post(LoopMsg::Complete {
-                        token,
-                        seq,
-                        response: sync_invoke_response(outcome),
+        match &shared.app {
+            AppKind::Local(frontend) => match frontend.begin(&request) {
+                FrontendReply::Ready(response) => self.enqueue(response, close),
+                FrontendReply::Pending(handle) => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.slots.push_back(Slot::Waiting { close });
+                    me.inflight.fetch_add(1, Ordering::Relaxed);
+                    let me = Arc::clone(me);
+                    let token = self.token;
+                    // Runs on the dispatcher driver thread when the worker
+                    // settles the invocation: encode there (cheap, zero-copy
+                    // for single outputs) and wake the owning event loop.
+                    handle.on_settle(move |outcome| {
+                        me.post(LoopMsg::Complete {
+                            token,
+                            seq,
+                            response: sync_invoke_response(outcome),
+                        });
                     });
-                });
-            }
+                }
+            },
+            AppKind::Gateway(router) => match router.dispatch(&request) {
+                GatewayReply::Respond(response) => self.enqueue(response, close),
+                GatewayReply::Forward(plan) => {
+                    // Park a response slot and hand the plan to the owning
+                    // event loop (its own inbox — drained this iteration),
+                    // which executes it on a pooled upstream connection.
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.slots.push_back(Slot::Waiting { close });
+                    me.inflight.fetch_add(1, Ordering::Relaxed);
+                    me.post(LoopMsg::Forward {
+                        token: self.token,
+                        seq,
+                        plan: Box::new(plan),
+                    });
+                }
+            },
         }
     }
 
@@ -383,7 +415,7 @@ impl Conn {
         self.stop_reading = true;
         self.enqueue(timeout_response(), true);
         let stopping = shared.stopping.load(Ordering::Acquire);
-        match self.flush(stopping) {
+        match self.flush(shared, stopping) {
             Flush::Close => Verdict::Close,
             _ => Verdict::Keep,
         }
@@ -391,6 +423,11 @@ impl Conn {
 
     /// Whether a deadline has passed, and which one.
     pub(crate) fn due(&self, now: Instant) -> Option<Due> {
+        if let Some(deadline) = self.write_deadline {
+            if now >= deadline {
+                return Some(Due::WriteStalled);
+            }
+        }
         if let Some(deadline) = self.request_deadline {
             if now >= deadline && !self.stop_reading {
                 return Some(Due::RequestStalled);
@@ -404,19 +441,32 @@ impl Conn {
 
     /// Pushes queued responses onto the wire until everything ready is
     /// delivered or the socket refuses more bytes.
-    fn flush(&mut self, stopping: bool) -> Flush {
+    fn flush(&mut self, shared: &Shared, stopping: bool) -> Flush {
         let mut progressed = false;
         loop {
             if let Some(writer) = &mut self.writer {
                 match writer.write_some(&mut self.stream) {
                     Ok(true) => {
                         self.writer = None;
+                        self.write_deadline = None;
+                        self.write_progress_mark = 0;
                         progressed = true;
                         if self.close_after_write {
                             return Flush::Close;
                         }
                     }
-                    Ok(false) => return Flush::Blocked,
+                    Ok(false) => {
+                        // Blocked mid-response: (re)arm the write deadline,
+                        // crediting any bytes the client drained since the
+                        // last arm — only a fully stalled reader expires.
+                        let written = writer.written();
+                        if self.write_deadline.is_none() || written > self.write_progress_mark {
+                            self.write_deadline =
+                                Some(Instant::now() + shared.config.write_timeout);
+                            self.write_progress_mark = written;
+                        }
+                        return Flush::Blocked;
+                    }
                     Err(_) => return Flush::Close,
                 }
                 continue;
@@ -463,6 +513,9 @@ pub(crate) enum Due {
     RequestStalled,
     /// An idle keep-alive connection outlived the idle window: silent close.
     Idle,
+    /// The in-flight response made no write progress within
+    /// `write_timeout`: the client stopped reading, close silently.
+    WriteStalled,
 }
 
 enum Flush {

@@ -2,33 +2,46 @@
 //!
 //! A small, fixed pool of loop threads replaces the PR 4 model of one
 //! handler thread per connection: each loop owns an [`Epoll`] instance, an
-//! [`EventFd`] waker, and a slab of [`Conn`] state machines. All sockets
+//! [`EventFd`] waker, and a slab of connection state machines. All sockets
 //! are non-blocking; a connection consumes memory only — never a thread —
 //! while it is idle or while an invocation runs on the worker, which is
 //! what lets two loops hold thousands of keep-alive connections open.
 //!
+//! The slab holds two kinds of endpoint. **Client** connections
+//! ([`Conn`]) are the downstream side: requests in, responses out. In
+//! gateway mode the slab also hosts **upstream** connections
+//! ([`UpstreamConn`]) — pooled, pipelined keep-alive connections to
+//! cluster members, owned per loop so a proxied exchange never crosses a
+//! thread: the client parks a response slot, the forward rides an
+//! upstream connection of the same loop, and the member's response is
+//! delivered straight back into the client's slot, body by reference.
+//!
 //! Cross-thread traffic arrives through each loop's inbox: the accept path
-//! (loop 0 owns the non-blocking listener) posts admitted connections
-//! round-robin, and the dispatcher's completion callbacks post finished
-//! responses ([`LoopMsg::Complete`]) — both followed by an `eventfd` signal
-//! so the target loop wakes from `epoll_wait` immediately.
+//! (loop 0 owns the non-blocking listener) posts admitted connections to
+//! the least-loaded loop, the dispatcher's completion callbacks post
+//! finished responses ([`LoopMsg::Complete`]), and gateway dispatch posts
+//! forward plans ([`LoopMsg::Forward`]) — each followed by an `eventfd`
+//! signal so the target loop wakes from `epoll_wait` immediately.
 //!
 //! Tokens carry a generation tag: when a connection closes its slab index
 //! is recycled, and the bumped generation makes stale epoll events or
 //! late completions for the old occupant fall harmlessly on the floor.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{IpAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use dandelion_http::HttpResponse;
+use dandelion_common::{InvocationId, JsonValue, NodeId};
+use dandelion_http::{HttpResponse, StatusCode};
 use parking_lot::Mutex;
 
 use crate::conn::{overloaded_response, response_rope, Conn, Due, Verdict};
-use crate::server::Shared;
+use crate::gateway::upstream::{Origin, UpstreamConn, UpstreamVerdict};
+use crate::gateway::{proxy_response, upstream_failed_response, ForwardPlan, MemberLoad, Router};
+use crate::server::{AppKind, Shared};
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLRDHUP};
 
 /// Token of the listener registration (loop 0 only).
@@ -40,7 +53,8 @@ const EVENT_BATCH: usize = 256;
 /// Idle `epoll_wait` timeout; bounds how late a deadline scan can run.
 const TICK_MS: i32 = 25;
 
-/// A message for one event loop, posted by another thread.
+/// A message for one event loop, posted by another thread (or by the loop
+/// itself, for work it must finish outside a connection borrow).
 pub(crate) enum LoopMsg {
     /// An admitted connection to adopt (from the accept path).
     Accept(TcpStream, IpAddr),
@@ -51,6 +65,13 @@ pub(crate) enum LoopMsg {
         seq: u64,
         response: HttpResponse,
     },
+    /// A gateway forward plan for slot `seq` of the client connection
+    /// `token`: execute it on one of this loop's upstream connections.
+    Forward {
+        token: u64,
+        seq: u64,
+        plan: Box<ForwardPlan>,
+    },
 }
 
 /// The cross-thread half of one event loop: an inbox plus the eventfd that
@@ -59,6 +80,12 @@ pub(crate) enum LoopMsg {
 pub(crate) struct LoopShared {
     inbox: Mutex<VecDeque<LoopMsg>>,
     waker: EventFd,
+    /// Gauge: connections owned by (or in transit to) this loop. Fed by the
+    /// accept path's placement decision, drained by `close`.
+    pub(crate) connections: AtomicUsize,
+    /// Gauge: invocations in flight for connections on this loop (parked
+    /// `Waiting` slots, including proxied upstream requests).
+    pub(crate) inflight: AtomicUsize,
 }
 
 impl LoopShared {
@@ -66,7 +93,16 @@ impl LoopShared {
         Ok(LoopShared {
             inbox: Mutex::new(VecDeque::new()),
             waker: EventFd::new()?,
+            connections: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
         })
+    }
+
+    /// The placement score of this loop: open connections weighted with the
+    /// work actually in flight, so a loop holding mostly-idle keep-alives
+    /// still out-bids one driving busy invocations.
+    pub(crate) fn load_score(&self) -> usize {
+        self.connections.load(Ordering::Relaxed) + 4 * self.inflight.load(Ordering::Relaxed)
     }
 
     /// Enqueues a message and wakes the loop.
@@ -86,11 +122,27 @@ impl LoopShared {
     }
 }
 
+/// A slab occupant: a downstream client or (gateway mode) an upstream
+/// member connection.
+enum Endpoint {
+    Client(Conn),
+    Upstream(UpstreamConn),
+}
+
 /// One slab entry; the generation survives the occupant so stale tokens
 /// can be recognized.
 struct SlabEntry {
     generation: u32,
-    conn: Option<Conn>,
+    endpoint: Option<Endpoint>,
+}
+
+/// This loop's pooled upstream connections to one member.
+struct NodePool {
+    /// The member's gateway-side load gauges (shared with the router).
+    load: Arc<MemberLoad>,
+    /// Tokens of the live upstream connections (kept consistent by
+    /// `close_upstream`).
+    conns: Vec<u64>,
 }
 
 /// One epoll-driven event loop thread.
@@ -103,7 +155,11 @@ pub(crate) struct EventLoop {
     listener: Option<TcpListener>,
     slab: Vec<SlabEntry>,
     free: Vec<usize>,
+    /// Open **client** connections (upstreams do not count — the loop may
+    /// exit a drain with idle upstreams still in the slab).
     open: usize,
+    /// Gateway mode: per-member upstream connection pools.
+    pools: HashMap<NodeId, NodePool>,
     /// Set when draining begins; connections still open past it are
     /// force-closed so shutdown cannot hang on a stuck client.
     drain_deadline: Option<Instant>,
@@ -135,12 +191,22 @@ impl EventLoop {
             slab: Vec::new(),
             free: Vec::new(),
             open: 0,
+            pools: HashMap::new(),
             drain_deadline: None,
         })
     }
 
+    /// The router, in gateway mode. Upstream machinery is unreachable in
+    /// local mode, so the expect documents an invariant, not a user error.
+    fn router(&self) -> Arc<Router> {
+        match &self.shared.app {
+            AppKind::Gateway(router) => Arc::clone(router),
+            AppKind::Local(_) => unreachable!("upstream machinery requires gateway mode"),
+        }
+    }
+
     /// Runs until the server drains: stopping flag set and every owned
-    /// connection released.
+    /// client connection released.
     pub(crate) fn run(mut self) {
         let mut events = [EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
         loop {
@@ -166,15 +232,20 @@ impl EventLoop {
 
     /// Stops admitting (loop 0 closes the listener) and sweeps idle
     /// connections; busy ones drain at their next response boundary, with a
-    /// hard deadline backstop.
+    /// hard deadline backstop. Idle upstream connections are released
+    /// immediately — ones with pending responses finish their exchanges.
     fn begin_drain(&mut self) {
         self.drain_deadline = Some(Instant::now() + self.shared.config.drain_timeout);
         if let Some(listener) = self.listener.take() {
             let _ = self.epoll.delete(listener.as_raw_fd());
         }
         for index in 0..self.slab.len() {
-            if self.slab[index].conn.is_some() {
-                self.service(index, false);
+            match &self.slab[index].endpoint {
+                Some(Endpoint::Client(_)) => self.service(index, false),
+                Some(Endpoint::Upstream(upstream)) if upstream.depth() == 0 => {
+                    self.close_upstream(index);
+                }
+                _ => {}
             }
         }
     }
@@ -201,7 +272,9 @@ impl EventLoop {
         }
     }
 
-    /// Admission control plus round-robin placement across the loops.
+    /// Admission control plus least-loaded placement across the loops: the
+    /// accepting loop reads every loop's connection and in-flight gauges
+    /// and hands the connection to the cheapest one (itself included).
     fn admit(&mut self, stream: TcpStream, peer: IpAddr) {
         if self.shared.stopping.load(Ordering::Acquire) {
             return;
@@ -214,8 +287,19 @@ impl EventLoop {
             return;
         }
         self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        let target =
-            self.shared.next_loop.fetch_add(1, Ordering::Relaxed) % self.shared.loops.len();
+        let target = self
+            .shared
+            .loops
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, loop_shared)| loop_shared.load_score())
+            .map(|(index, _)| index)
+            .unwrap_or(self.index);
+        // Count the connection against the target immediately so the next
+        // placement decision sees it even before the target loop adopts it.
+        self.shared.loops[target]
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
         if target == self.index {
             self.adopt(stream, peer);
         } else {
@@ -238,23 +322,29 @@ impl EventLoop {
         let _ = rope.write_to(&mut stream);
     }
 
+    /// Allocates a slab slot, returning its index.
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.slab.push(SlabEntry {
+                    generation: 0,
+                    endpoint: None,
+                });
+                self.slab.len() - 1
+            }
+        }
+    }
+
     /// Takes ownership of an admitted connection: non-blocking, slab slot,
     /// epoll registration.
     fn adopt(&mut self, stream: TcpStream, peer: IpAddr) {
         if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
             self.shared.active.fetch_sub(1, Ordering::AcqRel);
+            self.me.connections.fetch_sub(1, Ordering::Relaxed);
             return;
         }
-        let index = match self.free.pop() {
-            Some(index) => index,
-            None => {
-                self.slab.push(SlabEntry {
-                    generation: 0,
-                    conn: None,
-                });
-                self.slab.len() - 1
-            }
-        };
+        let index = self.alloc_slot();
         let token = token_of(index, self.slab[index].generation);
         let conn = Conn::new(stream, peer, token, &self.shared);
         if self
@@ -264,9 +354,10 @@ impl EventLoop {
         {
             self.free.push(index);
             self.shared.active.fetch_sub(1, Ordering::AcqRel);
+            self.me.connections.fetch_sub(1, Ordering::Relaxed);
             return;
         }
-        self.slab[index].conn = Some(conn);
+        self.slab[index].endpoint = Some(Endpoint::Client(conn));
         self.open += 1;
         self.shared
             .stats
@@ -278,25 +369,41 @@ impl EventLoop {
         self.service(index, true);
     }
 
-    /// Routes one readiness event to its connection, ignoring stale tokens.
+    /// Routes one readiness event to its endpoint, ignoring stale tokens.
     fn conn_event(&mut self, token: u64, events: u32) {
         let index = (token & u32::MAX as u64) as usize;
         let generation = (token >> 32) as u32;
         let Some(entry) = self.slab.get(index) else {
             return;
         };
-        if entry.generation != generation || entry.conn.is_none() {
+        if entry.generation != generation {
             return;
         }
-        if events & (EPOLLERR | EPOLLHUP) != 0 {
-            self.close(index);
-            return;
+        let hangup = events & (EPOLLERR | EPOLLHUP) != 0;
+        let readable = events & (EPOLLIN | EPOLLRDHUP) != 0;
+        match &entry.endpoint {
+            None => {}
+            Some(Endpoint::Client(_)) => {
+                if hangup {
+                    self.close_client(index);
+                } else {
+                    // EPOLLRDHUP without data: the read path observes the
+                    // EOF itself.
+                    self.service(index, readable);
+                }
+            }
+            Some(Endpoint::Upstream(_)) => {
+                if hangup {
+                    self.fail_upstream(index);
+                } else {
+                    self.service_upstream(index, readable);
+                }
+            }
         }
-        // EPOLLRDHUP without data: the read path observes the EOF itself.
-        self.service(index, events & (EPOLLIN | EPOLLRDHUP) != 0);
     }
 
-    /// Pumps one connection and applies the verdict (close or re-arm).
+    /// Pumps one client connection and applies the verdict (close or
+    /// re-arm).
     ///
     /// A panic while servicing must cost only that connection, never the
     /// loop thread (which owns thousands of others): the unwind is caught
@@ -305,7 +412,7 @@ impl EventLoop {
         let shared = Arc::clone(&self.shared);
         let me = Arc::clone(&self.me);
         let verdict = {
-            let Some(conn) = self.slab[index].conn.as_mut() else {
+            let Some(Endpoint::Client(conn)) = self.slab[index].endpoint.as_mut() else {
                 return;
             };
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -314,36 +421,70 @@ impl EventLoop {
             .unwrap_or(Verdict::Close)
         };
         match verdict {
-            Verdict::Close => self.close(index),
+            Verdict::Close => self.close_client(index),
             Verdict::Keep => self.rearm(index),
         }
     }
 
-    /// Updates the epoll interest mask if the connection's needs changed.
-    fn rearm(&mut self, index: usize) {
-        let shared = Arc::clone(&self.shared);
-        let generation = self.slab[index].generation;
-        let Some(conn) = self.slab[index].conn.as_mut() else {
-            return;
+    /// Pumps one upstream connection: writes queued forwards, decodes
+    /// member responses, and delivers each to its waiting client slot.
+    fn service_upstream(&mut self, index: usize, readable: bool) {
+        let read_chunk = self.shared.config.read_chunk_bytes;
+        let (verdict, delivered, node) = {
+            let Some(Endpoint::Upstream(upstream)) = self.slab[index].endpoint.as_mut() else {
+                return;
+            };
+            let node = upstream.node();
+            let (verdict, delivered) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    upstream.pump(readable, read_chunk)
+                }))
+                .unwrap_or((UpstreamVerdict::Close, Vec::new()));
+            (verdict, delivered, node)
         };
-        let desired = conn.desired_interest(&shared);
-        if desired == conn.registered_interest() {
-            return;
+        for (origin, response) in delivered {
+            self.deliver(node, origin, response);
         }
-        let token = token_of(index, generation);
-        if self
-            .epoll
-            .modify(conn.stream().as_raw_fd(), desired, token)
-            .is_ok()
-        {
-            conn.set_registered_interest(desired);
+        match verdict {
+            UpstreamVerdict::Keep => self.rearm(index),
+            UpstreamVerdict::Close => self.fail_upstream(index),
         }
     }
 
-    /// Releases a connection: epoll deregistration, slab slot recycling
-    /// (generation bump), gauge updates.
-    fn close(&mut self, index: usize) {
-        let Some(conn) = self.slab[index].conn.take() else {
+    /// Updates the epoll interest mask if the endpoint's needs changed.
+    fn rearm(&mut self, index: usize) {
+        let shared = Arc::clone(&self.shared);
+        let generation = self.slab[index].generation;
+        let token = token_of(index, generation);
+        let (fd, desired, registered) = match self.slab[index].endpoint.as_ref() {
+            Some(Endpoint::Client(conn)) => (
+                conn.stream().as_raw_fd(),
+                conn.desired_interest(&shared),
+                conn.registered_interest(),
+            ),
+            Some(Endpoint::Upstream(upstream)) => (
+                upstream.stream().as_raw_fd(),
+                upstream.desired_interest(),
+                upstream.registered_interest(),
+            ),
+            None => return,
+        };
+        if desired == registered {
+            return;
+        }
+        if self.epoll.modify(fd, desired, token).is_ok() {
+            match self.slab[index].endpoint.as_mut() {
+                Some(Endpoint::Client(conn)) => conn.set_registered_interest(desired),
+                Some(Endpoint::Upstream(upstream)) => upstream.set_registered_interest(desired),
+                None => {}
+            }
+        }
+    }
+
+    /// Releases a client connection: epoll deregistration, slab slot
+    /// recycling (generation bump), gauge updates.
+    fn close_client(&mut self, index: usize) {
+        let Some(Endpoint::Client(conn)) = self.slab[index].endpoint.take() else {
             return;
         };
         let _ = self.epoll.delete(conn.stream().as_raw_fd());
@@ -355,10 +496,204 @@ impl EventLoop {
             .open_connections
             .fetch_sub(1, Ordering::Relaxed);
         self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        self.me.connections.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Applies queued cross-thread messages: adopted connections and
-    /// settled invocation responses.
+    /// Releases an upstream connection (no admission gauges — upstreams
+    /// are not admitted connections) and removes it from its pool.
+    /// Returns the connection so teardown can disposition its exchanges.
+    fn close_upstream(&mut self, index: usize) -> Option<UpstreamConn> {
+        let token = token_of(index, self.slab[index].generation);
+        let Some(Endpoint::Upstream(upstream)) = self.slab[index].endpoint.take() else {
+            return None;
+        };
+        let _ = self.epoll.delete(upstream.stream().as_raw_fd());
+        self.slab[index].generation = self.slab[index].generation.wrapping_add(1);
+        self.free.push(index);
+        if let Some(pool) = self.pools.get_mut(&upstream.node()) {
+            pool.conns.retain(|&existing| existing != token);
+        }
+        Some(upstream)
+    }
+
+    /// An upstream connection died. Exchanges already on the wire fail
+    /// with `502` — the member may have executed them, so replaying is not
+    /// safe. Exchanges still queued never left the gateway and are
+    /// replayed on another member, so a killed node costs only its truly
+    /// in-flight requests.
+    fn fail_upstream(&mut self, index: usize) {
+        let Some(mut upstream) = self.close_upstream(index) else {
+            return;
+        };
+        let node = upstream.node();
+        let router = self.router();
+        router.note_upstream_failure(node);
+        let unsent = upstream.take_unsent();
+        let sent = upstream.take_pending();
+        let load = self.pools.get(&node).map(|pool| Arc::clone(&pool.load));
+        for origin in sent {
+            if let Some(load) = &load {
+                router.note_settled(load, origin.bytes);
+            }
+            router.note_upstream_error();
+            self.complete_client(origin.token, origin.seq, upstream_failed_response(node));
+        }
+        for (rope, origin) in unsent {
+            if let Some(load) = &load {
+                router.note_settled(load, origin.bytes);
+            }
+            match router.plan_fallback(node, rope, origin.bytes, origin.track_submit) {
+                Some(plan) => self.forward(origin.token, origin.seq, plan),
+                None => {
+                    router.note_upstream_error();
+                    self.complete_client(origin.token, origin.seq, upstream_failed_response(node));
+                }
+            }
+        }
+    }
+
+    /// Executes a forward plan: find (or open) an upstream connection to
+    /// the planned member and pipeline the exchange onto it. Connect
+    /// failures re-plan onto another member until the attempt budget runs
+    /// out — a member that cannot even be reached costs nothing but
+    /// latency.
+    fn forward(&mut self, token: u64, seq: u64, mut plan: ForwardPlan) {
+        let router = self.router();
+        loop {
+            if let Some(upstream_index) = self.upstream_for(&plan) {
+                router.note_forward(&plan.load, plan.bytes);
+                let origin = Origin {
+                    token,
+                    seq,
+                    bytes: plan.bytes,
+                    track_submit: plan.track_submit,
+                };
+                let Some(Endpoint::Upstream(upstream)) =
+                    self.slab[upstream_index].endpoint.as_mut()
+                else {
+                    unreachable!("upstream_for returned a live upstream slot");
+                };
+                upstream.enqueue(plan.rope, origin);
+                self.service_upstream(upstream_index, false);
+                return;
+            }
+            // Could not reach the member at all: nothing was sent, so the
+            // exchange is free to try elsewhere.
+            router.note_upstream_failure(plan.node);
+            let failed = plan.node;
+            plan.tried.push(failed);
+            match router.replan(plan) {
+                Some(next) => plan = next,
+                None => {
+                    router.note_upstream_error();
+                    self.complete_client(token, seq, upstream_failed_response(failed));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The upstream connection a new exchange for `plan.node` should ride:
+    /// the shallowest pooled connection, or a fresh one while the pool is
+    /// below its per-loop budget and everything pooled is busy.
+    fn upstream_for(&mut self, plan: &ForwardPlan) -> Option<usize> {
+        let limit = self.router().config().upstreams_per_loop.max(1);
+        let pool = self.pools.entry(plan.node).or_insert_with(|| NodePool {
+            load: Arc::clone(&plan.load),
+            conns: Vec::new(),
+        });
+        let pooled = pool.conns.len();
+        let mut best: Option<(usize, usize)> = None;
+        for &token in &pool.conns {
+            let index = (token & u32::MAX as u64) as usize;
+            let Some(Endpoint::Upstream(upstream)) = self.slab[index].endpoint.as_ref() else {
+                continue;
+            };
+            let depth = upstream.depth();
+            if best.is_none_or(|(_, best_depth)| depth < best_depth) {
+                best = Some((index, depth));
+            }
+        }
+        let all_busy = best.is_none_or(|(_, depth)| depth > 0);
+        if all_busy && pooled < limit {
+            if let Some(index) = self.connect_upstream(plan) {
+                return Some(index);
+            }
+        }
+        best.map(|(index, _)| index)
+    }
+
+    /// Opens a new upstream connection to the planned member (short
+    /// blocking connect — the budget is the router's `connect_timeout`).
+    fn connect_upstream(&mut self, plan: &ForwardPlan) -> Option<usize> {
+        let timeout = self.router().config().connect_timeout;
+        let stream = TcpStream::connect_timeout(&plan.addr, timeout).ok()?;
+        stream.set_nodelay(true).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        let index = self.alloc_slot();
+        let token = token_of(index, self.slab[index].generation);
+        let upstream = UpstreamConn::new(stream, plan.node, self.shared.config.limits);
+        if self
+            .epoll
+            .add(upstream.stream().as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .is_err()
+        {
+            self.free.push(index);
+            return None;
+        }
+        self.slab[index].endpoint = Some(Endpoint::Upstream(upstream));
+        if let Some(pool) = self.pools.get_mut(&plan.node) {
+            pool.conns.push(token);
+        }
+        Some(index)
+    }
+
+    /// Delivers a member's response to the client slot that parked for it:
+    /// load gauges released, submit responses remembered for owner-routed
+    /// polls, hop-by-hop headers rewritten — the body buffer untouched.
+    fn deliver(&mut self, node: NodeId, origin: Origin, response: HttpResponse) {
+        let router = self.router();
+        if let Some(pool) = self.pools.get(&node) {
+            router.note_settled(&pool.load, origin.bytes);
+        }
+        if origin.track_submit && response.status == StatusCode::ACCEPTED {
+            if let Ok(document) = JsonValue::parse(&response.body_text()) {
+                if let Some(id) = document
+                    .get("invocation_id")
+                    .and_then(JsonValue::as_str)
+                    .and_then(InvocationId::parse)
+                {
+                    router.record_invocation(id, node);
+                }
+            }
+        }
+        self.complete_client(origin.token, origin.seq, proxy_response(response, node));
+    }
+
+    /// Fills a client's waiting slot with its response and services the
+    /// connection. Stale tokens (the client closed first) are dropped; the
+    /// in-flight gauge is released either way.
+    fn complete_client(&mut self, token: u64, seq: u64, response: HttpResponse) {
+        // Paired with the increment when the slot was parked; settled work
+        // leaves the load score even when the connection died before its
+        // completion arrived.
+        self.me.inflight.fetch_sub(1, Ordering::Relaxed);
+        let index = (token & u32::MAX as u64) as usize;
+        let generation = (token >> 32) as u32;
+        let Some(entry) = self.slab.get_mut(index) else {
+            return;
+        };
+        if entry.generation != generation {
+            return;
+        }
+        if let Some(Endpoint::Client(conn)) = entry.endpoint.as_mut() {
+            conn.complete(seq, response);
+            self.service(index, false);
+        }
+    }
+
+    /// Applies queued cross-thread messages: adopted connections, settled
+    /// invocation responses, and gateway forward plans.
     fn drain_inbox(&mut self) {
         for msg in self.me.drain() {
             match msg {
@@ -367,6 +702,7 @@ impl EventLoop {
                         // Admitted but the server started draining before
                         // the loop adopted it: release the admission slot.
                         self.shared.active.fetch_sub(1, Ordering::AcqRel);
+                        self.me.connections.fetch_sub(1, Ordering::Relaxed);
                         continue;
                     }
                     self.adopt(stream, peer);
@@ -375,20 +711,8 @@ impl EventLoop {
                     token,
                     seq,
                     response,
-                } => {
-                    let index = (token & u32::MAX as u64) as usize;
-                    let generation = (token >> 32) as u32;
-                    let Some(entry) = self.slab.get_mut(index) else {
-                        continue;
-                    };
-                    if entry.generation != generation {
-                        continue;
-                    }
-                    if let Some(conn) = entry.conn.as_mut() {
-                        conn.complete(seq, response);
-                        self.service(index, false);
-                    }
-                }
+                } => self.complete_client(token, seq, response),
+                LoopMsg::Forward { token, seq, plan } => self.forward(token, seq, *plan),
             }
         }
     }
@@ -398,39 +722,78 @@ impl EventLoop {
         let now = Instant::now();
         let force_close = self.drain_deadline.is_some_and(|deadline| now >= deadline);
         for index in 0..self.slab.len() {
-            if self.slab[index].conn.is_none() {
-                continue;
+            enum Action {
+                None,
+                CloseIdle,
+                CloseWriteStalled,
+                FireRequestTimeout,
+                FailUpstream,
+                ForceCloseClient,
             }
-            if force_close {
-                self.close(index);
-                continue;
-            }
-            let due = self.slab[index]
-                .conn
-                .as_ref()
-                .and_then(|conn| conn.due(now));
-            match due {
-                Some(Due::Idle) => {
+            let action = match &self.slab[index].endpoint {
+                None => Action::None,
+                Some(Endpoint::Client(conn)) => {
+                    if force_close {
+                        Action::ForceCloseClient
+                    } else {
+                        match conn.due(now) {
+                            Some(Due::Idle) => Action::CloseIdle,
+                            Some(Due::WriteStalled) => Action::CloseWriteStalled,
+                            Some(Due::RequestStalled) => Action::FireRequestTimeout,
+                            None => Action::None,
+                        }
+                    }
+                }
+                Some(Endpoint::Upstream(upstream)) => {
+                    let stalled = match &self.shared.app {
+                        AppKind::Gateway(router) => {
+                            upstream.stalled(now, router.config().upstream_timeout)
+                        }
+                        AppKind::Local(_) => false,
+                    };
+                    if force_close || stalled {
+                        Action::FailUpstream
+                    } else {
+                        Action::None
+                    }
+                }
+            };
+            match action {
+                Action::None => {}
+                Action::ForceCloseClient => self.close_client(index),
+                Action::CloseIdle => {
                     self.shared
                         .stats
                         .idle_closed
                         .fetch_add(1, Ordering::Relaxed);
-                    self.close(index);
+                    self.close_client(index);
                 }
-                Some(Due::RequestStalled) => {
+                Action::CloseWriteStalled => {
+                    // The client is not reading its response; there is no
+                    // point writing an error it will not read either.
+                    self.shared
+                        .stats
+                        .write_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.close_client(index);
+                }
+                Action::FailUpstream => self.fail_upstream(index),
+                Action::FireRequestTimeout => {
                     let shared = Arc::clone(&self.shared);
-                    let verdict = self.slab[index].conn.as_mut().map(|conn| {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            conn.fire_request_timeout(&shared)
-                        }))
-                        .unwrap_or(Verdict::Close)
-                    });
+                    let verdict = match self.slab[index].endpoint.as_mut() {
+                        Some(Endpoint::Client(conn)) => Some(
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                conn.fire_request_timeout(&shared)
+                            }))
+                            .unwrap_or(Verdict::Close),
+                        ),
+                        _ => None,
+                    };
                     match verdict {
-                        Some(Verdict::Close) => self.close(index),
+                        Some(Verdict::Close) => self.close_client(index),
                         _ => self.rearm(index),
                     }
                 }
-                None => {}
             }
         }
     }

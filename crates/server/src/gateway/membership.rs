@@ -1,0 +1,153 @@
+//! The gateway's membership table.
+//!
+//! Each member is a worker node reachable over the v1 HTTP protocol. The
+//! table records what the node advertised (its compositions, refreshed on
+//! every health probe so changes re-advertise automatically), its health
+//! state, and the gateway-side load gauges the router places by: requests
+//! in flight to the node and bytes queued toward it.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dandelion_common::{JsonValue, NodeId};
+
+/// Health / lifecycle state of one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Probes succeed; the router sends new work here.
+    Healthy,
+    /// Consecutive failures crossed the ejection threshold: no new work
+    /// until a probe succeeds again (re-admission).
+    Ejected,
+    /// Draining for a rolling restart: no new work; the member is removed
+    /// once its in-flight count reaches zero.
+    Draining,
+}
+
+impl MemberState {
+    /// Stable lowercase name used in the membership JSON document.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemberState::Healthy => "healthy",
+            MemberState::Ejected => "ejected",
+            MemberState::Draining => "draining",
+        }
+    }
+}
+
+/// Gateway-side load gauges of one member, updated by the event loops as
+/// requests are forwarded and settled. Shared via `Arc` so routing reads
+/// them without holding the table lock.
+#[derive(Debug, Default)]
+pub struct MemberLoad {
+    /// Requests forwarded and not yet answered (or failed).
+    pub in_flight: AtomicUsize,
+    /// Serialized request bytes accepted for this member and not yet
+    /// settled — the "queued bytes" half of the load score.
+    pub queued_bytes: AtomicUsize,
+}
+
+impl MemberLoad {
+    /// The routing score: in-flight requests weighted with queued payload
+    /// (16 KiB of unsent body counts like one extra request).
+    pub fn score(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+            + self.queued_bytes.load(Ordering::Relaxed) / (16 * 1024)
+    }
+}
+
+/// One row of the membership table.
+pub struct Member {
+    /// Cluster-wide identity assigned at join.
+    pub id: NodeId,
+    /// Where the member's v1 HTTP server listens.
+    pub addr: SocketAddr,
+    /// Current health / lifecycle state.
+    pub state: MemberState,
+    /// Consecutive probe or data-path failures since the last success.
+    pub failures: u32,
+    /// Compositions the node advertised on its last successful probe.
+    pub compositions: Vec<String>,
+    /// Gateway-side load gauges.
+    pub load: Arc<MemberLoad>,
+}
+
+impl Member {
+    /// A freshly joined member.
+    pub fn new(addr: SocketAddr, state: MemberState, compositions: Vec<String>) -> Member {
+        Member {
+            id: NodeId::next(),
+            addr,
+            state,
+            failures: 0,
+            compositions,
+            load: Arc::new(MemberLoad::default()),
+        }
+    }
+
+    /// Whether the router may send new work here.
+    pub fn routable(&self) -> bool {
+        self.state == MemberState::Healthy
+    }
+
+    /// Whether this member advertises `composition`.
+    pub fn advertises(&self, composition: &str) -> bool {
+        self.compositions.iter().any(|name| name == composition)
+    }
+
+    /// The member as one entry of the membership JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("node", JsonValue::string(self.id.to_string())),
+            ("addr", JsonValue::string(self.addr.to_string())),
+            ("state", JsonValue::string(self.state.as_str())),
+            ("failures", JsonValue::from(u64::from(self.failures))),
+            (
+                "in_flight",
+                JsonValue::from(self.load.in_flight.load(Ordering::Relaxed)),
+            ),
+            (
+                "queued_bytes",
+                JsonValue::from(self.load.queued_bytes.load(Ordering::Relaxed)),
+            ),
+            (
+                "compositions",
+                JsonValue::array(
+                    self.compositions
+                        .iter()
+                        .map(|name| JsonValue::string(name.clone())),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_score_weighs_queued_bytes() {
+        let load = MemberLoad::default();
+        assert_eq!(load.score(), 0);
+        load.in_flight.store(3, Ordering::Relaxed);
+        load.queued_bytes.store(64 * 1024, Ordering::Relaxed);
+        assert_eq!(load.score(), 3 + 4);
+    }
+
+    #[test]
+    fn member_json_carries_identity_and_state() {
+        let member = Member::new(
+            "127.0.0.1:9000".parse().unwrap(),
+            MemberState::Healthy,
+            vec!["EchoComp".to_string()],
+        );
+        assert!(member.routable());
+        assert!(member.advertises("EchoComp"));
+        assert!(!member.advertises("Other"));
+        let json = member.to_json().to_json_string();
+        assert!(json.contains("\"state\":\"healthy\""));
+        assert!(json.contains("EchoComp"));
+    }
+}

@@ -1,0 +1,1105 @@
+//! The gateway router: one front door for a cluster of worker nodes.
+//!
+//! The router owns the membership table and decides, per request, whether
+//! the gateway answers locally (cluster control plane, stats, health) or
+//! forwards to a member over the v1 HTTP protocol. Forwarding is planned
+//! here but executed by the event loops: the router returns a
+//! [`ForwardPlan`] carrying the serialized request (body attached by
+//! reference) and the chosen member, and the loop pipelines it onto a
+//! pooled upstream connection.
+//!
+//! Routing is load-aware with composition affinity: invocations of a
+//! composition prefer a stable member (FNV hash of the name over the
+//! advertisers) so warm state — registered functions, cached contexts —
+//! concentrates, but a preferred member whose gateway-side load score runs
+//! far past the cluster minimum loses the request to the least-loaded
+//! member. Status polls follow the member that accepted the submission
+//! through a bounded invocation-owner map.
+//!
+//! A background health thread probes every member's `GET /v1/stats` on a
+//! fixed cadence, refreshes its advertised compositions (changes
+//! re-advertise automatically), ejects members after consecutive failures,
+//! re-admits them when probes succeed again, and removes draining members
+//! once their in-flight work settles.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use dandelion_common::{InvocationId, JsonValue, NodeId, Rope};
+use dandelion_core::composition_affinity_hash;
+use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
+use parking_lot::{Mutex, RwLock};
+
+use crate::client::HttpClientConnection;
+use crate::gateway::membership::{Member, MemberLoad, MemberState};
+
+/// Invocation-owner entries retained for poll routing; the oldest entries
+/// are evicted first once the map is full.
+const INVOCATION_ROUTE_CAPACITY: usize = 64 * 1024;
+
+/// How much worse (in load-score terms) the affinity-preferred member may
+/// be before the router abandons affinity for the least-loaded member:
+/// past `2 * min + SLACK` the preference loses.
+const AFFINITY_LOAD_SLACK: usize = 16;
+
+/// Tunables of the gateway router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Cadence of the per-member health probe (`GET /v1/stats`).
+    pub probe_interval: Duration,
+    /// Socket timeout of one probe or control-plane call to a member.
+    pub probe_timeout: Duration,
+    /// Timeout of one upstream `connect` on the data path (the loops call
+    /// this inline, so it must stay short).
+    pub connect_timeout: Duration,
+    /// Consecutive probe/data-path failures before a member is ejected.
+    pub fail_threshold: u32,
+    /// Pipelined upstream connections each event loop keeps per member.
+    pub upstreams_per_loop: usize,
+    /// Deadline for an upstream with pending responses to make progress;
+    /// past it the connection is failed and its exchanges answered `502`.
+    pub upstream_timeout: Duration,
+    /// Members tried (connect + plan) before a forward gives up with `502`.
+    pub max_forward_attempts: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+            connect_timeout: Duration::from_millis(250),
+            fail_threshold: 3,
+            upstreams_per_loop: 2,
+            upstream_timeout: Duration::from_secs(30),
+            max_forward_attempts: 3,
+        }
+    }
+}
+
+/// A forward decision: which member gets the request, and the request
+/// already serialized for the wire (body by reference — the gateway never
+/// copies payloads between the two sockets).
+pub(crate) struct ForwardPlan {
+    /// The chosen member.
+    pub node: NodeId,
+    /// Its v1 HTTP listener.
+    pub addr: SocketAddr,
+    /// The member's gateway-side load gauges (shared, lock-free updates).
+    pub load: Arc<MemberLoad>,
+    /// The serialized request.
+    pub rope: Rope,
+    /// Wire size of `rope`, counted against the member's queued bytes.
+    pub bytes: usize,
+    /// Whether a `202` response carries an invocation id to remember for
+    /// owner-routed polls.
+    pub track_submit: bool,
+    /// The composition being invoked, when re-planning may use affinity.
+    pub composition: Option<String>,
+    /// Members already tried for this request (connect failures); replans
+    /// exclude them.
+    pub tried: Vec<NodeId>,
+}
+
+/// What the router decided about one request.
+pub(crate) enum GatewayReply {
+    /// The gateway answers this itself.
+    Respond(HttpResponse),
+    /// Forward to a member; the event loop executes the plan.
+    Forward(ForwardPlan),
+}
+
+/// Bounded invocation-id → owner map for poll routing.
+struct InvocationOwners {
+    owners: HashMap<InvocationId, NodeId>,
+    order: VecDeque<InvocationId>,
+}
+
+impl InvocationOwners {
+    fn record(&mut self, id: InvocationId, node: NodeId) {
+        if self.owners.insert(id, node).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > INVOCATION_ROUTE_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.owners.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// Gateway-level counters surfaced in `GET /v1/stats`.
+#[derive(Debug, Default)]
+struct GatewayStats {
+    /// Requests forwarded to members.
+    proxied: AtomicU64,
+    /// Forwards or upstream exchanges that failed (`502` to the client).
+    upstream_errors: AtomicU64,
+    /// Forwards replanned onto another member after a connect failure.
+    retries: AtomicU64,
+    /// Members ejected after consecutive failures.
+    ejections: AtomicU64,
+    /// Ejected members re-admitted by a succeeding probe.
+    readmissions: AtomicU64,
+    /// Draining members removed once their in-flight work settled.
+    drained_out: AtomicU64,
+}
+
+/// The cluster gateway's routing brain (see the module docs).
+pub struct Router {
+    config: GatewayConfig,
+    members: RwLock<Vec<Member>>,
+    owners: Mutex<InvocationOwners>,
+    stats: GatewayStats,
+    /// The serving layer's stats document, merged into `GET /v1/stats`.
+    server_stats: Mutex<Option<Arc<dyn Fn() -> JsonValue + Send + Sync>>>,
+    stopping: AtomicBool,
+    health_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Router {
+    /// Creates the router and starts its health thread. The thread holds a
+    /// weak reference, so dropping the last `Arc<Router>` (or calling
+    /// [`Router::shutdown`]) ends it.
+    pub fn start(config: GatewayConfig) -> Arc<Router> {
+        let router = Arc::new(Router {
+            config,
+            members: RwLock::new(Vec::new()),
+            owners: Mutex::new(InvocationOwners {
+                owners: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            stats: GatewayStats::default(),
+            server_stats: Mutex::new(None),
+            stopping: AtomicBool::new(false),
+            health_thread: Mutex::new(None),
+        });
+        let weak: Weak<Router> = Arc::downgrade(&router);
+        let interval = router.config.probe_interval;
+        let handle = std::thread::Builder::new()
+            .name("dandelion-gateway-health".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(router) = weak.upgrade() else {
+                    return;
+                };
+                if router.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                router.probe_members();
+            })
+            .expect("spawning the gateway health thread");
+        *router.health_thread.lock() = Some(handle);
+        router
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Stops the health thread. Forwarding keeps working (the server owns
+    /// the data path); health state is frozen.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::Release);
+        if let Some(handle) = self.health_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Installs the serving layer's stats source (set by the server when it
+    /// starts in gateway mode).
+    pub(crate) fn set_server_stats(&self, source: Arc<dyn Fn() -> JsonValue + Send + Sync>) {
+        *self.server_stats.lock() = Some(source);
+    }
+
+    // ------------------------------------------------------------------
+    // Membership control plane
+    // ------------------------------------------------------------------
+
+    /// Joins a member: probes its `/v1/stats` (liveness) and
+    /// `/v1/compositions` (advertisement), then adds it to the table.
+    pub fn join(&self, addr: SocketAddr) -> Result<NodeId, String> {
+        probe_stats(addr, self.config.probe_timeout)
+            .map_err(|error| format!("member {addr} failed its join probe: {error}"))?;
+        let compositions = fetch_compositions(addr, self.config.probe_timeout)
+            .map_err(|error| format!("member {addr} did not list compositions: {error}"))?;
+        let mut members = self.members.write();
+        // Re-joining an address resets it instead of duplicating the row
+        // (a restarted member announces itself again).
+        if let Some(existing) = members.iter_mut().find(|member| member.addr == addr) {
+            existing.state = MemberState::Healthy;
+            existing.failures = 0;
+            existing.compositions = compositions;
+            return Ok(existing.id);
+        }
+        let member = Member::new(addr, MemberState::Healthy, compositions);
+        let id = member.id;
+        members.push(member);
+        Ok(id)
+    }
+
+    /// Marks a member draining: no new work; the health thread removes it
+    /// once its in-flight count reaches zero. Returns the member's address
+    /// so the caller can relay the drain signal to the node itself.
+    pub fn drain(&self, node: NodeId) -> Option<SocketAddr> {
+        let mut members = self.members.write();
+        let member = members.iter_mut().find(|member| member.id == node)?;
+        member.state = MemberState::Draining;
+        Some(member.addr)
+    }
+
+    /// Members currently in the table, as `(id, addr, state)` rows.
+    pub fn member_rows(&self) -> Vec<(NodeId, SocketAddr, &'static str)> {
+        self.members
+            .read()
+            .iter()
+            .map(|member| (member.id, member.addr, member.state.as_str()))
+            .collect()
+    }
+
+    /// One health pass over every member (also exposed for tests that do
+    /// not want to wait for the probe cadence).
+    pub fn probe_members(&self) {
+        let snapshot: Vec<(NodeId, SocketAddr)> = self
+            .members
+            .read()
+            .iter()
+            .map(|member| (member.id, member.addr))
+            .collect();
+        for (node, addr) in snapshot {
+            let outcome = fetch_compositions(addr, self.config.probe_timeout);
+            let mut members = self.members.write();
+            let Some(member) = members.iter_mut().find(|member| member.id == node) else {
+                continue;
+            };
+            match outcome {
+                Ok(compositions) => {
+                    member.failures = 0;
+                    member.compositions = compositions;
+                    match member.state {
+                        MemberState::Ejected => {
+                            // Probes succeed again: re-admit.
+                            member.state = MemberState::Healthy;
+                            self.stats.readmissions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        MemberState::Draining => {
+                            if member.load.in_flight.load(Ordering::Relaxed) == 0 {
+                                self.stats.drained_out.fetch_add(1, Ordering::Relaxed);
+                                members.retain(|member| member.id != node);
+                            }
+                        }
+                        MemberState::Healthy => {}
+                    }
+                }
+                Err(_) => self.note_member_failure_locked(member),
+            }
+        }
+    }
+
+    /// Records a data-path failure against a member (connect refused, dead
+    /// connection); counts toward the same ejection threshold as probes.
+    pub(crate) fn note_upstream_failure(&self, node: NodeId) {
+        let mut members = self.members.write();
+        if let Some(member) = members.iter_mut().find(|member| member.id == node) {
+            self.note_member_failure_locked(member);
+        }
+    }
+
+    fn note_member_failure_locked(&self, member: &mut Member) {
+        member.failures = member.failures.saturating_add(1);
+        if member.state == MemberState::Healthy && member.failures >= self.config.fail_threshold {
+            member.state = MemberState::Ejected;
+            self.stats.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data-path bookkeeping (called by the event loops)
+    // ------------------------------------------------------------------
+
+    /// An exchange left for a member: count it against the load gauges.
+    pub(crate) fn note_forward(&self, load: &MemberLoad, bytes: usize) {
+        load.in_flight.fetch_add(1, Ordering::Relaxed);
+        load.queued_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.proxied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An exchange settled (response delivered or failed): release it from
+    /// the load gauges.
+    pub(crate) fn note_settled(&self, load: &MemberLoad, bytes: usize) {
+        load.in_flight.fetch_sub(1, Ordering::Relaxed);
+        load.queued_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// An exchange failed after it was counted: `502` went to the client.
+    pub(crate) fn note_upstream_error(&self) {
+        self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remembers which member accepted a submitted invocation, so polls for
+    /// its id route to the node that holds the result.
+    pub(crate) fn record_invocation(&self, id: InvocationId, node: NodeId) {
+        self.owners.lock().record(id, node);
+    }
+
+    // ------------------------------------------------------------------
+    // Request routing
+    // ------------------------------------------------------------------
+
+    /// Routes one parsed request: local control-plane answers are returned
+    /// directly, proxied requests come back as a [`ForwardPlan`].
+    pub(crate) fn dispatch(&self, request: &HttpRequest) -> GatewayReply {
+        let Some(uri) = Uri::parse(&request.target) else {
+            return GatewayReply::Respond(gateway_error(
+                StatusCode::BAD_REQUEST,
+                "invalid_request",
+                &format!("unparseable request target `{}`", request.target),
+                false,
+            ));
+        };
+        if uri.query.is_some() {
+            return GatewayReply::Respond(gateway_error(
+                StatusCode::BAD_REQUEST,
+                "invalid_request",
+                "query strings are not accepted",
+                false,
+            ));
+        }
+        let segments: Vec<&str> = uri.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method, segments.as_slice()) {
+            (Method::Get, ["healthz"]) => GatewayReply::Respond(HttpResponse::ok(b"ok".to_vec())),
+            (Method::Get, ["v1", "stats"]) => GatewayReply::Respond(self.stats_response()),
+            (Method::Get, ["v1", "compositions"]) => {
+                GatewayReply::Respond(self.list_compositions())
+            }
+            (Method::Post, ["v1", "compositions"]) => {
+                GatewayReply::Respond(self.register_composition(request))
+            }
+            (Method::Get, ["v1", "cluster", "members"]) => {
+                GatewayReply::Respond(self.members_response(StatusCode::OK))
+            }
+            (Method::Post, ["v1", "cluster", "members"]) => {
+                GatewayReply::Respond(self.join_request(request))
+            }
+            (Method::Post, ["v1", "cluster", "drain", node]) => {
+                GatewayReply::Respond(self.drain_request(node))
+            }
+            (Method::Post, ["v1", "invoke", name]) if !name.is_empty() => {
+                self.plan_invocation(request, name, false)
+            }
+            (Method::Post, ["v1", "invocations", name]) if !name.is_empty() => {
+                self.plan_invocation(request, name, true)
+            }
+            (Method::Get, ["v1", "invocations", id]) if !id.is_empty() => {
+                self.plan_poll(request, id)
+            }
+            _ => GatewayReply::Respond(gateway_error(
+                StatusCode::NOT_FOUND,
+                "not_found",
+                &format!("endpoint `{}` not found on the gateway", uri.path),
+                false,
+            )),
+        }
+    }
+
+    /// Plans the forward of an invocation (`invoke` or `submit`) by
+    /// composition affinity with a load-aware escape hatch.
+    fn plan_invocation(
+        &self,
+        request: &HttpRequest,
+        composition: &str,
+        track_submit: bool,
+    ) -> GatewayReply {
+        match self.pick_member(Some(composition), &[]) {
+            Some((node, addr, load)) => {
+                let rope = proxy_request(request).to_rope();
+                let bytes = rope.len();
+                GatewayReply::Forward(ForwardPlan {
+                    node,
+                    addr,
+                    load,
+                    rope,
+                    bytes,
+                    track_submit,
+                    composition: Some(composition.to_string()),
+                    tried: Vec::new(),
+                })
+            }
+            None => GatewayReply::Respond(no_members_response()),
+        }
+    }
+
+    /// Plans the forward of a status poll: the member that accepted the
+    /// submission owns the result, so the owner map wins when it can.
+    fn plan_poll(&self, request: &HttpRequest, id_text: &str) -> GatewayReply {
+        let owner = InvocationId::parse(id_text).and_then(|id| {
+            let owners = self.owners.lock();
+            owners.owners.get(&id).copied()
+        });
+        let target = owner
+            .and_then(|node| self.member_for_poll(node))
+            .or_else(|| self.pick_member(None, &[]));
+        match target {
+            Some((node, addr, load)) => {
+                let rope = proxy_request(request).to_rope();
+                let bytes = rope.len();
+                GatewayReply::Forward(ForwardPlan {
+                    node,
+                    addr,
+                    load,
+                    rope,
+                    bytes,
+                    track_submit: false,
+                    composition: None,
+                    tried: Vec::new(),
+                })
+            }
+            None => GatewayReply::Respond(no_members_response()),
+        }
+    }
+
+    /// Replans a forward whose member could not be reached. The failed
+    /// members are excluded; `None` means the request is out of options
+    /// (the caller answers `502`).
+    pub(crate) fn replan(&self, mut plan: ForwardPlan) -> Option<ForwardPlan> {
+        if plan.tried.len() >= self.config.max_forward_attempts as usize {
+            return None;
+        }
+        let (node, addr, load) = self.pick_member(plan.composition.as_deref(), &plan.tried)?;
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        plan.node = node;
+        plan.addr = addr;
+        plan.load = load;
+        Some(plan)
+    }
+
+    /// Re-plans an exchange that was queued behind a dead connection but
+    /// never reached the wire: any routable member except the dead one may
+    /// take it (affinity is not reconstructed — correctness over warmth).
+    pub(crate) fn plan_fallback(
+        &self,
+        exclude: NodeId,
+        rope: Rope,
+        bytes: usize,
+        track_submit: bool,
+    ) -> Option<ForwardPlan> {
+        let tried = vec![exclude];
+        let (node, addr, load) = self.pick_member(None, &tried)?;
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        Some(ForwardPlan {
+            node,
+            addr,
+            load,
+            rope,
+            bytes,
+            track_submit,
+            composition: None,
+            tried,
+        })
+    }
+
+    /// Picks the member for a new exchange: routable members advertising
+    /// the composition (all routable members when none does), the affinity
+    /// pick unless its load ran away, excluding `tried`.
+    fn pick_member(
+        &self,
+        composition: Option<&str>,
+        tried: &[NodeId],
+    ) -> Option<(NodeId, SocketAddr, Arc<MemberLoad>)> {
+        let members = self.members.read();
+        let eligible: Vec<&Member> = {
+            let routable = members
+                .iter()
+                .filter(|member| member.routable() && !tried.contains(&member.id));
+            match composition {
+                Some(name) => {
+                    let advertisers: Vec<&Member> =
+                        routable.clone().filter(|m| m.advertises(name)).collect();
+                    if advertisers.is_empty() {
+                        routable.collect()
+                    } else {
+                        advertisers
+                    }
+                }
+                None => routable.collect(),
+            }
+        };
+        if eligible.is_empty() {
+            return None;
+        }
+        let min_score = eligible
+            .iter()
+            .map(|member| member.load.score())
+            .min()
+            .unwrap_or(0);
+        let preferred = composition
+            .map(|name| {
+                let index = (composition_affinity_hash(name) % eligible.len() as u64) as usize;
+                eligible[index]
+            })
+            .filter(|member| member.load.score() <= 2 * min_score + AFFINITY_LOAD_SLACK);
+        let chosen = match preferred {
+            Some(member) => member,
+            None => eligible
+                .iter()
+                .min_by_key(|member| member.load.score())
+                .copied()?,
+        };
+        Some((chosen.id, chosen.addr, Arc::clone(&chosen.load)))
+    }
+
+    /// The member a poll for `node` should go to: the owner while it is
+    /// still present and not ejected (a draining member still answers
+    /// polls — refusing *new* invocations is the worker's business).
+    fn member_for_poll(&self, node: NodeId) -> Option<(NodeId, SocketAddr, Arc<MemberLoad>)> {
+        let members = self.members.read();
+        members
+            .iter()
+            .find(|member| member.id == node && member.state != MemberState::Ejected)
+            .map(|member| (member.id, member.addr, Arc::clone(&member.load)))
+    }
+
+    // ------------------------------------------------------------------
+    // Local responses
+    // ------------------------------------------------------------------
+
+    fn stats_response(&self) -> HttpResponse {
+        let members = self.members.read();
+        let mut pairs: Vec<(String, JsonValue)> = vec![
+            ("role".into(), JsonValue::string("gateway")),
+            (
+                "members".into(),
+                JsonValue::array(members.iter().map(Member::to_json)),
+            ),
+            (
+                "proxied".into(),
+                JsonValue::from(self.stats.proxied.load(Ordering::Relaxed)),
+            ),
+            (
+                "upstream_errors".into(),
+                JsonValue::from(self.stats.upstream_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "retries".into(),
+                JsonValue::from(self.stats.retries.load(Ordering::Relaxed)),
+            ),
+            (
+                "ejections".into(),
+                JsonValue::from(self.stats.ejections.load(Ordering::Relaxed)),
+            ),
+            (
+                "readmissions".into(),
+                JsonValue::from(self.stats.readmissions.load(Ordering::Relaxed)),
+            ),
+            (
+                "drained".into(),
+                JsonValue::from(self.stats.drained_out.load(Ordering::Relaxed)),
+            ),
+        ];
+        drop(members);
+        if let Some(source) = self.server_stats.lock().as_ref() {
+            pairs.push(("server".into(), source()));
+        }
+        json_response(StatusCode::OK, &JsonValue::Object(pairs))
+    }
+
+    /// `GET /v1/compositions` on the gateway: the union of what the
+    /// members advertise.
+    fn list_compositions(&self) -> HttpResponse {
+        let members = self.members.read();
+        let mut names: Vec<&str> = members
+            .iter()
+            .flat_map(|member| member.compositions.iter().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        json_response(
+            StatusCode::OK,
+            &JsonValue::object([(
+                "compositions",
+                JsonValue::array(names.into_iter().map(JsonValue::string)),
+            )]),
+        )
+    }
+
+    /// `POST /v1/compositions` on the gateway: broadcast the registration
+    /// to every routable member (blocking control-plane call), so any of
+    /// them can serve the composition afterwards.
+    fn register_composition(&self, request: &HttpRequest) -> HttpResponse {
+        let targets: Vec<(NodeId, SocketAddr)> = self
+            .members
+            .read()
+            .iter()
+            .filter(|member| member.routable())
+            .map(|member| (member.id, member.addr))
+            .collect();
+        if targets.is_empty() {
+            return no_members_response();
+        }
+        let mut name: Option<String> = None;
+        let mut failures: Vec<String> = Vec::new();
+        for (node, addr) in &targets {
+            match register_on_member(*addr, &request.body, self.config.probe_timeout) {
+                Ok(registered) => name = Some(registered),
+                Err(error) => failures.push(format!("{node}: {error}")),
+            }
+        }
+        let Some(name) = name else {
+            return gateway_error(
+                StatusCode(502),
+                "upstream_failed",
+                &format!(
+                    "no member accepted the composition: {}",
+                    failures.join("; ")
+                ),
+                true,
+            );
+        };
+        // Advertise immediately instead of waiting a probe interval.
+        {
+            let mut members = self.members.write();
+            for member in members.iter_mut() {
+                if targets.iter().any(|(node, _)| *node == member.id) && !member.advertises(&name) {
+                    member.compositions.push(name.clone());
+                }
+            }
+        }
+        if failures.is_empty() {
+            json_response(
+                StatusCode::CREATED,
+                &JsonValue::object([
+                    ("name", JsonValue::string(name)),
+                    ("nodes", JsonValue::from(targets.len())),
+                ]),
+            )
+        } else {
+            gateway_error(
+                StatusCode(502),
+                "partial_registration",
+                &format!(
+                    "composition `{name}` registered on {} of {} members; failed: {}",
+                    targets.len() - failures.len(),
+                    targets.len(),
+                    failures.join("; ")
+                ),
+                true,
+            )
+        }
+    }
+
+    fn members_response(&self, status: StatusCode) -> HttpResponse {
+        let members = self.members.read();
+        json_response(
+            status,
+            &JsonValue::object([(
+                "members",
+                JsonValue::array(members.iter().map(Member::to_json)),
+            )]),
+        )
+    }
+
+    /// `POST /v1/cluster/members` with body `{"addr": "host:port"}`: a
+    /// member announcing itself (what `dandelion-serve --join` sends).
+    fn join_request(&self, request: &HttpRequest) -> HttpResponse {
+        let body = String::from_utf8_lossy(&request.body).to_string();
+        let addr = JsonValue::parse(&body)
+            .ok()
+            .and_then(|document| {
+                document
+                    .get("addr")
+                    .and_then(JsonValue::as_str)
+                    .map(String::from)
+            })
+            .and_then(|text| text.parse::<SocketAddr>().ok());
+        let Some(addr) = addr else {
+            return gateway_error(
+                StatusCode::BAD_REQUEST,
+                "invalid_request",
+                "body must be a JSON object with an `addr` of the form `host:port`",
+                false,
+            );
+        };
+        match self.join(addr) {
+            Ok(node) => json_response(
+                StatusCode::CREATED,
+                &JsonValue::object([
+                    ("node", JsonValue::string(node.to_string())),
+                    ("addr", JsonValue::string(addr.to_string())),
+                ]),
+            ),
+            Err(problem) => gateway_error(StatusCode(502), "join_failed", &problem, true),
+        }
+    }
+
+    /// `POST /v1/cluster/drain/{node}`: take a member out of rotation for a
+    /// rolling restart. The drain signal is relayed to the node itself
+    /// (best-effort) so it refuses work arriving around the gateway too.
+    fn drain_request(&self, node_text: &str) -> HttpResponse {
+        let Some(node) = NodeId::parse(node_text) else {
+            return gateway_error(
+                StatusCode::BAD_REQUEST,
+                "invalid_request",
+                &format!("malformed node id `{node_text}`"),
+                false,
+            );
+        };
+        let Some(addr) = self.drain(node) else {
+            return gateway_error(
+                StatusCode::NOT_FOUND,
+                "not_found",
+                &format!("no member `{node}` in the cluster"),
+                false,
+            );
+        };
+        let relayed = relay_drain(addr, self.config.probe_timeout).is_ok();
+        json_response(
+            StatusCode::ACCEPTED,
+            &JsonValue::object([
+                ("node", JsonValue::string(node.to_string())),
+                ("state", JsonValue::string("draining")),
+                ("relayed", JsonValue::from(relayed)),
+            ]),
+        )
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+        // The health thread holds only a weak reference; it exits on its
+        // next tick. Joining here would deadlock a drop from the thread
+        // itself, so just signal.
+    }
+}
+
+// ----------------------------------------------------------------------
+// Proxy transforms (public: the zero-copy tests assert on them)
+// ----------------------------------------------------------------------
+
+/// Prepares a client request for the upstream wire: hop-by-hop connection
+/// negotiation is the gateway's business on each side, so the client's
+/// `Connection` header is stripped (upstream connections are always
+/// keep-alive). The body rides along by reference.
+pub fn proxy_request(request: &HttpRequest) -> HttpRequest {
+    let mut upstream = request.clone();
+    upstream.headers.remove("connection");
+    upstream
+}
+
+/// Prepares a member's response for the client: the member's `Connection`
+/// header is replaced by the gateway's own negotiation, and the answering
+/// node is surfaced as `X-Dandelion-Node`. The body buffer is reused as-is
+/// — the integration tests assert the `Arc` identity survives this hop.
+pub fn proxy_response(mut response: HttpResponse, node: NodeId) -> HttpResponse {
+    response.headers.remove("connection");
+    response
+        .headers
+        .insert("X-Dandelion-Node", node.to_string());
+    response
+}
+
+// ----------------------------------------------------------------------
+// Blocking member calls (control plane and health probes only)
+// ----------------------------------------------------------------------
+
+fn probe_stats(addr: SocketAddr, timeout: Duration) -> Result<(), String> {
+    let mut client =
+        HttpClientConnection::connect(addr, timeout).map_err(|error| error.to_string())?;
+    let response = client
+        .request(&HttpRequest::get("/v1/stats"))
+        .map_err(|error| error.to_string())?;
+    if response.status == StatusCode::OK {
+        Ok(())
+    } else {
+        Err(format!("stats probe answered {}", response.status.0))
+    }
+}
+
+fn fetch_compositions(addr: SocketAddr, timeout: Duration) -> Result<Vec<String>, String> {
+    let mut client =
+        HttpClientConnection::connect(addr, timeout).map_err(|error| error.to_string())?;
+    let response = client
+        .request(&HttpRequest::get("/v1/compositions"))
+        .map_err(|error| error.to_string())?;
+    if response.status != StatusCode::OK {
+        return Err(format!(
+            "composition listing answered {}",
+            response.status.0
+        ));
+    }
+    let document =
+        JsonValue::parse(&response.body_text()).map_err(|error| format!("bad JSON: {error}"))?;
+    let names = document
+        .get("compositions")
+        .and_then(|value| value.as_array())
+        .map(|values| {
+            values
+                .iter()
+                .filter_map(JsonValue::as_str)
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(names)
+}
+
+fn register_on_member(addr: SocketAddr, body: &[u8], timeout: Duration) -> Result<String, String> {
+    let mut client =
+        HttpClientConnection::connect(addr, timeout).map_err(|error| error.to_string())?;
+    let response = client
+        .request(&HttpRequest::post("/v1/compositions", body.to_vec()))
+        .map_err(|error| error.to_string())?;
+    if response.status != StatusCode::CREATED {
+        return Err(format!(
+            "registration answered {}: {}",
+            response.status.0,
+            response.body_text()
+        ));
+    }
+    JsonValue::parse(&response.body_text())
+        .ok()
+        .and_then(|document| {
+            document
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .map(String::from)
+        })
+        .ok_or_else(|| "registration response carried no name".to_string())
+}
+
+fn relay_drain(addr: SocketAddr, timeout: Duration) -> Result<(), String> {
+    let mut client =
+        HttpClientConnection::connect(addr, timeout).map_err(|error| error.to_string())?;
+    client
+        .request(&HttpRequest::post("/v1/drain", Vec::new()))
+        .map(|_| ())
+        .map_err(|error| error.to_string())
+}
+
+// ----------------------------------------------------------------------
+// Response helpers
+// ----------------------------------------------------------------------
+
+fn json_response(status: StatusCode, value: &JsonValue) -> HttpResponse {
+    HttpResponse::new(status, value.to_json_string().into_bytes())
+        .with_header("Content-Type", "application/json")
+}
+
+/// A structured gateway error in the same wire shape as the worker's.
+pub(crate) fn gateway_error(
+    status: StatusCode,
+    code: &str,
+    message: &str,
+    retryable: bool,
+) -> HttpResponse {
+    json_response(
+        status,
+        &JsonValue::object([(
+            "error",
+            JsonValue::object([
+                ("code", JsonValue::string(code)),
+                ("message", JsonValue::string(message)),
+                ("retryable", JsonValue::from(retryable)),
+            ]),
+        )]),
+    )
+}
+
+/// The `502` for an exchange that died with its upstream connection.
+pub(crate) fn upstream_failed_response(node: NodeId) -> HttpResponse {
+    gateway_error(
+        StatusCode(502),
+        "upstream_failed",
+        &format!("member {node} failed while handling the request"),
+        true,
+    )
+}
+
+/// The `503` when no routable member exists for a request.
+pub(crate) fn no_members_response() -> HttpResponse {
+    gateway_error(
+        StatusCode::SERVICE_UNAVAILABLE,
+        "no_members",
+        "no healthy cluster member is available",
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router_without_health() -> Arc<Router> {
+        Router::start(GatewayConfig {
+            probe_interval: Duration::from_secs(3600),
+            ..GatewayConfig::default()
+        })
+    }
+
+    fn insert_member(router: &Router, port: u16, compositions: &[&str]) -> NodeId {
+        let member = Member::new(
+            format!("127.0.0.1:{port}").parse().unwrap(),
+            MemberState::Healthy,
+            compositions.iter().map(|s| s.to_string()).collect(),
+        );
+        let id = member.id;
+        router.members.write().push(member);
+        id
+    }
+
+    #[test]
+    fn no_members_yields_a_retryable_503() {
+        let router = router_without_health();
+        let reply = router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()));
+        let GatewayReply::Respond(response) = reply else {
+            panic!("dispatch without members must respond locally");
+        };
+        assert_eq!(response.status.0, 503);
+        assert!(response.body_text().contains("\"no_members\""));
+        assert!(response.body_text().contains("\"retryable\":true"));
+    }
+
+    #[test]
+    fn affinity_is_stable_and_prefers_advertisers() {
+        let router = router_without_health();
+        insert_member(&router, 9001, &["Alpha"]);
+        let beta = insert_member(&router, 9002, &["Beta"]);
+        insert_member(&router, 9003, &["Alpha"]);
+        // Beta has exactly one advertiser: affinity must always choose it.
+        for _ in 0..8 {
+            let reply = router.dispatch(&HttpRequest::post("/v1/invoke/Beta", b"x".to_vec()));
+            let GatewayReply::Forward(plan) = reply else {
+                panic!("invocations must forward");
+            };
+            assert_eq!(plan.node, beta);
+        }
+    }
+
+    #[test]
+    fn overloaded_preferred_member_loses_to_least_loaded() {
+        let router = router_without_health();
+        let a = insert_member(&router, 9001, &["Echo"]);
+        let b = insert_member(&router, 9002, &["Echo"]);
+        // Find the affinity pick, overload it, and confirm the other member
+        // receives the traffic.
+        let GatewayReply::Forward(first) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must forward");
+        };
+        let preferred = first.node;
+        let other = if preferred == a { b } else { a };
+        {
+            let members = router.members.read();
+            let member = members.iter().find(|m| m.id == preferred).unwrap();
+            member.load.in_flight.store(1000, Ordering::Relaxed);
+        }
+        let GatewayReply::Forward(second) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must forward");
+        };
+        assert_eq!(second.node, other);
+    }
+
+    #[test]
+    fn draining_and_ejected_members_receive_no_new_work() {
+        let router = router_without_health();
+        let a = insert_member(&router, 9001, &["Echo"]);
+        let b = insert_member(&router, 9002, &["Echo"]);
+        router.drain(a);
+        for _ in 0..4 {
+            let GatewayReply::Forward(plan) =
+                router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+            else {
+                panic!("must forward");
+            };
+            assert_eq!(plan.node, b);
+        }
+        router.members.write()[1].state = MemberState::Ejected;
+        let GatewayReply::Respond(response) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("all members out of rotation must respond locally");
+        };
+        assert_eq!(response.status.0, 503);
+    }
+
+    #[test]
+    fn polls_route_to_the_recorded_owner() {
+        let router = router_without_health();
+        let a = insert_member(&router, 9001, &["Echo"]);
+        let b = insert_member(&router, 9002, &["Echo"]);
+        let id = InvocationId::from_raw(777);
+        router.record_invocation(id, b);
+        let GatewayReply::Forward(plan) =
+            router.dispatch(&HttpRequest::get(format!("/v1/invocations/{id}")))
+        else {
+            panic!("polls must forward");
+        };
+        assert_eq!(plan.node, b);
+        // Unknown ids fall back to any routable member.
+        let GatewayReply::Forward(fallback) =
+            router.dispatch(&HttpRequest::get("/v1/invocations/inv-424242"))
+        else {
+            panic!("polls must forward");
+        };
+        assert!(fallback.node == a || fallback.node == b);
+    }
+
+    #[test]
+    fn ejection_after_consecutive_failures_and_replan_excludes_tried() {
+        let router = router_without_health();
+        let a = insert_member(&router, 9001, &["Echo"]);
+        let b = insert_member(&router, 9002, &["Echo"]);
+        for _ in 0..router.config.fail_threshold {
+            router.note_upstream_failure(a);
+        }
+        assert_eq!(
+            router
+                .member_rows()
+                .iter()
+                .find(|(id, _, _)| *id == a)
+                .unwrap()
+                .2,
+            "ejected"
+        );
+        // Replanning a forward that already tried `b` has nowhere to go.
+        let GatewayReply::Forward(mut plan) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must forward");
+        };
+        assert_eq!(plan.node, b);
+        plan.tried.push(b);
+        assert!(router.replan(plan).is_none());
+    }
+
+    #[test]
+    fn proxy_transforms_strip_hop_by_hop_and_stamp_the_node() {
+        let request = HttpRequest::post("/v1/invoke/Echo", b"payload".to_vec())
+            .with_header("Connection", "close")
+            .with_header("Content-Type", "text/plain");
+        let upstream = proxy_request(&request);
+        assert!(upstream.headers.get("connection").is_none());
+        assert_eq!(upstream.headers.get("content-type"), Some("text/plain"));
+
+        let node = NodeId::from_raw(7);
+        let body = dandelion_common::SharedBytes::from_vec(b"result".to_vec());
+        let mut response = HttpResponse::new(StatusCode::OK, Vec::new());
+        response.body = body.clone();
+        response.headers.insert("Connection", "keep-alive");
+        let proxied = proxy_response(response, node);
+        assert!(proxied.headers.get("connection").is_none());
+        assert_eq!(proxied.headers.get("x-dandelion-node"), Some("node-7"));
+        // The zero-copy invariant: the body is the same buffer, not a copy.
+        assert!(dandelion_common::SharedBytes::same_buffer(
+            &proxied.body,
+            &body
+        ));
+    }
+}

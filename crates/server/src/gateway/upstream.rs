@@ -1,0 +1,229 @@
+//! The upstream half of the proxy: pooled keep-alive connections from the
+//! gateway to a member node, driven by the same epoll event loops as the
+//! client connections.
+//!
+//! An [`UpstreamConn`] is the second connection role in an event loop's
+//! slab. Requests are serialized once (bodies attached by reference) and
+//! pipelined onto the member connection through a resumable
+//! [`RopeWriter`]; responses stream back through a [`ResponseDecoder`]
+//! whose bodies are zero-copy views of the receive buffer, and are matched
+//! FIFO to the client slots that wait for them. The gateway therefore
+//! never burns a thread per in-flight request — an upstream connection is
+//! a slab entry, exactly like the downstream connections it serves.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::time::Instant;
+
+use dandelion_common::{NodeId, Rope, RopeWriter};
+use dandelion_http::{HttpResponse, ParseLimits, ResponseDecoder};
+
+use crate::sys::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Where a proxied response must be delivered: the client connection slot
+/// that parked for it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Origin {
+    /// Slab token of the client connection (generation-tagged).
+    pub token: u64,
+    /// Pipeline sequence of the client's waiting slot.
+    pub seq: u64,
+    /// Serialized request bytes, released from the member's queued-bytes
+    /// gauge when the exchange settles.
+    pub bytes: usize,
+    /// `POST /v1/invocations/{name}`: a `202` response carries the
+    /// invocation id the router must remember for owner-routed polls.
+    pub track_submit: bool,
+}
+
+/// What the event loop should do with an upstream connection after a pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UpstreamVerdict {
+    Keep,
+    /// Connection is unusable (EOF, error, `Connection: close`); pending
+    /// exchanges still queued fail with `502`.
+    Close,
+}
+
+/// One pooled keep-alive connection from the gateway to a member.
+pub(crate) struct UpstreamConn {
+    stream: TcpStream,
+    node: NodeId,
+    /// The serialized request currently (partially) on the wire.
+    writer: Option<RopeWriter>,
+    /// Requests accepted but not yet written.
+    outbox: VecDeque<Rope>,
+    decoder: ResponseDecoder,
+    /// Exchanges written (or being written) and awaiting their responses,
+    /// in pipeline order.
+    pending: VecDeque<Origin>,
+    /// Interest mask currently registered with the epoll.
+    interest: u32,
+    /// Last moment response bytes arrived; with non-empty `pending`, a
+    /// stall past the upstream timeout closes the connection (and fails
+    /// the pending exchanges) instead of pinning client slots forever.
+    last_progress: Instant,
+}
+
+impl UpstreamConn {
+    pub(crate) fn new(stream: TcpStream, node: NodeId, limits: ParseLimits) -> UpstreamConn {
+        UpstreamConn {
+            stream,
+            node,
+            writer: None,
+            outbox: VecDeque::new(),
+            decoder: ResponseDecoder::new(limits),
+            pending: VecDeque::new(),
+            interest: EPOLLIN | EPOLLRDHUP,
+            last_progress: Instant::now(),
+        }
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    pub(crate) fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Exchanges queued or awaiting responses on this connection.
+    pub(crate) fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains the pending exchanges (connection teardown: the caller owes
+    /// each origin an error response). Call [`UpstreamConn::take_unsent`]
+    /// first — afterwards everything left here reached the wire (fully or
+    /// partially) and cannot be retried elsewhere.
+    pub(crate) fn take_pending(&mut self) -> VecDeque<Origin> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Splits off the exchanges that never reached the wire (teardown):
+    /// the outbox holds fully unsent requests, which align with the tail
+    /// of `pending`, so they can be replayed on another member. Exchanges
+    /// written or partially written stay in `pending` and must fail — the
+    /// member may have executed them.
+    pub(crate) fn take_unsent(&mut self) -> Vec<(Rope, Origin)> {
+        let mut unsent = Vec::new();
+        while let Some(rope) = self.outbox.pop_back() {
+            let origin = self
+                .pending
+                .pop_back()
+                .expect("every outbox entry has a pending origin");
+            unsent.push((rope, origin));
+        }
+        unsent.reverse();
+        unsent
+    }
+
+    /// Accepts one serialized exchange for delivery to the member.
+    pub(crate) fn enqueue(&mut self, rope: Rope, origin: Origin) {
+        self.outbox.push_back(rope);
+        self.pending.push_back(origin);
+    }
+
+    pub(crate) fn registered_interest(&self) -> u32 {
+        self.interest
+    }
+
+    pub(crate) fn set_registered_interest(&mut self, mask: u32) {
+        self.interest = mask;
+    }
+
+    /// The readiness mask this connection needs: always readable (the
+    /// member may close or respond at any time), writable while requests
+    /// wait to leave.
+    pub(crate) fn desired_interest(&self) -> u32 {
+        let mut mask = EPOLLIN | EPOLLRDHUP;
+        if self.writer.is_some() || !self.outbox.is_empty() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Whether the pending responses have stalled past `timeout`.
+    pub(crate) fn stalled(&self, now: Instant, timeout: std::time::Duration) -> bool {
+        !self.pending.is_empty() && now.duration_since(self.last_progress) >= timeout
+    }
+
+    /// Advances the connection: writes queued requests until the socket
+    /// blocks, reads and decodes responses while `readable`. Decoded
+    /// responses are returned paired with their origins for the event loop
+    /// to deliver to the client connections.
+    pub(crate) fn pump(
+        &mut self,
+        readable: bool,
+        read_chunk: usize,
+    ) -> (UpstreamVerdict, Vec<(Origin, HttpResponse)>) {
+        let mut delivered = Vec::new();
+        // Write side: drive the current writer, then promote the outbox.
+        loop {
+            if let Some(writer) = &mut self.writer {
+                match writer.write_some(&mut self.stream) {
+                    Ok(true) => self.writer = None,
+                    Ok(false) => break,
+                    Err(_) => return (UpstreamVerdict::Close, delivered),
+                }
+            }
+            match self.outbox.pop_front() {
+                Some(rope) => self.writer = Some(RopeWriter::new(rope)),
+                None => break,
+            }
+        }
+        // Read side: pull bytes and decode complete responses in order.
+        let mut saw_eof = false;
+        if readable {
+            loop {
+                match self.decoder.read_from(&mut self.stream, read_chunk) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
+                    }
+                    Ok(_) => self.last_progress = Instant::now(),
+                    Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        saw_eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut close = saw_eof;
+        loop {
+            match self.decoder.next_response() {
+                Ok(Some(response)) => {
+                    let Some(origin) = self.pending.pop_front() else {
+                        // A response with no matching exchange: protocol
+                        // desync, drop the connection.
+                        close = true;
+                        break;
+                    };
+                    // The member closing after this response ends the
+                    // connection's usefulness but the response itself is
+                    // still good.
+                    if response
+                        .headers
+                        .get("connection")
+                        .is_some_and(|value| value.eq_ignore_ascii_case("close"))
+                    {
+                        close = true;
+                    }
+                    delivered.push((origin, response));
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if close {
+            (UpstreamVerdict::Close, delivered)
+        } else {
+            (UpstreamVerdict::Keep, delivered)
+        }
+    }
+}

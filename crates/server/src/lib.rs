@@ -36,6 +36,7 @@ mod client;
 mod config;
 mod conn;
 mod event_loop;
+pub mod gateway;
 mod rate;
 mod server;
 pub mod sys;
@@ -45,5 +46,6 @@ pub use config::ServerConfig;
 pub use conn::{
     overloaded_response, rate_limited_response, rejection_response, response_rope, timeout_response,
 };
+pub use gateway::{GatewayConfig, Router};
 pub use rate::{RateLimit, RateLimiter};
 pub use server::{Server, ServerStats, ServerStatsSnapshot};

@@ -12,6 +12,7 @@ use dandelion_core::Frontend;
 
 use crate::config::ServerConfig;
 use crate::event_loop::{EventLoop, LoopShared};
+use crate::gateway::Router;
 use crate::rate::RateLimiter;
 
 /// Counters and gauges of the serving layer (all relaxed; they feed
@@ -35,6 +36,9 @@ pub struct ServerStats {
     pub timeouts: AtomicU64,
     /// Idle keep-alive connections closed silently after the idle window.
     pub idle_closed: AtomicU64,
+    /// Connections closed because the client stopped reading its response
+    /// past the write deadline.
+    pub write_timeouts: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`ServerStats`].
@@ -56,6 +60,8 @@ pub struct ServerStatsSnapshot {
     pub timeouts: u64,
     /// Silent idle keep-alive closes.
     pub idle_closed: u64,
+    /// Write-deadline closes (client stopped reading its response).
+    pub write_timeouts: u64,
 }
 
 impl ServerStats {
@@ -69,6 +75,7 @@ impl ServerStats {
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -94,14 +101,49 @@ impl ServerStats {
             ("rate_limited", JsonValue::from(snapshot.rate_limited)),
             ("timeouts", JsonValue::from(snapshot.timeouts)),
             ("idle_closed", JsonValue::from(snapshot.idle_closed)),
+            ("write_timeouts", JsonValue::from(snapshot.write_timeouts)),
         ])
     }
+}
+
+/// The `"server"` stats document: the aggregate counters plus one entry
+/// per event loop with the gauges the least-loaded accept path places by.
+pub(crate) fn server_stats_json(stats: &ServerStats, loops: &[Arc<LoopShared>]) -> JsonValue {
+    let mut json = stats.to_json(loops.len());
+    if let JsonValue::Object(pairs) = &mut json {
+        pairs.push((
+            "loops".to_string(),
+            JsonValue::array(loops.iter().map(|loop_shared| {
+                JsonValue::object([
+                    (
+                        "connections",
+                        JsonValue::from(loop_shared.connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "inflight",
+                        JsonValue::from(loop_shared.inflight.load(Ordering::Relaxed)),
+                    ),
+                ])
+            })),
+        ));
+    }
+    json
+}
+
+/// What the event loops serve: a local worker frontend (the single-node
+/// role) or the cluster gateway's router.
+pub(crate) enum AppKind {
+    /// Requests dispatch into the in-process worker.
+    Local(Arc<Frontend>),
+    /// Requests are answered locally (control plane) or forwarded to a
+    /// cluster member over pooled upstream connections.
+    Gateway(Arc<Router>),
 }
 
 /// State shared by every event loop, the accept path and the dispatcher's
 /// completion callbacks.
 pub(crate) struct Shared {
-    pub(crate) frontend: Arc<Frontend>,
+    pub(crate) app: AppKind,
     pub(crate) config: ServerConfig,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) limiter: Option<RateLimiter>,
@@ -109,8 +151,6 @@ pub(crate) struct Shared {
     pub(crate) stopping: AtomicBool,
     /// Admission gauge: connections open plus in transit to a loop.
     pub(crate) active: AtomicUsize,
-    /// Round-robin cursor for placing accepted connections.
-    pub(crate) next_loop: AtomicUsize,
     /// The cross-thread half of each event loop, indexed by loop.
     pub(crate) loops: Vec<Arc<LoopShared>>,
 }
@@ -132,7 +172,8 @@ pub(crate) struct Shared {
 /// ```
 pub struct Server {
     addr: SocketAddr,
-    frontend: Arc<Frontend>,
+    frontend: Option<Arc<Frontend>>,
+    router: Option<Arc<Router>>,
     config: ServerConfig,
     stats: Arc<ServerStats>,
     shared: Arc<Shared>,
@@ -140,8 +181,21 @@ pub struct Server {
 }
 
 impl Server {
-    /// Validates `config`, binds `config.addr` and starts the event loops.
+    /// Validates `config`, binds `config.addr` and starts the event loops
+    /// serving a local worker frontend.
     pub fn start(config: ServerConfig, frontend: Arc<Frontend>) -> io::Result<Server> {
+        Server::start_inner(config, AppKind::Local(frontend))
+    }
+
+    /// Starts the server in **gateway mode**: the same event loops and
+    /// connection state machines, but requests are routed across the
+    /// cluster members known to `router` instead of a local worker. See
+    /// the [`gateway`](crate::gateway) module docs for the topology.
+    pub fn start_gateway(config: ServerConfig, router: Arc<Router>) -> io::Result<Server> {
+        Server::start_inner(config, AppKind::Gateway(router))
+    }
+
+    fn start_inner(config: ServerConfig, app: AppKind) -> io::Result<Server> {
         config
             .validate()
             .map_err(|problem| io::Error::new(io::ErrorKind::InvalidInput, problem))?;
@@ -152,22 +206,33 @@ impl Server {
         let loops = (0..loop_count)
             .map(|_| LoopShared::new().map(Arc::new))
             .collect::<io::Result<Vec<_>>>()?;
+        let (frontend, router) = match &app {
+            AppKind::Local(frontend) => (Some(Arc::clone(frontend)), None),
+            AppKind::Gateway(router) => (None, Some(Arc::clone(router))),
+        };
         let shared = Arc::new(Shared {
-            frontend: Arc::clone(&frontend),
+            app,
             limiter: config.rate_limit.map(RateLimiter::new),
             config: config.clone(),
             stats: Arc::clone(&stats),
             stopping: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            next_loop: AtomicUsize::new(0),
             loops,
         });
 
         // Surface the serving-layer gauges through `GET /v1/stats` next to
-        // the worker counters.
+        // the worker counters, including the per-loop placement gauges the
+        // least-loaded accept path reads. The gateway merges the same
+        // document into its own stats response.
         {
             let stats = Arc::clone(&stats);
-            frontend.add_stats_source("server", Arc::new(move || stats.to_json(loop_count)));
+            let loops = shared.loops.clone();
+            let source = Arc::new(move || server_stats_json(&stats, &loops));
+            match (&frontend, &router) {
+                (Some(frontend), _) => frontend.add_stats_source("server", source),
+                (_, Some(router)) => router.set_server_stats(source),
+                _ => unreachable!("a server is local or gateway"),
+            }
         }
 
         let mut threads = Vec::with_capacity(loop_count);
@@ -188,6 +253,7 @@ impl Server {
         Ok(Server {
             addr,
             frontend,
+            router,
             config,
             stats,
             shared,
@@ -201,8 +267,19 @@ impl Server {
     }
 
     /// The frontend this server exposes.
+    ///
+    /// # Panics
+    ///
+    /// A gateway server has no local frontend; use [`Server::router`].
     pub fn frontend(&self) -> &Arc<Frontend> {
-        &self.frontend
+        self.frontend
+            .as_ref()
+            .expect("a gateway server has no local frontend")
+    }
+
+    /// The cluster router, when this server runs in gateway mode.
+    pub fn router(&self) -> Option<&Arc<Router>> {
+        self.router.as_ref()
     }
 
     /// Number of event-loop threads serving connections.
@@ -225,7 +302,12 @@ impl Server {
     /// caller, which may serve it elsewhere or shut it down.
     pub fn shutdown(mut self) -> bool {
         self.stop_and_join();
-        self.frontend.worker().drain(self.config.drain_timeout)
+        match &self.frontend {
+            Some(frontend) => frontend.worker().drain(self.config.drain_timeout),
+            // A gateway holds no invocations of its own: once the loops
+            // joined, every proxied exchange has settled or been failed.
+            None => true,
+        }
     }
 
     fn stop_and_join(&mut self) {
@@ -238,7 +320,9 @@ impl Server {
         }
         // A stopped server's gauges must disappear from `/v1/stats`: the
         // frontend outlives the server and may be served elsewhere.
-        self.frontend.remove_stats_source("server");
+        if let Some(frontend) = &self.frontend {
+            frontend.remove_stats_source("server");
+        }
     }
 }
 

@@ -1,0 +1,575 @@
+//! Cluster gateway integration tests over real sockets: routing with the
+//! `X-Dandelion-Node` stamp, registration broadcast, member failure under
+//! load (ejection + survivors), owner-routed polls, draining, and the
+//! zero-copy proxy invariant.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dandelion_common::JsonValue;
+use dandelion_core::worker::{default_test_services, WorkerNode};
+use dandelion_core::Frontend;
+use dandelion_http::HttpRequest;
+use dandelion_server::{GatewayConfig, HttpClientConnection, Router, Server, ServerConfig};
+
+/// A member worker with the `Echo` function and `EchoComp` registered.
+fn echo_worker() -> Arc<WorkerNode> {
+    use dandelion_common::config::{IsolationKind, WorkerConfig};
+    use dandelion_isolation::{FunctionArtifact, FunctionCtx};
+    let config = WorkerConfig {
+        total_cores: 2,
+        initial_communication_cores: 1,
+        isolation: IsolationKind::Native,
+        ..WorkerConfig::default()
+    };
+    let worker = WorkerNode::start_with_control(config, default_test_services(), false).unwrap();
+    worker
+        .register_function(FunctionArtifact::new(
+            "Echo",
+            &["Out"],
+            |ctx: &mut FunctionCtx| {
+                let data = ctx.single_input("In")?.data.clone();
+                ctx.push_output("Out", dandelion_common::DataItem::new("echo", data))
+            },
+        ))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition EchoComp(Input) => Output { Echo(In = all Input) => (Output = Out); }",
+        )
+        .unwrap();
+    worker
+}
+
+fn loopback_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        event_loops: 2,
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+/// One cluster member: worker + frontend + server on an ephemeral port.
+fn start_member() -> (Server, Arc<WorkerNode>) {
+    let worker = echo_worker();
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let server = Server::start(loopback_config(), frontend).expect("member binds");
+    (server, worker)
+}
+
+/// Probe cadence short enough that ejection and drain-removal happen well
+/// inside a test's patience.
+fn test_gateway_config() -> GatewayConfig {
+    GatewayConfig {
+        probe_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(500),
+        ..GatewayConfig::default()
+    }
+}
+
+fn start_gateway(config: GatewayConfig, members: &[SocketAddr]) -> (Server, Arc<Router>) {
+    let router = Router::start(config);
+    for addr in members {
+        router.join(*addr).expect("member joins");
+    }
+    let server =
+        Server::start_gateway(loopback_config(), Arc::clone(&router)).expect("gateway binds");
+    (server, router)
+}
+
+fn connect(addr: SocketAddr) -> HttpClientConnection {
+    HttpClientConnection::connect(addr, Duration::from_secs(10)).expect("client connects")
+}
+
+/// `node-id → addr` rows from the gateway's membership document.
+fn member_table(gateway: SocketAddr) -> Vec<(String, SocketAddr, String)> {
+    let mut client = connect(gateway);
+    let response = client
+        .request(&HttpRequest::get("/v1/cluster/members"))
+        .unwrap();
+    assert_eq!(response.status.0, 200);
+    let document = JsonValue::parse(&response.body_text()).expect("members JSON");
+    document
+        .get("members")
+        .and_then(JsonValue::as_array)
+        .expect("members array")
+        .iter()
+        .map(|member| {
+            (
+                member
+                    .get("node")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .to_string(),
+                member
+                    .get("addr")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .parse()
+                    .unwrap(),
+                member
+                    .get("state")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn gateway_routes_invocations_and_stamps_the_answering_node() {
+    let members: Vec<(Server, Arc<WorkerNode>)> = (0..3).map(|_| start_member()).collect();
+    let addrs: Vec<SocketAddr> = members
+        .iter()
+        .map(|(server, _)| server.local_addr())
+        .collect();
+    let (gateway, _router) = start_gateway(test_gateway_config(), &addrs);
+
+    let mut client = connect(gateway.local_addr());
+    let health = client.request(&HttpRequest::get("/healthz")).unwrap();
+    assert_eq!(health.status.0, 200);
+    assert_eq!(health.body_text(), "ok");
+
+    // The membership document sees all three members healthy.
+    let table = member_table(gateway.local_addr());
+    assert_eq!(table.len(), 3);
+    assert!(table.iter().all(|(_, _, state)| state == "healthy"));
+
+    // The composition list is the union of what the members advertise.
+    let listed = client
+        .request(&HttpRequest::get("/v1/compositions"))
+        .unwrap();
+    assert!(listed.body_text().contains("EchoComp"));
+
+    // Invocations proxy through with the answering node stamped, and the
+    // composition-affinity routing keeps them on one member.
+    let mut nodes_seen = Vec::new();
+    for index in 0..12 {
+        let payload = format!("payload-{index}");
+        let response = client
+            .request(&HttpRequest::post(
+                "/v1/invoke/EchoComp",
+                payload.clone().into_bytes(),
+            ))
+            .unwrap();
+        assert_eq!(response.status.0, 200, "got: {}", response.body_text());
+        assert_eq!(response.body_text(), payload);
+        let node = response
+            .headers
+            .get("x-dandelion-node")
+            .expect("proxied responses carry the answering node")
+            .to_string();
+        nodes_seen.push(node);
+    }
+    assert!(
+        nodes_seen.iter().all(|node| node == &nodes_seen[0]),
+        "affinity must keep EchoComp on one member, saw {nodes_seen:?}"
+    );
+
+    // The gateway's stats document reports its role and the proxy counter.
+    let stats = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+    let document = JsonValue::parse(&stats.body_text()).expect("stats JSON");
+    assert_eq!(
+        document.get("role").and_then(JsonValue::as_str),
+        Some("gateway")
+    );
+    let proxied = document
+        .get("proxied")
+        .and_then(JsonValue::as_u64)
+        .expect("proxied counter");
+    assert!(proxied >= 12, "proxied = {proxied}");
+    assert!(
+        document.get("server").is_some(),
+        "serving-layer gauges ride in the gateway stats"
+    );
+
+    assert!(gateway.shutdown(), "gateway drains cleanly");
+    for (server, worker) in members {
+        server.shutdown();
+        worker.shutdown();
+    }
+}
+
+#[test]
+fn composition_registration_broadcasts_to_every_member() {
+    let members: Vec<(Server, Arc<WorkerNode>)> = (0..2).map(|_| start_member()).collect();
+    let addrs: Vec<SocketAddr> = members
+        .iter()
+        .map(|(server, _)| server.local_addr())
+        .collect();
+    let (gateway, _router) = start_gateway(test_gateway_config(), &addrs);
+
+    let dsl =
+        "composition GatewayComp(Input) => Output { Echo(In = all Input) => (Output = Out); }";
+    let mut client = connect(gateway.local_addr());
+    let created = client
+        .request(&HttpRequest::post(
+            "/v1/compositions",
+            dsl.as_bytes().to_vec(),
+        ))
+        .unwrap();
+    assert_eq!(created.status.0, 201, "got: {}", created.body_text());
+    assert!(created.body_text().contains("GatewayComp"));
+    assert!(created.body_text().contains("\"nodes\":2"));
+
+    // Every member really holds the composition (not just the table).
+    for addr in &addrs {
+        let mut member = connect(*addr);
+        let listed = member
+            .request(&HttpRequest::get("/v1/compositions"))
+            .unwrap();
+        assert!(
+            listed.body_text().contains("GatewayComp"),
+            "member {addr} did not register the broadcast composition"
+        );
+    }
+
+    // And the gateway can invoke it immediately — the advertisement did not
+    // wait for the next health probe.
+    let response = client
+        .request(&HttpRequest::post(
+            "/v1/invoke/GatewayComp",
+            b"broadcast".to_vec(),
+        ))
+        .unwrap();
+    assert_eq!(response.status.0, 200, "got: {}", response.body_text());
+    assert_eq!(response.body_text(), "broadcast");
+
+    gateway.shutdown();
+    for (server, worker) in members {
+        server.shutdown();
+        worker.shutdown();
+    }
+}
+
+/// Kill one of three members under live load: the health checker ejects it
+/// within its window, the survivors keep serving, and the only errors are
+/// the bounded set of exchanges already in flight toward the dead node.
+#[test]
+fn killing_a_member_under_load_ejects_it_and_survivors_keep_serving() {
+    let mut members: Vec<Option<(Server, Arc<WorkerNode>)>> =
+        (0..3).map(|_| Some(start_member())).collect();
+    let addrs: Vec<SocketAddr> = members
+        .iter()
+        .map(|member| member.as_ref().unwrap().0.local_addr())
+        .collect();
+    let (gateway, _router) = start_gateway(test_gateway_config(), &addrs);
+    let gateway_addr = gateway.local_addr();
+
+    // Find the member the affinity routing sends EchoComp to — killing that
+    // one guarantees the failure path actually runs under load.
+    let mut probe = connect(gateway_addr);
+    let first = probe
+        .request(&HttpRequest::post("/v1/invoke/EchoComp", b"probe".to_vec()))
+        .unwrap();
+    assert_eq!(first.status.0, 200);
+    let victim_node = first
+        .headers
+        .get("x-dandelion-node")
+        .expect("node stamp")
+        .to_string();
+    let victim_addr = member_table(gateway_addr)
+        .into_iter()
+        .find(|(node, _, _)| *node == victim_node)
+        .map(|(_, addr, _)| addr)
+        .expect("the answering node is in the member table");
+
+    // Live load from four keep-alive clients; transport failures reconnect.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let unexpected = Arc::new(AtomicU64::new(0));
+    let load_threads: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&ok);
+            let failed = Arc::clone(&failed);
+            let unexpected = Arc::clone(&unexpected);
+            std::thread::spawn(move || {
+                let mut client = connect(gateway_addr);
+                while !stop.load(Ordering::Relaxed) {
+                    match client.request(&HttpRequest::post(
+                        "/v1/invoke/EchoComp",
+                        b"under-load".to_vec(),
+                    )) {
+                        Ok(response) => match response.status.0 {
+                            200 => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            502 | 503 => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                unexpected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            // The transport died (e.g. the gateway closed the
+                            // connection); a real client reconnects.
+                            client = connect(gateway_addr);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let load build, then kill the victim abruptly mid-traffic.
+    std::thread::sleep(Duration::from_millis(200));
+    let index = addrs
+        .iter()
+        .position(|addr| *addr == victim_addr)
+        .expect("victim is one of the members");
+    let (victim_server, victim_worker) = members[index].take().unwrap();
+    victim_server.shutdown();
+    victim_worker.shutdown();
+
+    // The health checker must eject the victim within its window (50 ms
+    // probes, 3 consecutive failures — the 10 s deadline is pure slack).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let state = member_table(gateway_addr)
+            .into_iter()
+            .find(|(node, _, _)| *node == victim_node)
+            .map(|(_, _, state)| state);
+        if state.as_deref() == Some("ejected") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never ejected, state = {state:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for thread in load_threads {
+        thread.join().unwrap();
+    }
+
+    // Survivors serve everything after the ejection, and never as the dead
+    // node.
+    let mut client = connect(gateway_addr);
+    for _ in 0..20 {
+        let response = client
+            .request(&HttpRequest::post(
+                "/v1/invoke/EchoComp",
+                b"survivor".to_vec(),
+            ))
+            .unwrap();
+        assert_eq!(response.status.0, 200, "got: {}", response.body_text());
+        assert_ne!(
+            response.headers.get("x-dandelion-node"),
+            Some(victim_node.as_str()),
+            "the ejected member must receive no new work"
+        );
+    }
+
+    // Only requests in flight toward the dying node may have failed — a
+    // bounded set, not a failure storm; everything else succeeded.
+    let ok = ok.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    assert_eq!(unexpected.load(Ordering::Relaxed), 0);
+    assert!(ok > 0, "load must have been served");
+    assert!(
+        failed <= 32,
+        "failures must be bounded to in-flight exchanges, got {failed} (ok = {ok})"
+    );
+
+    // The ejection is visible in the gateway's stats.
+    let stats = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+    let document = JsonValue::parse(&stats.body_text()).unwrap();
+    let ejections = document
+        .get("ejections")
+        .and_then(JsonValue::as_u64)
+        .expect("ejections counter");
+    assert!(ejections >= 1);
+
+    gateway.shutdown();
+    for member in members.into_iter().flatten() {
+        member.0.shutdown();
+        member.1.shutdown();
+    }
+}
+
+/// Submitted invocations are polled on the member that accepted them: the
+/// gateway records the owner from the `202` and routes every status poll
+/// for that id to the same node.
+#[test]
+fn polls_follow_the_member_that_accepted_the_submission() {
+    let members: Vec<(Server, Arc<WorkerNode>)> = (0..3).map(|_| start_member()).collect();
+    let addrs: Vec<SocketAddr> = members
+        .iter()
+        .map(|(server, _)| server.local_addr())
+        .collect();
+    let (gateway, _router) = start_gateway(test_gateway_config(), &addrs);
+
+    let mut client = connect(gateway.local_addr());
+    for round in 0..6 {
+        let submitted = client
+            .request(&HttpRequest::post(
+                "/v1/invocations/EchoComp",
+                format!("submit-{round}").into_bytes(),
+            ))
+            .unwrap();
+        assert_eq!(submitted.status.0, 202, "got: {}", submitted.body_text());
+        let owner = submitted
+            .headers
+            .get("x-dandelion-node")
+            .expect("202 carries the accepting node")
+            .to_string();
+        let document = JsonValue::parse(&submitted.body_text()).unwrap();
+        let id = document
+            .get("invocation_id")
+            .and_then(JsonValue::as_str)
+            .expect("submission returns an invocation id")
+            .to_string();
+
+        // Poll to a terminal status: every poll must answer from the owner
+        // (only the accepting member holds the result).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let poll = client
+                .request(&HttpRequest::get(format!("/v1/invocations/{id}")))
+                .unwrap();
+            assert_eq!(poll.status.0, 200, "got: {}", poll.body_text());
+            assert_eq!(
+                poll.headers.get("x-dandelion-node"),
+                Some(owner.as_str()),
+                "poll for {id} strayed from its owner"
+            );
+            let status = JsonValue::parse(&poll.body_text())
+                .ok()
+                .and_then(|doc| {
+                    doc.get("status")
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                })
+                .expect("status document");
+            if status == "completed" {
+                break;
+            }
+            assert_ne!(status, "failed", "invocation failed: {}", poll.body_text());
+            assert!(Instant::now() < deadline, "invocation {id} never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    gateway.shutdown();
+    for (server, worker) in members {
+        server.shutdown();
+        worker.shutdown();
+    }
+}
+
+/// `POST /v1/cluster/drain/{node}`: the member leaves rotation, the drain
+/// is relayed so the worker itself refuses new work, and the health thread
+/// removes the member once its in-flight work settles.
+#[test]
+fn draining_a_member_relays_the_signal_and_removes_it_once_idle() {
+    let members: Vec<(Server, Arc<WorkerNode>)> = (0..2).map(|_| start_member()).collect();
+    let addrs: Vec<SocketAddr> = members
+        .iter()
+        .map(|(server, _)| server.local_addr())
+        .collect();
+    let (gateway, _router) = start_gateway(test_gateway_config(), &addrs);
+    let gateway_addr = gateway.local_addr();
+
+    let table = member_table(gateway_addr);
+    assert_eq!(table.len(), 2);
+    let (drained_node, drained_addr, _) = table[0].clone();
+
+    let mut client = connect(gateway_addr);
+    let accepted = client
+        .request(&HttpRequest::post(
+            format!("/v1/cluster/drain/{drained_node}"),
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(accepted.status.0, 202, "got: {}", accepted.body_text());
+    assert!(accepted.body_text().contains("\"draining\""));
+    assert!(
+        accepted.body_text().contains("\"relayed\":true"),
+        "the drain must be relayed to the node: {}",
+        accepted.body_text()
+    );
+
+    // The relay reached the worker: the drained member's own worker refuses
+    // new invocations while the other keeps serving.
+    let drained_worker = members
+        .iter()
+        .find(|(server, _)| server.local_addr() == drained_addr)
+        .map(|(_, worker)| worker)
+        .expect("drained member is one of ours");
+    assert!(drained_worker.is_draining());
+
+    // New work through the gateway always lands on the surviving member.
+    for _ in 0..10 {
+        let response = client
+            .request(&HttpRequest::post(
+                "/v1/invoke/EchoComp",
+                b"rolling".to_vec(),
+            ))
+            .unwrap();
+        assert_eq!(response.status.0, 200, "got: {}", response.body_text());
+        assert_ne!(
+            response.headers.get("x-dandelion-node"),
+            Some(drained_node.as_str()),
+            "a draining member must receive no new work"
+        );
+    }
+
+    // With nothing in flight the health thread removes the drained member.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while member_table(gateway_addr).len() != 1 {
+        assert!(
+            Instant::now() < deadline,
+            "drained member was never removed: {:?}",
+            member_table(gateway_addr)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+    let document = JsonValue::parse(&stats.body_text()).unwrap();
+    assert_eq!(document.get("drained").and_then(JsonValue::as_u64), Some(1));
+
+    gateway.shutdown();
+    for (server, worker) in members {
+        server.shutdown();
+        worker.shutdown();
+    }
+}
+
+/// The zero-copy proxy invariant on the real decode path: a response body
+/// decoded off the upstream wire and passed through [`proxy_response`]
+/// keeps its buffer identity — the gateway never copies payloads between
+/// the member socket and the client socket.
+#[test]
+fn proxied_response_bodies_keep_their_buffer_identity() {
+    use dandelion_common::{NodeId, SharedBytes};
+    use dandelion_http::{HttpResponse, ParseLimits, ResponseDecoder};
+    use dandelion_server::gateway::proxy_response;
+
+    let wire = HttpResponse::ok(b"member payload, by reference".to_vec())
+        .with_header("Connection", "keep-alive")
+        .to_bytes();
+    let mut decoder = ResponseDecoder::new(ParseLimits::default());
+    decoder.feed(&wire);
+    let decoded = decoder
+        .next_response()
+        .expect("well-formed response")
+        .expect("complete response");
+    let body = decoded.body.clone();
+
+    let proxied = proxy_response(decoded, NodeId::from_raw(3));
+    assert_eq!(proxied.headers.get("x-dandelion-node"), Some("node-3"));
+    assert!(proxied.headers.get("connection").is_none());
+    assert!(
+        SharedBytes::same_buffer(&proxied.body, &body),
+        "the proxied body must be the decoder's buffer, not a copy"
+    );
+    assert_eq!(proxied.body.as_ref(), b"member payload, by reference");
+}

@@ -462,6 +462,166 @@ fn invalid_configs_are_rejected_at_start() {
     worker.shutdown();
 }
 
+/// A client that submits a request whose response it never reads cannot
+/// pin buffers forever: once the response stops making progress for
+/// `write_timeout`, the connection is closed silently and counted.
+#[test]
+fn stalled_readers_hit_the_write_deadline_and_are_closed() {
+    const BODY_BYTES: usize = 8 * 1024 * 1024;
+    let config = ServerConfig {
+        write_timeout: Duration::from_millis(400),
+        // Long read deadline: receiving the 8 MiB request must not race
+        // the write-stall this test is about.
+        read_timeout: Duration::from_secs(60),
+        limits: ParseLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 2 * BODY_BYTES,
+        },
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Cap the client's receive buffer so the kernel cannot absorb the whole
+    // response on the reader's behalf: the 8 MiB echo must actually stall.
+    shrink_recv_buffer(&stream);
+    let mut stream = stream;
+    let head = format!("POST /v1/invoke/EchoComp HTTP/1.1\r\nContent-Length: {BODY_BYTES}\r\n\r\n");
+    stream.write_all(head.as_bytes()).unwrap();
+    let chunk = vec![0x5au8; 1024 * 1024];
+    for _ in 0..BODY_BYTES / chunk.len() {
+        stream.write_all(&chunk).unwrap();
+    }
+    // Never read. The write deadline must fire and count the close.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while server.stats().write_timeouts == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "write deadline never fired; stats = {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.stats().write_timeouts, 1);
+    drop(stream);
+    server.shutdown();
+    worker.shutdown();
+}
+
+/// Clamps a socket's `SO_RCVBUF` so the kernel stops absorbing data for a
+/// client that never reads (TCP auto-tuning would otherwise buffer tens of
+/// megabytes on loopback and mask a write stall).
+fn shrink_recv_buffer(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    let size: i32 = 16 * 1024;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &size as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+}
+
+/// `WorkerNode::begin_drain` under live pipelined traffic on a real
+/// socket: already-submitted invocations complete with `200`, new ones are
+/// refused with a retryable `503`, and `end_drain` restores service.
+#[test]
+fn worker_drain_completes_pipelined_invocations_over_real_sockets() {
+    let worker = test_worker();
+    worker
+        .register_function(FunctionArtifact::new(
+            "Slow",
+            &["Out"],
+            |ctx: &mut FunctionCtx| {
+                std::thread::sleep(Duration::from_millis(200));
+                let data = ctx.single_input("In")?.data.clone();
+                ctx.push_output("Out", dandelion_common::DataItem::new("slow", data))
+            },
+        ))
+        .unwrap();
+    worker
+        .register_composition_dsl(
+            "composition SlowComp(Input) => Output { Slow(In = all Input) => (Output = Out); }",
+        )
+        .unwrap();
+    let frontend = Arc::new(Frontend::new(Arc::clone(&worker)));
+    let config = ServerConfig {
+        read_timeout: Duration::from_secs(10),
+        ..loopback_config()
+    };
+    let server = Server::start(config, frontend).expect("server binds");
+
+    // Pipeline three invocations on one connection without reading any
+    // response, so all three are in flight when the drain signal rises.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for index in 0..3u8 {
+        let body = format!("drain-{index}");
+        let request = format!(
+            "POST /v1/invoke/SlowComp HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+    }
+    // Let the pipelined requests reach the worker, then drain mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    worker.begin_drain();
+    assert!(worker.is_draining());
+
+    // New work is refused while draining — retryable, from the worker.
+    let mut late =
+        HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let refused = late
+        .request(&HttpRequest::post("/v1/invoke/SlowComp", b"late".to_vec()))
+        .unwrap();
+    assert_eq!(refused.status.0, 503, "got: {}", refused.body_text());
+    assert!(refused.body_text().contains("draining"));
+
+    // The three in-flight pipelined invocations all complete in order.
+    let mut decoder = dandelion_http::ResponseDecoder::new(dandelion_http::ParseLimits::default());
+    for index in 0..3u8 {
+        let response = loop {
+            if let Some(response) = decoder.next_response().unwrap() {
+                break response;
+            }
+            let read = decoder.read_from(&mut stream, 64 * 1024).unwrap();
+            assert!(
+                read > 0,
+                "server closed before answering all pipelined work"
+            );
+        };
+        assert_eq!(response.status.0, 200, "got: {}", response.body_text());
+        assert_eq!(response.body_text(), format!("drain-{index}"));
+    }
+
+    // Lowering the signal restores service.
+    worker.end_drain();
+    let restored = late
+        .request(&HttpRequest::post("/v1/invoke/SlowComp", b"back".to_vec()))
+        .unwrap();
+    assert_eq!(restored.status.0, 200);
+    assert_eq!(restored.body_text(), "back");
+    assert!(server.shutdown(), "drained server shuts down cleanly");
+    worker.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_drains_inflight_invocations() {
     let worker = test_worker();
