@@ -365,6 +365,30 @@ impl Conn {
             },
             AppKind::Gateway(router) => match router.dispatch(&request) {
                 GatewayReply::Respond(response) => self.enqueue(response, close),
+                GatewayReply::Control(op) => {
+                    // Blocking control-plane work (member probes, broadcast
+                    // registrations, drain relays) must not run on this loop
+                    // thread — it would freeze every other connection the
+                    // loop owns. Park a response slot and let the router's
+                    // control thread post the completion back, exactly like
+                    // a worker invocation settling.
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.slots.push_back(Slot::Waiting { close });
+                    me.inflight.fetch_add(1, Ordering::Relaxed);
+                    let me = Arc::clone(me);
+                    let token = self.token;
+                    router.submit_control(
+                        op,
+                        Box::new(move |response| {
+                            me.post(LoopMsg::Complete {
+                                token,
+                                seq,
+                                response,
+                            });
+                        }),
+                    );
+                }
                 GatewayReply::Forward(plan) => {
                     // Park a response slot and hand the plan to the owning
                     // event loop (its own inbox — drained this iteration),

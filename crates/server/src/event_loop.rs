@@ -42,7 +42,10 @@ use crate::conn::{overloaded_response, response_rope, Conn, Due, Verdict};
 use crate::gateway::upstream::{Origin, UpstreamConn, UpstreamVerdict};
 use crate::gateway::{proxy_response, upstream_failed_response, ForwardPlan, MemberLoad, Router};
 use crate::server::{AppKind, Shared};
-use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLRDHUP};
+use crate::sys::{
+    connect_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP,
+};
 
 /// Token of the listener registration (loop 0 only).
 const LISTENER_TOKEN: u64 = u64::MAX;
@@ -396,7 +399,11 @@ impl EventLoop {
                 if hangup {
                     self.fail_upstream(index);
                 } else {
-                    self.service_upstream(index, readable);
+                    // Writability matters here beyond resuming writes: on a
+                    // connecting socket it is the kernel's connect-success
+                    // signal.
+                    let writable = events & EPOLLOUT != 0;
+                    self.service_upstream(index, readable, writable);
                 }
             }
         }
@@ -428,12 +435,15 @@ impl EventLoop {
 
     /// Pumps one upstream connection: writes queued forwards, decodes
     /// member responses, and delivers each to its waiting client slot.
-    fn service_upstream(&mut self, index: usize, readable: bool) {
+    fn service_upstream(&mut self, index: usize, readable: bool, writable: bool) {
         let read_chunk = self.shared.config.read_chunk_bytes;
         let (verdict, delivered, node) = {
             let Some(Endpoint::Upstream(upstream)) = self.slab[index].endpoint.as_mut() else {
                 return;
             };
+            if writable {
+                upstream.note_writable();
+            }
             let node = upstream.node();
             let (verdict, delivered) =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -574,7 +584,7 @@ impl EventLoop {
                     unreachable!("upstream_for returned a live upstream slot");
                 };
                 upstream.enqueue(plan.rope, origin);
-                self.service_upstream(upstream_index, false);
+                self.service_upstream(upstream_index, false, false);
                 return;
             }
             // Could not reach the member at all: nothing was sent, so the
@@ -623,16 +633,19 @@ impl EventLoop {
         best.map(|(index, _)| index)
     }
 
-    /// Opens a new upstream connection to the planned member (short
-    /// blocking connect — the budget is the router's `connect_timeout`).
+    /// Opens a new upstream connection to the planned member. The connect
+    /// is non-blocking: the loop keeps serving its other connections while
+    /// the handshake is in flight. Exchanges queue on the connecting
+    /// connection; a failed connect surfaces as `EPOLLERR`/`EPOLLHUP` (or a
+    /// write error) and [`EventLoop::fail_upstream`] replays everything
+    /// still unsent on another member. A handshake that never completes is
+    /// failed by the deadline scan after the router's `connect_timeout`.
     fn connect_upstream(&mut self, plan: &ForwardPlan) -> Option<usize> {
-        let timeout = self.router().config().connect_timeout;
-        let stream = TcpStream::connect_timeout(&plan.addr, timeout).ok()?;
+        let stream = connect_nonblocking(&plan.addr).ok()?;
         stream.set_nodelay(true).ok()?;
-        stream.set_nonblocking(true).ok()?;
         let index = self.alloc_slot();
         let token = token_of(index, self.slab[index].generation);
-        let upstream = UpstreamConn::new(stream, plan.node, self.shared.config.limits);
+        let upstream = UpstreamConn::new(stream, plan.node, self.shared.config.limits, true);
         if self
             .epoll
             .add(upstream.stream().as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
@@ -747,7 +760,16 @@ impl EventLoop {
                 Some(Endpoint::Upstream(upstream)) => {
                     let stalled = match &self.shared.app {
                         AppKind::Gateway(router) => {
-                            upstream.stalled(now, router.config().upstream_timeout)
+                            let config = router.config();
+                            // A connecting socket answers to the short
+                            // connect budget; an established one to the
+                            // response stall deadline.
+                            let timeout = if upstream.is_connecting() {
+                                config.connect_timeout
+                            } else {
+                                config.upstream_timeout
+                            };
+                            upstream.stalled(now, timeout)
                         }
                         AppKind::Local(_) => false,
                     };

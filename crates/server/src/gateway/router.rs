@@ -25,13 +25,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{mpsc, Arc, Weak};
 use std::time::Duration;
 
-use dandelion_common::{InvocationId, JsonValue, NodeId, Rope};
+use dandelion_common::{InvocationId, JsonValue, NodeId, Rope, SharedBytes};
 use dandelion_core::composition_affinity_hash;
 use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::client::HttpClientConnection;
 use crate::gateway::membership::{Member, MemberLoad, MemberState};
@@ -110,7 +110,35 @@ pub(crate) enum GatewayReply {
     Respond(HttpResponse),
     /// Forward to a member; the event loop executes the plan.
     Forward(ForwardPlan),
+    /// A blocking control-plane operation (member probes, broadcasts, drain
+    /// relays): the connection parks a response slot and the router's
+    /// control thread posts the completion back — loop threads never make
+    /// blocking member calls.
+    Control(ControlOp),
 }
+
+/// One deferred control-plane operation, executed on the control thread.
+pub(crate) enum ControlOp {
+    /// `POST /v1/compositions`: broadcast the registration to every member.
+    RegisterComposition {
+        /// The DSL body, by reference.
+        body: SharedBytes,
+    },
+    /// `POST /v1/cluster/members`: probe and admit a joining member.
+    Join {
+        /// The `{"addr": ...}` JSON body.
+        body: SharedBytes,
+    },
+    /// `POST /v1/cluster/drain/{node}`: mark draining and relay the signal.
+    Drain {
+        /// The node id path segment, still unparsed.
+        node: String,
+    },
+}
+
+/// A control-plane operation paired with the completion that delivers its
+/// response back to the owning event loop.
+type ControlJob = (ControlOp, Box<dyn FnOnce(HttpResponse) + Send>);
 
 /// Bounded invocation-id → owner map for poll routing.
 struct InvocationOwners {
@@ -157,13 +185,20 @@ pub struct Router {
     /// The serving layer's stats document, merged into `GET /v1/stats`.
     server_stats: Mutex<Option<Arc<dyn Fn() -> JsonValue + Send + Sync>>>,
     stopping: AtomicBool,
+    /// Wakes the health thread out of its probe-interval wait so shutdown
+    /// never has to sit out the remainder of a long cadence.
+    health_stop: Arc<(Mutex<bool>, Condvar)>,
     health_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Feeds the control thread; `None` once shut down (late submissions
+    /// answer `503` instead of blocking).
+    control_tx: Mutex<Option<mpsc::Sender<ControlJob>>>,
+    control_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Router {
-    /// Creates the router and starts its health thread. The thread holds a
-    /// weak reference, so dropping the last `Arc<Router>` (or calling
-    /// [`Router::shutdown`]) ends it.
+    /// Creates the router and starts its health and control threads. Both
+    /// hold weak references, so dropping the last `Arc<Router>` (or calling
+    /// [`Router::shutdown`]) ends them.
     pub fn start(config: GatewayConfig) -> Arc<Router> {
         let router = Arc::new(Router {
             config,
@@ -175,14 +210,27 @@ impl Router {
             stats: GatewayStats::default(),
             server_stats: Mutex::new(None),
             stopping: AtomicBool::new(false),
+            health_stop: Arc::new((Mutex::new(false), Condvar::new())),
             health_thread: Mutex::new(None),
+            control_tx: Mutex::new(None),
+            control_thread: Mutex::new(None),
         });
         let weak: Weak<Router> = Arc::downgrade(&router);
         let interval = router.config.probe_interval;
+        let stop = Arc::clone(&router.health_stop);
         let handle = std::thread::Builder::new()
             .name("dandelion-gateway-health".to_string())
             .spawn(move || loop {
-                std::thread::sleep(interval);
+                {
+                    let (stopped, wake) = &*stop;
+                    let mut stopped = stopped.lock();
+                    if !*stopped {
+                        wake.wait_for(&mut stopped, interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
                 let Some(router) = weak.upgrade() else {
                     return;
                 };
@@ -193,6 +241,25 @@ impl Router {
             })
             .expect("spawning the gateway health thread");
         *router.health_thread.lock() = Some(handle);
+        // The control thread serializes the blocking member calls (join
+        // probes, registration broadcasts, drain relays) that must never
+        // run on an event loop; it exits when the sender side is dropped
+        // (shutdown or the router itself going away).
+        let (control_tx, control_rx) = mpsc::channel::<ControlJob>();
+        let weak: Weak<Router> = Arc::downgrade(&router);
+        let handle = std::thread::Builder::new()
+            .name("dandelion-gateway-control".to_string())
+            .spawn(move || {
+                while let Ok((op, complete)) = control_rx.recv() {
+                    let Some(router) = weak.upgrade() else {
+                        return;
+                    };
+                    complete(router.execute_control(op));
+                }
+            })
+            .expect("spawning the gateway control thread");
+        *router.control_tx.lock() = Some(control_tx);
+        *router.control_thread.lock() = Some(handle);
         router
     }
 
@@ -201,19 +268,69 @@ impl Router {
         &self.config
     }
 
-    /// Stops the health thread. Forwarding keeps working (the server owns
-    /// the data path); health state is frozen.
+    /// Stops the health and control threads. Forwarding keeps working (the
+    /// server owns the data path); health state is frozen and late
+    /// control-plane requests answer `503`.
     pub fn shutdown(&self) {
         self.stopping.store(true, Ordering::Release);
+        self.signal_health_stop();
+        // Dropping the sender ends the control thread's receive loop.
+        self.control_tx.lock().take();
         if let Some(handle) = self.health_thread.lock().take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.control_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Kicks the health thread out of its interval wait so it observes the
+    /// stop flag now instead of after the remainder of the cadence.
+    fn signal_health_stop(&self) {
+        let (stopped, wake) = &*self.health_stop;
+        *stopped.lock() = true;
+        wake.notify_all();
     }
 
     /// Installs the serving layer's stats source (set by the server when it
     /// starts in gateway mode).
     pub(crate) fn set_server_stats(&self, source: Arc<dyn Fn() -> JsonValue + Send + Sync>) {
         *self.server_stats.lock() = Some(source);
+    }
+
+    /// Hands a blocking control-plane operation to the control thread;
+    /// `complete` runs there with the response. A router that is already
+    /// shut down answers `503` immediately (on the caller's thread — the
+    /// response is in hand, nothing blocks).
+    pub(crate) fn submit_control(
+        &self,
+        op: ControlOp,
+        complete: Box<dyn FnOnce(HttpResponse) + Send>,
+    ) {
+        let rejected = {
+            let sender = self.control_tx.lock();
+            match sender.as_ref() {
+                Some(tx) => tx.send((op, complete)).err().map(|failed| failed.0 .1),
+                None => Some(complete),
+            }
+        };
+        if let Some(complete) = rejected {
+            complete(gateway_error(
+                StatusCode::SERVICE_UNAVAILABLE,
+                "gateway_stopping",
+                "the gateway control plane is shut down",
+                true,
+            ));
+        }
+    }
+
+    /// Executes one control-plane operation (control thread only).
+    fn execute_control(&self, op: ControlOp) -> HttpResponse {
+        match op {
+            ControlOp::RegisterComposition { body } => self.register_composition(&body),
+            ControlOp::Join { body } => self.join_request(&body),
+            ControlOp::Drain { node } => self.drain_request(&node),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -295,7 +412,26 @@ impl Router {
                         MemberState::Healthy => {}
                     }
                 }
-                Err(_) => self.note_member_failure_locked(member),
+                Err(_) => {
+                    if member.state == MemberState::Draining {
+                        // The normal rolling restart kills the process once
+                        // its work finishes, so a draining member that stops
+                        // answering probes is gone — waiting for a successful
+                        // probe would leave a ghost "draining" row forever.
+                        // Remove it once it looks done, or after the same
+                        // consecutive-failure threshold that ejects healthy
+                        // members.
+                        member.failures = member.failures.saturating_add(1);
+                        let gone = member.load.in_flight.load(Ordering::Relaxed) == 0
+                            || member.failures >= self.config.fail_threshold;
+                        if gone {
+                            self.stats.drained_out.fetch_add(1, Ordering::Relaxed);
+                            members.retain(|member| member.id != node);
+                        }
+                    } else {
+                        self.note_member_failure_locked(member);
+                    }
+                }
             }
         }
     }
@@ -376,17 +512,24 @@ impl Router {
             (Method::Get, ["v1", "compositions"]) => {
                 GatewayReply::Respond(self.list_compositions())
             }
+            // The mutating control plane makes blocking member calls
+            // (probes, broadcasts, relays): deferred to the control thread
+            // so the event loop never stalls behind them.
             (Method::Post, ["v1", "compositions"]) => {
-                GatewayReply::Respond(self.register_composition(request))
+                GatewayReply::Control(ControlOp::RegisterComposition {
+                    body: request.body.clone(),
+                })
             }
             (Method::Get, ["v1", "cluster", "members"]) => {
                 GatewayReply::Respond(self.members_response(StatusCode::OK))
             }
-            (Method::Post, ["v1", "cluster", "members"]) => {
-                GatewayReply::Respond(self.join_request(request))
-            }
+            (Method::Post, ["v1", "cluster", "members"]) => GatewayReply::Control(ControlOp::Join {
+                body: request.body.clone(),
+            }),
             (Method::Post, ["v1", "cluster", "drain", node]) => {
-                GatewayReply::Respond(self.drain_request(node))
+                GatewayReply::Control(ControlOp::Drain {
+                    node: node.to_string(),
+                })
             }
             (Method::Post, ["v1", "invoke", name]) if !name.is_empty() => {
                 self.plan_invocation(request, name, false)
@@ -627,9 +770,9 @@ impl Router {
     }
 
     /// `POST /v1/compositions` on the gateway: broadcast the registration
-    /// to every routable member (blocking control-plane call), so any of
-    /// them can serve the composition afterwards.
-    fn register_composition(&self, request: &HttpRequest) -> HttpResponse {
+    /// to every routable member (blocking — control thread only), so any
+    /// of them can serve the composition afterwards.
+    fn register_composition(&self, body: &[u8]) -> HttpResponse {
         let targets: Vec<(NodeId, SocketAddr)> = self
             .members
             .read()
@@ -643,7 +786,7 @@ impl Router {
         let mut name: Option<String> = None;
         let mut failures: Vec<String> = Vec::new();
         for (node, addr) in &targets {
-            match register_on_member(*addr, &request.body, self.config.probe_timeout) {
+            match register_on_member(*addr, body, self.config.probe_timeout) {
                 Ok(registered) => name = Some(registered),
                 Err(error) => failures.push(format!("{node}: {error}")),
             }
@@ -704,8 +847,9 @@ impl Router {
 
     /// `POST /v1/cluster/members` with body `{"addr": "host:port"}`: a
     /// member announcing itself (what `dandelion-serve --join` sends).
-    fn join_request(&self, request: &HttpRequest) -> HttpResponse {
-        let body = String::from_utf8_lossy(&request.body).to_string();
+    /// Blocking (join probes the candidate) — control thread only.
+    fn join_request(&self, body: &[u8]) -> HttpResponse {
+        let body = String::from_utf8_lossy(body).to_string();
         let addr = JsonValue::parse(&body)
             .ok()
             .and_then(|document| {
@@ -738,6 +882,7 @@ impl Router {
     /// `POST /v1/cluster/drain/{node}`: take a member out of rotation for a
     /// rolling restart. The drain signal is relayed to the node itself
     /// (best-effort) so it refuses work arriving around the gateway too.
+    /// Blocking (the relay is an HTTP call) — control thread only.
     fn drain_request(&self, node_text: &str) -> HttpResponse {
         let Some(node) = NodeId::parse(node_text) else {
             return gateway_error(
@@ -770,9 +915,11 @@ impl Router {
 impl Drop for Router {
     fn drop(&mut self) {
         self.stopping.store(true, Ordering::Release);
-        // The health thread holds only a weak reference; it exits on its
-        // next tick. Joining here would deadlock a drop from the thread
-        // itself, so just signal.
+        self.signal_health_stop();
+        // The health thread holds only a weak reference and is woken out
+        // of its wait above; dropping `control_tx` (as a field) ends the
+        // control thread's receive loop. Joining here would deadlock a
+        // drop from one of the threads themselves, so just signal.
     }
 }
 
@@ -1077,6 +1224,87 @@ mod tests {
         assert_eq!(plan.node, b);
         plan.tried.push(b);
         assert!(router.replan(plan).is_none());
+    }
+
+    /// A loopback port with nothing listening: probes to it fail instantly.
+    fn dead_port() -> u16 {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().port()
+    }
+
+    #[test]
+    fn dead_draining_member_is_removed_when_probes_fail() {
+        let router = router_without_health();
+        let node = insert_member(&router, dead_port(), &["Echo"]);
+        router.drain(node);
+        // Nothing in flight: the rolling restart killed the process, the
+        // probe fails, and the row must go — not linger as "draining".
+        router.probe_members();
+        assert!(
+            router.member_rows().is_empty(),
+            "a dead drained member with no in-flight work must be removed"
+        );
+        assert_eq!(router.stats.drained_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dead_draining_member_with_inflight_work_is_removed_after_threshold() {
+        let router = router_without_health();
+        let node = insert_member(&router, dead_port(), &["Echo"]);
+        {
+            let members = router.members.read();
+            members[0].load.in_flight.store(1, Ordering::Relaxed);
+        }
+        router.drain(node);
+        for round in 0..router.config.fail_threshold {
+            assert_eq!(
+                router.member_rows().len(),
+                1,
+                "still within the failure threshold after {round} probes"
+            );
+            router.probe_members();
+        }
+        assert!(
+            router.member_rows().is_empty(),
+            "consecutive probe failures must remove a draining member even \
+             when its in-flight gauge never settled"
+        );
+    }
+
+    #[test]
+    fn mutating_control_plane_requests_defer_to_the_control_thread() {
+        let router = router_without_health();
+        let drain = HttpRequest::post("/v1/cluster/drain/node-424242", Vec::new());
+        let GatewayReply::Control(op) = router.dispatch(&drain) else {
+            panic!("mutating control-plane requests must defer off the event loop");
+        };
+        let (tx, rx) = mpsc::channel();
+        router.submit_control(
+            op,
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+        let response = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("the control thread answers");
+        assert_eq!(response.status.0, 404, "unknown node: {}", response.body_text());
+
+        // After shutdown, deferred operations answer 503 instead of hanging.
+        router.shutdown();
+        let GatewayReply::Control(op) = router.dispatch(&drain) else {
+            panic!("dispatch shape does not change at shutdown");
+        };
+        let (tx, rx) = mpsc::channel();
+        router.submit_control(
+            op,
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+        let response = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(response.status.0, 503);
+        assert!(response.body_text().contains("gateway_stopping"));
     }
 
     #[test]

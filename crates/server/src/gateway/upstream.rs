@@ -59,14 +59,26 @@ pub(crate) struct UpstreamConn {
     pending: VecDeque<Origin>,
     /// Interest mask currently registered with the epoll.
     interest: u32,
-    /// Last moment response bytes arrived; with non-empty `pending`, a
-    /// stall past the upstream timeout closes the connection (and fails
-    /// the pending exchanges) instead of pinning client slots forever.
+    /// A non-blocking connect is still in progress: the socket reporting
+    /// writable (or responding) completes it; until then the stall check
+    /// runs on the (short) connect budget instead of the response timeout.
+    connecting: bool,
+    /// Last moment the connection made observable progress: response bytes
+    /// arrived, the connect completed, or — so an idle keep-alive's stale
+    /// clock cannot fail a fresh exchange — the pending set went from empty
+    /// to non-empty. With non-empty `pending`, a stall past the upstream
+    /// timeout closes the connection (and fails the pending exchanges)
+    /// instead of pinning client slots forever.
     last_progress: Instant,
 }
 
 impl UpstreamConn {
-    pub(crate) fn new(stream: TcpStream, node: NodeId, limits: ParseLimits) -> UpstreamConn {
+    pub(crate) fn new(
+        stream: TcpStream,
+        node: NodeId,
+        limits: ParseLimits,
+        connecting: bool,
+    ) -> UpstreamConn {
         UpstreamConn {
             stream,
             node,
@@ -75,6 +87,7 @@ impl UpstreamConn {
             decoder: ResponseDecoder::new(limits),
             pending: VecDeque::new(),
             interest: EPOLLIN | EPOLLRDHUP,
+            connecting,
             last_progress: Instant::now(),
         }
     }
@@ -120,6 +133,13 @@ impl UpstreamConn {
 
     /// Accepts one serialized exchange for delivery to the member.
     pub(crate) fn enqueue(&mut self, rope: Rope, origin: Origin) {
+        // A pooled keep-alive connection may have sat idle far longer than
+        // the stall timeout; restart the progress clock when it goes from
+        // idle to loaded so the deadline measures this exchange, not the
+        // idle gap before it.
+        if self.pending.is_empty() {
+            self.last_progress = Instant::now();
+        }
         self.outbox.push_back(rope);
         self.pending.push_back(origin);
     }
@@ -143,9 +163,27 @@ impl UpstreamConn {
         mask
     }
 
-    /// Whether the pending responses have stalled past `timeout`.
+    /// Whether the non-blocking connect is still in progress.
+    pub(crate) fn is_connecting(&self) -> bool {
+        self.connecting
+    }
+
+    /// The socket reported writable. On a connecting socket, writability is
+    /// how the kernel signals a successful connect (failures arrive as
+    /// `EPOLLERR`/`EPOLLHUP` instead), so this completes the connect and
+    /// counts as progress.
+    pub(crate) fn note_writable(&mut self) {
+        if self.connecting {
+            self.connecting = false;
+            self.last_progress = Instant::now();
+        }
+    }
+
+    /// Whether the connection has stalled past `timeout` (no response
+    /// progress with exchanges pending, or a connect that never completed).
     pub(crate) fn stalled(&self, now: Instant, timeout: std::time::Duration) -> bool {
-        !self.pending.is_empty() && now.duration_since(self.last_progress) >= timeout
+        (self.connecting || !self.pending.is_empty())
+            && now.duration_since(self.last_progress) >= timeout
     }
 
     /// Advances the connection: writes queued requests until the socket
@@ -159,12 +197,21 @@ impl UpstreamConn {
     ) -> (UpstreamVerdict, Vec<(Origin, HttpResponse)>) {
         let mut delivered = Vec::new();
         // Write side: drive the current writer, then promote the outbox.
+        let mut write_failed = false;
         loop {
             if let Some(writer) = &mut self.writer {
                 match writer.write_some(&mut self.stream) {
                     Ok(true) => self.writer = None,
                     Ok(false) => break,
-                    Err(_) => return (UpstreamVerdict::Close, delivered),
+                    // A write error dooms the connection, but the member may
+                    // already have answered earlier exchanges: fall through
+                    // to the read/decode side so responses sitting in the
+                    // socket (or the decoder buffer) are still delivered
+                    // before the remaining pending exchanges are failed.
+                    Err(_) => {
+                        write_failed = true;
+                        break;
+                    }
                 }
             }
             match self.outbox.pop_front() {
@@ -174,7 +221,7 @@ impl UpstreamConn {
         }
         // Read side: pull bytes and decode complete responses in order.
         let mut saw_eof = false;
-        if readable {
+        if readable || write_failed {
             loop {
                 match self.decoder.read_from(&mut self.stream, read_chunk) {
                     Ok(0) => {
@@ -191,7 +238,7 @@ impl UpstreamConn {
                 }
             }
         }
-        let mut close = saw_eof;
+        let mut close = saw_eof || write_failed;
         loop {
             match self.decoder.next_response() {
                 Ok(Some(response)) => {
@@ -225,5 +272,96 @@ impl UpstreamConn {
         } else {
             (UpstreamVerdict::Keep, delivered)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::{Shutdown, TcpListener};
+    use std::time::Duration;
+
+    use dandelion_http::{HttpRequest, HttpResponse};
+
+    /// A connected loopback pair: the upstream side (non-blocking, as the
+    /// event loop would hold it) and the member side.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ours = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        ours.set_nonblocking(true).unwrap();
+        let (member, _) = listener.accept().unwrap();
+        (ours, member)
+    }
+
+    fn origin(seq: u64) -> Origin {
+        Origin {
+            token: 7,
+            seq,
+            bytes: 16,
+            track_submit: false,
+        }
+    }
+
+    fn request_rope() -> Rope {
+        HttpRequest::post("/v1/invoke/Echo", b"payload".to_vec()).to_rope()
+    }
+
+    #[test]
+    fn enqueue_after_idle_restarts_the_stall_clock() {
+        let (ours, _member) = socket_pair();
+        let mut conn = UpstreamConn::new(ours, NodeId::from_raw(1), ParseLimits::default(), false);
+        let timeout = Duration::from_millis(50);
+        // Let the connection sit idle well past the timeout: idleness alone
+        // must never stall it, and the first exchange after the gap must be
+        // measured from its own enqueue, not from the stale idle clock.
+        std::thread::sleep(Duration::from_millis(70));
+        assert!(!conn.stalled(Instant::now(), timeout), "idle is not a stall");
+        conn.enqueue(request_rope(), origin(0));
+        assert!(
+            !conn.stalled(Instant::now(), timeout),
+            "a fresh exchange on a long-idle keep-alive gets the full timeout"
+        );
+        std::thread::sleep(Duration::from_millis(70));
+        assert!(
+            conn.stalled(Instant::now(), timeout),
+            "a genuinely unanswered exchange still stalls"
+        );
+    }
+
+    #[test]
+    fn write_error_still_delivers_responses_already_received() {
+        let (ours, mut member) = socket_pair();
+        let mut conn = UpstreamConn::new(ours, NodeId::from_raw(2), ParseLimits::default(), false);
+        // Exchange 0 reaches the member, which answers it.
+        conn.enqueue(request_rope(), origin(0));
+        let (verdict, delivered) = conn.pump(false, 4096);
+        assert_eq!(verdict, UpstreamVerdict::Keep);
+        assert!(delivered.is_empty());
+        let mut sink = [0u8; 4096];
+        assert!(member.read(&mut sink).unwrap() > 0);
+        let answer = HttpResponse::ok(b"already sent".to_vec())
+            .with_header("Connection", "keep-alive")
+            .to_bytes();
+        std::io::Write::write_all(&mut member, &answer).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Force the next write to fail, with the member's answer sitting in
+        // the receive buffer: the doomed pump must deliver it, not discard
+        // it behind the write error.
+        conn.stream.shutdown(Shutdown::Write).unwrap();
+        conn.enqueue(request_rope(), origin(1));
+        let (verdict, delivered) = conn.pump(false, 4096);
+        assert_eq!(verdict, UpstreamVerdict::Close);
+        assert_eq!(
+            delivered.len(),
+            1,
+            "the response received before the write error must be delivered"
+        );
+        assert_eq!(delivered[0].0.seq, 0);
+        assert_eq!(delivered[0].1.body.as_ref(), b"already sent");
+        // Only the exchange that never got an answer is left to fail.
+        let remaining = conn.take_pending();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].seq, 1);
     }
 }

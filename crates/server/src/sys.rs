@@ -14,6 +14,7 @@
 //! platform); the constants below are the stable Linux ABI values.
 
 use std::io;
+use std::net::{SocketAddr, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::os::raw::{c_int, c_uint, c_void};
 
@@ -35,6 +36,12 @@ const EPOLL_CLOEXEC: c_int = 0x80000;
 const EFD_CLOEXEC: c_int = 0x80000;
 const EFD_NONBLOCK: c_int = 0x800;
 const RLIMIT_NOFILE: c_int = 7;
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0x800;
+const SOCK_CLOEXEC: c_int = 0x80000;
+const EINPROGRESS: i32 = 115;
 
 /// One readiness event, in the kernel's wire layout (packed on x86-64).
 #[repr(C)]
@@ -53,6 +60,27 @@ struct RLimit {
     rlim_max: u64,
 }
 
+/// `struct sockaddr_in`, in the kernel's wire layout (port and address in
+/// network byte order).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port: [u8; 2],
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (`sin6_flowinfo` in network byte order,
+/// `sin6_scope_id` in host order, per the Linux ABI).
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port: [u8; 2],
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -62,6 +90,8 @@ extern "C" {
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(sockfd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
 }
 
 fn check(result: c_int) -> io::Result<c_int> {
@@ -184,6 +214,63 @@ impl EventFd {
     }
 }
 
+/// Initiates a TCP connect without ever blocking the caller: the socket is
+/// created non-blocking and `connect` returns immediately (`EINPROGRESS`).
+/// The caller registers the stream with an [`Epoll`]; the kernel reports a
+/// successful connect as `EPOLLOUT` readiness and a failed one as
+/// `EPOLLERR`/`EPOLLHUP` (and any read or write on the socket surfaces the
+/// error). Event loops use this for upstream connections so the data path
+/// never stalls on a slow member's handshake.
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // Wrap immediately so an early return cannot leak the descriptor.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    let result = match addr {
+        SocketAddr::V4(v4) => {
+            let sockaddr = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be_bytes(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    stream.as_raw_fd(),
+                    (&sockaddr as *const SockAddrIn).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sockaddr = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be_bytes(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    stream.as_raw_fd(),
+                    (&sockaddr as *const SockAddrIn6).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if result < 0 {
+        let error = io::Error::last_os_error();
+        if error.raw_os_error() != Some(EINPROGRESS) {
+            return Err(error);
+        }
+    }
+    Ok(stream)
+}
+
 /// Raises the process's soft open-file limit to at least `want` descriptors
 /// (capped by the hard limit), returning the resulting soft limit. Tests
 /// and benches that open thousands of loopback sockets call this first so a
@@ -257,6 +344,26 @@ mod tests {
         assert_ne!(mask & EPOLLOUT, 0);
         epoll.delete(served.as_raw_fd()).unwrap();
         assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_epoll_writability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = connect_nonblocking(&listener.local_addr().unwrap()).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(stream.as_raw_fd(), EPOLLOUT, 9).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let ready = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready, 1, "loopback connect must complete");
+        let mask = events[0].events;
+        assert_ne!(mask & EPOLLOUT, 0, "success is reported as writability");
+        assert_eq!(mask & (EPOLLERR | EPOLLHUP), 0);
+        // The connected socket really works end to end.
+        let (mut served, _) = listener.accept().unwrap();
+        let mut client = stream;
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 5);
     }
 
     #[test]

@@ -133,10 +133,121 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Result of a timed [`Condvar`] wait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Returns `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable paired with [`Mutex`], ignoring poisoning.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until another thread notifies this condition variable.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |taken| {
+            self.inner.wait(taken).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses, whichever is first.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |taken| {
+            let (taken, result) = self
+                .inner
+                .wait_timeout(taken, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            taken
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+/// Runs `f` on the guard by value, as `std::sync::Condvar` requires, then
+/// stores the returned guard back behind the `&mut` reference.
+///
+/// `MutexGuard` has no placeholder value to `mem::replace` with, so the
+/// guard is moved out and back with raw reads. Sound only because every
+/// caller's `f` is infallible: the std wait results are unwrapped with
+/// `PoisonError::into_inner`, which never panics, so `f` always returns
+/// a guard to write back.
+fn replace_guard<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    unsafe {
+        let taken = std::ptr::read(guard);
+        let returned = f(taken);
+        std::ptr::write(guard, returned);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn condvar_wait_for_observes_notification_and_timeout() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, wake) = &*waiter;
+            let mut ready = lock.lock();
+            while !*ready {
+                let result = wake.wait_for(&mut ready, std::time::Duration::from_secs(5));
+                assert!(!result.timed_out());
+            }
+        });
+        {
+            let (lock, wake) = &*pair;
+            *lock.lock() = true;
+            wake.notify_all();
+        }
+        handle.join().unwrap();
+
+        let (lock, wake) = &*pair;
+        let mut ready = lock.lock();
+        let result = wake.wait_for(&mut ready, std::time::Duration::from_millis(10));
+        assert!(result.timed_out());
+    }
 
     #[test]
     fn mutex_roundtrip() {
