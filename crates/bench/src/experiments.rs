@@ -1267,6 +1267,15 @@ pub fn small_invocations() -> Report {
 /// issue requests — the headline of the readiness-driven rewrite is that
 /// the mostly-idle thousands cost the two loops almost nothing, where the
 /// old thread-per-connection pool would have refused or thrashed.
+///
+/// The *scaling* modes measure the sharded-accept rewrite: ~10,000
+/// **active** keep-alive connections all issue `GET /healthz` (answered on
+/// the serving layer itself, so the worker is not the bottleneck) in
+/// batched write-then-read rounds, against a 1-loop server and a 4-loop
+/// server. With per-loop `SO_REUSEPORT` listeners, edge-triggered
+/// registrations and lock-free inboxes, loops share no admission funnel
+/// and no inbox lock — on a multi-core machine 4 loops should approach 4x
+/// the single-loop RPS (the release guard demands >= 2x on >= 6 cores).
 pub fn network() -> Report {
     use dandelion_common::config::{IsolationKind, WorkerConfig};
     use dandelion_core::worker::{default_test_services, WorkerNode};
@@ -1283,10 +1292,19 @@ pub fn network() -> Report {
     const REQUESTS_PER_ACTIVE: usize = 120;
     const PAYLOAD_BYTES: usize = 512;
     const WARMUP_PER_CLIENT: usize = 50;
+    const SCALING_CONNECTIONS: usize = 10_000;
+    const SCALING_THREADS: usize = 8;
+    const SCALING_ROUNDS: usize = 5;
 
-    // Idle + active sockets exist twice in this process (client and server
-    // end); a conservative `ulimit -n` would fail the scenario spuriously.
-    dandelion_server::sys::raise_nofile_limit(8 * 1024).expect("open-file limit raised");
+    // Every socket exists twice in this process (client and server end);
+    // the scaling modes alone need ~2x 10k descriptors. Running as root
+    // (CI containers) the hard limit is raised too; otherwise the scenario
+    // adapts its connection count to the budget actually granted.
+    let fd_budget =
+        dandelion_server::sys::raise_nofile_limit(24 * 1024).expect("open-file limit raised");
+    let scaling_connections =
+        SCALING_CONNECTIONS.min((fd_budget.saturating_sub(1024) / 2) as usize) / SCALING_THREADS
+            * SCALING_THREADS;
 
     let worker = WorkerNode::start_with_control(
         WorkerConfig {
@@ -1407,8 +1425,106 @@ pub fn network() -> Report {
         "all requests counted"
     );
     server.shutdown();
+
+    // Scaling modes: the same ~10k-connection herd, but every connection
+    // is *active*, hammering `/healthz` — answered by the serving layer
+    // itself, so RPS measures epoll loops, accept sharding and inboxes,
+    // not worker dispatch. Each mode gets a fresh server (fresh port) so
+    // lingering TIME_WAIT tuples from the previous one cannot interfere.
+    let scale_run = |loops: usize| -> Duration {
+        let server = Server::start(
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                event_loops: loops,
+                max_connections: scaling_connections + 64,
+                read_timeout: Duration::from_secs(120),
+                ..ServerConfig::default()
+            },
+            Arc::new(Frontend::new(Arc::clone(&worker))),
+        )
+        .expect("scaling server binds");
+        let addr = server.local_addr();
+        let per_thread = scaling_connections / SCALING_THREADS;
+        // Connect the herd in parallel; each socket is its own flow, which
+        // is what spreads them across the reuseport listeners.
+        let connectors: Vec<_> = (0..SCALING_THREADS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..per_thread)
+                        .map(|index| {
+                            let stream =
+                                std::net::TcpStream::connect(addr).unwrap_or_else(|error| {
+                                    panic!("scaling connection {index} refused: {error}")
+                                });
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(120)))
+                                .unwrap();
+                            stream.set_nodelay(true).unwrap();
+                            stream
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let slices: Vec<Vec<std::net::TcpStream>> = connectors
+            .into_iter()
+            .map(|thread| thread.join().expect("connector succeeds"))
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while (server.stats().open_connections as usize) < scaling_connections {
+            assert!(
+                Instant::now() < deadline,
+                "scaling herd not adopted in time"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let start = Instant::now();
+        let drivers: Vec<_> = slices
+            .into_iter()
+            .map(|mut conns| {
+                std::thread::spawn(move || {
+                    use std::io::Write;
+                    let mut decoders: Vec<_> = conns
+                        .iter()
+                        .map(|_| {
+                            dandelion_http::ResponseDecoder::new(
+                                dandelion_http::ParseLimits::default(),
+                            )
+                        })
+                        .collect();
+                    for _round in 0..SCALING_ROUNDS {
+                        // Batched round: put one request on every
+                        // connection, then collect every response — all
+                        // connections are mid-flight at once.
+                        for conn in &mut conns {
+                            conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+                        }
+                        for (conn, decoder) in conns.iter_mut().zip(&mut decoders) {
+                            let response = loop {
+                                if let Some(response) = decoder.next_response().unwrap() {
+                                    break response;
+                                }
+                                let read = decoder.read_from(conn, 4096).unwrap();
+                                assert!(read > 0, "server closed an active connection");
+                            };
+                            assert_eq!(response.status.0, 200);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for driver in drivers {
+            driver.join().expect("scaling driver succeeds");
+        }
+        let elapsed = start.elapsed();
+        server.shutdown();
+        elapsed
+    };
+    let one_loop_elapsed = scale_run(1);
+    let four_loop_elapsed = scale_run(4);
     worker.shutdown();
 
+    let scaling_requests = (scaling_connections * SCALING_ROUNDS) as f64;
     let mut report = Report::new(
         "Network: loopback TCP serving throughput on epoll event loops",
         &format!(
@@ -1416,7 +1532,9 @@ pub fn network() -> Report {
              loops, 4-core worker, native isolation; few-connection modes: {CLIENTS} clients x \
              {REQUESTS_PER_CLIENT}; high-connection mode: {IDLE_CONNECTIONS} idle keep-alive \
              connections held open while {ACTIVE_CLIENTS} clients x {REQUESTS_PER_ACTIVE} drive \
-             load"
+             load; scaling modes: {scaling_connections} active keep-alive connections each \
+             issuing {SCALING_ROUNDS} batched /healthz rounds against 1 and 4 event loops \
+             (sharded SO_REUSEPORT accept, edge-triggered registrations, lock-free inboxes)"
         ),
     );
     report.header(&["mode", "wall time [ms]", "throughput [RPS]"]);
@@ -1424,6 +1542,8 @@ pub fn network() -> Report {
         ("reconnect", few_requests, reconnect_elapsed),
         ("keep-alive", few_requests, keep_alive_elapsed),
         ("keep-alive + 2000 idle", high_requests, high_conn_elapsed),
+        ("10k active, 1 loop", scaling_requests, one_loop_elapsed),
+        ("10k active, 4 loops", scaling_requests, four_loop_elapsed),
     ] {
         report.row(vec![
             mode.into(),
@@ -1434,10 +1554,14 @@ pub fn network() -> Report {
     report.note(&format!(
         "keep-alive is {:.2}x reconnect; with {IDLE_CONNECTIONS} idle connections parked on \
          the same {EVENT_LOOPS} loops, active throughput stays at {:.2}x the few-connection \
-         case — idle keep-alives cost memory, not threads",
+         case — idle keep-alives cost memory, not threads; under {scaling_connections} active \
+         connections, 4 loops serve {:.2}x the single-loop RPS on {} available cores (loop \
+         scaling needs cores to scale onto)",
         reconnect_elapsed.as_secs_f64() / keep_alive_elapsed.as_secs_f64().max(1e-9),
         (high_requests / high_conn_elapsed.as_secs_f64().max(1e-9))
-            / (few_requests / keep_alive_elapsed.as_secs_f64()).max(1e-9)
+            / (few_requests / keep_alive_elapsed.as_secs_f64()).max(1e-9),
+        one_loop_elapsed.as_secs_f64() / four_loop_elapsed.as_secs_f64().max(1e-9),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     ));
     report
 }
@@ -1791,6 +1915,57 @@ mod tests {
         panic!(
             "expected the 2000-idle-connection scenario within 2x of the few-connection \
              RPS, got {high} vs {few}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "loop-scaling RPS is only meaningful with optimizations; \
+                  run with `cargo test --release -p dandelion-bench` (CI does)"
+    )]
+    fn network_scaling_four_loops_outscale_one() {
+        // The contract of the sharded-accept rewrite: with ~10k active
+        // connections, 4 event loops (each with its own SO_REUSEPORT
+        // listener, edge-triggered registrations and lock-free inbox) must
+        // deliver >= 2x the RPS of a single loop. Loop scaling needs cores
+        // to scale onto: below 6 (4 loops + client threads + kernel) the
+        // full contract is physically unreachable, so small machines only
+        // sanity-check that 4 loops do not *collapse* — the 2x guard runs
+        // on CI-sized runners. One retry absorbs noisy neighbors.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mut last = (0.0, 0.0);
+        for _attempt in 0..2 {
+            let report = network();
+            let rps = |mode: &str| -> f64 {
+                report
+                    .rows
+                    .iter()
+                    .find(|row| row[0] == mode)
+                    .expect("mode row present")[2]
+                    .parse()
+                    .unwrap()
+            };
+            last = (rps("10k active, 4 loops"), rps("10k active, 1 loop"));
+            if cores >= 6 && last.0 >= 2.0 * last.1 {
+                return;
+            }
+            if cores < 6 && last.0 >= 0.4 * last.1 {
+                println!(
+                    "note: only {cores} cores available — loop-scaling contract (>= 2x) \
+                     skipped, sanity floor (>= 0.4x) passed with {:.0} vs {:.0} RPS",
+                    last.0, last.1
+                );
+                return;
+            }
+        }
+        let (four, one) = last;
+        if cores >= 6 {
+            panic!("expected >= 2x RPS with 4 event loops under 10k active connections, got {four} vs {one}");
+        }
+        panic!(
+            "4 event loops collapsed under 10k active connections on a {cores}-core machine: \
+             {four} vs {one} RPS"
         );
     }
 

@@ -24,6 +24,8 @@
 //!   builder that freezes into it without copying.
 //! * [`rope`] — [`rope::Rope`], multi-part payloads as lists of zero-copy
 //!   segments with vectored delivery.
+//! * [`mpsc`] — [`mpsc::MpscQueue`], the lock-free multi-producer inbox
+//!   the server's event loops drain in batches.
 //! * [`pool`] — [`pool::BufferPool`], the fixed-class slab of reusable
 //!   buffers behind builders and memory-context arenas.
 
@@ -35,6 +37,7 @@ pub mod encoding;
 pub mod error;
 pub mod id;
 pub mod json;
+pub mod mpsc;
 pub mod pool;
 pub mod rng;
 pub mod rope;
@@ -46,6 +49,7 @@ pub use data::{DataItem, DataSet};
 pub use error::{DandelionError, DandelionResult};
 pub use id::{CompositionId, ContextId, EngineId, FunctionId, InvocationId, NodeId};
 pub use json::JsonValue;
+pub use mpsc::MpscQueue;
 pub use pool::BufferPool;
 pub use rope::{Rope, RopeWriter};
 

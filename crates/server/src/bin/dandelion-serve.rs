@@ -6,6 +6,7 @@
 //!                 [--max-connections N] [--max-head-bytes N]
 //!                 [--max-body-bytes N] [--read-timeout-ms N]
 //!                 [--rate-limit RPS] [--rate-burst N]
+//!                 [--pin-cores] [--single-listener]
 //!                 [--gateway] [--member HOST:PORT]... [--join HOST:PORT]
 //! ```
 //!
@@ -46,6 +47,7 @@ fn usage() -> ! {
         "usage: dandelion-serve [--addr HOST:PORT] [--cores N] [--event-loops N] \
          [--max-connections N] [--max-head-bytes N] [--max-body-bytes N] \
          [--read-timeout-ms N] [--rate-limit RPS] [--rate-burst N] \
+         [--pin-cores] [--single-listener] \
          [--gateway] [--member HOST:PORT]... [--join HOST:PORT]"
     );
     exit(2);
@@ -79,6 +81,16 @@ fn parse_options() -> Options {
         }
         if flag == "--gateway" {
             options.gateway = true;
+            continue;
+        }
+        if flag == "--pin-cores" {
+            options.config.pin_cores = true;
+            continue;
+        }
+        // Opt out of `SO_REUSEPORT` accept sharding: one listener owned by
+        // loop 0, placing connections on the least-loaded loop.
+        if flag == "--single-listener" {
+            options.config.reuseport = false;
             continue;
         }
         let Some(value) = args.next() else { usage() };

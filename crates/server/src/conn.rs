@@ -45,7 +45,6 @@ use crate::event_loop::{LoopMsg, LoopShared};
 use crate::gateway::GatewayReply;
 use crate::rate::RateLimit;
 use crate::server::{AppKind, Shared};
-use crate::sys::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Builds the JSON error body shared by every connection-level rejection.
 fn error_body(code: &str, message: &str, retryable: bool) -> HttpResponse {
@@ -139,7 +138,8 @@ enum Slot {
 /// What [`Conn::pump`] and friends tell the event loop to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Verdict {
-    /// Keep the connection; re-arm interest from [`Conn::desired_interest`].
+    /// Keep the connection; the edge-triggered registration needs no
+    /// re-arm — the pump drained everything the kernel had.
     Keep,
     /// Close and release the connection now.
     Close,
@@ -165,8 +165,13 @@ pub(crate) struct Conn {
     /// No further requests are read or parsed (close requested, parse
     /// error, deadline fired, or server draining past this connection).
     stop_reading: bool,
-    /// Readiness interest currently registered with the epoll.
-    interest: u32,
+    /// The socket may still hold unread bytes. Under edge-triggered epoll a
+    /// readable event fires once per arrival, so readability must be
+    /// remembered across pumps: backpressure (a full pipeline backlog) can
+    /// suspend reading mid-drain, and the kernel will not repeat the edge
+    /// when the backlog later clears. Set by a readable event, cleared only
+    /// when a read actually returns `EWOULDBLOCK` or EOF.
+    sock_readable: bool,
     /// Deadline for the partially received request to finish arriving;
     /// armed when its first byte lands, disarmed when it completes.
     request_deadline: Option<Instant>,
@@ -197,7 +202,7 @@ impl Conn {
             front_seq: 0,
             next_seq: 0,
             stop_reading: false,
-            interest: EPOLLIN | EPOLLRDHUP,
+            sock_readable: false,
             request_deadline: None,
             idle_deadline: Instant::now() + shared.config.read_timeout,
             write_deadline: None,
@@ -207,29 +212,6 @@ impl Conn {
 
     pub(crate) fn stream(&self) -> &TcpStream {
         &self.stream
-    }
-
-    /// The readiness mask this connection currently needs: readable while
-    /// it accepts new requests (and the pipeline backlog has room),
-    /// writable while a response is partially delivered.
-    pub(crate) fn desired_interest(&self, shared: &Shared) -> u32 {
-        let mut mask = EPOLLRDHUP;
-        if !self.stop_reading && self.slots.len() < shared.config.max_pipelined {
-            mask |= EPOLLIN;
-        }
-        if self.writer.is_some() {
-            mask |= EPOLLOUT;
-        }
-        mask
-    }
-
-    /// The interest mask registered with the epoll (updated by the loop).
-    pub(crate) fn registered_interest(&self) -> u32 {
-        self.interest
-    }
-
-    pub(crate) fn set_registered_interest(&mut self, mask: u32) {
-        self.interest = mask;
     }
 
     /// Nothing buffered, queued or in flight: safe to close silently.
@@ -244,8 +226,11 @@ impl Conn {
         &mut self,
         shared: &Shared,
         me: &Arc<LoopShared>,
-        mut readable: bool,
+        readable: bool,
     ) -> Verdict {
+        if readable {
+            self.sock_readable = true;
+        }
         let stopping = shared.stopping.load(Ordering::Acquire);
         loop {
             let mut progressed = false;
@@ -268,8 +253,15 @@ impl Conn {
                     }
                 }
             }
-            // Pull more bytes while the kernel has them for us.
-            if readable && !self.stop_reading && self.slots.len() < shared.config.max_pipelined {
+            // Pull more bytes while the kernel has them for us. The sticky
+            // `sock_readable` flag — not this pump's trigger — gates the
+            // read: a completion-driven pump resumes a drain that an earlier
+            // pump suspended for backpressure, and only an actual
+            // `EWOULDBLOCK` (or EOF) declares the socket dry again.
+            if self.sock_readable
+                && !self.stop_reading
+                && self.slots.len() < shared.config.max_pipelined
+            {
                 match self
                     .decoder
                     .read_from(&mut self.stream, shared.config.read_chunk_bytes)
@@ -281,14 +273,14 @@ impl Conn {
                     // the final flush closes the connection.
                     Ok(0) => {
                         self.stop_reading = true;
-                        readable = false;
+                        self.sock_readable = false;
                         continue;
                     }
                     Ok(_) => {
                         continue;
                     }
                     Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
-                        readable = false;
+                        self.sock_readable = false;
                     }
                     Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(_) => return Verdict::Close,

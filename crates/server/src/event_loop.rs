@@ -16,38 +16,48 @@
 //! upstream connection of the same loop, and the member's response is
 //! delivered straight back into the client's slot, body by reference.
 //!
-//! Cross-thread traffic arrives through each loop's inbox: the accept path
-//! (loop 0 owns the non-blocking listener) posts admitted connections to
-//! the least-loaded loop, the dispatcher's completion callbacks post
-//! finished responses ([`LoopMsg::Complete`]), and gateway dispatch posts
-//! forward plans ([`LoopMsg::Forward`]) — each followed by an `eventfd`
-//! signal so the target loop wakes from `epoll_wait` immediately.
+//! Cross-thread traffic arrives through each loop's inbox — a lock-free
+//! [`MpscQueue`] drained in whole batches: the accept path posts admitted
+//! connections (fallback single-listener mode only; with `SO_REUSEPORT`
+//! sharding each loop accepts its own), the dispatcher's completion
+//! callbacks post finished responses ([`LoopMsg::Complete`]), and gateway
+//! dispatch posts forward plans ([`LoopMsg::Forward`]). The `eventfd`
+//! wakeup is conditional: a producer writes it only when it observes the
+//! loop asleep (an atomic `sleeping` flag set around `epoll_wait`), so a
+//! completion storm against a busy loop coalesces into zero syscalls —
+//! the posted/wakeup counters in `/v1/stats` prove the coalescing.
+//!
+//! Connection registrations are **edge-triggered** (`EPOLLET`, full
+//! interest mask registered once at adoption): the pumps drain until
+//! `EWOULDBLOCK`, and no per-wakeup re-arm `epoll_ctl` call exists on the
+//! hot path at all.
 //!
 //! Tokens carry a generation tag: when a connection closes its slab index
 //! is recycled, and the bumped generation makes stale epoll events or
 //! late completions for the old occupant fall harmlessly on the floor.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::net::{IpAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use dandelion_common::mpsc::{Drain, MpscQueue};
 use dandelion_common::{InvocationId, JsonValue, NodeId};
 use dandelion_http::{HttpResponse, StatusCode};
-use parking_lot::Mutex;
 
 use crate::conn::{overloaded_response, response_rope, Conn, Due, Verdict};
 use crate::gateway::upstream::{Origin, UpstreamConn, UpstreamVerdict};
 use crate::gateway::{proxy_response, upstream_failed_response, ForwardPlan, MemberLoad, Router};
 use crate::server::{AppKind, Shared};
 use crate::sys::{
-    connect_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
-    EPOLLRDHUP,
+    connect_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN,
+    EPOLLOUT, EPOLLRDHUP,
 };
 
-/// Token of the listener registration (loop 0 only).
+/// Token of the loop's listener registration (every loop in sharded accept
+/// mode, loop 0 only in fallback mode).
 const LISTENER_TOKEN: u64 = u64::MAX;
 /// Token of the loop's own waker eventfd.
 const WAKER_TOKEN: u64 = u64::MAX - 1;
@@ -77,27 +87,39 @@ pub(crate) enum LoopMsg {
     },
 }
 
-/// The cross-thread half of one event loop: an inbox plus the eventfd that
-/// wakes the loop to drain it. Shared with the accept path and with every
-/// completion callback targeting this loop.
+/// The cross-thread half of one event loop: a lock-free inbox plus the
+/// eventfd that wakes the loop to drain it. Shared with the accept path and
+/// with every completion callback targeting this loop.
 pub(crate) struct LoopShared {
-    inbox: Mutex<VecDeque<LoopMsg>>,
+    inbox: MpscQueue<LoopMsg>,
     waker: EventFd,
+    /// Set by the loop just before it blocks in `epoll_wait` with an empty
+    /// inbox; swapped off by the first producer that posts into the sleep,
+    /// which is the only producer that signals the eventfd.
+    sleeping: AtomicBool,
     /// Gauge: connections owned by (or in transit to) this loop. Fed by the
     /// accept path's placement decision, drained by `close`.
     pub(crate) connections: AtomicUsize,
     /// Gauge: invocations in flight for connections on this loop (parked
     /// `Waiting` slots, including proxied upstream requests).
     pub(crate) inflight: AtomicUsize,
+    /// Messages ever posted to this inbox.
+    pub(crate) posted: AtomicU64,
+    /// Eventfd signals actually written; `posted - wakeups` is the number
+    /// of posts that found the loop awake and cost no syscall.
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl LoopShared {
     pub(crate) fn new() -> std::io::Result<LoopShared> {
         Ok(LoopShared {
-            inbox: Mutex::new(VecDeque::new()),
+            inbox: MpscQueue::new(),
             waker: EventFd::new()?,
+            sleeping: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
+            posted: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         })
     }
 
@@ -108,20 +130,63 @@ impl LoopShared {
         self.connections.load(Ordering::Relaxed) + 4 * self.inflight.load(Ordering::Relaxed)
     }
 
-    /// Enqueues a message and wakes the loop.
+    /// Approximate number of messages waiting in the inbox (stats gauge).
+    pub(crate) fn inbox_depth(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Enqueues a message, waking the loop only if it is (going) asleep.
+    ///
+    /// The push is a lock-free CAS; the eventfd `write(2)` happens only on
+    /// the awake→asleep transition: `sleeping` is swapped off, so of any
+    /// number of concurrent producers exactly one pays the syscall and a
+    /// loop that is already draining pays nothing at all. The ordering
+    /// argument is the same seqlock-style handshake as a futex wait: the
+    /// loop sets `sleeping` *before* its final emptiness check, so a
+    /// producer either sees `sleeping == true` (and signals) or its push
+    /// is visible to that check (and the loop skips the blocking wait).
     pub(crate) fn post(&self, msg: LoopMsg) {
-        self.inbox.lock().push_back(msg);
-        self.waker.signal();
+        self.inbox.push(msg);
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        if self.sleeping.swap(false, Ordering::SeqCst) {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.waker.signal();
+        }
     }
 
-    /// Wakes the loop without a message (shutdown broadcast).
+    /// Wakes the loop without a message (shutdown broadcast). Always
+    /// signals: shutdown is rare and must never be coalesced away.
     pub(crate) fn wake(&self) {
+        self.sleeping.store(false, Ordering::SeqCst);
         self.waker.signal();
     }
 
-    fn drain(&self) -> VecDeque<LoopMsg> {
+    /// Announces the loop is about to block. Returns `false` — and cancels
+    /// the announcement — when messages raced in, in which case the caller
+    /// must poll instead of block.
+    fn prepare_sleep(&self) -> bool {
+        self.sleeping.store(true, Ordering::SeqCst);
+        if self.inbox.is_empty() {
+            true
+        } else {
+            self.sleeping.store(false, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// The loop is awake again; producers go back to skipping the signal.
+    fn cancel_sleep(&self) {
+        self.sleeping.store(false, Ordering::SeqCst);
+    }
+
+    /// Clears a delivered eventfd signal (called on its epoll event only,
+    /// not once per iteration).
+    fn clear_signal(&self) {
         self.waker.drain();
-        std::mem::take(&mut *self.inbox.lock())
+    }
+
+    fn take_messages(&self) -> Drain<LoopMsg> {
+        self.inbox.take_all()
     }
 }
 
@@ -213,14 +278,20 @@ impl EventLoop {
     pub(crate) fn run(mut self) {
         let mut events = [EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
         loop {
-            let ready = self.epoll.wait(&mut events, TICK_MS).unwrap_or_default();
+            // Block only when the inbox is verifiably empty: `prepare_sleep`
+            // raises the flag producers check, then re-checks the inbox, so
+            // a message posted at any point either keeps the wait at a poll
+            // or wakes it through the eventfd.
+            let timeout_ms = if self.me.prepare_sleep() { TICK_MS } else { 0 };
+            let ready = self.epoll.wait(&mut events, timeout_ms).unwrap_or_default();
+            self.me.cancel_sleep();
             let stopping = self.shared.stopping.load(Ordering::Acquire);
             if stopping && self.drain_deadline.is_none() {
                 self.begin_drain();
             }
             for event in &events[..ready] {
                 match event.data {
-                    WAKER_TOKEN => {} // drained with the inbox below
+                    WAKER_TOKEN => self.me.clear_signal(),
                     LISTENER_TOKEN => self.accept_ready(),
                     token => self.conn_event(token, event.events),
                 }
@@ -275,9 +346,13 @@ impl EventLoop {
         }
     }
 
-    /// Admission control plus least-loaded placement across the loops: the
-    /// accepting loop reads every loop's connection and in-flight gauges
-    /// and hands the connection to the cheapest one (itself included).
+    /// Admission control plus placement. With sharded (`SO_REUSEPORT`)
+    /// accept the kernel already load-balanced the connection to this
+    /// loop's listener, so the loop adopts it locally — no cross-loop
+    /// hand-off on the admission path at all. In fallback single-listener
+    /// mode the accepting loop reads every loop's connection and in-flight
+    /// gauges and hands the connection to the cheapest one (itself
+    /// included).
     fn admit(&mut self, stream: TcpStream, peer: IpAddr) {
         if self.shared.stopping.load(Ordering::Acquire) {
             return;
@@ -290,14 +365,17 @@ impl EventLoop {
             return;
         }
         self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        let target = self
-            .shared
-            .loops
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, loop_shared)| loop_shared.load_score())
-            .map(|(index, _)| index)
-            .unwrap_or(self.index);
+        let target = if self.shared.config.reuseport {
+            self.index
+        } else {
+            self.shared
+                .loops
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, loop_shared)| loop_shared.load_score())
+                .map(|(index, _)| index)
+                .unwrap_or(self.index)
+        };
         // Count the connection against the target immediately so the next
         // placement decision sees it even before the target loop adopts it.
         self.shared.loops[target]
@@ -350,9 +428,16 @@ impl EventLoop {
         let index = self.alloc_slot();
         let token = token_of(index, self.slab[index].generation);
         let conn = Conn::new(stream, peer, token, &self.shared);
+        // Edge-triggered with the full interest mask, registered exactly
+        // once: the pumps drain until `EWOULDBLOCK`, so this connection
+        // never pays another `epoll_ctl` until it closes.
         if self
             .epoll
-            .add(conn.stream().as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .add(
+                conn.stream().as_raw_fd(),
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                token,
+            )
             .is_err()
         {
             self.free.push(index);
@@ -366,9 +451,9 @@ impl EventLoop {
             .stats
             .open_connections
             .fetch_add(1, Ordering::Relaxed);
-        // A freshly adopted connection may already have bytes waiting (the
-        // level-triggered registration reports them on the next wait, but
-        // serving them now saves a syscall round trip).
+        // A freshly adopted connection may already have bytes waiting:
+        // pump it immediately rather than waiting for the registration's
+        // initial readiness event.
         self.service(index, true);
     }
 
@@ -409,8 +494,7 @@ impl EventLoop {
         }
     }
 
-    /// Pumps one client connection and applies the verdict (close or
-    /// re-arm).
+    /// Pumps one client connection and applies the verdict.
     ///
     /// A panic while servicing must cost only that connection, never the
     /// loop thread (which owns thousands of others): the unwind is caught
@@ -427,9 +511,8 @@ impl EventLoop {
             }))
             .unwrap_or(Verdict::Close)
         };
-        match verdict {
-            Verdict::Close => self.close_client(index),
-            Verdict::Keep => self.rearm(index),
+        if verdict == Verdict::Close {
+            self.close_client(index);
         }
     }
 
@@ -455,39 +538,8 @@ impl EventLoop {
         for (origin, response) in delivered {
             self.deliver(node, origin, response);
         }
-        match verdict {
-            UpstreamVerdict::Keep => self.rearm(index),
-            UpstreamVerdict::Close => self.fail_upstream(index),
-        }
-    }
-
-    /// Updates the epoll interest mask if the endpoint's needs changed.
-    fn rearm(&mut self, index: usize) {
-        let shared = Arc::clone(&self.shared);
-        let generation = self.slab[index].generation;
-        let token = token_of(index, generation);
-        let (fd, desired, registered) = match self.slab[index].endpoint.as_ref() {
-            Some(Endpoint::Client(conn)) => (
-                conn.stream().as_raw_fd(),
-                conn.desired_interest(&shared),
-                conn.registered_interest(),
-            ),
-            Some(Endpoint::Upstream(upstream)) => (
-                upstream.stream().as_raw_fd(),
-                upstream.desired_interest(),
-                upstream.registered_interest(),
-            ),
-            None => return,
-        };
-        if desired == registered {
-            return;
-        }
-        if self.epoll.modify(fd, desired, token).is_ok() {
-            match self.slab[index].endpoint.as_mut() {
-                Some(Endpoint::Client(conn)) => conn.set_registered_interest(desired),
-                Some(Endpoint::Upstream(upstream)) => upstream.set_registered_interest(desired),
-                None => {}
-            }
+        if verdict == UpstreamVerdict::Close {
+            self.fail_upstream(index);
         }
     }
 
@@ -646,9 +698,15 @@ impl EventLoop {
         let index = self.alloc_slot();
         let token = token_of(index, self.slab[index].generation);
         let upstream = UpstreamConn::new(stream, plan.node, self.shared.config.limits, true);
+        // Edge-triggered like the client side; EPOLLOUT doubles as the
+        // kernel's connect-success signal on the non-blocking handshake.
         if self
             .epoll
-            .add(upstream.stream().as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .add(
+                upstream.stream().as_raw_fd(),
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                token,
+            )
             .is_err()
         {
             self.free.push(index);
@@ -708,7 +766,7 @@ impl EventLoop {
     /// Applies queued cross-thread messages: adopted connections, settled
     /// invocation responses, and gateway forward plans.
     fn drain_inbox(&mut self) {
-        for msg in self.me.drain() {
+        for msg in self.me.take_messages() {
             match msg {
                 LoopMsg::Accept(stream, peer) => {
                     if self.shared.stopping.load(Ordering::Acquire) {
@@ -811,9 +869,8 @@ impl EventLoop {
                         ),
                         _ => None,
                     };
-                    match verdict {
-                        Some(Verdict::Close) => self.close_client(index),
-                        _ => self.rearm(index),
+                    if verdict == Some(Verdict::Close) {
+                        self.close_client(index);
                     }
                 }
             }

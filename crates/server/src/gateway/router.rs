@@ -523,9 +523,11 @@ impl Router {
             (Method::Get, ["v1", "cluster", "members"]) => {
                 GatewayReply::Respond(self.members_response(StatusCode::OK))
             }
-            (Method::Post, ["v1", "cluster", "members"]) => GatewayReply::Control(ControlOp::Join {
-                body: request.body.clone(),
-            }),
+            (Method::Post, ["v1", "cluster", "members"]) => {
+                GatewayReply::Control(ControlOp::Join {
+                    body: request.body.clone(),
+                })
+            }
             (Method::Post, ["v1", "cluster", "drain", node]) => {
                 GatewayReply::Control(ControlOp::Drain {
                     node: node.to_string(),
@@ -1288,7 +1290,12 @@ mod tests {
         let response = rx
             .recv_timeout(Duration::from_secs(5))
             .expect("the control thread answers");
-        assert_eq!(response.status.0, 404, "unknown node: {}", response.body_text());
+        assert_eq!(
+            response.status.0,
+            404,
+            "unknown node: {}",
+            response.body_text()
+        );
 
         // After shutdown, deferred operations answer 503 instead of hanging.
         router.shutdown();

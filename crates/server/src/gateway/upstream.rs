@@ -18,8 +18,6 @@ use std::time::Instant;
 use dandelion_common::{NodeId, Rope, RopeWriter};
 use dandelion_http::{HttpResponse, ParseLimits, ResponseDecoder};
 
-use crate::sys::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-
 /// Where a proxied response must be delivered: the client connection slot
 /// that parked for it.
 #[derive(Debug, Clone, Copy)]
@@ -57,8 +55,6 @@ pub(crate) struct UpstreamConn {
     /// Exchanges written (or being written) and awaiting their responses,
     /// in pipeline order.
     pending: VecDeque<Origin>,
-    /// Interest mask currently registered with the epoll.
-    interest: u32,
     /// A non-blocking connect is still in progress: the socket reporting
     /// writable (or responding) completes it; until then the stall check
     /// runs on the (short) connect budget instead of the response timeout.
@@ -86,7 +82,6 @@ impl UpstreamConn {
             outbox: VecDeque::new(),
             decoder: ResponseDecoder::new(limits),
             pending: VecDeque::new(),
-            interest: EPOLLIN | EPOLLRDHUP,
             connecting,
             last_progress: Instant::now(),
         }
@@ -142,25 +137,6 @@ impl UpstreamConn {
         }
         self.outbox.push_back(rope);
         self.pending.push_back(origin);
-    }
-
-    pub(crate) fn registered_interest(&self) -> u32 {
-        self.interest
-    }
-
-    pub(crate) fn set_registered_interest(&mut self, mask: u32) {
-        self.interest = mask;
-    }
-
-    /// The readiness mask this connection needs: always readable (the
-    /// member may close or respond at any time), writable while requests
-    /// wait to leave.
-    pub(crate) fn desired_interest(&self) -> u32 {
-        let mut mask = EPOLLIN | EPOLLRDHUP;
-        if self.writer.is_some() || !self.outbox.is_empty() {
-            mask |= EPOLLOUT;
-        }
-        mask
     }
 
     /// Whether the non-blocking connect is still in progress.
@@ -316,7 +292,10 @@ mod tests {
         // must never stall it, and the first exchange after the gap must be
         // measured from its own enqueue, not from the stale idle clock.
         std::thread::sleep(Duration::from_millis(70));
-        assert!(!conn.stalled(Instant::now(), timeout), "idle is not a stall");
+        assert!(
+            !conn.stalled(Instant::now(), timeout),
+            "idle is not a stall"
+        );
         conn.enqueue(request_rope(), origin(0));
         assert!(
             !conn.stalled(Instant::now(), timeout),

@@ -14,6 +14,7 @@ use crate::config::ServerConfig;
 use crate::event_loop::{EventLoop, LoopShared};
 use crate::gateway::Router;
 use crate::rate::RateLimiter;
+use crate::sys::{bind_reuseport, pin_thread_to_core};
 
 /// Counters and gauges of the serving layer (all relaxed; they feed
 /// dashboards, `/v1/stats` and tests, not control flow).
@@ -107,13 +108,18 @@ impl ServerStats {
 }
 
 /// The `"server"` stats document: the aggregate counters plus one entry
-/// per event loop with the gauges the least-loaded accept path places by.
+/// per event loop — the placement gauges (`connections`, `inflight`), the
+/// inbox backlog, and the wakeup-coalescing counters (`posted` messages vs
+/// `wakeups` actually signalled; `coalesced` is the difference, i.e. posts
+/// that found the loop awake and cost no syscall).
 pub(crate) fn server_stats_json(stats: &ServerStats, loops: &[Arc<LoopShared>]) -> JsonValue {
     let mut json = stats.to_json(loops.len());
     if let JsonValue::Object(pairs) = &mut json {
         pairs.push((
             "loops".to_string(),
             JsonValue::array(loops.iter().map(|loop_shared| {
+                let posted = loop_shared.posted.load(Ordering::Relaxed);
+                let wakeups = loop_shared.wakeups.load(Ordering::Relaxed);
                 JsonValue::object([
                     (
                         "connections",
@@ -123,6 +129,10 @@ pub(crate) fn server_stats_json(stats: &ServerStats, loops: &[Arc<LoopShared>]) 
                         "inflight",
                         JsonValue::from(loop_shared.inflight.load(Ordering::Relaxed)),
                     ),
+                    ("inbox_depth", JsonValue::from(loop_shared.inbox_depth())),
+                    ("posted", JsonValue::from(posted)),
+                    ("wakeups", JsonValue::from(wakeups)),
+                    ("coalesced", JsonValue::from(posted.saturating_sub(wakeups))),
                 ])
             })),
         ));
@@ -199,10 +209,36 @@ impl Server {
         config
             .validate()
             .map_err(|problem| io::Error::new(io::ErrorKind::InvalidInput, problem))?;
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let stats = Arc::new(ServerStats::default());
         let loop_count = config.resolved_event_loops();
+        // Sharded accept: every loop gets its own `SO_REUSEPORT` listener
+        // and the kernel load-balances incoming connections across them.
+        // The first bind resolves an ephemeral port; the rest join its
+        // accept group at the concrete address. Fallback mode binds one
+        // listener, owned by loop 0, which places connections by load.
+        let (addr, listeners) = if config.reuseport {
+            let resolved = std::net::ToSocketAddrs::to_socket_addrs(&config.addr)?
+                .next()
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("address {:?} resolved to nothing", config.addr),
+                    )
+                })?;
+            let first = bind_reuseport(&resolved)?;
+            let addr = first.local_addr()?;
+            let mut listeners = vec![Some(first)];
+            for _ in 1..loop_count {
+                listeners.push(Some(bind_reuseport(&addr)?));
+            }
+            (addr, listeners)
+        } else {
+            let listener = TcpListener::bind(&config.addr)?;
+            let addr = listener.local_addr()?;
+            let mut listeners: Vec<Option<TcpListener>> = (0..loop_count).map(|_| None).collect();
+            listeners[0] = Some(listener);
+            (addr, listeners)
+        };
+        let stats = Arc::new(ServerStats::default());
         let loops = (0..loop_count)
             .map(|_| LoopShared::new().map(Arc::new))
             .collect::<io::Result<Vec<_>>>()?;
@@ -235,20 +271,26 @@ impl Server {
             }
         }
 
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         let mut threads = Vec::with_capacity(loop_count);
-        for index in 0..loop_count {
-            let event_loop = EventLoop::new(
-                index,
-                Arc::clone(&shared),
-                (index == 0).then(|| listener.try_clone()).transpose()?,
-            )?;
+        for (index, listener) in listeners.into_iter().enumerate() {
+            let event_loop = EventLoop::new(index, Arc::clone(&shared), listener)?;
+            // Pin inside the spawned thread: affinity is per thread, and a
+            // pin failure (restrictive cpuset) degrades to an unpinned loop.
+            let pin = config.pin_cores.then_some(index % cores);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dandelion-loop-{index}"))
-                    .spawn(move || event_loop.run())?,
+                    .spawn(move || {
+                        if let Some(core) = pin {
+                            let _ = pin_thread_to_core(core);
+                        }
+                        event_loop.run()
+                    })?,
             );
         }
-        drop(listener);
 
         Ok(Server {
             addr,

@@ -14,7 +14,7 @@
 //! platform); the constants below are the stable Linux ABI values.
 
 use std::io;
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::os::raw::{c_int, c_uint, c_void};
 
@@ -28,6 +28,16 @@ pub const EPOLLERR: u32 = 0x008;
 pub const EPOLLHUP: u32 = 0x010;
 /// Peer closed its write half (`EPOLLRDHUP`).
 pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery (`EPOLLET`): readiness is reported once per
+/// transition instead of once per `epoll_wait` while it persists. The
+/// connection pumps drain until `EWOULDBLOCK`, which removes every
+/// re-arm `epoll_ctl` call from the hot path.
+pub const EPOLLET: u32 = 1 << 31;
+/// One-shot delivery (`EPOLLONESHOT`): the registration disarms after one
+/// event until explicitly re-armed. Declared for completeness next to
+/// [`EPOLLET`]; the event loops prefer edge-triggering, which needs no
+/// re-arm syscall at all.
+pub const EPOLLONESHOT: u32 = 1 << 30;
 
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
@@ -42,6 +52,15 @@ const SOCK_STREAM: c_int = 1;
 const SOCK_NONBLOCK: c_int = 0x800;
 const SOCK_CLOEXEC: c_int = 0x80000;
 const EINPROGRESS: i32 = 115;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+/// Pending-connection backlog for sharded listeners (clamped by the kernel
+/// to `net.core.somaxconn`). Deliberately deeper than the std default of
+/// 128: a connection storm aimed at one shard must queue, not drop SYNs.
+const LISTEN_BACKLOG: c_int = 4096;
+/// Size of the `cpu_set_t` affinity mask: 1024 CPUs, the Linux ABI default.
+const CPU_SET_WORDS: usize = 16;
 
 /// One readiness event, in the kernel's wire layout (packed on x86-64).
 #[repr(C)]
@@ -92,6 +111,16 @@ extern "C" {
     fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
     fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
     fn connect(sockfd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(sockfd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
 }
 
 fn check(result: c_int) -> io::Result<c_int> {
@@ -214,6 +243,38 @@ impl EventFd {
     }
 }
 
+/// Invokes `call` with the kernel wire encoding of `addr` (pointer plus
+/// length), covering both address families.
+fn with_sockaddr<R>(addr: &SocketAddr, call: impl FnOnce(*const c_void, u32) -> R) -> R {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sockaddr = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be_bytes(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            call(
+                (&sockaddr as *const SockAddrIn).cast::<c_void>(),
+                std::mem::size_of::<SockAddrIn>() as u32,
+            )
+        }
+        SocketAddr::V6(v6) => {
+            let sockaddr = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be_bytes(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            call(
+                (&sockaddr as *const SockAddrIn6).cast::<c_void>(),
+                std::mem::size_of::<SockAddrIn6>() as u32,
+            )
+        }
+    }
+}
+
 /// Initiates a TCP connect without ever blocking the caller: the socket is
 /// created non-blocking and `connect` returns immediately (`EINPROGRESS`).
 /// The caller registers the stream with an [`Epoll`]; the kernel reports a
@@ -229,39 +290,9 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
     let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
     // Wrap immediately so an early return cannot leak the descriptor.
     let stream = unsafe { TcpStream::from_raw_fd(fd) };
-    let result = match addr {
-        SocketAddr::V4(v4) => {
-            let sockaddr = SockAddrIn {
-                family: AF_INET as u16,
-                port: v4.port().to_be_bytes(),
-                addr: v4.ip().octets(),
-                zero: [0; 8],
-            };
-            unsafe {
-                connect(
-                    stream.as_raw_fd(),
-                    (&sockaddr as *const SockAddrIn).cast::<c_void>(),
-                    std::mem::size_of::<SockAddrIn>() as u32,
-                )
-            }
-        }
-        SocketAddr::V6(v6) => {
-            let sockaddr = SockAddrIn6 {
-                family: AF_INET6 as u16,
-                port: v6.port().to_be_bytes(),
-                flowinfo: v6.flowinfo().to_be(),
-                addr: v6.ip().octets(),
-                scope_id: v6.scope_id(),
-            };
-            unsafe {
-                connect(
-                    stream.as_raw_fd(),
-                    (&sockaddr as *const SockAddrIn6).cast::<c_void>(),
-                    std::mem::size_of::<SockAddrIn6>() as u32,
-                )
-            }
-        }
-    };
+    let result = with_sockaddr(addr, |sockaddr, len| unsafe {
+        connect(stream.as_raw_fd(), sockaddr, len)
+    });
     if result < 0 {
         let error = io::Error::last_os_error();
         if error.raw_os_error() != Some(EINPROGRESS) {
@@ -271,10 +302,63 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
     Ok(stream)
 }
 
-/// Raises the process's soft open-file limit to at least `want` descriptors
-/// (capped by the hard limit), returning the resulting soft limit. Tests
-/// and benches that open thousands of loopback sockets call this first so a
-/// conservative default `ulimit -n` does not fail them spuriously.
+/// Binds a non-blocking `SO_REUSEPORT` TCP listener on `addr`.
+///
+/// Several listeners bound to the same address through this function form
+/// one kernel-load-balanced accept group: each incoming connection is
+/// delivered to exactly one of them (hashed by flow), which is what lets
+/// every event loop own a listener of its own instead of funnelling all
+/// admissions through loop 0. `SO_REUSEADDR` is set too, matching the std
+/// listener's behaviour across restarts.
+pub fn bind_reuseport(addr: &SocketAddr) -> io::Result<TcpListener> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // Wrap immediately so an early return cannot leak the descriptor.
+    let listener = unsafe { TcpListener::from_raw_fd(fd) };
+    for option in [SO_REUSEADDR, SO_REUSEPORT] {
+        let enable: c_int = 1;
+        check(unsafe {
+            setsockopt(
+                listener.as_raw_fd(),
+                SOL_SOCKET,
+                option,
+                (&enable as *const c_int).cast::<c_void>(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        })?;
+    }
+    let bound = with_sockaddr(addr, |sockaddr, len| unsafe {
+        bind(listener.as_raw_fd(), sockaddr, len)
+    });
+    check(bound)?;
+    check(unsafe { listen(listener.as_raw_fd(), LISTEN_BACKLOG) })?;
+    Ok(listener)
+}
+
+/// Pins the calling thread to `core` (modulo the CPUs the mask can name).
+///
+/// Event loops opt into this via `--pin-cores`: a pinned loop keeps its
+/// connections' pool allocations, slab and decoder buffers on one core's
+/// cache hierarchy instead of migrating them on every reschedule. Failure
+/// (e.g. a cpuset that excludes the core) is reported, not fatal — the
+/// caller degrades to an unpinned loop.
+pub fn pin_thread_to_core(core: usize) -> io::Result<()> {
+    let mut mask = [0u64; CPU_SET_WORDS];
+    let bit = core % (CPU_SET_WORDS * 64);
+    mask[bit / 64] = 1u64 << (bit % 64);
+    check(unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) }).map(|_| ())
+}
+
+/// Raises the process's soft open-file limit to at least `want` descriptors,
+/// returning the resulting soft limit. When `want` exceeds even the hard
+/// limit, a privileged process (tests run as root in CI containers) gets the
+/// hard limit raised too; an unprivileged one is capped at its hard limit —
+/// callers that open huge socket herds size them to the returned value.
+/// Tests and benches that open thousands of loopback sockets call this first
+/// so a conservative default `ulimit -n` does not fail them spuriously.
 pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     let mut limit = RLimit {
         rlim_cur: 0,
@@ -283,6 +367,16 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     check(unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) })?;
     if limit.rlim_cur >= want {
         return Ok(limit.rlim_cur);
+    }
+    if limit.rlim_max < want {
+        // Best effort: raising the hard limit needs CAP_SYS_RESOURCE.
+        let raised = RLimit {
+            rlim_cur: want,
+            rlim_max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(want);
+        }
     }
     limit.rlim_cur = want.min(limit.rlim_max);
     check(unsafe { setrlimit(RLIMIT_NOFILE, &limit) })?;
@@ -372,5 +466,99 @@ mod tests {
         assert!(current >= 64);
         // Asking again for less never lowers it.
         assert!(raise_nofile_limit(1).unwrap() >= current.min(64));
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_address_and_both_accept() {
+        let first = bind_reuseport(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A second listener on the *same* bound port succeeds only because
+        // both are in the reuseport group.
+        let second = bind_reuseport(&addr).unwrap();
+        for listener in [&first, &second] {
+            listener.set_nonblocking(true).unwrap();
+        }
+        // Drive enough connections through the pair that the kernel's flow
+        // hash spreads them; every one must be accepted by exactly one
+        // listener.
+        const CONNECTIONS: usize = 64;
+        let mut clients = Vec::new();
+        for _ in 0..CONNECTIONS {
+            clients.push(TcpStream::connect(addr).unwrap());
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let (mut on_first, mut on_second) = (0usize, 0usize);
+        while on_first + on_second < CONNECTIONS {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {} of {CONNECTIONS} connections accepted",
+                on_first + on_second
+            );
+            match first.accept() {
+                Ok(_) => on_first += 1,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(error) => panic!("first listener: {error}"),
+            }
+            match second.accept() {
+                Ok(_) => on_second += 1,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(error) => panic!("second listener: {error}"),
+            }
+        }
+        assert_eq!(on_first + on_second, CONNECTIONS);
+    }
+
+    #[test]
+    fn edge_triggered_events_fire_once_per_arrival_not_per_wait() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(
+                served.as_raw_fd(),
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                5,
+            )
+            .unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Registration reports current readiness once (the socket is
+        // writable); with no new transition, a second wait stays silent —
+        // the level-triggered behaviour would report EPOLLOUT forever.
+        assert_eq!(epoll.wait(&mut events, 100).unwrap(), 1);
+        let mask = events[0].events;
+        assert_ne!(mask & EPOLLOUT, 0);
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "no second edge");
+
+        // New data is a new edge...
+        client.write_all(b"ping").unwrap();
+        let ready = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(ready, 1);
+        let mask = events[0].events;
+        assert_ne!(mask & EPOLLIN, 0);
+        // ...and without draining the socket, no further edge arrives even
+        // though bytes are still buffered: the pump must read to
+        // `EWOULDBLOCK`, exactly what the connection state machines do.
+        assert_eq!(epoll.wait(&mut events, 50).unwrap(), 0);
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 4);
+        client.write_all(b"pong").unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1, "fresh edge");
+    }
+
+    #[test]
+    fn pinning_the_current_thread_is_accepted() {
+        // Core 0 always exists; the call must succeed (or at minimum not
+        // corrupt the thread) and the thread keeps running afterwards.
+        std::thread::spawn(|| {
+            pin_thread_to_core(0).expect("pin to core 0");
+            // A core the machine does not have is a clean error (callers
+            // degrade to an unpinned loop), never a panic.
+            let _ = pin_thread_to_core(1023);
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -622,6 +622,188 @@ fn worker_drain_completes_pipelined_invocations_over_real_sockets() {
     worker.shutdown();
 }
 
+/// Edge-triggered delivery must never strand buffered bytes: a request
+/// arriving in adversarial fragment sizes (with pauses long enough that
+/// each fragment is its own readiness edge) is still parsed and answered
+/// in full, including fragments that split the head, straddle the
+/// head/body boundary, or glue the tail of one pipelined request to the
+/// start of the next.
+#[test]
+fn edge_triggered_reads_survive_adversarial_fragmentation() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_secs(30),
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    // A deterministic xorshift stream makes each pattern reproducible
+    // while still exploring very different split points.
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next_split = |max: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        1 + (state as usize % max)
+    };
+    for pattern in 0..6 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        // Two pipelined invocations written as one byte stream, so random
+        // splits can land anywhere — including across the request boundary.
+        let bodies = [format!("frag-a-{pattern}"), format!("frag-b-{pattern}")];
+        let mut wire = Vec::new();
+        for body in &bodies {
+            wire.extend_from_slice(
+                format!(
+                    "POST /v1/invoke/EchoComp HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                )
+                .as_bytes(),
+            );
+        }
+        // Pattern 0 is the worst case — one byte per edge — the rest use
+        // random fragment sizes. The pause lets the loop fully drain to
+        // EWOULDBLOCK so the next fragment is a genuinely new edge.
+        let mut offset = 0;
+        while offset < wire.len() {
+            let len = if pattern == 0 {
+                1
+            } else {
+                next_split(11).min(wire.len() - offset)
+            };
+            stream.write_all(&wire[offset..offset + len]).unwrap();
+            offset += len;
+            if offset < wire.len() && (pattern == 0 || offset % 3 == 0) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let mut decoder =
+            dandelion_http::ResponseDecoder::new(dandelion_http::ParseLimits::default());
+        for body in &bodies {
+            let response = loop {
+                if let Some(response) = decoder.next_response().unwrap() {
+                    break response;
+                }
+                let read = decoder.read_from(&mut stream, 64 * 1024).unwrap();
+                assert!(read > 0, "server closed before answering {body}");
+            };
+            assert_eq!(response.status.0, 200, "pattern {pattern}");
+            assert_eq!(&response.body_text(), body, "pattern {pattern}");
+        }
+    }
+    assert!(server.shutdown());
+    worker.shutdown();
+}
+
+/// Cross-loop posting under churn: connections open, fire pipelined
+/// invocations and either collect every response or vanish mid-flight.
+/// No `Complete` message may be lost (every surviving client gets every
+/// response) and completions for abandoned connections must fall on the
+/// recycled slots' stale generation tags — observable as the in-flight
+/// gauges draining back to zero instead of leaking.
+#[test]
+fn completion_storm_with_connection_churn_loses_nothing() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_secs(30),
+        max_connections: 512,
+        ..loopback_config()
+    };
+    let (server, worker) = start_server(config);
+    let addr = server.local_addr();
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 40;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|thread| {
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let pipelined = 1 + (thread + round) % 3;
+                    let bodies: Vec<String> = (0..pipelined)
+                        .map(|seq| format!("churn-{thread}-{round}-{seq}"))
+                        .collect();
+                    for body in &bodies {
+                        stream
+                            .write_all(
+                                format!(
+                                    "POST /v1/invoke/EchoComp HTTP/1.1\r\n\
+                                     Content-Length: {}\r\n\r\n{}",
+                                    body.len(),
+                                    body
+                                )
+                                .as_bytes(),
+                            )
+                            .unwrap();
+                    }
+                    // Every third connection abandons its responses: the
+                    // slab slot is recycled while completions are still in
+                    // flight, which is exactly the stale-generation path.
+                    if round % 3 == 2 {
+                        drop(stream);
+                        continue;
+                    }
+                    let mut decoder = dandelion_http::ResponseDecoder::new(
+                        dandelion_http::ParseLimits::default(),
+                    );
+                    for body in &bodies {
+                        let response = loop {
+                            if let Some(response) = decoder.next_response().unwrap() {
+                                break response;
+                            }
+                            let read = decoder.read_from(&mut stream, 64 * 1024).unwrap();
+                            assert!(read > 0, "response for {body} lost");
+                        };
+                        assert_eq!(response.status.0, 200);
+                        assert_eq!(&response.body_text(), body, "responses out of order");
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker_thread in workers {
+        worker_thread.join().expect("churn thread panicked");
+    }
+    // Every parked slot was settled — including the abandoned ones, whose
+    // completions hit stale tokens: the per-loop in-flight gauges must
+    // drain to zero, not leak.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut client = HttpClientConnection::connect(addr, Duration::from_secs(10)).unwrap();
+        let response = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+        assert_eq!(response.status.0, 200);
+        let document = dandelion_common::JsonValue::parse(&response.body_text()).unwrap();
+        let loops = document
+            .get("server")
+            .and_then(|gauges| gauges.get("loops"))
+            .and_then(dandelion_common::JsonValue::as_array)
+            .expect("per-loop gauges present");
+        let inflight: u64 = loops
+            .iter()
+            .map(|entry| {
+                entry
+                    .get("inflight")
+                    .and_then(dandelion_common::JsonValue::as_u64)
+                    .expect("inflight gauge")
+            })
+            .sum();
+        if inflight == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-flight gauge leaked: {inflight} still registered"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(server.shutdown());
+    worker.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_drains_inflight_invocations() {
     let worker = test_worker();

@@ -161,7 +161,9 @@ impl Condvar {
     /// Blocks until another thread notifies this condition variable.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         replace_guard(guard, |taken| {
-            self.inner.wait(taken).unwrap_or_else(PoisonError::into_inner)
+            self.inner
+                .wait(taken)
+                .unwrap_or_else(PoisonError::into_inner)
         });
     }
 
