@@ -57,6 +57,12 @@ pub enum DandelionError {
     },
     /// The dispatcher detected an internal inconsistency.
     Dispatch(String),
+    /// An engine thread died (panicked) while executing the task, and the
+    /// restart budget did not allow a retry.
+    EngineFault {
+        /// Description of what killed the engine.
+        reason: String,
+    },
     /// The platform ran out of a resource (cores, memory, queue capacity).
     ResourceExhausted(String),
     /// The invocation was cancelled (e.g. client disconnected, shutdown).
@@ -96,6 +102,9 @@ impl DandelionError {
         match self {
             DandelionError::ResourceExhausted(_) => true,
             DandelionError::ServiceError { status, .. } => *status >= 500,
+            // The fault killed one engine, not the pool: a fresh engine may
+            // well execute the same task cleanly.
+            DandelionError::EngineFault { .. } => true,
             _ => false,
         }
     }
@@ -115,6 +124,7 @@ impl DandelionError {
             DandelionError::InvalidRequest(_) => "invalid_request",
             DandelionError::ServiceError { .. } => "service_error",
             DandelionError::Dispatch(_) => "dispatch_error",
+            DandelionError::EngineFault { .. } => "engine_fault",
             DandelionError::ResourceExhausted(_) => "resource_exhausted",
             DandelionError::Cancelled => "cancelled",
             DandelionError::Timeout { .. } => "timeout",
@@ -155,6 +165,7 @@ impl DandelionError {
                 message,
             },
             "dispatch_error" => DandelionError::Dispatch(message),
+            "engine_fault" => DandelionError::EngineFault { reason: message },
             "resource_exhausted" => DandelionError::ResourceExhausted(message),
             "cancelled" => DandelionError::Cancelled,
             "timeout" => DandelionError::Timeout {
@@ -184,6 +195,7 @@ impl DandelionError {
             DandelionError::Cancelled => 499,
             DandelionError::ContextError(_)
             | DandelionError::Dispatch(_)
+            | DandelionError::EngineFault { .. }
             | DandelionError::Internal(_) => 500,
         }
     }
@@ -211,6 +223,7 @@ impl fmt::Display for DandelionError {
                 write!(f, "service error {status}: {message}")
             }
             DandelionError::Dispatch(msg) => write!(f, "dispatch error: {msg}"),
+            DandelionError::EngineFault { reason } => write!(f, "engine fault: {reason}"),
             DandelionError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
             DandelionError::Cancelled => write!(f, "invocation cancelled"),
             DandelionError::Timeout { function, limit_ms } => {

@@ -4,6 +4,8 @@
 //! provides:
 //!
 //! * [`error`] — the shared [`DandelionError`] type and [`DandelionResult`].
+//! * [`failpoint`] — deterministic fault injection: named failpoints with
+//!   seeded probabilities, zero-cost when disabled (one relaxed load).
 //! * [`id`] — strongly typed identifiers for functions, compositions,
 //!   invocations, engines, nodes and memory contexts.
 //! * [`data`] — the value model passed between functions: [`data::DataItem`]
@@ -35,6 +37,7 @@ pub mod config;
 pub mod data;
 pub mod encoding;
 pub mod error;
+pub mod failpoint;
 pub mod id;
 pub mod json;
 pub mod mpsc;

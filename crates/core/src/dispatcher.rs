@@ -21,7 +21,7 @@
 //! table, linked to the parent instance that spawned them; a child's
 //! completion flows back into the parent exactly like an engine result.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -31,7 +31,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dandelion_common::config::WorkerConfig;
 use dandelion_common::rng::SplitMix64;
 use dandelion_common::stats::LatencyRecorder;
-use dandelion_common::{DandelionError, DandelionResult, DataSet, InvocationId};
+use dandelion_common::{fail_point, DandelionError, DandelionResult, DataSet, InvocationId};
 use dandelion_dsl::CompositionGraph;
 use parking_lot::Mutex;
 
@@ -220,6 +220,11 @@ struct EntryInner {
     report: InvocationReport,
     /// Engine tasks plus child invocations currently outstanding.
     outstanding: usize,
+    /// Instances whose completion was already applied. A supervised engine
+    /// retry can deliver a result for an instance that settled just before
+    /// the original engine died — the duplicate must be dropped, never
+    /// folded into the dataflow a second time.
+    completed: HashSet<(usize, usize)>,
     /// The settled result; `take`n by the first consumer.
     outcome: Option<DandelionResult<InvocationOutcome>>,
     /// Fired (with a clone of the outcome) when the invocation settles.
@@ -248,6 +253,7 @@ impl InvocationEntry {
                 dataflow: Some(state),
                 report: InvocationReport::default(),
                 outstanding: 0,
+                completed: HashSet::new(),
                 outcome: None,
                 notify: None,
                 parent,
@@ -820,6 +826,7 @@ impl DispatcherCore {
                     )
                 }
                 WorkItem::Notify { callback, outcome } => {
+                    fail_point!("dispatcher/notify");
                     callback(outcome);
                     continue;
                 }
@@ -860,6 +867,15 @@ impl DispatcherCore {
         }
         let mut check_ready = completion.is_none();
         if let Some(completion) = completion {
+            if !inner
+                .completed
+                .insert((completion.node, completion.instance))
+            {
+                // A duplicate result for an instance that already completed
+                // (an engine died after replying and its retry ran anyway):
+                // settling it twice would corrupt the dataflow counters.
+                return out;
+            }
             inner.last_progress = Instant::now();
             inner.outstanding = inner.outstanding.saturating_sub(1);
             inner.report.peak_context_bytes += completion.context_high_water;
@@ -1012,6 +1028,13 @@ impl DispatcherCore {
         outcome: DandelionResult<Vec<DataSet>>,
         out: &mut Vec<WorkItem>,
     ) {
+        // Exactly-once: every settle path (dataflow completion, dataflow
+        // error, stall reaper) funnels through here, and racing paths must
+        // not double-count metrics or fire the notify callback twice.
+        if inner.status.is_terminal() {
+            return;
+        }
+        fail_point!("dispatcher/settle");
         let mut result = outcome.map(|outputs| InvocationOutcome {
             outputs,
             report: inner.report.clone(),

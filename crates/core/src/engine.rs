@@ -12,14 +12,22 @@
 //!
 //! Both pools can grow and shrink at run time; the control plane moves cores
 //! between them by resizing the pools (paper §5, "Control plane").
+//!
+//! Engines are **supervised**: a panic inside the task body is caught and
+//! converted into a structured [`DandelionError::EngineFault`] result, and a
+//! panic that escapes the task guard (the reply path, injected chaos) kills
+//! only that engine thread — the pool requeues its in-flight tasks once and
+//! respawns a replacement within a restart budget, so one poisoned task can
+//! never silently shrink the pool or strand an invocation.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dandelion_common::config::EngineKind;
-use dandelion_common::{DandelionError, DataItem, DataSet};
+use dandelion_common::{fail_point, failpoint, DandelionError, DataItem, DataSet};
 use dandelion_http::validate::{validate_request_shared, ValidationPolicy};
 use dandelion_http::Uri;
 use dandelion_isolation::{ExecutionTask, IsolationBackend};
@@ -167,13 +175,218 @@ fn execute_http(
     (responses, max_latency)
 }
 
-/// A resizable pool of engines of one kind.
-pub struct EnginePool {
+/// How many replacement engines a pool spawns for panic-killed threads
+/// before giving up (a crash-looping backend must not respawn forever).
+const DEFAULT_RESTART_BUDGET: usize = 32;
+
+/// Executes one task under a panic guard: a panic anywhere in the task
+/// body (the isolation backend, the service registry, injected chaos)
+/// becomes a structured [`DandelionError::EngineFault`] result instead of
+/// killing the engine thread.
+fn execute_supervised(executor: &EngineExecutor, task: &Task) -> TaskResult {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if failpoint::enabled() {
+            if let Some(failpoint::Fault::Error) = failpoint::check("engine/execute") {
+                return TaskResult {
+                    invocation: task.invocation,
+                    node: task.node,
+                    instance: task.instance,
+                    outcome: Err(DandelionError::EngineFault {
+                        reason: "failpoint engine/execute injected error".to_string(),
+                    }),
+                    context_high_water: 0,
+                    modeled_latency: Duration::ZERO,
+                };
+            }
+        }
+        executor.execute(task)
+    }));
+    match caught {
+        Ok(result) => result,
+        Err(panic) => TaskResult {
+            invocation: task.invocation,
+            node: task.node,
+            instance: task.instance,
+            outcome: Err(DandelionError::EngineFault {
+                reason: panic_message(&panic),
+            }),
+            context_high_water: 0,
+            modeled_latency: Duration::ZERO,
+        },
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = panic.downcast_ref::<&str>() {
+        format!("engine task panicked: {text}")
+    } else if let Some(text) = panic.downcast_ref::<String>() {
+        format!("engine task panicked: {text}")
+    } else {
+        "engine task panicked".to_string()
+    }
+}
+
+/// State shared between the pool handle and every engine thread — the
+/// engine threads themselves need it to requeue and respawn when dying.
+struct PoolShared {
     executor: EngineExecutor,
     queue: TaskQueue,
     handles: Mutex<Vec<JoinHandle<()>>>,
-    active: Arc<AtomicUsize>,
+    active: AtomicUsize,
     started_total: AtomicUsize,
+    /// Engine threads killed by a panic that escaped the task guard.
+    deaths: AtomicUsize,
+    /// Replacement engines spawned by supervision.
+    respawns: AtomicUsize,
+    /// Respawns still allowed; exhausting it leaves the pool smaller.
+    restarts_left: AtomicUsize,
+    /// Task keys already requeued once after an engine death: the second
+    /// death of the same task fails it with `EngineFault` instead of
+    /// retrying forever. Bounded by the number of deaths, which the
+    /// restart budget bounds in turn.
+    retried: Mutex<HashSet<(u64, usize, usize)>>,
+}
+
+impl PoolShared {
+    fn spawn_engine(self: &Arc<PoolShared>) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.started_total.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("dandelion-{}-engine", self.executor.kind()))
+            .spawn(move || {
+                let mut guard = EngineGuard {
+                    shared,
+                    inflight: Vec::new(),
+                    carried: None,
+                };
+                run_engine(&mut guard);
+            })
+            .expect("spawning an engine thread");
+        self.handles.lock().push(handle);
+    }
+}
+
+/// Per-engine-thread supervision state. On a normal exit the drop only
+/// releases the active slot; on a panic it requeues the tasks the engine
+/// held (once each), and respawns a replacement within the budget.
+struct EngineGuard {
+    shared: Arc<PoolShared>,
+    /// Tasks popped but whose results have not been delivered yet.
+    inflight: Vec<Task>,
+    /// A task popped for a different invocation, carried into the next
+    /// batch (not started: always safe to requeue).
+    carried: Option<Task>,
+}
+
+impl Drop for EngineGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        if !std::thread::panicking() {
+            return;
+        }
+        self.shared.deaths.fetch_add(1, Ordering::SeqCst);
+        if let Some(task) = self.carried.take() {
+            self.shared.queue.push(task);
+        }
+        for task in self.inflight.drain(..) {
+            let key = (task.invocation.as_u64(), task.node, task.instance);
+            let first_death = self.shared.retried.lock().insert(key);
+            if first_death {
+                // Retry exactly once on a fresh engine. If the task already
+                // settled (the panic hit after the reply), the dispatcher's
+                // per-task completion guard drops the duplicate result.
+                self.shared.queue.push(task);
+            } else {
+                let _ = task.reply.send(vec![TaskResult {
+                    invocation: task.invocation,
+                    node: task.node,
+                    instance: task.instance,
+                    outcome: Err(DandelionError::EngineFault {
+                        reason: "engine died twice executing this task".to_string(),
+                    }),
+                    context_high_water: 0,
+                    modeled_latency: Duration::ZERO,
+                }]);
+            }
+        }
+        let budget_allows = self
+            .shared
+            .restarts_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                left.checked_sub(1)
+            })
+            .is_ok();
+        if budget_allows {
+            self.shared.respawns.fetch_add(1, Ordering::SeqCst);
+            self.shared.spawn_engine();
+        }
+    }
+}
+
+/// The engine thread body: pull, execute under supervision, coalesce,
+/// reply. Mirrors the pre-supervision loop; `guard` tracks what must be
+/// rescued if a panic unwinds out of here.
+fn run_engine(guard: &mut EngineGuard) {
+    loop {
+        let task = match guard
+            .carried
+            .take()
+            .or_else(|| guard.shared.queue.pop_wait())
+        {
+            Some(task) => task,
+            None => return,
+        };
+        if matches!(task.payload, TaskPayload::Shutdown) {
+            return;
+        }
+        guard.inflight.push(task.clone());
+        let mut batch = vec![execute_supervised(&guard.shared.executor, &task)];
+        // Coalesce: execute same-invocation tasks already queued and reply
+        // with one batch. A task for a different invocation (or reply
+        // channel) flushes the batch and is carried into the next
+        // iteration; a shutdown marker flushes it and ends the engine.
+        let mut stop_after_flush = false;
+        while batch.len() < ENGINE_COALESCE_MAX {
+            match guard.shared.queue.try_pop() {
+                Some(next) if matches!(next.payload, TaskPayload::Shutdown) => {
+                    stop_after_flush = true;
+                    break;
+                }
+                Some(next)
+                    if next.invocation == task.invocation
+                        && task.reply.same_channel(&next.reply) =>
+                {
+                    guard.inflight.push(next.clone());
+                    batch.push(execute_supervised(&guard.shared.executor, &next));
+                }
+                Some(next) => {
+                    guard.carried = Some(next);
+                    break;
+                }
+                None => break,
+            }
+        }
+        // Chaos hook: a panic here dies *before* delivery, exercising the
+        // requeue-once path.
+        fail_point!("engine/reply");
+        // A dropped receiver means the invocation was abandoned; the
+        // engine simply moves on.
+        let _ = task.reply.send(batch);
+        guard.inflight.clear();
+        // Chaos hook: a panic here dies *after* delivery — the respawn
+        // keeps the pool size, and nothing is requeued.
+        fail_point!("engine/after-reply");
+        if stop_after_flush {
+            return;
+        }
+    }
+}
+
+/// A resizable pool of engines of one kind.
+pub struct EnginePool {
+    shared: Arc<PoolShared>,
     /// The engine count the pool is converging to. Tracked separately from
     /// `active` so that a shrink immediately followed by a grow accounts for
     /// shutdown markers that no engine has consumed yet.
@@ -184,33 +397,59 @@ impl EnginePool {
     /// Creates a pool that pulls work from `queue`.
     pub fn new(executor: EngineExecutor, queue: TaskQueue) -> Self {
         Self {
-            executor,
-            queue,
-            handles: Mutex::new(Vec::new()),
-            active: Arc::new(AtomicUsize::new(0)),
-            started_total: AtomicUsize::new(0),
+            shared: Arc::new(PoolShared {
+                executor,
+                queue,
+                handles: Mutex::new(Vec::new()),
+                active: AtomicUsize::new(0),
+                started_total: AtomicUsize::new(0),
+                deaths: AtomicUsize::new(0),
+                respawns: AtomicUsize::new(0),
+                restarts_left: AtomicUsize::new(DEFAULT_RESTART_BUDGET),
+                retried: Mutex::new(HashSet::new()),
+            }),
             desired: Mutex::new(0),
         }
     }
 
     /// The engine kind of this pool.
     pub fn kind(&self) -> EngineKind {
-        self.executor.kind()
+        self.shared.executor.kind()
     }
 
     /// The queue feeding this pool.
     pub fn queue(&self) -> &TaskQueue {
-        &self.queue
+        &self.shared.queue
     }
 
     /// Number of engines currently running.
     pub fn engine_count(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        self.shared.active.load(Ordering::SeqCst)
     }
 
     /// Total engines ever started (for tests and reporting).
     pub fn engines_started_total(&self) -> usize {
-        self.started_total.load(Ordering::SeqCst)
+        self.shared.started_total.load(Ordering::SeqCst)
+    }
+
+    /// Engine threads killed by a panic that escaped the task guard.
+    pub fn engine_deaths(&self) -> usize {
+        self.shared.deaths.load(Ordering::SeqCst)
+    }
+
+    /// Replacement engines spawned by supervision after a death.
+    pub fn engine_respawns(&self) -> usize {
+        self.shared.respawns.load(Ordering::SeqCst)
+    }
+
+    /// Respawns supervision may still perform.
+    pub fn restart_budget_left(&self) -> usize {
+        self.shared.restarts_left.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the respawn budget (tests tighten it to prove exhaustion).
+    pub fn set_restart_budget(&self, budget: usize) {
+        self.shared.restarts_left.store(budget, Ordering::SeqCst);
     }
 
     /// Grows or shrinks the pool to `target` engines.
@@ -227,12 +466,12 @@ impl EnginePool {
         let current = *desired;
         if target > current {
             for _ in current..target {
-                self.spawn_engine();
+                self.shared.spawn_engine();
             }
         } else {
             for _ in target..current {
                 let (reply, _unused) = crossbeam::channel::bounded(1);
-                self.queue.push(Task {
+                self.shared.queue.push(Task {
                     invocation: dandelion_common::InvocationId::from_raw(0),
                     node: 0,
                     instance: 0,
@@ -244,64 +483,10 @@ impl EnginePool {
         *desired = target;
     }
 
-    fn spawn_engine(&self) {
-        let executor = self.executor.clone();
-        let queue = self.queue.clone();
-        let active = Arc::clone(&self.active);
-        active.fetch_add(1, Ordering::SeqCst);
-        self.started_total.fetch_add(1, Ordering::SeqCst);
-        let handle = std::thread::Builder::new()
-            .name(format!("dandelion-{}-engine", executor.kind()))
-            .spawn(move || {
-                // Block on the queue; a shutdown marker (or queue teardown)
-                // ends the engine, so no idle polling is needed.
-                let mut carried: Option<Task> = None;
-                'engine: loop {
-                    let task = match carried.take().or_else(|| queue.pop_wait()) {
-                        Some(task) => task,
-                        None => break,
-                    };
-                    if matches!(task.payload, TaskPayload::Shutdown) {
-                        break;
-                    }
-                    let mut batch = vec![executor.execute(&task)];
-                    // Coalesce: execute same-invocation tasks already queued
-                    // and reply with one batch. A task for a different
-                    // invocation (or reply channel) flushes the batch and is
-                    // carried into the next iteration.
-                    while batch.len() < ENGINE_COALESCE_MAX {
-                        match queue.try_pop() {
-                            Some(next) if matches!(next.payload, TaskPayload::Shutdown) => {
-                                let _ = task.reply.send(batch);
-                                break 'engine;
-                            }
-                            Some(next)
-                                if next.invocation == task.invocation
-                                    && task.reply.same_channel(&next.reply) =>
-                            {
-                                batch.push(executor.execute(&next));
-                            }
-                            Some(next) => {
-                                carried = Some(next);
-                                break;
-                            }
-                            None => break,
-                        }
-                    }
-                    // A dropped receiver means the invocation was abandoned;
-                    // the engine simply moves on.
-                    let _ = task.reply.send(batch);
-                }
-                active.fetch_sub(1, Ordering::SeqCst);
-            })
-            .expect("spawning an engine thread");
-        self.handles.lock().push(handle);
-    }
-
     /// Stops every engine and waits for the threads to exit.
     pub fn shutdown(&self) {
         self.resize(0);
-        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = self.shared.handles.lock().drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }

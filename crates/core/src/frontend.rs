@@ -271,6 +271,11 @@ impl Frontend {
         for (name, source) in self.stats_sources.read().iter() {
             pairs.push((name.clone(), source()));
         }
+        // Only present when fault injection is configured: per-failpoint
+        // hit counters so a chaos run can reconcile what actually fired.
+        if let Some(failpoints) = dandelion_common::failpoint::stats_json() {
+            pairs.push(("failpoints".into(), failpoints));
+        }
         json_response(StatusCode::OK, &JsonValue::Object(pairs))
     }
 

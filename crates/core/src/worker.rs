@@ -77,6 +77,10 @@ impl WorkerNode {
         enable_control_plane: bool,
     ) -> DandelionResult<Arc<Self>> {
         config.validate().map_err(DandelionError::Config)?;
+        // Chaos runs configure fault injection through the environment; in
+        // production no variable is set and every failpoint stays one
+        // relaxed atomic load.
+        dandelion_common::failpoint::init_from_env();
         let registry = Arc::new(Registry::new());
         let compute_queue = TaskQueue::new(EngineKind::Compute, config.queue_capacity);
         let communication_queue = TaskQueue::new(EngineKind::Communication, config.queue_capacity);
@@ -199,6 +203,16 @@ impl WorkerNode {
     /// Number of invocations currently executing on this node.
     pub fn inflight(&self) -> usize {
         self.metrics.inflight.load(Ordering::SeqCst) as usize
+    }
+
+    /// The compute engine pool (supervision counters, chaos tests).
+    pub fn compute_pool(&self) -> &Arc<EnginePool> {
+        &self.compute_pool
+    }
+
+    /// The communication engine pool (supervision counters, chaos tests).
+    pub fn communication_pool(&self) -> &Arc<EnginePool> {
+        &self.communication_pool
     }
 
     /// The current compute/communication core split.

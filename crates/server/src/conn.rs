@@ -34,7 +34,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dandelion_common::{JsonValue, Rope, RopeWriter};
+use dandelion_common::{failpoint, JsonValue, Rope, RopeWriter};
 use dandelion_core::{sync_invoke_response, FrontendReply};
 use dandelion_http::{
     rejection_code, rejection_status, HttpParseError, HttpRequest, HttpResponse, RequestDecoder,
@@ -262,10 +262,21 @@ impl Conn {
                 && !self.stop_reading
                 && self.slots.len() < shared.config.max_pipelined
             {
-                match self
-                    .decoder
-                    .read_from(&mut self.stream, shared.config.read_chunk_bytes)
-                {
+                let mut read_chunk = shared.config.read_chunk_bytes;
+                if failpoint::enabled() {
+                    match failpoint::check("conn/read") {
+                        // An injected read error behaves like the kernel's:
+                        // the connection closes.
+                        Some(failpoint::Fault::Error) => return Verdict::Close,
+                        // Partial I/O: cap this pass's read so the decoder
+                        // exercises its split-buffer resume paths.
+                        Some(failpoint::Fault::Partial(cap)) => {
+                            read_chunk = read_chunk.min(cap.max(1));
+                        }
+                        None => {}
+                    }
+                }
+                match self.decoder.read_from(&mut self.stream, read_chunk) {
                     // Peer finished sending (close or half-close). Requests
                     // already received are still owed their responses — a
                     // "send, shutdown(WR), read replies" client must get
@@ -461,6 +472,9 @@ impl Conn {
         let mut progressed = false;
         loop {
             if let Some(writer) = &mut self.writer {
+                if failpoint::enabled() && failpoint::check("conn/write").is_some() {
+                    return Flush::Close;
+                }
                 match writer.write_some(&mut self.stream) {
                     Ok(true) => {
                         self.writer = None;
@@ -490,7 +504,12 @@ impl Conn {
             match self.slots.front() {
                 Some(Slot::Ready { .. }) => {
                     let Some(Slot::Ready { response, close }) = self.slots.pop_front() else {
-                        unreachable!("front was just matched as Ready");
+                        // Invariant: the front slot was matched as `Ready`
+                        // two lines up and nothing popped it in between. If
+                        // the pipeline state machine ever breaks it, close
+                        // this connection instead of unwinding a loop
+                        // thread that owns thousands of others.
+                        return Flush::Close;
                     };
                     self.front_seq += 1;
                     // A draining server closes keep-alives at the response

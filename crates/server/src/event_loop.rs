@@ -41,10 +41,11 @@ use std::net::{IpAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dandelion_common::mpsc::{Drain, MpscQueue};
-use dandelion_common::{InvocationId, JsonValue, NodeId};
+use dandelion_common::rng::SplitMix64;
+use dandelion_common::{fail_point, InvocationId, JsonValue, NodeId};
 use dandelion_http::{HttpResponse, StatusCode};
 
 use crate::conn::{overloaded_response, response_rope, Conn, Due, Verdict};
@@ -52,8 +53,8 @@ use crate::gateway::upstream::{Origin, UpstreamConn, UpstreamVerdict};
 use crate::gateway::{proxy_response, upstream_failed_response, ForwardPlan, MemberLoad, Router};
 use crate::server::{AppKind, Shared};
 use crate::sys::{
-    connect_nonblocking, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN,
-    EPOLLOUT, EPOLLRDHUP,
+    connect_nonblocking, Epoll, EpollEvent, EventFd, EMFILE, ENFILE, EPOLLERR, EPOLLET, EPOLLHUP,
+    EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
 
 /// Token of the loop's listener registration (every loop in sharded accept
@@ -65,6 +66,11 @@ const WAKER_TOKEN: u64 = u64::MAX - 1;
 const EVENT_BATCH: usize = 256;
 /// Idle `epoll_wait` timeout; bounds how late a deadline scan can run.
 const TICK_MS: i32 = 25;
+/// First backoff delay of a replanned forward, doubled per attempt; with
+/// equal jitter the actual wait is uniform in `[base/2, base]`.
+const RETRY_BACKOFF_BASE_MS: u64 = 10;
+/// Backoff delay ceiling for replanned forwards.
+const RETRY_BACKOFF_CAP_MS: u64 = 200;
 
 /// A message for one event loop, posted by another thread (or by the loop
 /// itself, for work it must finish outside a connection borrow).
@@ -146,6 +152,7 @@ impl LoopShared {
     /// producer either sees `sleeping == true` (and signals) or its push
     /// is visible to that check (and the loop skips the blocking wait).
     pub(crate) fn post(&self, msg: LoopMsg) {
+        fail_point!("loop/post");
         self.inbox.push(msg);
         self.posted.fetch_add(1, Ordering::Relaxed);
         if self.sleeping.swap(false, Ordering::SeqCst) {
@@ -157,6 +164,7 @@ impl LoopShared {
     /// Wakes the loop without a message (shutdown broadcast). Always
     /// signals: shutdown is rare and must never be coalesced away.
     pub(crate) fn wake(&self) {
+        fail_point!("loop/wakeup");
         self.sleeping.store(false, Ordering::SeqCst);
         self.waker.signal();
     }
@@ -204,6 +212,15 @@ struct SlabEntry {
     endpoint: Option<Endpoint>,
 }
 
+/// A replanned forward waiting out its backoff delay; the deadline scan
+/// re-attempts it once `due` passes.
+struct PlannedRetry {
+    due: Instant,
+    token: u64,
+    seq: u64,
+    plan: ForwardPlan,
+}
+
 /// This loop's pooled upstream connections to one member.
 struct NodePool {
     /// The member's gateway-side load gauges (shared with the router).
@@ -231,6 +248,16 @@ pub(crate) struct EventLoop {
     /// Set when draining begins; connections still open past it are
     /// force-closed so shutdown cannot hang on a stuck client.
     drain_deadline: Option<Instant>,
+    /// Replanned forwards waiting out their exponential backoff; drained
+    /// by the deadline scan.
+    retries: Vec<PlannedRetry>,
+    /// Jitter source for the retry backoff (deterministic per loop).
+    rng: SplitMix64,
+    /// One file descriptor held in reserve so fd exhaustion can still be
+    /// handled: on `EMFILE` the reserve is released, one flooding
+    /// connection is accepted and immediately closed (clearing it from
+    /// the backlog), and the reserve reopened.
+    reserve_fd: Option<std::fs::File>,
 }
 
 fn token_of(index: usize, generation: u32) -> u64 {
@@ -261,6 +288,9 @@ impl EventLoop {
             open: 0,
             pools: HashMap::new(),
             drain_deadline: None,
+            retries: Vec::new(),
+            rng: SplitMix64::new(0xBAC0_0FF5 ^ index as u64),
+            reserve_fd: std::fs::File::open("/dev/null").ok(),
         })
     }
 
@@ -334,15 +364,46 @@ impl EventLoop {
                 Ok((stream, peer)) => self.admit(stream, peer.ip()),
                 Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
-                // Persistent accept failures (fd exhaustion under flood)
-                // leave the backlog entry in place, so the level-triggered
-                // listener readiness re-fires immediately; back off briefly
-                // instead of spinning this loop at 100% CPU.
+                // Out of file descriptors: the pending connection stays in
+                // the backlog, where it would re-fire listener readiness
+                // forever. Spend the reserve fd to accept and immediately
+                // close it — the client gets a clean RST now instead of a
+                // connect that hangs until the flood subsides.
+                Err(error) if matches!(error.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                    self.shed_on_fd_exhaustion();
+                    return;
+                }
+                // Other persistent accept failures leave the backlog entry
+                // in place, so the level-triggered listener readiness
+                // re-fires immediately; back off briefly instead of
+                // spinning this loop at 100% CPU.
                 Err(_) => {
                     std::thread::sleep(std::time::Duration::from_millis(10));
                     return;
                 }
             }
+        }
+    }
+
+    /// The `EMFILE`/`ENFILE` path of [`EventLoop::accept_ready`]: release
+    /// the reserve descriptor, use the freed slot to accept-and-close one
+    /// backlogged connection, then reopen the reserve.
+    fn shed_on_fd_exhaustion(&mut self) {
+        self.reserve_fd.take();
+        if let Some(listener) = &self.listener {
+            if let Ok((stream, _)) = listener.accept() {
+                self.shared
+                    .stats
+                    .accept_overflow
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(stream);
+            }
+        }
+        self.reserve_fd = std::fs::File::open("/dev/null").ok();
+        if self.reserve_fd.is_none() {
+            // Could not even reopen `/dev/null`: descriptors are still
+            // exhausted, so pause rather than re-fire accept instantly.
+            std::thread::sleep(std::time::Duration::from_millis(10));
         }
     }
 
@@ -616,13 +677,15 @@ impl EventLoop {
 
     /// Executes a forward plan: find (or open) an upstream connection to
     /// the planned member and pipeline the exchange onto it. Connect
-    /// failures re-plan onto another member until the attempt budget runs
-    /// out — a member that cannot even be reached costs nothing but
-    /// latency.
+    /// failures re-plan onto another member (within the retry budget and
+    /// attempt ceiling), but the next attempt waits out an exponential
+    /// backoff with equal jitter rather than hammering the cluster in a
+    /// tight loop — the deadline scan re-fires it.
     fn forward(&mut self, token: u64, seq: u64, mut plan: ForwardPlan) {
         let router = self.router();
-        loop {
-            if let Some(upstream_index) = self.upstream_for(&plan) {
+        if let Some(upstream_index) = self.upstream_for(&plan) {
+            if let Some(Endpoint::Upstream(upstream)) = self.slab[upstream_index].endpoint.as_mut()
+            {
                 router.note_forward(&plan.load, plan.bytes);
                 let origin = Origin {
                     token,
@@ -630,29 +693,50 @@ impl EventLoop {
                     bytes: plan.bytes,
                     track_submit: plan.track_submit,
                 };
-                let Some(Endpoint::Upstream(upstream)) =
-                    self.slab[upstream_index].endpoint.as_mut()
-                else {
-                    unreachable!("upstream_for returned a live upstream slot");
-                };
                 upstream.enqueue(plan.rope, origin);
                 self.service_upstream(upstream_index, false, false);
-                return;
+            } else {
+                // Invariant: `upstream_for` returned a live upstream slot.
+                // If the pool bookkeeping ever breaks it, fail this one
+                // exchange with a clean 502 instead of panicking the loop
+                // thread that owns every other connection.
+                router.note_upstream_error();
+                self.complete_client(token, seq, upstream_failed_response(plan.node));
             }
-            // Could not reach the member at all: nothing was sent, so the
-            // exchange is free to try elsewhere.
-            router.note_upstream_failure(plan.node);
-            let failed = plan.node;
-            plan.tried.push(failed);
-            match router.replan(plan) {
-                Some(next) => plan = next,
-                None => {
-                    router.note_upstream_error();
-                    self.complete_client(token, seq, upstream_failed_response(failed));
-                    return;
-                }
+            return;
+        }
+        // Could not reach the member at all: nothing was sent, so the
+        // exchange is free to try elsewhere.
+        router.note_upstream_failure(plan.node);
+        let failed = plan.node;
+        plan.tried.push(failed);
+        match router.replan(plan) {
+            Some(next) => self.schedule_retry(token, seq, next),
+            None => {
+                router.note_upstream_error();
+                self.complete_client(token, seq, upstream_failed_response(failed));
             }
         }
+    }
+
+    /// Parks a replanned forward until its backoff expires. The delay is
+    /// exponential in the attempt count with *equal jitter* — uniform in
+    /// `[base/2, base]` — so concurrent failures against a member spread
+    /// their retries instead of arriving as a synchronized thundering
+    /// herd. The loop's `TICK_MS` idle timeout bounds how late the
+    /// deadline scan picks it back up.
+    fn schedule_retry(&mut self, token: u64, seq: u64, plan: ForwardPlan) {
+        let attempt = plan.tried.len().min(8) as u32;
+        let base = RETRY_BACKOFF_BASE_MS
+            .saturating_mul(1 << attempt)
+            .min(RETRY_BACKOFF_CAP_MS);
+        let delay = base / 2 + self.rng.next_bounded(base / 2 + 1);
+        self.retries.push(PlannedRetry {
+            due: Instant::now() + Duration::from_millis(delay),
+            token,
+            seq,
+            plan,
+        });
     }
 
     /// The upstream connection a new exchange for `plan.node` should ride:
@@ -726,6 +810,9 @@ impl EventLoop {
         let router = self.router();
         if let Some(pool) = self.pools.get(&node) {
             router.note_settled(&pool.load, origin.bytes);
+            // Any answered exchange is a data-path success: it refills the
+            // member's retry budget and closes a half-open circuit.
+            router.note_upstream_success(&pool.load);
         }
         if origin.track_submit && response.status == StatusCode::ACCEPTED {
             if let Ok(document) = JsonValue::parse(&response.body_text()) {
@@ -788,10 +875,27 @@ impl EventLoop {
         }
     }
 
-    /// Fires per-connection deadlines and the drain backstop.
+    /// Fires per-connection deadlines, due forward retries, and the drain
+    /// backstop.
     fn scan_deadlines(&mut self) {
         let now = Instant::now();
         let force_close = self.drain_deadline.is_some_and(|deadline| now >= deadline);
+        // Re-fire forwards whose backoff expired (all of them at the drain
+        // backstop — they either go through or fail fast to the client).
+        if !self.retries.is_empty() {
+            let mut due = Vec::new();
+            let mut index = 0;
+            while index < self.retries.len() {
+                if force_close || now >= self.retries[index].due {
+                    due.push(self.retries.swap_remove(index));
+                } else {
+                    index += 1;
+                }
+            }
+            for retry in due {
+                self.forward(retry.token, retry.seq, retry.plan);
+            }
+        }
         for index in 0..self.slab.len() {
             enum Action {
                 None,

@@ -36,6 +36,193 @@ impl MemberState {
     }
 }
 
+/// One success deposits `1` token unit and one retry withdraws
+/// [`RETRY_BUDGET_SCALE`] units, capping sustained retries at ~10% of
+/// recent successes.
+const RETRY_BUDGET_SCALE: usize = 10;
+/// Token ceiling: at most 100 banked retries, so a long quiet streak of
+/// successes cannot fund an unbounded retry storm later.
+const RETRY_BUDGET_MAX: usize = 100 * RETRY_BUDGET_SCALE;
+/// Cold-start balance: 10 retries before any success is observed, enough
+/// to ride out a member restarting during gateway boot.
+const RETRY_BUDGET_INITIAL: usize = 10 * RETRY_BUDGET_SCALE;
+
+/// A token-bucket retry budget: retries against a member are funded by
+/// that member's recent successes, so a down cluster is not DDoS'd by its
+/// own gateway replaying every failure (the classic retry-budget design
+/// from the SRE literature, fixed-point with integer atomics).
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Token units (`RETRY_BUDGET_SCALE` units = one retry).
+    tokens: AtomicUsize,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget {
+            tokens: AtomicUsize::new(RETRY_BUDGET_INITIAL),
+        }
+    }
+}
+
+impl RetryBudget {
+    /// A delivered response funds a sliver of future retry capacity.
+    pub fn note_success(&self) {
+        let _ = self
+            .tokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |tokens| {
+                (tokens < RETRY_BUDGET_MAX).then_some(tokens + 1)
+            });
+    }
+
+    /// Attempts to withdraw one retry's worth of tokens; `false` means the
+    /// budget is exhausted and the caller must fail fast instead.
+    pub fn try_withdraw(&self) -> bool {
+        self.tokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |tokens| {
+                tokens.checked_sub(RETRY_BUDGET_SCALE)
+            })
+            .is_ok()
+    }
+
+    /// Whole retries currently funded (stats/debugging).
+    pub fn balance(&self) -> usize {
+        self.tokens.load(Ordering::Relaxed) / RETRY_BUDGET_SCALE
+    }
+}
+
+/// Minimum events in the rolling window before the breaker may trip: one
+/// early error on a quiet member must not open the circuit.
+const CIRCUIT_MIN_EVENTS: usize = 5;
+
+const CIRCUIT_CLOSED: usize = 0;
+const CIRCUIT_OPEN: usize = 1;
+const CIRCUIT_HALF_OPEN: usize = 2;
+
+/// A per-member circuit breaker layered *under* the eject logic: where
+/// ejection reacts to consecutive probe/connect failures, the breaker
+/// reacts to the data-path error **rate**, so a member that answers
+/// probes but fails half its real traffic still stops receiving work.
+///
+/// Closed → Open when the windowed error count reaches the success count
+/// with at least [`CIRCUIT_MIN_EVENTS`] observations. Open → HalfOpen when
+/// a health probe succeeds (the health thread doubles as the half-open
+/// prober). HalfOpen → Closed on the first delivered response, back to
+/// Open on the first error.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    /// `CIRCUIT_CLOSED` / `CIRCUIT_OPEN` / `CIRCUIT_HALF_OPEN`.
+    state: AtomicUsize,
+    /// Rolling window of delivered responses (decayed by the health thread).
+    successes: AtomicUsize,
+    /// Rolling window of data-path errors (decayed by the health thread).
+    errors: AtomicUsize,
+    /// Times the breaker tripped open (monotonic, for stats).
+    trips: AtomicUsize,
+}
+
+impl CircuitBreaker {
+    /// Whether the router may place new work behind this breaker.
+    pub fn allows(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != CIRCUIT_OPEN
+    }
+
+    /// Stable state name for the membership document.
+    pub fn state_str(&self) -> &'static str {
+        match self.state.load(Ordering::Relaxed) {
+            CIRCUIT_OPEN => "open",
+            CIRCUIT_HALF_OPEN => "half_open",
+            _ => "closed",
+        }
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> usize {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// A response was delivered from this member.
+    pub fn note_success(&self) {
+        self.successes.fetch_add(1, Ordering::Relaxed);
+        // A half-open trial that succeeds re-closes the circuit with a
+        // fresh window.
+        if self
+            .state
+            .compare_exchange(
+                CIRCUIT_HALF_OPEN,
+                CIRCUIT_CLOSED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            self.reset_window();
+        }
+    }
+
+    /// A data-path exchange against this member failed.
+    pub fn note_error(&self) {
+        let errors = self.errors.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.state.load(Ordering::Relaxed) {
+            // A half-open trial that fails re-opens immediately.
+            CIRCUIT_HALF_OPEN => {
+                let _ = self.state.compare_exchange(
+                    CIRCUIT_HALF_OPEN,
+                    CIRCUIT_OPEN,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            CIRCUIT_CLOSED => {
+                let successes = self.successes.load(Ordering::Relaxed);
+                if errors + successes >= CIRCUIT_MIN_EVENTS
+                    && errors >= successes
+                    && self
+                        .state
+                        .compare_exchange(
+                            CIRCUIT_CLOSED,
+                            CIRCUIT_OPEN,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    self.reset_window();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The health thread observed a successful probe: an open circuit is
+    /// re-admitted for one half-open trial.
+    pub fn note_probe_success(&self) {
+        let _ = self.state.compare_exchange(
+            CIRCUIT_OPEN,
+            CIRCUIT_HALF_OPEN,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Ages the rolling window (called once per health-probe pass): the
+    /// breaker judges recent error rate, not all-time totals.
+    pub fn decay(&self) {
+        let _ = self
+            .errors
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n / 2));
+        let _ = self
+            .successes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n / 2));
+    }
+
+    fn reset_window(&self) {
+        self.errors.store(0, Ordering::Relaxed);
+        self.successes.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Gateway-side load gauges of one member, updated by the event loops as
 /// requests are forwarded and settled. Shared via `Arc` so routing reads
 /// them without holding the table lock.
@@ -46,6 +233,10 @@ pub struct MemberLoad {
     /// Serialized request bytes accepted for this member and not yet
     /// settled — the "queued bytes" half of the load score.
     pub queued_bytes: AtomicUsize,
+    /// Token-bucket budget gating forward retries against this member.
+    pub retry_budget: RetryBudget,
+    /// Error-rate circuit breaker gating new work toward this member.
+    pub circuit: CircuitBreaker,
 }
 
 impl MemberLoad {
@@ -111,6 +302,12 @@ impl Member {
                 "queued_bytes",
                 JsonValue::from(self.load.queued_bytes.load(Ordering::Relaxed)),
             ),
+            ("circuit", JsonValue::string(self.load.circuit.state_str())),
+            ("circuit_trips", JsonValue::from(self.load.circuit.trips())),
+            (
+                "retry_budget",
+                JsonValue::from(self.load.retry_budget.balance()),
+            ),
             (
                 "compositions",
                 JsonValue::array(
@@ -134,6 +331,78 @@ mod tests {
         load.in_flight.store(3, Ordering::Relaxed);
         load.queued_bytes.store(64 * 1024, Ordering::Relaxed);
         assert_eq!(load.score(), 3 + 4);
+    }
+
+    #[test]
+    fn retry_budget_caps_retries_to_a_fraction_of_successes() {
+        let budget = RetryBudget::default();
+        // Drain the cold-start allowance.
+        let mut granted = 0;
+        while budget.try_withdraw() {
+            granted += 1;
+        }
+        assert_eq!(granted, RETRY_BUDGET_INITIAL / RETRY_BUDGET_SCALE);
+        assert!(!budget.try_withdraw(), "an empty bucket refuses retries");
+        // 10 successes fund exactly one retry.
+        for _ in 0..RETRY_BUDGET_SCALE {
+            budget.note_success();
+        }
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+        // The bucket is capped: endless successes cannot bank endless
+        // retries.
+        for _ in 0..10 * RETRY_BUDGET_MAX {
+            budget.note_success();
+        }
+        assert_eq!(budget.balance(), RETRY_BUDGET_MAX / RETRY_BUDGET_SCALE);
+    }
+
+    #[test]
+    fn circuit_trips_on_error_rate_and_recovers_through_half_open() {
+        let breaker = CircuitBreaker::default();
+        assert!(breaker.allows());
+        assert_eq!(breaker.state_str(), "closed");
+        // A lone error on a quiet member does not trip.
+        breaker.note_error();
+        assert!(breaker.allows());
+        // Enough errors to dominate the window trip it open.
+        for _ in 0..CIRCUIT_MIN_EVENTS {
+            breaker.note_error();
+        }
+        assert!(!breaker.allows());
+        assert_eq!(breaker.state_str(), "open");
+        assert_eq!(breaker.trips(), 1);
+        // Errors while open change nothing.
+        breaker.note_error();
+        assert!(!breaker.allows());
+        // A successful health probe grants a half-open trial...
+        breaker.note_probe_success();
+        assert!(breaker.allows());
+        assert_eq!(breaker.state_str(), "half_open");
+        // ...and a failed trial slams it shut again.
+        breaker.note_error();
+        assert!(!breaker.allows());
+        // Second recovery: probe, then a delivered response re-closes.
+        breaker.note_probe_success();
+        breaker.note_success();
+        assert_eq!(breaker.state_str(), "closed");
+        assert!(breaker.allows());
+        assert_eq!(breaker.trips(), 1, "half-open failures do not re-count");
+    }
+
+    #[test]
+    fn circuit_survives_errors_when_successes_dominate() {
+        let breaker = CircuitBreaker::default();
+        for _ in 0..100 {
+            breaker.note_success();
+        }
+        for _ in 0..30 {
+            breaker.note_error();
+        }
+        assert!(breaker.allows(), "30% errors must not trip a 50% breaker");
+        // Decay ages both sides; the ratio (and the closed state) holds.
+        breaker.decay();
+        assert!(breaker.allows());
     }
 
     #[test]

@@ -22,13 +22,13 @@
 //! re-admits them when probes succeed again, and removes draining members
 //! once their in-flight work settles.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Weak};
 use std::time::Duration;
 
-use dandelion_common::{InvocationId, JsonValue, NodeId, Rope, SharedBytes};
+use dandelion_common::{failpoint, InvocationId, JsonValue, NodeId, Rope, SharedBytes};
 use dandelion_core::composition_affinity_hash;
 use dandelion_http::{HttpRequest, HttpResponse, Method, StatusCode, Uri};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -140,22 +140,43 @@ pub(crate) enum ControlOp {
 /// response back to the owning event loop.
 type ControlJob = (ControlOp, Box<dyn FnOnce(HttpResponse) + Send>);
 
-/// Bounded invocation-id → owner map for poll routing.
+/// Bounded invocation-id → owner map for poll routing. Evicted ids are
+/// remembered (in a second bounded FIFO) so a poll for one answers a
+/// structured `410 result_evicted` instead of being misrouted to an
+/// arbitrary member that never heard of it.
 struct InvocationOwners {
     owners: HashMap<InvocationId, NodeId>,
     order: VecDeque<InvocationId>,
+    evicted: HashSet<InvocationId>,
+    evicted_order: VecDeque<InvocationId>,
 }
 
 impl InvocationOwners {
     fn record(&mut self, id: InvocationId, node: NodeId) {
+        // A resubmitted id is live again: forget any earlier eviction.
+        if self.evicted.remove(&id) {
+            self.evicted_order.retain(|old| *old != id);
+        }
         if self.owners.insert(id, node).is_none() {
             self.order.push_back(id);
             while self.order.len() > INVOCATION_ROUTE_CAPACITY {
                 if let Some(evicted) = self.order.pop_front() {
                     self.owners.remove(&evicted);
+                    if self.evicted.insert(evicted) {
+                        self.evicted_order.push_back(evicted);
+                        while self.evicted_order.len() > INVOCATION_ROUTE_CAPACITY {
+                            if let Some(forgotten) = self.evicted_order.pop_front() {
+                                self.evicted.remove(&forgotten);
+                            }
+                        }
+                    }
                 }
             }
         }
+    }
+
+    fn was_evicted(&self, id: InvocationId) -> bool {
+        self.evicted.contains(&id)
     }
 }
 
@@ -174,6 +195,11 @@ struct GatewayStats {
     readmissions: AtomicU64,
     /// Draining members removed once their in-flight work settled.
     drained_out: AtomicU64,
+    /// Polls for invocation ids that fell out of the bounded owner map
+    /// (answered `410 result_evicted`).
+    evicted_polls: AtomicU64,
+    /// Replans denied because the failed member's retry budget was empty.
+    budget_denials: AtomicU64,
 }
 
 /// The cluster gateway's routing brain (see the module docs).
@@ -200,12 +226,15 @@ impl Router {
     /// hold weak references, so dropping the last `Arc<Router>` (or calling
     /// [`Router::shutdown`]) ends them.
     pub fn start(config: GatewayConfig) -> Arc<Router> {
+        failpoint::init_from_env();
         let router = Arc::new(Router {
             config,
             members: RwLock::new(Vec::new()),
             owners: Mutex::new(InvocationOwners {
                 owners: HashMap::new(),
                 order: VecDeque::new(),
+                evicted: HashSet::new(),
+                evicted_order: VecDeque::new(),
             }),
             stats: GatewayStats::default(),
             server_stats: Mutex::new(None),
@@ -388,7 +417,11 @@ impl Router {
             .map(|member| (member.id, member.addr))
             .collect();
         for (node, addr) in snapshot {
-            let outcome = fetch_compositions(addr, self.config.probe_timeout);
+            let outcome = if failpoint::enabled() && failpoint::check("gateway/probe").is_some() {
+                Err("injected by failpoint gateway/probe".to_string())
+            } else {
+                fetch_compositions(addr, self.config.probe_timeout)
+            };
             let mut members = self.members.write();
             let Some(member) = members.iter_mut().find(|member| member.id == node) else {
                 continue;
@@ -397,6 +430,12 @@ impl Router {
                 Ok(compositions) => {
                     member.failures = 0;
                     member.compositions = compositions;
+                    // A reachable member may re-enter rotation: an Open
+                    // circuit goes HalfOpen (the next data-path success
+                    // closes it), and the error window decays so old
+                    // failures age out instead of tripping it again.
+                    member.load.circuit.note_probe_success();
+                    member.load.circuit.decay();
                     match member.state {
                         MemberState::Ejected => {
                             // Probes succeed again: re-admit.
@@ -447,6 +486,7 @@ impl Router {
 
     fn note_member_failure_locked(&self, member: &mut Member) {
         member.failures = member.failures.saturating_add(1);
+        member.load.circuit.note_error();
         if member.state == MemberState::Healthy && member.failures >= self.config.fail_threshold {
             member.state = MemberState::Ejected;
             self.stats.ejections.fetch_add(1, Ordering::Relaxed);
@@ -474,6 +514,14 @@ impl Router {
     /// An exchange failed after it was counted: `502` went to the client.
     pub(crate) fn note_upstream_error(&self) {
         self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A member answered an exchange: feed the retry budget (successes
+    /// bank future retries) and the circuit breaker (a data-path success
+    /// closes a half-open circuit).
+    pub(crate) fn note_upstream_success(&self, load: &MemberLoad) {
+        load.retry_budget.note_success();
+        load.circuit.note_success();
     }
 
     /// Remembers which member accepted a submitted invocation, so polls for
@@ -581,10 +629,33 @@ impl Router {
     /// Plans the forward of a status poll: the member that accepted the
     /// submission owns the result, so the owner map wins when it can.
     fn plan_poll(&self, request: &HttpRequest, id_text: &str) -> GatewayReply {
-        let owner = InvocationId::parse(id_text).and_then(|id| {
+        let id = InvocationId::parse(id_text);
+        let owner = id.and_then(|id| {
             let owners = self.owners.lock();
-            owners.owners.get(&id).copied()
+            if owners.was_evicted(id) {
+                return Some(Err(()));
+            }
+            owners.owners.get(&id).copied().map(Ok)
         });
+        let owner = match owner {
+            // The id was tracked but fell out of the bounded owner map:
+            // routing the poll to an arbitrary member would produce a
+            // misleading `404`, so answer `410` and say why.
+            Some(Err(())) => {
+                self.stats.evicted_polls.fetch_add(1, Ordering::Relaxed);
+                return GatewayReply::Respond(gateway_error(
+                    StatusCode(410),
+                    "result_evicted",
+                    &format!(
+                        "the gateway no longer remembers which member holds `{id_text}`; \
+                         its routing entry was evicted from the bounded owner map"
+                    ),
+                    false,
+                ));
+            }
+            Some(Ok(node)) => Some(node),
+            None => None,
+        };
         let target = owner
             .and_then(|node| self.member_for_poll(node))
             .or_else(|| self.pick_member(None, &[]));
@@ -610,8 +681,18 @@ impl Router {
     /// Replans a forward whose member could not be reached. The failed
     /// members are excluded; `None` means the request is out of options
     /// (the caller answers `502`).
+    ///
+    /// Retries are budgeted, not merely counted: each one withdraws from
+    /// the failed member's token bucket, which only successes refill, so
+    /// a cluster-wide outage cannot amplify client load into a retry
+    /// storm. `max_forward_attempts` stays as the per-request hard
+    /// ceiling on top of the budget.
     pub(crate) fn replan(&self, mut plan: ForwardPlan) -> Option<ForwardPlan> {
         if plan.tried.len() >= self.config.max_forward_attempts as usize {
+            return None;
+        }
+        if !plan.load.retry_budget.try_withdraw() {
+            self.stats.budget_denials.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let (node, addr, load) = self.pick_member(plan.composition.as_deref(), &plan.tried)?;
@@ -657,9 +738,13 @@ impl Router {
     ) -> Option<(NodeId, SocketAddr, Arc<MemberLoad>)> {
         let members = self.members.read();
         let eligible: Vec<&Member> = {
-            let routable = members
-                .iter()
-                .filter(|member| member.routable() && !tried.contains(&member.id));
+            // An Open circuit takes the member out of consideration even
+            // while it is still nominally Healthy (the breaker trips on
+            // error *rate* before consecutive failures eject); HalfOpen
+            // admits it again so a real exchange can close the circuit.
+            let routable = members.iter().filter(|member| {
+                member.routable() && member.load.circuit.allows() && !tried.contains(&member.id)
+            });
             match composition {
                 Some(name) => {
                     let advertisers: Vec<&Member> =
@@ -744,10 +829,21 @@ impl Router {
                 "drained".into(),
                 JsonValue::from(self.stats.drained_out.load(Ordering::Relaxed)),
             ),
+            (
+                "evicted_polls".into(),
+                JsonValue::from(self.stats.evicted_polls.load(Ordering::Relaxed)),
+            ),
+            (
+                "budget_denials".into(),
+                JsonValue::from(self.stats.budget_denials.load(Ordering::Relaxed)),
+            ),
         ];
         drop(members);
         if let Some(source) = self.server_stats.lock().as_ref() {
             pairs.push(("server".into(), source()));
+        }
+        if let Some(failpoints) = failpoint::stats_json() {
+            pairs.push(("failpoints".into(), failpoints));
         }
         json_response(StatusCode::OK, &JsonValue::Object(pairs))
     }
@@ -1226,6 +1322,121 @@ mod tests {
         assert_eq!(plan.node, b);
         plan.tried.push(b);
         assert!(router.replan(plan).is_none());
+    }
+
+    #[test]
+    fn replan_is_denied_once_the_retry_budget_runs_dry() {
+        let router = router_without_health();
+        insert_member(&router, 9001, &["Echo"]);
+        insert_member(&router, 9002, &["Echo"]);
+        let GatewayReply::Forward(plan) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must forward");
+        };
+        // Drain the chosen member's bucket (the initial float allows a
+        // handful of cold-start retries), then replanning must refuse even
+        // though another member is available.
+        while plan.load.retry_budget.try_withdraw() {}
+        assert!(router.replan(plan).is_none());
+        assert_eq!(router.stats.budget_denials.load(Ordering::Relaxed), 1);
+        assert_eq!(router.stats.retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn successes_refill_the_retry_budget() {
+        let router = router_without_health();
+        insert_member(&router, 9001, &["Echo"]);
+        insert_member(&router, 9002, &["Echo"]);
+        let GatewayReply::Forward(plan) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must forward");
+        };
+        while plan.load.retry_budget.try_withdraw() {}
+        // Ten successes bank exactly one retry.
+        for _ in 0..10 {
+            router.note_upstream_success(&plan.load);
+        }
+        let replanned = router.replan(plan).expect("a banked retry is granted");
+        assert_eq!(router.stats.retries.load(Ordering::Relaxed), 1);
+        assert!(
+            router.replan(replanned).is_none(),
+            "the bank held one retry, not two"
+        );
+    }
+
+    #[test]
+    fn open_circuit_takes_a_member_out_of_rotation() {
+        let router = router_without_health();
+        let a = insert_member(&router, 9001, &["Echo"]);
+        let b = insert_member(&router, 9002, &["Echo"]);
+        {
+            let members = router.members.read();
+            let member = members.iter().find(|m| m.id == a).unwrap();
+            for _ in 0..5 {
+                member.load.circuit.note_error();
+            }
+            assert!(!member.load.circuit.allows());
+        }
+        for _ in 0..8 {
+            let GatewayReply::Forward(plan) =
+                router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+            else {
+                panic!("must forward");
+            };
+            assert_eq!(plan.node, b, "the open circuit must shed member a");
+        }
+        // Both circuits open: nothing is routable.
+        {
+            let members = router.members.read();
+            let member = members.iter().find(|m| m.id == b).unwrap();
+            for _ in 0..5 {
+                member.load.circuit.note_error();
+            }
+        }
+        let GatewayReply::Respond(response) =
+            router.dispatch(&HttpRequest::post("/v1/invoke/Echo", b"x".to_vec()))
+        else {
+            panic!("must respond locally when every circuit is open");
+        };
+        assert_eq!(response.status.0, 503);
+    }
+
+    #[test]
+    fn evicted_invocation_ids_answer_410_not_a_misrouted_404() {
+        let router = router_without_health();
+        let node = insert_member(&router, 9001, &["Echo"]);
+        let first = InvocationId::from_raw(1);
+        router.record_invocation(first, node);
+        // Push the first id out of the bounded owner map.
+        for raw in 2..(INVOCATION_ROUTE_CAPACITY as u64 + 3) {
+            router.record_invocation(InvocationId::from_raw(raw), node);
+        }
+        let GatewayReply::Respond(response) =
+            router.dispatch(&HttpRequest::get(format!("/v1/invocations/{first}")))
+        else {
+            panic!("an evicted id must be answered locally");
+        };
+        assert_eq!(response.status.0, 410);
+        assert!(response.body_text().contains("\"result_evicted\""));
+        assert_eq!(router.stats.evicted_polls.load(Ordering::Relaxed), 1);
+        // Ids still tracked keep forwarding to their owner.
+        let live = InvocationId::from_raw(INVOCATION_ROUTE_CAPACITY as u64);
+        let GatewayReply::Forward(plan) =
+            router.dispatch(&HttpRequest::get(format!("/v1/invocations/{live}")))
+        else {
+            panic!("live ids still forward");
+        };
+        assert_eq!(plan.node, node);
+        // Resubmitting an evicted id makes it live again.
+        router.record_invocation(first, node);
+        let GatewayReply::Forward(plan) =
+            router.dispatch(&HttpRequest::get(format!("/v1/invocations/{first}")))
+        else {
+            panic!("a resubmitted id forwards again");
+        };
+        assert_eq!(plan.node, node);
     }
 
     /// A loopback port with nothing listening: probes to it fail instantly.

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::time::Instant;
 
-use dandelion_common::{NodeId, Rope, RopeWriter};
+use dandelion_common::{failpoint, NodeId, Rope, RopeWriter};
 use dandelion_http::{HttpResponse, ParseLimits, ResponseDecoder};
 
 /// Where a proxied response must be delivered: the client connection slot
@@ -176,6 +176,12 @@ impl UpstreamConn {
         let mut write_failed = false;
         loop {
             if let Some(writer) = &mut self.writer {
+                // Injected write fault: same disposition as a kernel write
+                // error — doom the connection but still drain the read side.
+                if failpoint::enabled() && failpoint::check("upstream/write").is_some() {
+                    write_failed = true;
+                    break;
+                }
                 match writer.write_some(&mut self.stream) {
                     Ok(true) => self.writer = None,
                     Ok(false) => break,
@@ -197,8 +203,23 @@ impl UpstreamConn {
         }
         // Read side: pull bytes and decode complete responses in order.
         let mut saw_eof = false;
+        let mut read_chunk = read_chunk;
         if readable || write_failed {
             loop {
+                if failpoint::enabled() {
+                    match failpoint::check("upstream/read") {
+                        // Injected truncation: the member "vanished"
+                        // mid-response; pending exchanges fail `502`.
+                        Some(failpoint::Fault::Error) => {
+                            saw_eof = true;
+                            break;
+                        }
+                        Some(failpoint::Fault::Partial(cap)) => {
+                            read_chunk = read_chunk.min(cap.max(1));
+                        }
+                        None => {}
+                    }
+                }
                 match self.decoder.read_from(&mut self.stream, read_chunk) {
                     Ok(0) => {
                         saw_eof = true;

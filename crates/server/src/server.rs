@@ -40,6 +40,9 @@ pub struct ServerStats {
     /// Connections closed because the client stopped reading its response
     /// past the write deadline.
     pub write_timeouts: AtomicU64,
+    /// Connections accepted and immediately closed because the process ran
+    /// out of file descriptors (the accept path's reserve-fd shed).
+    pub accept_overflow: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`ServerStats`].
@@ -63,6 +66,8 @@ pub struct ServerStatsSnapshot {
     pub idle_closed: u64,
     /// Write-deadline closes (client stopped reading its response).
     pub write_timeouts: u64,
+    /// Accept-and-close sheds under file-descriptor exhaustion.
+    pub accept_overflow: u64,
 }
 
 impl ServerStats {
@@ -77,6 +82,7 @@ impl ServerStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
             write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
+            accept_overflow: self.accept_overflow.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +109,7 @@ impl ServerStats {
             ("timeouts", JsonValue::from(snapshot.timeouts)),
             ("idle_closed", JsonValue::from(snapshot.idle_closed)),
             ("write_timeouts", JsonValue::from(snapshot.write_timeouts)),
+            ("accept_overflow", JsonValue::from(snapshot.accept_overflow)),
         ])
     }
 }
@@ -209,6 +216,7 @@ impl Server {
         config
             .validate()
             .map_err(|problem| io::Error::new(io::ErrorKind::InvalidInput, problem))?;
+        dandelion_common::failpoint::init_from_env();
         let loop_count = config.resolved_event_loops();
         // Sharded accept: every loop gets its own `SO_REUSEPORT` listener
         // and the kernel load-balances incoming connections across them.

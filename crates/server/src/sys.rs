@@ -52,6 +52,11 @@ const SOCK_STREAM: c_int = 1;
 const SOCK_NONBLOCK: c_int = 0x800;
 const SOCK_CLOEXEC: c_int = 0x80000;
 const EINPROGRESS: i32 = 115;
+/// Process file-descriptor table exhausted (`EMFILE`): the accept path
+/// sheds load through its reserve descriptor instead of spinning.
+pub(crate) const EMFILE: i32 = 24;
+/// System-wide file table exhausted (`ENFILE`); handled like [`EMFILE`].
+pub(crate) const ENFILE: i32 = 23;
 const SOL_SOCKET: c_int = 1;
 const SO_REUSEADDR: c_int = 2;
 const SO_REUSEPORT: c_int = 15;
@@ -283,6 +288,9 @@ fn with_sockaddr<R>(addr: &SocketAddr, call: impl FnOnce(*const c_void, u32) -> 
 /// error). Event loops use this for upstream connections so the data path
 /// never stalls on a slow member's handshake.
 pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
+    dandelion_common::fail_point!("upstream/connect", |_fault| {
+        Err(dandelion_common::failpoint::io_error("upstream/connect"))
+    });
     let domain = match addr {
         SocketAddr::V4(_) => AF_INET,
         SocketAddr::V6(_) => AF_INET6,

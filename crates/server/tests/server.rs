@@ -372,17 +372,27 @@ fn server_stats_are_exposed_through_v1_stats() {
 
     let mut client =
         HttpClientConnection::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
-    let response = client.request(&HttpRequest::get("/v1/stats")).unwrap();
-    assert_eq!(response.status.0, 200);
-    let document =
-        dandelion_common::JsonValue::parse(&response.body_text()).expect("stats body is JSON");
-    let gauges = document.get("server").expect("server object present");
-    assert!(gauges.get("accepted").is_some());
-    assert!(gauges.get("rate_limited").is_some());
-    let open = gauges
-        .get("open_connections")
-        .and_then(dandelion_common::JsonValue::as_u64)
-        .expect("open_connections gauge");
+    // `TcpStream::connect` returns before the server's loop has accepted
+    // the idle connection, so poll the gauge instead of trusting one
+    // sample of the stats document.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let open = loop {
+        let response = client.request(&HttpRequest::get("/v1/stats")).unwrap();
+        assert_eq!(response.status.0, 200);
+        let document =
+            dandelion_common::JsonValue::parse(&response.body_text()).expect("stats body is JSON");
+        let gauges = document.get("server").expect("server object present");
+        assert!(gauges.get("accepted").is_some());
+        assert!(gauges.get("rate_limited").is_some());
+        let open = gauges
+            .get("open_connections")
+            .and_then(dandelion_common::JsonValue::as_u64)
+            .expect("open_connections gauge");
+        if open >= 2 || std::time::Instant::now() >= deadline {
+            break open;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
     assert!(open >= 2, "idle + client connection are open, got {open}");
 
     // The idle connection is closed silently and counted.
